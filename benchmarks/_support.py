@@ -1,0 +1,74 @@
+"""Shared infrastructure for the benchmark/experiment harness.
+
+Each ``bench_*`` module reproduces one table/figure/result from the
+paper (see DESIGN.md section 4 for the index).  Results are printed and
+also written to ``benchmarks/results/<exp-id>.txt`` so the full set of
+regenerated artifacts survives a quiet pytest run.
+
+Absolute numbers are simulation-scale, not testbed-scale; what must
+(and does) match the paper is the *shape*: who wins, what is blocked,
+where the qualitative crossovers are.  EXPERIMENTS.md records
+paper-vs-measured for every entry.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+class Report:
+    """Accumulates a human-readable experiment report."""
+
+    def __init__(self, exp_id: str, title: str):
+        self.exp_id = exp_id
+        self.title = title
+        self.lines: List[str] = [f"### {exp_id}: {title}", ""]
+
+    def line(self, text: str = "") -> None:
+        self.lines.append(text)
+
+    _table_count = 0
+
+    def table(self, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+        rows = [[str(cell) for cell in row] for row in rows]
+        widths = [len(h) for h in headers]
+        for row in rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+        self.lines.append(fmt.format(*headers))
+        self.lines.append("  ".join("-" * w for w in widths))
+        for row in rows:
+            self.lines.append(fmt.format(*row))
+        self.lines.append("")
+        self._save_csv(headers, rows)
+
+    def _save_csv(self, headers: Sequence[str], rows) -> None:
+        """Also emit each table as CSV so downstream tooling (plots,
+        diffing against future runs) has machine-readable artifacts."""
+        import csv
+        self._table_count += 1
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR,
+                            f"{self.exp_id}.table{self._table_count}.csv")
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(headers)
+            writer.writerows(rows)
+
+    def save_and_print(self) -> str:
+        text = "\n".join(self.lines)
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{self.exp_id}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print("\n" + text)
+        return text
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

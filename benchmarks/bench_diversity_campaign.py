@@ -1,0 +1,51 @@
+"""X1 (extension): the long-lifetime exploit campaign against the
+diversified, proactively recovered fleet.
+
+An attacker with source access (the excursion's end state) develops
+memory-corruption exploits over time.  Each exploit fells exactly the
+replica whose build it targets; Spire absorbs the loss (f=1); proactive
+recovery reissues a fresh variant, invalidating the attacker's work —
+the race the paper's architecture is designed to win.
+"""
+
+from repro.core import build_spire, plant_config
+from repro.diversity import ExploitDeveloper
+from repro.net import Host, ubuntu_desktop_2016
+from repro.redteam import Attacker
+from repro.redteam.scenarios import run_diversity_exploit_campaign
+from repro.sim import Simulator
+
+from _support import Report, run_once
+
+
+def bench_diversity_exploit_campaign(benchmark):
+    report = Report("X1-diversity-campaign",
+                    "Exploit campaign vs diversity + proactive recovery")
+
+    def experiment():
+        sim = Simulator(seed=121)
+        system = build_spire(sim, plant_config(
+            n_distribution_plcs=0, n_generation_plcs=0, n_hmis=1,
+            proactive_recovery_period=30.0,
+            proactive_recovery_downtime=0.5))
+        sim.run(until=4.0)
+        staging = Host(sim, "rt-box", os_profile=ubuntu_desktop_2016())
+        system.external_lan.connect(staging)
+        attacker = Attacker(sim, "redteam", staging)
+        developer = ExploitDeveloper(clock=lambda: sim.now)
+        scenario = run_diversity_exploit_campaign(system, attacker,
+                                                  developer)
+        return system, scenario, developer
+
+    system, scenario, developer = run_once(benchmark, experiment)
+    rows = [[s.stage,
+             "ATTACKER SUCCEEDED" if s.attacker_goal_achieved else "defended",
+             s.detail[:70]] for s in scenario.stages]
+    report.table(["campaign step", "outcome", "detail"], rows)
+    report.line(f"Attacker effort spent: {developer.hours_spent:.0f} "
+                "modeled hours; arsenal invalidated by one recovery.")
+    report.save_and_print()
+    assert scenario.achieved("exploit first replica (matching build)")
+    assert not scenario.achieved("reuse exploit on other replicas")
+    assert not scenario.achieved("disrupt SCADA with one compromised replica")
+    assert not scenario.achieved("exploit survives proactive recovery")

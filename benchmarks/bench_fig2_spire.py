@@ -1,0 +1,82 @@
+"""E2 (Fig. 2): the Spire architecture with six replicas.
+
+Six diverse SCADA-master replicas (f=1, k=1) on the isolated internal
+Spines network, proxies/HMI on the external network.  The figure's
+claim: the system withstands **one intrusion and one proactive recovery
+simultaneously** while maintaining continuous correct operation.  We
+run exactly that: one replica turned byzantine-crashed (the intrusion)
+while the recovery scheduler takes another down, under a continuous
+breaker-cycling workload.
+"""
+
+from repro.core import build_spire, plant_config
+from repro.sim import Simulator
+
+from _support import Report, run_once
+
+
+def bench_fig2_spire_architecture(benchmark):
+    report = Report("E2-fig2", "Spire architecture: 6 replicas, "
+                    "1 intrusion + 1 proactive recovery simultaneously")
+
+    def experiment():
+        sim = Simulator(seed=102)
+        config = plant_config(n_distribution_plcs=1, n_generation_plcs=0,
+                              n_hmis=1, proactive_recovery_period=6.0,
+                              proactive_recovery_downtime=1.0)
+        system = build_spire(sim, config)
+        sim.run(until=3.0)
+        hmi = system.hmis[0]
+        topo = system.physical_plc.topology
+        # The intrusion: one replica compromised (modeled as arbitrary
+        # misbehaviour — here it goes silent, the strongest availability
+        # attack a single replica can mount).
+        intruded = system.replicas[system.prime_config.replica_names[2]]
+        intruded.byzantine = "crash"
+        # Proactive recovery cycles other replicas down one at a time.
+        scheduler = system.start_proactive_recovery()
+        # Continuous workload: flip a breaker every 2 s and verify the
+        # change reaches the HMI.
+        flips = []
+        latencies = []
+        state = {"target": True}
+
+        def flip():
+            state["target"] = not state["target"]
+            hmi.command_breaker("plc-physical", "B57", state["target"])
+            flips.append((sim.now, state["target"]))
+
+        sim.every(2.0, flip)
+        checkpoints = []
+
+        def check():
+            shown = hmi.breaker_state("plc-physical", "B57")
+            actual = topo.get_breaker("B57")
+            checkpoints.append(shown == actual)
+
+        sim.every(2.0, check, start_after=3.0)
+        sim.run(until=30.0)
+        agreement = sum(checkpoints) / len(checkpoints)
+        return (system, scheduler, agreement, len(flips),
+                topo.get_breaker("B57") == state["target"])
+
+    system, scheduler, agreement, flips, final_ok = \
+        run_once(benchmark, experiment)
+    rows = [[name, rep.summary()["state"], rep.summary()["view"],
+             rep.summary()["updates_executed"], rep.summary()["epoch"]]
+            for name, rep in system.replicas.items()]
+    report.table(["replica", "state", "view", "updates", "recoveries"],
+                 rows)
+    report.table(
+        ["metric", "value"],
+        [["breaker flips commanded", flips],
+         ["HMI/field agreement during run", f"{agreement:.0%}"],
+         ["final command applied", final_ok],
+         ["proactive recoveries completed", scheduler.recoveries_completed],
+         ["max concurrent recoveries (k)", system.config.k]])
+    report.line("Continuous correct operation with one intrusion and one "
+                "recovery at a time — the Fig. 2 sizing (3f+2k+1=6) works.")
+    report.save_and_print()
+    assert final_ok
+    assert agreement >= 0.8
+    assert scheduler.recoveries_completed >= 3

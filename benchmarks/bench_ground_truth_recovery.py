@@ -1,0 +1,77 @@
+"""E12 (Section III-A): recovery from a temporary assumption breach by
+rebuilding from field devices.
+
+Crash *every* replica with total state loss — beyond anything BFT can
+tolerate.  The system's automatic reset rebuilds the masters' active
+state from the PLCs (the ground truth) within one heartbeat; the SCADA
+historian, whose data is genuinely historical, cannot recover its
+archive.  A generic BFT database has neither property.
+"""
+
+from repro.core import build_spire, plant_config
+from repro.sim import Simulator
+
+from _support import Report, run_once
+
+
+def bench_ground_truth_recovery(benchmark):
+    report = Report("E12-ground-truth", "Assumption-breach reset: rebuild "
+                    "active state from field devices")
+
+    def experiment():
+        sim = Simulator(seed=114)
+        system = build_spire(sim, plant_config(
+            n_distribution_plcs=2, n_generation_plcs=0, n_hmis=1,
+            heartbeat_interval=1.5))
+        system.enable_auto_reset(check_interval=1.0, strikes=2)
+        sim.run(until=5.0)
+        # Put the field into a distinctive configuration first.
+        topo = system.physical_plc.topology
+        topo.set_breaker("B56", False)
+        sim.run(until=8.0)
+        pre_breach_history = len(system.historian.records)
+        pre_breach_view = next(iter(system.masters.values())).system_view()
+
+        # The breach: all replicas crash and lose all state; the
+        # historian's archive is destroyed too.
+        lost_records = system.historian.wipe()
+        for replica in system.replicas.values():
+            replica.crash()
+        sim.run(until=9.0)
+        for replica in system.replicas.values():
+            replica.recover()    # nobody has state: donors never agree
+        breach_time = sim.now
+        sim.run(until=breach_time + 12.0)
+
+        rebuilt_views = [master.system_view()
+                         for master in system.masters.values()]
+        rebuilt_ok = all(
+            view.get("plc-physical", {}).get("B56") is False
+            and view.get("plc-physical", {}).get("B10-1") is True
+            for view in rebuilt_views)
+        recovered_history = len(system.historian.records)
+        hmi_ok = (system.hmis[0].breaker_state("plc-physical", "B56")
+                  is False)
+        return (system, pre_breach_history, lost_records, rebuilt_ok,
+                hmi_ok, recovered_history, pre_breach_view)
+
+    (system, pre_hist, lost, rebuilt_ok, hmi_ok, recovered_hist,
+     pre_view) = run_once(benchmark, experiment)
+    report.table(
+        ["property", "value"],
+        [["historian records before breach", pre_hist],
+         ["records destroyed in breach", lost],
+         ["automatic resets triggered", system.reset_epochs],
+         ["masters rebuilt active state from PLCs", rebuilt_ok],
+         ["HMI shows correct post-breach state", hmi_ok],
+         ["master views consistent", system.master_views_consistent()],
+         ["historical archive recovered",
+          f"no ({recovered_hist} new records only)"]])
+    report.line("Active state is recoverable because the RTUs/PLCs *are* "
+                "the ground truth; history is not, exactly as Section "
+                "III-A distinguishes.  'A traditional BFT system cannot "
+                "recover from this situation.'")
+    report.save_and_print()
+    assert system.reset_epochs >= 1
+    assert rebuilt_ok and hmi_ok
+    assert lost == pre_hist and lost > 0

@@ -1,0 +1,85 @@
+"""X5: substrate microbenchmarks (wall-clock performance).
+
+Unlike the experiment reproductions (single-shot, simulated time),
+these measure the *simulator's* real performance over multiple rounds:
+kernel event dispatch, the UDP delivery path, crypto over canonical
+serialization, and Prime end-to-end update cost.  Useful for spotting
+performance regressions when extending the codebase.
+"""
+
+from repro.crypto import KeyStore, mac_payload, sign_payload, verify_signature
+from repro.net import Host, Lan
+from repro.sim import Simulator
+
+
+def bench_kernel_event_dispatch(benchmark):
+    """Schedule+execute 10k no-op events."""
+
+    def run():
+        sim = Simulator()
+        for i in range(10_000):
+            sim.schedule(i * 0.001, lambda: None)
+        sim.run()
+        return sim.events_executed
+
+    events = benchmark(run)
+    assert events == 10_000
+
+
+def bench_udp_delivery_path(benchmark):
+    """1000 UDP datagrams host->switch->host, full stack."""
+
+    def run():
+        sim = Simulator(seed=1)
+        lan = Lan(sim, "lan", "10.0.0.0/24")
+        a, b = Host(sim, "a"), Host(sim, "b")
+        lan.connect(a)
+        lan.connect(b)
+        got = []
+        b.udp_bind(9000, lambda *args: got.append(None))
+        for i in range(1000):
+            sim.schedule(i * 0.001, a.udp_send, lan.ip_of(b), 9000,
+                         "payload", 1)
+        sim.run(until=2.0)
+        return len(got)
+
+    delivered = benchmark(run)
+    assert delivered == 1000
+
+
+def bench_sign_verify_roundtrip(benchmark):
+    """HMAC signature over a Prime-sized message, sign + verify."""
+    ks = KeyStore()
+    ks.create_signing("replica1")
+    ring = ks.ring_for(signing_principals=["replica1"])
+    payload = {"sender": "replica1", "body_type": "PrePrepare",
+               "matrix": {f"replica{i}": {"replica1#0": 42}
+                          for i in range(6)}}
+
+    def run():
+        sig = sign_payload(ring, "replica1", payload)
+        return verify_signature(ring, sig, payload)
+
+    assert benchmark(run) is True
+
+
+def bench_prime_update_wallclock(benchmark):
+    """Wall-clock cost of ordering+executing 20 updates on 6 replicas
+    (the full protocol pipeline including the overlay)."""
+    import sys, os
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..",
+                                    "tests"))
+    from conftest import build_cluster
+
+    def run():
+        sim = Simulator(seed=5)
+        cluster = build_cluster(sim, f=1, k=1)
+        client = cluster.add_client("bench")
+        for i in range(20):
+            sim.schedule(0.1 + i * 0.05, client.submit, {"set": (f"k{i}", i)})
+        sim.run(until=3.0)
+        return sum(1 for app in cluster.apps.values()
+                   if len(app.oplog) == 20)
+
+    agreed = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert agreed == 6

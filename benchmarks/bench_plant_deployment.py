@@ -1,0 +1,114 @@
+"""E8 (Section V): the power plant test deployment.
+
+Six diverse replicas (f=1, k=1) with proactive recovery, the plant
+topology subset (B10-1, B57, B56) on the "real" PLC, ten distribution
+and six generation emulated PLCs, and HMIs in three locations.  The
+deployed system ran continuously for six days; the simulation runs a
+time-scaled version (90 s with recoveries every 10 s ≈ one full
+rejuvenation cycle per replica, the property that matters) and checks
+continuous correct operation throughout.
+"""
+
+from repro.core import build_spire, plant_config
+from repro.sim import Simulator
+
+from _support import Report, run_once
+
+RUN_SECONDS = 90.0
+
+
+def bench_plant_deployment(benchmark):
+    report = Report("E8-plant", "Power plant test deployment "
+                    "(continuous operation, 6 replicas, 17 PLCs, 3 HMIs)")
+
+    def experiment():
+        sim = Simulator(seed=109)
+        config = plant_config(proactive_recovery_period=10.0,
+                              proactive_recovery_downtime=1.0,
+                              poll_interval=0.5, heartbeat_interval=4.0)
+        system = build_spire(sim, config)
+        sim.run(until=5.0)
+        scheduler = system.start_proactive_recovery()
+        # Plant workload: periodic operator actions on the real subset
+        # plus the emulated scenarios.
+        hmi_states = {"B57": True}
+        actions = {"n": 0}
+
+        def operate():
+            actions["n"] += 1
+            hmi = system.hmis[actions["n"] % len(system.hmis)]
+            hmi_states["B57"] = not hmi_states["B57"]
+            hmi.command_breaker("plc-physical", "B57", hmi_states["B57"])
+
+        sim.every(6.0, operate)
+        # Continuous-operation probe: every 2 s, all three HMIs must be
+        # fresh and consistent with the field.
+        probes = {"total": 0, "ok": 0}
+
+        def probe():
+            probes["total"] += 1
+            topo = system.physical_plc.topology
+            field = topo.get_breaker("B57")
+            shown = [hmi.breaker_state("plc-physical", "B57")
+                     for hmi in system.hmis]
+            if all(s == field for s in shown):
+                probes["ok"] += 1
+
+        sim.every(2.0, probe, start_after=6.0)
+        sim.run(until=RUN_SECONDS)
+        return system, scheduler, probes, actions["n"]
+
+    system, scheduler, probes, actions = run_once(benchmark, experiment)
+    report.table(
+        ["deployment property", "value"],
+        [["replicas (3f+2k+1, f=1, k=1)", system.prime_config.n],
+         ["PLCs managed", len(system.plcs)],
+         ["  physical (plant subset B10-1/B57/B56)",
+          sum(1 for u in system.plcs.values() if u.physical)],
+         ["  emulated distribution", sum(1 for n in system.plcs if "dist" in n)],
+         ["  emulated generation", sum(1 for n in system.plcs if "gen" in n)],
+         ["HMI locations", len(system.hmis)],
+         ["proactive recoveries completed", scheduler.recoveries_completed],
+         ["operator actions executed", actions],
+         ["continuous-operation probes OK",
+          f"{probes['ok']}/{probes['total']}"],
+         ["master views consistent at end",
+          system.master_views_consistent()]])
+    uptime = probes["ok"] / probes["total"]
+    report.line(f"Availability during scaled run: {uptime:.1%} "
+                "(transients only during HMI redisplay races).")
+    report.line("Paper: 'Spire and MANA were continuously deployed without "
+                "interruption or adverse effects on the plant systems for "
+                "six days.'")
+    report.save_and_print()
+    assert uptime >= 0.9
+    assert scheduler.recoveries_completed >= 6      # full cycle of 6 replicas
+    assert system.master_views_consistent()
+
+
+def bench_plant_historian_archive(benchmark):
+    report = Report("E8b-plant-historian",
+                    "Historian archives the deployment's state series")
+
+    def experiment():
+        sim = Simulator(seed=110)
+        config = plant_config(n_distribution_plcs=1, n_generation_plcs=1,
+                              n_hmis=1)
+        system = build_spire(sim, config)
+        sim.run(until=4.0)
+        topo = system.physical_plc.topology
+        for i in range(4):
+            sim.schedule(1.0 + 3.0 * i, topo.set_breaker, "B56", i % 2 == 0)
+        sim.run(until=20.0)
+        return system
+
+    system = run_once(benchmark, experiment)
+    series = system.historian.breaker_series("plc-physical", "B56")
+    transitions = sum(1 for (_, a), (_, b) in zip(series, series[1:])
+                      if a != b)
+    report.table(["historian metric", "value"],
+                 [["records archived", len(system.historian.records)],
+                  ["B56 series points", len(series)],
+                  ["B56 transitions captured", transitions]])
+    report.save_and_print()
+    assert transitions >= 2

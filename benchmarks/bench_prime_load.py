@@ -1,0 +1,64 @@
+"""X2 (extension): Prime ordering latency vs offered load.
+
+Sweeps the client update rate against the six-replica configuration
+and reports confirmation latency — the classic latency/throughput
+curve for the replication engine underneath Spire.  The expected shape:
+flat latency at SCADA-scale loads (Prime batches preorder and ordering
+work, so moderate load increases cost little), rising as the offered
+rate approaches the pipeline's capacity.
+"""
+
+from repro.sim import Simulator
+
+import sys, os
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tests"))
+from conftest import build_cluster  # noqa: E402
+
+from _support import Report, run_once
+
+RATES = [5, 20, 50, 100]        # updates/second
+DURATION = 4.0
+
+
+def measure(rate):
+    sim = Simulator(seed=120 + rate)
+    cluster = build_cluster(sim, f=1, k=1)
+    client = cluster.add_client("load")
+    interval = 1.0 / rate
+    count = int(DURATION * rate)
+    for i in range(count):
+        sim.schedule(0.5 + i * interval, client.submit, {"set": (f"k{i}", i)})
+    sim.run(until=0.5 + DURATION + 6.0)
+    latencies = sorted(cluster.clients["load"].confirm_latency.values())
+    confirmed = len(latencies)
+    if not latencies:
+        return confirmed, count, None, None, None
+    mean = sum(latencies) / confirmed
+    p99 = latencies[min(confirmed - 1, int(confirmed * 0.99))]
+    return confirmed, count, mean, latencies[confirmed // 2], p99
+
+
+def bench_prime_latency_vs_load(benchmark):
+    report = Report("X2-prime-load", "Prime: confirmation latency vs "
+                    "offered update rate (6 replicas, f=1, k=1)")
+
+    def experiment():
+        return {rate: measure(rate) for rate in RATES}
+
+    results = run_once(benchmark, experiment)
+    rows = []
+    for rate, (confirmed, offered, mean, p50, p99) in results.items():
+        rows.append([rate, f"{confirmed}/{offered}",
+                     f"{mean*1000:.0f}" if mean else "-",
+                     f"{p50*1000:.0f}" if p50 else "-",
+                     f"{p99*1000:.0f}" if p99 else "-"])
+    report.table(["updates/s", "confirmed", "mean (ms)", "p50 (ms)",
+                  "p99 (ms)"], rows)
+    report.line("SCADA-scale loads (a poll cycle across 17 PLCs is <50 "
+                "updates/s) sit on the flat part of the curve; Prime's "
+                "batched preordering keeps latency near one ordering "
+                "round.")
+    report.save_and_print()
+    for rate, (confirmed, offered, mean, _, _) in results.items():
+        assert confirmed == offered, f"loss at {rate}/s"
+        assert mean < 0.5, f"latency blow-up at {rate}/s"

@@ -1,0 +1,102 @@
+"""E9 (Section V, last paragraph): end-to-end reaction time.
+
+The plant engineers' measurement device periodically flipped a breaker
+and used sensors to detect when each system's HMI screen reflected the
+change.  Both systems monitor the *same physical breaker* (two RTU
+interfaces on the same switchyard); the device acts on the shared
+physical topology.
+
+Expected shape (and the paper's result): Spire meets the plant timing
+requirements and reflects changes *faster* than the commercial system —
+Spire's proxy polls fast and pushes event-driven feeds through Prime,
+while the commercial system is bound to its slow scan/refresh cycle.
+Absolute numbers are parameter choices (documented below), the ordering
+is the architecture.
+"""
+
+from repro.core import MeasurementDevice, build_spire, plant_config
+from repro.net import Host, Lan
+from repro.plc import PlcDevice
+from repro.redteam.commercial import CommercialHmi, CommercialScadaServer
+from repro.sim import Simulator
+
+from _support import Report, run_once
+
+# Commercial scan-class parameters: a 1 s PLC scan and 1 s HMI refresh
+# (typical SCADA scan cycle); Spire polls at 250 ms and pushes feeds
+# event-driven.
+COMMERCIAL_POLL = 1.0
+COMMERCIAL_PUSH = 1.0
+SPIRE_POLL = 0.25
+PLANT_REQUIREMENT_S = 2.0        # the timing requirement used as pass bar
+FLIPS = 12
+
+
+def bench_reaction_time_spire_vs_commercial(benchmark):
+    report = Report("E9-reaction-time",
+                    "End-to-end reaction time: breaker flip -> HMI update")
+
+    def experiment():
+        sim = Simulator(seed=111)
+        system = build_spire(sim, plant_config(
+            n_distribution_plcs=1, n_generation_plcs=0, n_hmis=1,
+            poll_interval=SPIRE_POLL))
+        shared_topology = system.physical_plc.topology
+
+        # The commercial system watches the same physical breakers via
+        # its own RTU interface on its own network.
+        lan = Lan(sim, "commercial-ops", "10.20.0.0/24")
+        plc_host = Host(sim, "c-plc")
+        server_host = Host(sim, "c-server")
+        hmi_host = Host(sim, "c-hmi")
+        for host in (plc_host, server_host, hmi_host):
+            lan.connect(host)
+        PlcDevice(sim, "c-plc", plc_host, shared_topology, physical=True)
+        server = CommercialScadaServer(
+            sim, "c-server", server_host, lan.ip_of(plc_host),
+            lan.ip_of(hmi_host), primary=True,
+            poll_interval=COMMERCIAL_POLL, push_interval=COMMERCIAL_PUSH)
+        server.set_coil_names(shared_topology.breaker_names())
+        commercial_hmi = CommercialHmi(sim, "c-hmi", hmi_host,
+                                       lan.ip_of(server_host))
+        sim.run(until=5.0)
+
+        spire_hmi = system.hmis[0]
+        device = MeasurementDevice(
+            sim, shared_topology, "B57",
+            sensors={
+                "spire": lambda: spire_hmi.breaker_state("plc-physical",
+                                                         "B57"),
+                "commercial": lambda: commercial_hmi.breaker_state("B57"),
+            },
+            period=4.0)
+        sim.run(until=5.0 + FLIPS * 4.0 + 2.0)
+        return device
+
+    device = run_once(benchmark, experiment)
+    summary = device.summary()
+    rows = []
+    for system_name in ("spire", "commercial"):
+        stats = summary[system_name]
+        rows.append([system_name, stats["samples"],
+                     f"{stats['mean']*1000:.0f}",
+                     f"{stats['p50']*1000:.0f}",
+                     f"{stats['min']*1000:.0f}",
+                     f"{stats['max']*1000:.0f}",
+                     "yes" if stats["max"] <= PLANT_REQUIREMENT_S else "NO"])
+    report.table(
+        ["system", "samples", "mean (ms)", "p50 (ms)", "min (ms)",
+         "max (ms)", f"meets {PLANT_REQUIREMENT_S:.0f}s requirement"],
+        rows)
+    speedup = summary["commercial"]["mean"] / summary["spire"]["mean"]
+    report.line(f"Spire is {speedup:.1f}x faster end-to-end.")
+    report.line("Paper: 'Spire successfully met the timing requirements of "
+                "the plant engineers, and was even able to reflect changes "
+                "more quickly than the commercial system.'")
+    report.line(f"(parameters: commercial scan {COMMERCIAL_POLL}s / refresh "
+                f"{COMMERCIAL_PUSH}s; Spire poll {SPIRE_POLL}s + "
+                "event-driven feeds; Prime ordering adds ~50-100 ms)")
+    report.save_and_print()
+    assert summary["spire"]["samples"] >= FLIPS - 1
+    assert summary["spire"]["max"] <= PLANT_REQUIREMENT_S
+    assert summary["spire"]["mean"] < summary["commercial"]["mean"]

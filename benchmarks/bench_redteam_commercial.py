@@ -1,0 +1,54 @@
+"""E5 (Section IV-B, paragraphs 1-2): the red team vs the commercial
+SCADA system.
+
+Stage 1 — from the *enterprise* network: pivot through the perimeter,
+memory-dump the PLC, upload modified configuration (control of the
+PLC).  Stage 2 — from the *operations* network: MITM between SCADA
+server and HMI, sending modified updates and suppressing real ones.
+The paper: all of this succeeded "within only a few hours".
+"""
+
+from repro.core.deployment import build_redteam_testbed
+from repro.redteam import Attacker
+from repro.redteam.scenarios import (
+    run_commercial_enterprise_pivot, run_commercial_ops_mitm,
+)
+from repro.sim import Simulator
+
+from _support import Report, run_once
+
+
+def bench_redteam_vs_commercial(benchmark):
+    report = Report("E5-redteam-commercial",
+                    "Red team vs commercial SCADA (NIST best practices)")
+
+    def experiment():
+        sim = Simulator(seed=106)
+        testbed = build_redteam_testbed(sim)
+        testbed.start_cyclers()
+        sim.run(until=6.0)
+        ent_host = testbed.place_attacker("enterprise", "rt-ent")
+        attacker = Attacker(sim, "redteam", ent_host)
+        stage1 = run_commercial_enterprise_pivot(testbed, attacker)
+        ops_host = testbed.place_attacker("ops-commercial", "rt-ops")
+        attacker.footholds[ops_host.name] = "root"
+        stage2 = run_commercial_ops_mitm(testbed, attacker, ops_host)
+        return testbed, stage1, stage2
+
+    testbed, stage1, stage2 = run_once(benchmark, experiment)
+    rows = []
+    for stage in stage1.stages + stage2.stages:
+        rows.append([stage.stage,
+                     "ATTACKER SUCCEEDED" if stage.attacker_goal_achieved
+                     else "defended",
+                     stage.detail[:70]])
+    report.table(["attack stage", "outcome", "detail"], rows)
+    report.line("Paper: 'These successful attacks clearly demonstrated "
+                "that the nation's power grid is vulnerable; current best "
+                "practices provide only weak protection.'")
+    report.save_and_print()
+    assert stage1.achieved("pivot onto operations network")
+    assert stage1.achieved("PLC memory dump")
+    assert stage1.achieved("PLC config upload (control of PLC)")
+    assert stage2.achieved("send modified updates to HMI")
+    assert stage2.achieved("prevent correct updates from being received")

@@ -1,0 +1,79 @@
+"""The red-team exercise (Section IV), end to end.
+
+Builds the Fig. 3 testbed — enterprise network, perimeter firewall,
+commercial SCADA operations network, Spire operations network, MANA 1-3
+— trains the IDS on baseline traffic, then runs the Sandia campaign in
+the order the paper reports it and prints each stage's outcome plus the
+situational-awareness board.
+
+Run:  python examples/redteam_exercise.py
+"""
+
+from repro.core.deployment import build_redteam_testbed
+from repro.mana import SituationalAwarenessBoard
+from repro.redteam import Attacker
+from repro.redteam.scenarios import (
+    run_commercial_enterprise_pivot, run_commercial_ops_mitm,
+    run_spire_enterprise_probe, run_spire_excursion, run_spire_ops_attacks,
+)
+from repro.sim import Simulator
+
+
+def main() -> None:
+    sim = Simulator(seed=42)
+    print("setting up the PNNL testbed (Fig. 3) ...")
+    testbed = build_redteam_testbed(sim)
+    testbed.start_cyclers(interval=2.0)
+
+    print("collecting baseline traffic and training MANA 1-3 ...")
+    sim.run(until=20.0)
+    trained = testbed.train_mana(2.0, 20.0)
+    for name, windows in trained.items():
+        print(f"  {name}: trained on {windows} windows")
+    for instance in testbed.mana.values():
+        instance.start_live()
+
+    # ----- the campaign ---------------------------------------------
+    ent_box = testbed.place_attacker("enterprise", "rt-ent")
+    attacker = Attacker(sim, "sandia", ent_box)
+
+    print("\n--- day 1: the commercial system, from the enterprise ---")
+    print(run_commercial_enterprise_pivot(testbed, attacker).render())
+
+    print("\n--- day 1: the commercial system, on operations ---")
+    ops_box = testbed.place_attacker("ops-commercial", "rt-ops")
+    attacker.footholds[ops_box.name] = "root"
+    print(run_commercial_ops_mitm(testbed, attacker, ops_box).render())
+
+    print("\n--- day 2: Spire, from the enterprise ---")
+    print(run_spire_enterprise_probe(testbed, attacker).render())
+
+    print("\n--- day 2: Spire, on operations ---")
+    spire_box = testbed.place_attacker("ops-spire", "rt-spire")
+    attacker.footholds[spire_box.name] = "root"
+    print(run_spire_ops_attacks(testbed, attacker, spire_box).render())
+
+    print("\n--- day 3: the excursion ---")
+    print(run_spire_excursion(testbed, attacker).render())
+
+    # ----- what the defenders saw ------------------------------------
+    board = SituationalAwarenessBoard()
+    for instance in testbed.mana.values():
+        board.observe(instance.correlator, now=sim.now)
+        board.set_quiet(instance.capture.network)
+    print("\n" + board.render())
+    for instance in testbed.mana.values():
+        for incident in instance.correlator.incidents:
+            print(f"  {instance.name}: {incident.describe()}")
+
+    print("\nfinal state:")
+    print(f"  commercial PLC running attacker config: "
+          f"{testbed.commercial.plc.compromised_config}")
+    print(f"  Spire PLC intact: "
+          f"{not testbed.spire.physical_plc.device.compromised_config}")
+    print(f"  Spire master views consistent: "
+          f"{testbed.spire.master_views_consistent()}")
+
+
+if __name__ == "__main__":
+    main()

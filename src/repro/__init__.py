@@ -1,0 +1,9 @@
+"""Reproduction of "Deploying Intrusion-Tolerant SCADA for the Power
+Grid" (DSN 2019): Spire, Prime, Spines, MANA, the commercial baseline,
+and the red-team harness, on a deterministic discrete-event simulator.
+
+Start with :func:`repro.core.build_spire` or
+:func:`repro.core.deployment.build_redteam_testbed`.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,156 @@
+"""Command-line interface: run the reproduction's headline scenarios.
+
+Installed as ``spire-sim`` (see pyproject) or runnable as
+``python -m repro.cli``:
+
+* ``spire-sim quickstart`` — build a plant-configuration Spire system,
+  operate a breaker, compromise a replica, show nothing breaks.
+* ``spire-sim redteam``    — the full Section IV campaign with reports.
+* ``spire-sim plant``      — the Section V deployment + reaction-time
+  measurement.
+* ``spire-sim breach``     — the Section III-A assumption-breach
+  rebuild-from-field-devices demonstration.
+
+Every command accepts ``--seed`` (deterministic replay) and prints a
+human-readable account to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def cmd_quickstart(args) -> int:
+    from repro.core import build_spire, plant_config
+    from repro.scada import render_hmi
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=args.seed)
+    system = build_spire(sim, plant_config(
+        n_distribution_plcs=2, n_generation_plcs=1, n_hmis=1))
+    sim.run(until=5.0)
+    hmi = system.hmis[0]
+    print(f"{system.config.name}: {system.prime_config.n} replicas, "
+          f"{len(system.plcs)} PLCs")
+    hmi.command_breaker("plc-physical", "B57", False)
+    sim.run(until=sim.now + 2.0)
+    print(render_hmi(hmi, system.physical_plc.topology, "plc-physical"))
+    victim = system.replicas[system.prime_config.replica_names[0]]
+    victim.byzantine = "crash"
+    hmi.command_breaker("plc-physical", "B57", True)
+    sim.run(until=sim.now + 3.0)
+    ok = system.physical_plc.topology.get_breaker("B57") is True
+    print(f"\nwith {victim.name} compromised: command "
+          f"{'executed' if ok else 'FAILED'}; views consistent: "
+          f"{system.master_views_consistent()}")
+    return 0 if ok else 1
+
+
+def cmd_redteam(args) -> int:
+    from repro.core.deployment import build_redteam_testbed
+    from repro.redteam import Attacker
+    from repro.redteam.scenarios import (
+        run_commercial_enterprise_pivot, run_commercial_ops_mitm,
+        run_spire_enterprise_probe, run_spire_excursion,
+        run_spire_ops_attacks,
+    )
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=args.seed)
+    testbed = build_redteam_testbed(sim)
+    testbed.start_cyclers()
+    sim.run(until=6.0)
+    ent = testbed.place_attacker("enterprise", "rt-ent")
+    attacker = Attacker(sim, "redteam", ent)
+    print(run_commercial_enterprise_pivot(testbed, attacker).render())
+    ops = testbed.place_attacker("ops-commercial", "rt-ops")
+    attacker.footholds[ops.name] = "root"
+    print(run_commercial_ops_mitm(testbed, attacker, ops).render())
+    print(run_spire_enterprise_probe(testbed, attacker).render())
+    spire_box = testbed.place_attacker("ops-spire", "rt-spire")
+    attacker.footholds[spire_box.name] = "root"
+    print(run_spire_ops_attacks(testbed, attacker, spire_box).render())
+    print(run_spire_excursion(testbed, attacker).render())
+    spire_ok = not testbed.spire.physical_plc.device.compromised_config
+    commercial_owned = testbed.commercial.plc.compromised_config
+    print(f"\ncommercial PLC compromised: {commercial_owned}; "
+          f"Spire PLC intact: {spire_ok}")
+    return 0 if (spire_ok and commercial_owned) else 1
+
+
+def cmd_plant(args) -> int:
+    from repro.core import MeasurementDevice, build_spire, plant_config
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=args.seed)
+    system = build_spire(sim, plant_config(proactive_recovery_period=15.0))
+    sim.run(until=5.0)
+    system.start_proactive_recovery()
+    sim.run(until=30.0)
+    hmi = system.hmis[0]
+    device = MeasurementDevice(
+        sim, system.physical_plc.topology, "B57",
+        sensors={"spire": lambda: hmi.breaker_state("plc-physical", "B57")},
+        period=4.0)
+    sim.run(until=sim.now + 30.0)
+    stats = device.summary()["spire"]
+    print(f"recoveries: {system.recovery.recoveries_completed}; "
+          f"HMIs: {len(system.hmis)}; PLCs: {len(system.plcs)}")
+    print(f"reaction time over {stats['samples']} flips: "
+          f"mean {stats['mean']*1000:.0f} ms, max {stats['max']*1000:.0f} ms")
+    return 0 if stats["samples"] >= 5 else 1
+
+
+def cmd_breach(args) -> int:
+    from repro.core import build_spire, plant_config
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=args.seed)
+    system = build_spire(sim, plant_config(
+        n_distribution_plcs=1, n_generation_plcs=0, n_hmis=1,
+        heartbeat_interval=1.5))
+    system.enable_auto_reset(check_interval=1.0, strikes=2)
+    sim.run(until=5.0)
+    system.physical_plc.topology.set_breaker("B56", False)
+    sim.run(until=8.0)
+    lost = system.historian.wipe()
+    for replica in system.replicas.values():
+        replica.crash()
+    sim.run(until=9.0)
+    for replica in system.replicas.values():
+        replica.recover()
+    sim.run(until=22.0)
+    hmi = system.hmis[0]
+    rebuilt = hmi.breaker_state("plc-physical", "B56") is False
+    print(f"resets: {system.reset_epochs}; active state rebuilt from "
+          f"field devices: {rebuilt}; historian records lost forever: "
+          f"{lost}")
+    return 0 if rebuilt and system.reset_epochs >= 1 else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="spire-sim",
+        description="Reproduction of 'Deploying Intrusion-Tolerant SCADA "
+                    "for the Power Grid' (DSN 2019)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="simulation seed (deterministic replay)")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("quickstart", help="build and operate a Spire system")
+    sub.add_parser("redteam", help="run the Section IV red-team campaign")
+    sub.add_parser("plant", help="run the Section V plant deployment")
+    sub.add_parser("breach", help="run the Section III-A breach rebuild")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {"quickstart": cmd_quickstart, "redteam": cmd_redteam,
+               "plant": cmd_plant, "breach": cmd_breach}[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

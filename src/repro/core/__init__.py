@@ -1,0 +1,21 @@
+"""Spire system assembly: deployment configs, full-system builder,
+and the reaction-time measurement device."""
+
+from repro.core.config import SpireConfig, plant_config, redteam_config
+from repro.core.spire import PlcUnit, SpireSystem, build_spire
+from repro.core.measurement import MeasurementDevice, ReactionSample
+
+__all__ = [
+    "SpireConfig", "plant_config", "redteam_config",
+    "PlcUnit", "SpireSystem", "build_spire",
+    "MeasurementDevice", "ReactionSample",
+]
+
+from repro.core.deployment import (
+    BreakerCycler, EnterpriseChatter, RedTeamTestbed, build_redteam_testbed,
+)
+
+__all__ += [
+    "BreakerCycler", "EnterpriseChatter", "RedTeamTestbed",
+    "build_redteam_testbed",
+]

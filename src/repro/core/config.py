@@ -1,0 +1,66 @@
+"""Spire deployment configuration.
+
+Captures the two deployments from the paper:
+
+* :func:`redteam_config` — 4 replicas (f=1, k=0, no automatic proactive
+  recovery), one physical PLC running the Fig. 4 topology, ten emulated
+  distribution PLCs, one HMI.
+* :func:`plant_config` — 6 replicas (f=1, k=1, proactive recovery with
+  bounded delay), one physical PLC on the plant subset (B10-1, B57,
+  B56), ten distribution + six generation PLCs, three HMIs (the plant
+  had HMIs in three locations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.prime.config import PrimeTiming
+
+
+@dataclass
+class SpireConfig:
+    """Parameters of one Spire deployment."""
+
+    name: str
+    f: int = 1
+    k: int = 1
+    n_distribution_plcs: int = 10
+    n_generation_plcs: int = 0
+    generation_protocol: str = "modbus"       # "modbus" | "dnp3"
+    physical_scenario: str = "redteam"        # "redteam" | "plant" | "none"
+    n_hmis: int = 1
+    with_historian: bool = True
+    poll_interval: float = 0.25
+    heartbeat_interval: float = 2.0
+    harden_networks: bool = True
+    use_threshold_directives: bool = False
+    diversify: bool = True
+    strip_symbols: bool = True
+    compile_in_options: bool = True
+    proactive_recovery_period: float = 20.0
+    proactive_recovery_downtime: float = 1.0
+    timing: PrimeTiming = field(default_factory=PrimeTiming)
+    internal_cidr: str = "192.168.101.0/24"
+    external_cidr: str = "192.168.102.0/24"
+
+
+def redteam_config(**overrides) -> SpireConfig:
+    """The 2017 red-team experiment deployment (Section IV)."""
+    base = SpireConfig(name="redteam-2017", f=1, k=0,
+                       n_distribution_plcs=10, n_generation_plcs=0,
+                       physical_scenario="redteam", n_hmis=1)
+    for key, value in overrides.items():
+        setattr(base, key, value)
+    return base
+
+
+def plant_config(**overrides) -> SpireConfig:
+    """The 2018 power plant test deployment (Section V)."""
+    base = SpireConfig(name="plant-2018", f=1, k=1,
+                       n_distribution_plcs=10, n_generation_plcs=6,
+                       physical_scenario="plant", n_hmis=3)
+    for key, value in overrides.items():
+        setattr(base, key, value)
+    return base

@@ -1,0 +1,308 @@
+"""The red-team experimental setup (Fig. 3).
+
+Builds the full PNNL testbed: an *enterprise* network (PI-server
+historian, business workstations) separated by a perimeter firewall
+from two parallel *operations* networks — one hosting the commercial
+SCADA system configured to best practices, the other hosting Spire —
+plus three out-of-band MANA instances receiving packet capture from
+the three networks.
+
+The commercial operations network deliberately reproduces the baseline
+configuration the red team defeated: PLC directly on the switched LAN,
+dynamic ARP, learning switch, unauthenticated master↔HMI traffic, and a
+perimeter rule that exposes the SCADA server's web admin console to the
+enterprise network (the pivot the red team found "within a few hours").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import SpireConfig, redteam_config
+from repro.core.spire import SpireSystem, build_spire
+from repro.mana.detector import ManaInstance
+from repro.net.host import Host
+from repro.net.lan import Lan
+from repro.net.osprofile import commercial_appliance, ubuntu_desktop_2016
+from repro.net.router import Router
+from repro.net.tap import Capture
+from repro.plc.device import PlcDevice
+from repro.plc.topology import redteam_topology
+from repro.redteam.commercial import (
+    CommercialHmi, CommercialScadaServer, HISTORIAN_FEED_PORT,
+)
+from repro.sim.process import Process
+from repro.sim.simulator import Simulator
+
+
+class EnterpriseChatter(Process):
+    """Background business traffic so the enterprise baseline is not
+    empty: workstations talking to the historian and to each other."""
+
+    def __init__(self, sim, name: str, hosts: List[Host],
+                 historian_ip: str, interval: float = 0.5):
+        super().__init__(sim, name)
+        self.hosts = hosts
+        self.historian_ip = historian_ip
+        for host in hosts:
+            host.udp_bind(6100, lambda *args: None)
+        self.call_every(interval, self._chatter)
+
+    def _chatter(self) -> None:
+        sender = self.rng.choice(self.hosts)
+        size = max(40, int(self.rng.gauss(300, 80)))
+        sender.udp_send(self.historian_ip, HISTORIAN_FEED_PORT,
+                        "B" * size, src_port=6100)
+        peer = self.rng.choice(self.hosts)
+        if peer is not sender:
+            sender.udp_send(peer.interfaces[0].ip, 6100, "C" * (size // 2),
+                            src_port=6100)
+
+
+class HistorianPuller(Process):
+    """The PI server's data pull: the one legitimate flow crossing the
+    perimeter firewall (enterprise -> commercial SCADA server)."""
+
+    def __init__(self, sim, name: str, historian_host: Host,
+                 server_ip: str, interval: float = 2.0):
+        super().__init__(sim, name)
+        self.historian_host = historian_host
+        self.server_ip = server_ip
+        self.pulls = 0
+        self.responses = 0
+        historian_host.udp_bind(HISTORIAN_FEED_PORT + 1, self._response_in)
+        self.call_every(interval, self._pull)
+
+    def _pull(self) -> None:
+        self.pulls += 1
+        self.historian_host.udp_send(self.server_ip, HISTORIAN_FEED_PORT,
+                                     {"pull": self.pulls},
+                                     src_port=HISTORIAN_FEED_PORT + 1)
+
+    def _response_in(self, src_ip: str, src_port: int, payload) -> None:
+        self.responses += 1
+
+
+class BreakerCycler(Process):
+    """The on-site "automatic update generation tool ... that would
+    cycle through the breakers, flipping each periodically in a
+    predetermined cycle that the red team would attempt to disrupt"."""
+
+    def __init__(self, sim, name: str, breakers: List[str],
+                 command_fn, interval: float = 2.0):
+        super().__init__(sim, name)
+        self.breakers = list(breakers)
+        self.command_fn = command_fn
+        self._index = 0
+        self._state: Dict[str, bool] = {b: True for b in self.breakers}
+        self.commands_issued = 0
+        self.call_every(interval, self._cycle)
+
+    def _cycle(self) -> None:
+        breaker = self.breakers[self._index % len(self.breakers)]
+        self._index += 1
+        new_state = not self._state[breaker]
+        self._state[breaker] = new_state
+        self.commands_issued += 1
+        self.command_fn(breaker, new_state)
+
+    def expected_state(self) -> Dict[str, bool]:
+        return dict(self._state)
+
+
+@dataclass
+class CommercialSystem:
+    """The commercial SCADA side of the testbed."""
+
+    lan: Lan
+    plc: PlcDevice
+    plc_host: Host
+    primary: CommercialScadaServer
+    backup: CommercialScadaServer
+    hmi: CommercialHmi
+    hmi_host: Host
+    topology: object
+
+
+@dataclass
+class RedTeamTestbed:
+    """Everything Fig. 3 shows, wired and running."""
+
+    sim: Simulator
+    enterprise_lan: Lan
+    enterprise_hosts: List[Host]
+    historian_host: Host
+    router: Router
+    commercial: CommercialSystem
+    spire: SpireSystem
+    captures: Dict[str, Capture]
+    mana: Dict[str, ManaInstance]
+    chatter: EnterpriseChatter
+    historian_puller: Optional[HistorianPuller] = None
+    spire_cycler: Optional[BreakerCycler] = None
+    commercial_cycler: Optional[BreakerCycler] = None
+
+    def start_cyclers(self, interval: float = 2.0) -> None:
+        """Start the predetermined breaker cycles on both systems."""
+        spire_hmi = self.spire.hmis[0]
+        physical = self.spire.physical_plc
+        self.spire_cycler = BreakerCycler(
+            self.sim, "spire-cycler",
+            physical.topology.breaker_names(),
+            lambda breaker, close: spire_hmi.command_breaker(
+                physical.device.name, breaker, close),
+            interval=interval)
+        self.commercial_cycler = BreakerCycler(
+            self.sim, "commercial-cycler",
+            self.commercial.topology.breaker_names(),
+            lambda breaker, close: self.commercial.hmi.command_breaker(
+                breaker, close),
+            interval=interval)
+
+    def train_mana(self, start: float, end: float) -> Dict[str, int]:
+        """Train all three MANA instances on the baseline capture window
+        (the experiment used a 24-hour capture; simulated runs scale
+        this down — the pipeline is identical)."""
+        return {name: instance.train(start, end)
+                for name, instance in self.mana.items()}
+
+    def place_attacker(self, lan_name: str, name: str = "redteam-box",
+                       register_switch_port: bool = True) -> Host:
+        """Plug the red team's machine into a network.
+
+        ``register_switch_port`` models PNNL physically provisioning the
+        port (their MAC is in the static map where one exists) — the
+        defenses under test are the host-side static ARP entries and the
+        authenticated protocols, not the attacker's patch cable.
+        """
+        lan = {"enterprise": self.enterprise_lan,
+               "ops-commercial": self.commercial.lan,
+               "ops-spire": self.spire.external_lan}[lan_name]
+        host = Host(self.sim, name, os_profile=ubuntu_desktop_2016())
+        iface = lan.connect(host)
+        if register_switch_port and lan.switch.static_mode:
+            mapping = dict(lan._iface_port)
+            lan.switch.configure_static_mapping(mapping)
+        # Routed networks: give the attacker the same gateway everyone
+        # on that LAN uses, so cross-perimeter probes traverse the
+        # firewall (and are judged by its rules).
+        if lan_name in ("enterprise", "ops-commercial"):
+            host.set_default_gateway(iface, lan.ip_of(self.router))
+        return host
+
+
+def build_redteam_testbed(sim: Simulator,
+                          spire_config: Optional[SpireConfig] = None,
+                          commercial_poll_interval: float = 1.0,
+                          ) -> RedTeamTestbed:
+    """Construct the Fig. 3 experimental setup."""
+    spire_config = spire_config or redteam_config(n_distribution_plcs=3)
+
+    # --- Spire operations network (builds its own two LANs) -----------
+    spire = build_spire(sim, spire_config)
+
+    # --- enterprise network --------------------------------------------
+    enterprise_lan = Lan(sim, "enterprise", "10.10.10.0/24")
+    historian_host = Host(sim, "pi-server",
+                          os_profile=ubuntu_desktop_2016())
+    enterprise_lan.connect(historian_host)
+    historian_host.udp_bind(HISTORIAN_FEED_PORT, lambda *args: None)
+    workstations = []
+    for index in range(1, 4):
+        workstation = Host(sim, f"workstation-{index}",
+                           os_profile=ubuntu_desktop_2016())
+        enterprise_lan.connect(workstation)
+        workstations.append(workstation)
+
+    # --- commercial operations network ----------------------------------
+    ops_lan = Lan(sim, "ops-commercial", "10.10.20.0/24")
+    topology = redteam_topology()
+    plc_host = Host(sim, "commercial-plc")
+    ops_lan.connect(plc_host)
+    plc = PlcDevice(sim, "commercial-plc", plc_host, topology, physical=True)
+    primary_host = Host(sim, "scada-primary",
+                        os_profile=commercial_appliance())
+    backup_host = Host(sim, "scada-backup",
+                       os_profile=commercial_appliance())
+    hmi_host = Host(sim, "commercial-hmi",
+                    os_profile=ubuntu_desktop_2016())
+    for host in (primary_host, backup_host, hmi_host):
+        ops_lan.connect(host)
+    plc_ip = ops_lan.ip_of(plc_host)
+    hmi_ip = ops_lan.ip_of(hmi_host)
+    primary = CommercialScadaServer(
+        sim, "scada-primary", primary_host, plc_ip, hmi_ip, primary=True,
+        poll_interval=commercial_poll_interval,
+        peer_ip=ops_lan.ip_of(backup_host))
+    backup = CommercialScadaServer(
+        sim, "scada-backup", backup_host, plc_ip, hmi_ip, primary=False,
+        poll_interval=commercial_poll_interval,
+        peer_ip=ops_lan.ip_of(primary_host))
+    names = topology.breaker_names()
+    primary.set_coil_names(names)
+    backup.set_coil_names(names)
+    hmi = CommercialHmi(sim, "commercial-hmi", hmi_host,
+                        ops_lan.ip_of(primary_host))
+    commercial = CommercialSystem(lan=ops_lan, plc=plc, plc_host=plc_host,
+                                  primary=primary, backup=backup, hmi=hmi,
+                                  hmi_host=hmi_host, topology=topology)
+
+    # --- perimeter firewall/router ---------------------------------------
+    router = Router(sim, "perimeter-firewall")
+    ent_iface = enterprise_lan.connect(router, iface_name="ent")
+    ops_iface = ops_lan.connect(router, iface_name="ops")
+    # Default gateways so cross-network traffic traverses the firewall.
+    for host in [historian_host] + workstations:
+        host.set_default_gateway(host.interfaces[0],
+                                 enterprise_lan.ip_of(router))
+    for host in (primary_host, backup_host, hmi_host, plc_host):
+        host.set_default_gateway(host.interfaces[0], ops_lan.ip_of(router))
+    # The rules: historian pull feed and (the misconfiguration) the
+    # server's web admin console are reachable from the enterprise side.
+    primary_ip = ops_lan.ip_of(primary_host)
+    router.allow_forward(dst_ip=primary_ip, proto="tcp", dst_port=80)
+    router.allow_forward(dst_ip=primary_ip, proto="tcp",
+                         dst_port=HISTORIAN_FEED_PORT)
+    router.allow_forward(dst_ip=primary_ip, proto="udp",
+                         dst_port=HISTORIAN_FEED_PORT)
+    # Operations -> enterprise: replies and the push feed.
+    for host_ip in (primary_ip, ops_lan.ip_of(backup_host)):
+        router.allow_forward(src_ip=host_ip)
+    # NOTE: no route at all into the Spire operations networks — Spire's
+    # replication LAN is physically isolated and its external LAN is not
+    # connected to the router (Section III-B defense in depth).
+
+    # --- passive capture + MANA ------------------------------------------
+    captures = {
+        "enterprise": Capture("enterprise"),
+        "ops-commercial": Capture("ops-commercial"),
+        "ops-spire": Capture("ops-spire"),
+    }
+    enterprise_lan.switch.add_span_tap(captures["enterprise"].span_tap)
+    ops_lan.switch.add_span_tap(captures["ops-commercial"].span_tap)
+    spire.external_lan.switch.add_span_tap(captures["ops-spire"].span_tap)
+    # The real deployment trained on a 24-hour capture with multi-second
+    # windows; simulated runs are minutes long, so 1-second windows give
+    # the models the same number of baseline samples.
+    mana = {
+        "MANA-1": ManaInstance(sim, "MANA-1", captures["enterprise"],
+                               window=1.0),
+        "MANA-2": ManaInstance(sim, "MANA-2", captures["ops-commercial"],
+                               window=1.0),
+        "MANA-3": ManaInstance(sim, "MANA-3", captures["ops-spire"],
+                               window=1.0),
+    }
+
+    chatter = EnterpriseChatter(sim, "enterprise-chatter",
+                                workstations,
+                                enterprise_lan.ip_of(historian_host))
+    puller = HistorianPuller(sim, "historian-puller", historian_host,
+                             primary_ip)
+
+    return RedTeamTestbed(
+        sim=sim, enterprise_lan=enterprise_lan,
+        enterprise_hosts=workstations, historian_host=historian_host,
+        router=router, commercial=commercial, spire=spire,
+        captures=captures, mana=mana, chatter=chatter,
+        historian_puller=puller)

@@ -1,0 +1,107 @@
+"""End-to-end reaction-time measurement (Section V, last paragraph).
+
+Models the plant engineers' measurement device: it periodically flips a
+physical breaker and uses "sensors" on the HMI screens to detect when
+each system's display reflects the change.  The flip acts directly on
+the shared :class:`~repro.plc.topology.PowerTopology` (the physical
+world), so both SCADA systems observe it through their own polling
+paths, exactly as in the plant test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.plc.topology import PowerTopology
+from repro.sim.process import Process
+
+
+@dataclass
+class ReactionSample:
+    flip_time: float
+    new_state: bool
+    detect_times: Dict[str, float] = field(default_factory=dict)
+
+    def latency(self, system: str) -> Optional[float]:
+        t = self.detect_times.get(system)
+        return None if t is None else t - self.flip_time
+
+
+class MeasurementDevice(Process):
+    """Flips one breaker periodically and watches HMI indicators.
+
+    Args:
+        sim: simulation kernel.
+        topology: the physical topology holding the breaker.
+        breaker: breaker to flip.
+        sensors: mapping system-name -> zero-arg callable returning the
+            breaker state that system's HMI currently *displays* (True
+            closed / False open / None unknown).
+        period: flip cadence.
+    """
+
+    def __init__(self, sim, topology: PowerTopology, breaker: str,
+                 sensors: Dict[str, Callable[[], Optional[bool]]],
+                 period: float = 5.0, sensor_poll: float = 0.002,
+                 jitter: float = 0.5):
+        super().__init__(sim, "measurement-device")
+        self.topology = topology
+        self.breaker = breaker
+        self.sensors = dict(sensors)
+        self.period = period
+        self.jitter = jitter
+        self.samples: List[ReactionSample] = []
+        self._current: Optional[ReactionSample] = None
+        self._schedule_next_flip()
+        self.call_every(sensor_poll, self._sense)
+
+    def _schedule_next_flip(self) -> None:
+        # Jitter decorrelates the device from the SCADA systems' own
+        # polling phases (a physical device is not timer-locked to them).
+        delay = self.period + self.rng.uniform(-self.jitter, self.jitter)
+        self.call_later(max(delay, 0.1), self._flip)
+
+    def _flip(self) -> None:
+        self._schedule_next_flip()
+        new_state = not self.topology.get_breaker(self.breaker)
+        self.topology.set_breaker(self.breaker, new_state)
+        self._current = ReactionSample(flip_time=self.now, new_state=new_state)
+        self.samples.append(self._current)
+        self.log("measure.flip", f"breaker {self.breaker} -> "
+                 f"{'closed' if new_state else 'open'}")
+
+    def _sense(self) -> None:
+        if self._current is None:
+            return
+        for system, sensor in self.sensors.items():
+            if system in self._current.detect_times:
+                continue
+            if sensor() == self._current.new_state:
+                self._current.detect_times[system] = self.now
+
+    # ------------------------------------------------------------------
+    def latencies(self, system: str) -> List[float]:
+        out = []
+        for sample in self.samples:
+            latency = sample.latency(system)
+            if latency is not None:
+                out.append(latency)
+        return out
+
+    def summary(self) -> Dict[str, dict]:
+        report = {}
+        for system in self.sensors:
+            values = self.latencies(system)
+            if not values:
+                report[system] = {"samples": 0}
+                continue
+            values_sorted = sorted(values)
+            report[system] = {
+                "samples": len(values),
+                "mean": sum(values) / len(values),
+                "min": values_sorted[0],
+                "max": values_sorted[-1],
+                "p50": values_sorted[len(values) // 2],
+            }
+        return report

@@ -1,0 +1,32 @@
+"""Cryptographic primitives for the simulated deployment.
+
+Real HMAC-SHA256 for integrity; access-control-faithful simulation for
+confidentiality and signatures.  See module docstrings for the exact
+fidelity model.
+"""
+
+from repro.crypto.keys import KeyError_, KeyRing, KeyStore
+from repro.crypto.auth import (
+    Mac, Signature, digest, forge_signature, mac_payload, sign_payload,
+    verify_mac, verify_signature,
+)
+from repro.crypto.seal import SealError, SealedPayload, seal
+from repro.crypto.serialize import UnserializableError, canonical_bytes
+
+__all__ = [
+    "KeyError_", "KeyRing", "KeyStore",
+    "Mac", "Signature", "digest", "forge_signature", "mac_payload",
+    "sign_payload", "verify_mac", "verify_signature",
+    "SealError", "SealedPayload", "seal",
+    "UnserializableError", "canonical_bytes",
+]
+
+from repro.crypto.threshold import (
+    PartialSignature, ThresholdError, ThresholdScheme, ThresholdShare,
+    ThresholdSignature,
+)
+
+__all__ += [
+    "PartialSignature", "ThresholdError", "ThresholdScheme",
+    "ThresholdShare", "ThresholdSignature",
+]

@@ -1,0 +1,81 @@
+"""Message authentication: HMACs and simulated digital signatures.
+
+Both primitives compute real HMAC-SHA256 tags over the canonical
+serialization of the payload, so tampering with any field is detected.
+Signatures use the signer's per-principal key; any component can verify
+through the deployment's public registry (see
+:class:`~repro.crypto.keys.KeyRing`), which models standard PKI without
+implementing RSA.
+"""
+
+from __future__ import annotations
+
+import hmac
+import hashlib
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.keys import KeyError_, KeyRing
+from repro.crypto.serialize import canonical_bytes
+
+
+def _tag(key: bytes, payload: Any) -> bytes:
+    return hmac.new(key, canonical_bytes(payload), hashlib.sha256).digest()
+
+
+def digest(payload: Any) -> bytes:
+    """Collision-resistant digest of a payload (for checkpoints etc.)."""
+    return hashlib.sha256(canonical_bytes(payload)).digest()
+
+
+@dataclass(frozen=True)
+class Mac:
+    """An HMAC tag under a named symmetric key."""
+
+    key_id: str
+    tag: bytes
+
+
+def mac_payload(ring: KeyRing, key_id: str, payload: Any) -> Mac:
+    """Authenticate ``payload`` under symmetric key ``key_id``."""
+    return Mac(key_id=key_id, tag=_tag(ring.symmetric(key_id), payload))
+
+
+def verify_mac(ring: KeyRing, mac: Mac, payload: Any) -> bool:
+    """Check an HMAC tag; False on wrong key, missing key, or tampering."""
+    try:
+        expected = _tag(ring.symmetric(mac.key_id), payload)
+    except KeyError_:
+        return False
+    return hmac.compare_digest(expected, mac.tag)
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A signature by ``signer`` over a payload."""
+
+    signer: str
+    tag: bytes
+
+
+def sign_payload(ring: KeyRing, signer: str, payload: Any) -> Signature:
+    """Sign ``payload`` as ``signer`` (requires the signing key)."""
+    return Signature(signer=signer, tag=_tag(ring.signing(signer), payload))
+
+
+def verify_signature(ring: KeyRing, signature: Signature, payload: Any) -> bool:
+    """Verify against the public registry; False for forgery/tampering."""
+    try:
+        key = ring.verification_key(signature.signer)
+    except KeyError_:
+        return False
+    return hmac.compare_digest(_tag(key, payload), signature.tag)
+
+
+def forge_signature(signer: str) -> Signature:
+    """Build a garbage signature — what an attacker without the key can do.
+
+    Provided so attack code is explicit about attempting forgery; it
+    never verifies.
+    """
+    return Signature(signer=signer, tag=b"\x00" * 32)

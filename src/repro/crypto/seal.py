@@ -1,0 +1,52 @@
+"""Confidentiality: sealed (encrypted + authenticated) payloads.
+
+A :class:`SealedPayload` can only be opened by a key ring holding the
+symmetric key it was sealed under; opening also verifies integrity.
+The plaintext is carried in a name-mangled attribute rather than a real
+ciphertext — the simulation enforces the *access-control* property of
+encryption (no key → no read, no undetected modification), which is the
+property the red-team experiment exercised ("newly added encryption
+prevented the modified daemon from communicating").
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.crypto.auth import Mac, mac_payload, verify_mac
+from repro.crypto.keys import KeyRing
+
+
+class SealError(Exception):
+    """Raised when opening a sealed payload fails (no key / tampered)."""
+
+
+class SealedPayload:
+    """An encrypted, authenticated envelope around an arbitrary payload."""
+
+    __slots__ = ("key_id", "_SealedPayload__plaintext", "_mac")
+
+    def __init__(self, key_id: str, plaintext: Any, mac: Mac):
+        self.key_id = key_id
+        self.__plaintext = plaintext
+        self._mac = mac
+
+    def open(self, ring: KeyRing) -> Any:
+        """Decrypt with ``ring``; raises :class:`SealError` without the key."""
+        if not ring.has_symmetric(self.key_id):
+            raise SealError(f"no key {self.key_id!r}: cannot decrypt")
+        if not verify_mac(ring, self._mac, self.__plaintext):
+            raise SealError("authentication failed: payload was tampered with")
+        return self.__plaintext
+
+    def tamper(self, new_plaintext: Any) -> "SealedPayload":
+        """Return a modified copy with an invalid tag (attacker action)."""
+        return SealedPayload(self.key_id, new_plaintext, self._mac)
+
+    def __repr__(self) -> str:
+        return f"SealedPayload(key_id={self.key_id!r})"
+
+
+def seal(ring: KeyRing, key_id: str, payload: Any) -> SealedPayload:
+    """Seal ``payload`` under symmetric key ``key_id``."""
+    return SealedPayload(key_id, payload, mac_payload(ring, key_id, payload))

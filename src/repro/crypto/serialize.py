@@ -1,0 +1,68 @@
+"""Canonical serialization for authentication.
+
+MACs and signatures must be computed over a stable byte encoding of
+message contents.  ``canonical_bytes`` encodes the JSON-ish value space
+used by protocol messages (None, bool, int, float, str, bytes, and
+lists/tuples/dicts thereof, plus dataclasses) deterministically:
+dict keys are sorted, and every value is tagged with its type so that
+e.g. ``1`` and ``"1"`` encode differently.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from typing import Any
+
+
+class UnserializableError(TypeError):
+    """Raised when a value outside the canonical value space is encoded."""
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """Return a deterministic byte encoding of ``value``."""
+    out = bytearray()
+    _encode(value, out)
+    return bytes(out)
+
+
+def _encode(value: Any, out: bytearray) -> None:
+    if value is None:
+        out += b"N"
+    elif value is True:
+        out += b"T"
+    elif value is False:
+        out += b"F"
+    elif isinstance(value, int):
+        data = str(value).encode()
+        out += b"i" + struct.pack(">I", len(data)) + data
+    elif isinstance(value, float):
+        out += b"f" + struct.pack(">d", value)
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        out += b"s" + struct.pack(">I", len(data)) + data
+    elif isinstance(value, bytes):
+        out += b"b" + struct.pack(">I", len(value)) + value
+    elif isinstance(value, (list, tuple)):
+        out += b"l" + struct.pack(">I", len(value))
+        for item in value:
+            _encode(item, out)
+    elif isinstance(value, dict):
+        items = sorted(value.items(), key=lambda kv: str(kv[0]))
+        out += b"d" + struct.pack(">I", len(items))
+        for key, item in items:
+            _encode(key, out)
+            _encode(item, out)
+    elif isinstance(value, frozenset):
+        encoded = sorted(canonical_bytes(item) for item in value)
+        out += b"S" + struct.pack(">I", len(encoded))
+        for item in encoded:
+            out += item
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = [(f.name, getattr(value, f.name)) for f in dataclasses.fields(value)]
+        out += b"D"
+        _encode(type(value).__name__, out)
+        _encode(dict(fields), out)
+    else:
+        raise UnserializableError(
+            f"cannot canonically serialize {type(value).__name__}: {value!r}")

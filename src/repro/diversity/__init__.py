@@ -1,0 +1,17 @@
+"""Software diversity (MultiCompiler model) and proactive recovery."""
+
+from repro.diversity.multicompiler import CodeVariant, MultiCompiler
+from repro.diversity.exploit import (
+    BASE_EXPLOIT_EFFORT_HOURS, Exploit, ExploitDeveloper,
+    exploit_effort_hours,
+)
+from repro.diversity.recovery import (
+    ProactiveRecoveryScheduler, RecoveryTarget,
+)
+
+__all__ = [
+    "CodeVariant", "MultiCompiler",
+    "BASE_EXPLOIT_EFFORT_HOURS", "Exploit", "ExploitDeveloper",
+    "exploit_effort_hours",
+    "ProactiveRecoveryScheduler", "RecoveryTarget",
+]

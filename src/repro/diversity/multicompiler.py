@@ -1,0 +1,78 @@
+"""MultiCompiler diversity model.
+
+The deployment compiled every replica's software with the MultiCompiler
+[Homescu et al., CGO 2013], which randomizes code layout at compile
+time so that a memory-corruption exploit crafted against one variant
+"makes it extremely unlikely that the same exploit will succeed in
+compromising any two distinct variants".
+
+The model keeps exactly the property the system depends on: each build
+carries a ``layout_seed``; an exploit is crafted against one observed
+layout and succeeds only against builds with the same layout.  Two
+deployment hygiene factors from the paper's lessons (Section VI-A) are
+also modeled because they change the *attacker's work factor*:
+
+* ``debug_symbols`` — symbols left in the binary made patching it
+  easier for the red team;
+* ``options_in_binary`` — command-line/config-file options made
+  information gathering easier; compiling them in slows the attacker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.util.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class CodeVariant:
+    """One compiled build of one program."""
+
+    program: str
+    layout_seed: int
+    build_id: int
+    diversified: bool = True
+    debug_symbols: bool = False
+    options_in_binary: bool = True
+
+    def layout_fingerprint(self) -> int:
+        """What an attacker learns by studying this binary."""
+        return self.layout_seed
+
+
+class MultiCompiler:
+    """Produces diversified builds.
+
+    Args:
+        rng: randomness source for layout seeds.
+        diversify: when False, every build of a program shares one
+            layout (the ablation A2 configuration — equivalent to
+            compiling everything with a stock compiler).
+    """
+
+    def __init__(self, rng: DeterministicRng, diversify: bool = True):
+        self._rng = rng.child("multicompiler")
+        self.diversify = diversify
+        self._build_counter = 0
+        self._monoculture_seeds: Dict[str, int] = {}
+        self.builds_produced = 0
+
+    def compile(self, program: str, strip_symbols: bool = True,
+                compile_in_options: bool = True) -> CodeVariant:
+        """Produce a new build of ``program``."""
+        self._build_counter += 1
+        self.builds_produced += 1
+        if self.diversify:
+            layout = self._rng.getrandbits(64)
+        else:
+            if program not in self._monoculture_seeds:
+                self._monoculture_seeds[program] = self._rng.getrandbits(64)
+            layout = self._monoculture_seeds[program]
+        return CodeVariant(
+            program=program, layout_seed=layout,
+            build_id=self._build_counter, diversified=self.diversify,
+            debug_symbols=not strip_symbols,
+            options_in_binary=compile_in_options,
+        )

@@ -1,0 +1,133 @@
+"""Proactive recovery scheduler.
+
+Periodically takes each replica machine down, restores it to a known
+clean state with a **new diverse variant** of the code, and rejoins it
+via the replication layer's state-transfer protocol (Castro & Liskov;
+Sousa et al. — the paper's [10], [14], [15]).  Supporting ``k``
+concurrent recoveries with continuous bounded-delay operation is what
+drives the ``3f + 2k + 1`` replica requirement: the scheduler enforces
+at most ``k`` replicas down at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.diversity.multicompiler import CodeVariant, MultiCompiler
+from repro.sim.process import Process
+
+
+@dataclass
+class RecoveryTarget:
+    """Everything that must be cycled to rejuvenate one replica host."""
+
+    name: str
+    host: object                     # repro.net.Host
+    replica: object                  # repro.prime.PrimeReplica
+    daemons: List[object] = field(default_factory=list)   # SpinesDaemons
+    programs: List[str] = field(default_factory=lambda: ["scada-master",
+                                                         "spines"])
+    variants: Dict[str, CodeVariant] = field(default_factory=dict)
+    recoveries: int = 0
+
+
+class ProactiveRecoveryScheduler(Process):
+    """Round-robin rejuvenation of replica machines.
+
+    Args:
+        sim: simulation kernel.
+        compiler: MultiCompiler issuing fresh variants.
+        targets: replica machines under management.
+        period: time between successive recovery *starts*.
+        downtime: how long a machine stays down per recovery.
+        k: maximum concurrent recoveries (from the 3f+2k+1 sizing).
+    """
+
+    def __init__(self, sim, compiler: MultiCompiler,
+                 targets: List[RecoveryTarget], period: float = 10.0,
+                 downtime: float = 1.0, k: int = 1):
+        super().__init__(sim, "proactive-recovery")
+        self.compiler = compiler
+        self.targets = list(targets)
+        self.period = period
+        self.downtime = downtime
+        self.k = k
+        self._next_index = 0
+        self._in_progress: Dict[str, RecoveryTarget] = {}
+        self.recoveries_completed = 0
+        self.recoveries_skipped = 0
+        for target in self.targets:
+            if not target.variants:   # keep build-time variants if present
+                self.install_fresh_variants(target)
+        self._timer = None
+
+    def start(self) -> None:
+        """Begin the rejuvenation cycle."""
+        self._timer = self.call_every(self.period, self._recover_next)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+
+    # ------------------------------------------------------------------
+    def install_fresh_variants(self, target: RecoveryTarget) -> None:
+        for program in target.programs:
+            target.variants[program] = self.compiler.compile(program)
+
+    def _recover_next(self) -> None:
+        if len(self._in_progress) >= self.k:
+            # Never exceed k concurrent recoveries — doing so would
+            # break the 2f+k+1 availability math.
+            self.recoveries_skipped += 1
+            return
+        if not self.targets:
+            return
+        target = self.targets[self._next_index % len(self.targets)]
+        self._next_index += 1
+        if target.name in self._in_progress:
+            self.recoveries_skipped += 1
+            return
+        self.begin_recovery(target)
+
+    def begin_recovery(self, target: RecoveryTarget) -> None:
+        """Take the machine down and cleanse it."""
+        self._in_progress[target.name] = target
+        self.log("recovery.down", f"taking {target.name} down for "
+                 "proactive recovery", target=target.name)
+        for daemon in target.daemons:
+            daemon.stop_daemon()
+        target.replica.crash()
+        # Cleansing: a compromised host is restored to a clean image
+        # with fresh key material honored by the deployment PKI in the
+        # real system; here the compromise marker is cleared and new
+        # diverse variants are installed, so previously developed
+        # exploits no longer match.
+        target.host.compromised_level = None
+        self.install_fresh_variants(target)
+        self.call_later(self.downtime, self._bring_up, target)
+
+    def _bring_up(self, target: RecoveryTarget) -> None:
+        for daemon in target.daemons:
+            daemon.start_daemon()
+        # Restoring from the clean image also removes any intrusion:
+        # attacker code does not survive proactive recovery.
+        if hasattr(target.replica, "byzantine"):
+            target.replica.byzantine = None
+        target.replica.recover()
+        target.recoveries += 1
+        self.recoveries_completed += 1
+        self._in_progress.pop(target.name, None)
+        self.log("recovery.up", f"{target.name} rejoined with fresh variant",
+                 target=target.name,
+                 builds={p: v.build_id for p, v in target.variants.items()})
+
+    # ------------------------------------------------------------------
+    def variant_of(self, name: str, program: str) -> Optional[CodeVariant]:
+        for target in self.targets:
+            if target.name == name:
+                return target.variants.get(program)
+        return None
+
+    def currently_down(self) -> List[str]:
+        return sorted(self._in_progress)

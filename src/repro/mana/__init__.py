@@ -1,0 +1,18 @@
+"""MANA: Machine-learning Assisted Network Analyzer — the passive,
+anomaly-based intrusion detection and situational awareness component."""
+
+from repro.mana.features import FEATURE_NAMES, FeatureExtractor, FeatureWindow
+from repro.mana.alerts import (
+    Alert, AlertCorrelator, Incident, SituationalAwarenessBoard,
+)
+from repro.mana.detector import ManaInstance, default_ensemble
+from repro.mana.models import (
+    IsolationForestModel, KMeansModel, MahalanobisModel,
+)
+
+__all__ = [
+    "FEATURE_NAMES", "FeatureExtractor", "FeatureWindow",
+    "Alert", "AlertCorrelator", "Incident", "SituationalAwarenessBoard",
+    "ManaInstance", "default_ensemble",
+    "IsolationForestModel", "KMeansModel", "MahalanobisModel",
+]

@@ -1,0 +1,111 @@
+"""MANA alerts, correlation, and the situational awareness board.
+
+MANA "alerts users in near real-time of any highly correlated
+anomalous or malicious activity", and "network activity is monitored
+from a situational awareness board tailored for power plant engineers".
+Single-window blips become :class:`Alert`\\ s; temporally clustered
+alerts on one network are correlated into :class:`Incident`\\ s; the
+board aggregates per-network status for the operator (and can be viewed
+as part of the HMI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One anomalous window flagged by the model ensemble."""
+
+    time: float
+    network: str
+    score: float
+    models_flagging: tuple
+    top_features: tuple          # ((feature, zscore-ish deviation), ...)
+
+    def describe(self) -> str:
+        features = ", ".join(f"{name}={value:.1f}x"
+                             for name, value in self.top_features)
+        return (f"[{self.time:9.2f}s] {self.network}: anomaly score "
+                f"{self.score:.2f} ({'/'.join(self.models_flagging)}) "
+                f"drivers: {features}")
+
+
+@dataclass
+class Incident:
+    """Correlated alert burst — what the operator actually reacts to."""
+
+    network: str
+    first_time: float
+    last_time: float
+    alerts: List[Alert] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return self.last_time - self.first_time
+
+    @property
+    def peak_score(self) -> float:
+        return max(alert.score for alert in self.alerts)
+
+    def describe(self) -> str:
+        return (f"incident on {self.network}: {len(self.alerts)} alerts "
+                f"over {self.duration:.1f}s, peak score {self.peak_score:.2f}")
+
+
+class AlertCorrelator:
+    """Groups alerts on a network within ``gap`` seconds into incidents."""
+
+    def __init__(self, gap: float = 15.0):
+        self.gap = gap
+        self.incidents: List[Incident] = []
+        self._open: Dict[str, Incident] = {}
+
+    def add(self, alert: Alert) -> Incident:
+        incident = self._open.get(alert.network)
+        if incident is not None and alert.time - incident.last_time <= self.gap:
+            incident.alerts.append(alert)
+            incident.last_time = alert.time
+            return incident
+        incident = Incident(network=alert.network, first_time=alert.time,
+                            last_time=alert.time, alerts=[alert])
+        self.incidents.append(incident)
+        self._open[alert.network] = incident
+        return incident
+
+
+class SituationalAwarenessBoard:
+    """Per-network operator display fed by one or more MANA instances."""
+
+    def __init__(self):
+        self.network_status: Dict[str, str] = {}
+        self.incident_log: List[Incident] = []
+        self._seen: set = set()
+
+    def observe(self, correlator: AlertCorrelator, now: float,
+                quiet_after: float = 30.0) -> None:
+        """Refresh the board from a correlator's state.  A network shows
+        ALERT while it has an incident active within ``quiet_after``
+        seconds and decays back to normal afterwards."""
+        for incident in correlator.incidents:
+            if id(incident) not in self._seen:
+                self._seen.add(id(incident))
+                self.incident_log.append(incident)
+        networks = {incident.network for incident in correlator.incidents}
+        for network in networks:
+            recent = any(now - incident.last_time <= quiet_after
+                         for incident in correlator.incidents
+                         if incident.network == network)
+            self.network_status[network] = "ALERT" if recent else "normal"
+
+    def set_quiet(self, network: str) -> None:
+        self.network_status.setdefault(network, "normal")
+
+    def render(self) -> str:
+        lines = ["=== MANA situational awareness ==="]
+        for network in sorted(self.network_status):
+            lines.append(f"  {network:<20} {self.network_status[network]}")
+        lines.append(f"  incidents logged: {len(self.incident_log)}")
+        return "\n".join(lines)

@@ -1,0 +1,7 @@
+"""Anomaly-detection models (implemented from scratch on numpy)."""
+
+from repro.mana.models.gaussian import MahalanobisModel
+from repro.mana.models.kmeans import KMeansModel
+from repro.mana.models.iforest import IsolationForestModel
+
+__all__ = ["MahalanobisModel", "KMeansModel", "IsolationForestModel"]

@@ -1,0 +1,39 @@
+"""Common interface for MANA anomaly models."""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+import numpy as np
+
+
+class AnomalyModel(Protocol):
+    """A model trained on baseline windows that scores new windows.
+
+    Scores are calibrated so that ``score <= 1.0`` is normal and
+    ``score > 1.0`` is anomalous (each model sets its own threshold
+    from the training data; the exposed score is distance/threshold).
+    """
+
+    name: str
+
+    def fit(self, X: np.ndarray) -> None:
+        """Train on baseline feature matrix (windows x features)."""
+        ...
+
+    def score(self, x: np.ndarray) -> float:
+        """Calibrated anomaly score for one window (>1 = anomalous)."""
+        ...
+
+
+def standardize_fit(X: np.ndarray):
+    """Column means/stds for z-scoring (std floored to avoid /0)."""
+    mean = X.mean(axis=0)
+    std = X.std(axis=0)
+    std = np.where(std < 1e-9, 1.0, std)
+    return mean, std
+
+
+def standardize_apply(x: np.ndarray, mean: np.ndarray,
+                      std: np.ndarray) -> np.ndarray:
+    return (x - mean) / std

@@ -1,0 +1,74 @@
+"""K-means clustering anomaly model (from scratch on numpy).
+
+Clusters the baseline windows; a new window's anomaly score is its
+distance to the nearest centroid, calibrated by each cluster's maximum
+training radius.  Captures multi-modal baselines (e.g. a network whose
+polling and reporting phases look different) that a single Gaussian
+would blur together.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mana.models.base import standardize_apply, standardize_fit
+
+
+class KMeansModel:
+    """Nearest-centroid-distance anomaly detector."""
+
+    name = "kmeans"
+
+    def __init__(self, k: int = 3, iterations: int = 50, seed: int = 7,
+                 margin: float = 1.5):
+        self.k = k
+        self.iterations = iterations
+        self.seed = seed
+        self.margin = margin
+        self._mean = None
+        self._std = None
+        self._centroids = None
+        self._radii = None
+
+    def fit(self, X: np.ndarray) -> None:
+        if len(X) < 2:
+            raise ValueError("need at least 2 training windows")
+        self._mean, self._std = standardize_fit(X)
+        Z = (X - self._mean) / self._std
+        k = min(self.k, len(Z))
+        rng = np.random.default_rng(self.seed)
+        centroids = Z[rng.choice(len(Z), size=k, replace=False)].copy()
+        for _ in range(self.iterations):
+            distances = np.linalg.norm(Z[:, None, :] - centroids[None, :, :],
+                                       axis=2)
+            assignment = distances.argmin(axis=1)
+            moved = False
+            for j in range(k):
+                members = Z[assignment == j]
+                if len(members) == 0:
+                    continue
+                new_centroid = members.mean(axis=0)
+                if not np.allclose(new_centroid, centroids[j]):
+                    centroids[j] = new_centroid
+                    moved = True
+            if not moved:
+                break
+        distances = np.linalg.norm(Z[:, None, :] - centroids[None, :, :],
+                                   axis=2)
+        assignment = distances.argmin(axis=1)
+        radii = np.zeros(k)
+        for j in range(k):
+            member_distances = distances[assignment == j, j]
+            if len(member_distances):
+                radii[j] = member_distances.max()
+        radii = np.where(radii < 1e-6, distances.max() + 1e-6, radii)
+        self._centroids = centroids
+        self._radii = radii * self.margin
+
+    def score(self, x: np.ndarray) -> float:
+        if self._centroids is None:
+            raise RuntimeError("model not fitted")
+        z = standardize_apply(x, self._mean, self._std)
+        distances = np.linalg.norm(self._centroids - z, axis=1)
+        nearest = int(distances.argmin())
+        return float(distances[nearest] / self._radii[nearest])

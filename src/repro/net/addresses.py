@@ -1,0 +1,53 @@
+"""Address types and subnet helpers for the simulated network."""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Iterator
+
+BROADCAST_MAC = "ff:ff:ff:ff:ff:ff"
+
+ETHERTYPE_IP = "ipv4"
+ETHERTYPE_ARP = "arp"
+
+PROTO_UDP = "udp"
+PROTO_TCP = "tcp"
+
+
+class MacAllocator:
+    """Hands out unique, readable MAC addresses (``02:00:00:00:00:NN``)."""
+
+    def __init__(self, prefix: int = 0x02):
+        self._prefix = prefix
+        self._next = 1
+
+    def allocate(self) -> str:
+        n = self._next
+        self._next += 1
+        octets = [self._prefix, 0, (n >> 24) & 0xFF, (n >> 16) & 0xFF,
+                  (n >> 8) & 0xFF, n & 0xFF]
+        return ":".join(f"{o:02x}" for o in octets)
+
+
+class Subnet:
+    """An IPv4 subnet with sequential address allocation."""
+
+    def __init__(self, cidr: str):
+        self.network = ipaddress.ip_network(cidr)
+        self._hosts: Iterator = self.network.hosts()
+
+    @property
+    def cidr(self) -> str:
+        return str(self.network)
+
+    def allocate(self) -> str:
+        return str(next(self._hosts))
+
+    def contains(self, ip: str) -> bool:
+        return ipaddress.ip_address(ip) in self.network
+
+
+def same_subnet(ip_a: str, ip_b: str, cidr: str) -> bool:
+    network = ipaddress.ip_network(cidr)
+    return (ipaddress.ip_address(ip_a) in network
+            and ipaddress.ip_address(ip_b) in network)

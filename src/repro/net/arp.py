@@ -1,0 +1,64 @@
+"""ARP table with dynamic and static modes.
+
+The paper's Section III-B: "on each machine, we set up a static mapping
+of MAC addresses to IP addresses" — i.e. static ARP entries — which,
+with the switch configuration, defeated the red team's ARP-poisoning
+man-in-the-middle attacks.
+
+In **dynamic** mode the table caches replies and (realistically for the
+attacks at issue) accepts unsolicited/gratuitous replies — the ARP
+poisoning vector.  In **static** mode entries are pinned at
+configuration time and replies never alter them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass
+class ArpEntry:
+    mac: str
+    static: bool
+    learned_at: float
+
+
+class ArpTable:
+    """Per-host IP → MAC mapping."""
+
+    def __init__(self, static_mode: bool = False, ttl: float = 60.0):
+        self.static_mode = static_mode
+        self.ttl = ttl
+        self._entries: Dict[str, ArpEntry] = {}
+        self.poisoned_updates = 0
+
+    def add_static(self, ip: str, mac: str) -> None:
+        self._entries[ip] = ArpEntry(mac=mac, static=True, learned_at=0.0)
+
+    def learn(self, ip: str, mac: str, now: float) -> bool:
+        """Record a mapping from an ARP reply/request observation.
+
+        Returns True if the table changed.  In static mode (or for a
+        statically pinned ip) the update is refused — this is the
+        property that blocks poisoning.
+        """
+        existing = self._entries.get(ip)
+        if self.static_mode or (existing is not None and existing.static):
+            return False
+        if existing is not None and existing.mac != mac:
+            self.poisoned_updates += 1
+        self._entries[ip] = ArpEntry(mac=mac, static=False, learned_at=now)
+        return True
+
+    def lookup(self, ip: str, now: float) -> Optional[str]:
+        entry = self._entries.get(ip)
+        if entry is None:
+            return None
+        if not entry.static and now - entry.learned_at > self.ttl:
+            del self._entries[ip]
+            return None
+        return entry.mac
+
+    def entries(self) -> Dict[str, str]:
+        return {ip: e.mac for ip, e in self._entries.items()}

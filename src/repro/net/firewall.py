@@ -1,0 +1,91 @@
+"""Per-host stateless packet filter.
+
+Reproduces the paper's host hardening: "we configured the firewall of
+each machine to block all incoming and outgoing traffic other than the
+specific IP address and port combinations used by our protocols".
+
+Rules match (direction, protocol, remote ip, local port, remote port);
+``None`` is a wildcard.  The default policy is configurable: Spire
+hosts use default-deny; the commercial/ablation hosts default-allow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+INBOUND = "in"
+OUTBOUND = "out"
+
+
+@dataclass(frozen=True)
+class FirewallRule:
+    """A single allow/deny rule (first match wins)."""
+
+    action: str                       # "allow" | "deny"
+    direction: str                    # INBOUND | OUTBOUND
+    proto: Optional[str] = None       # "udp" | "tcp" | None (any)
+    remote_ip: Optional[str] = None
+    local_port: Optional[int] = None
+    remote_port: Optional[int] = None
+
+    def matches(self, direction: str, proto: str, remote_ip: str,
+                local_port: int, remote_port: int) -> bool:
+        if self.direction != direction:
+            return False
+        if self.proto is not None and self.proto != proto:
+            return False
+        if self.remote_ip is not None and self.remote_ip != remote_ip:
+            return False
+        if self.local_port is not None and self.local_port != local_port:
+            return False
+        if self.remote_port is not None and self.remote_port != remote_port:
+            return False
+        return True
+
+
+class Firewall:
+    """Ordered rule list with a default policy."""
+
+    def __init__(self, default_allow: bool = True):
+        self.default_allow = default_allow
+        self.rules: List[FirewallRule] = []
+        self.packets_dropped = 0
+
+    def allow(self, direction: str, proto: Optional[str] = None,
+              remote_ip: Optional[str] = None, local_port: Optional[int] = None,
+              remote_port: Optional[int] = None) -> None:
+        self.rules.append(FirewallRule("allow", direction, proto, remote_ip,
+                                       local_port, remote_port))
+
+    def deny(self, direction: str, proto: Optional[str] = None,
+             remote_ip: Optional[str] = None, local_port: Optional[int] = None,
+             remote_port: Optional[int] = None) -> None:
+        self.rules.append(FirewallRule("deny", direction, proto, remote_ip,
+                                       local_port, remote_port))
+
+    def permits(self, direction: str, proto: str, remote_ip: str,
+                local_port: int, remote_port: int) -> bool:
+        for rule in self.rules:
+            if rule.matches(direction, proto, remote_ip, local_port, remote_port):
+                return rule.action == "allow"
+        return self.default_allow
+
+    def check(self, direction: str, proto: str, remote_ip: str,
+              local_port: int, remote_port: int) -> bool:
+        """Like :meth:`permits`, but counts drops."""
+        ok = self.permits(direction, proto, remote_ip, local_port, remote_port)
+        if not ok:
+            self.packets_dropped += 1
+        return ok
+
+
+def locked_down_firewall() -> Firewall:
+    """Default-deny firewall: the Section III-B posture before protocol
+    allow rules are added."""
+    return Firewall(default_allow=False)
+
+
+def open_firewall() -> Firewall:
+    """Default-allow firewall (commercial hosts / ablations)."""
+    return Firewall(default_allow=True)

@@ -1,0 +1,87 @@
+"""LAN builder: wires hosts to a switch and manages addressing.
+
+Provides the repetitive plumbing every deployment needs: allocate a
+MAC and IP, create the host-to-switch link, attach both ends, and —
+for secured networks — install the full static ARP/MAC/port mappings
+of Section III-B across all members.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.net.addresses import MacAllocator, Subnet
+from repro.net.host import Host, Interface
+from repro.net.link import Link
+from repro.net.switch import Switch
+from repro.sim.simulator import Simulator
+
+
+class Lan:
+    """One switched LAN segment with a shared subnet."""
+
+    def __init__(self, sim: Simulator, name: str, cidr: str, ports: int = 16,
+                 link_latency: float = 0.0002,
+                 link_bandwidth: float = 125_000_000.0):
+        self.sim = sim
+        self.name = name
+        self.subnet = Subnet(cidr)
+        self.switch = Switch(sim, f"{name}-switch", ports=ports)
+        self.mac_allocator = MacAllocator()
+        self.link_latency = link_latency
+        self.link_bandwidth = link_bandwidth
+        self.members: List[Interface] = []
+        self._iface_port: Dict[str, int] = {}
+
+    def connect(self, host: Host, ip: Optional[str] = None,
+                iface_name: Optional[str] = None,
+                static_arp: bool = False) -> Interface:
+        """Attach ``host`` to this LAN; returns the new interface."""
+        ip = ip or self.subnet.allocate()
+        mac = self.mac_allocator.allocate()
+        iface_name = iface_name or f"eth{len(host.interfaces)}"
+        port_index = self.switch.free_port()
+        link = Link(self.sim, f"{self.name}:{host.name}",
+                    latency=self.link_latency, bandwidth=self.link_bandwidth)
+        self.switch.attach_link(port_index, link)
+        iface = host.add_interface(iface_name, mac, ip, self.subnet.cidr,
+                                   link=link, static_arp=static_arp)
+        self.members.append(iface)
+        self._iface_port[mac] = port_index
+        return iface
+
+    def link_of(self, host: Host) -> Link:
+        for iface in self.members:
+            if iface.host is host and iface.link is not None:
+                return iface.link
+        raise KeyError(f"{host.name} not on LAN {self.name}")
+
+    def interface_of(self, host: Host) -> Interface:
+        for iface in self.members:
+            if iface.host is host:
+                return iface
+        raise KeyError(f"{host.name} not on LAN {self.name}")
+
+    def ip_of(self, host: Host) -> str:
+        return self.interface_of(host).ip
+
+    # ------------------------------------------------------------------
+    # Section III-B hardening
+    # ------------------------------------------------------------------
+    def harden(self) -> None:
+        """Apply the paper's secure network setup to every member:
+        static ARP entries for all peers, static switch MAC↔port map,
+        and no cross-interface ARP answering."""
+        self.switch.configure_static_mapping(dict(self._iface_port))
+        for iface in self.members:
+            iface.arp.static_mode = True
+            iface.host.arp_announce_all = False
+            for peer in self.members:
+                if peer is not iface:
+                    iface.arp.add_static(peer.ip, peer.mac)
+
+    def unharden(self) -> None:
+        """Revert to dynamic ARP + learning switch (baseline/ablation)."""
+        self.switch.clear_static_mapping()
+        for iface in self.members:
+            iface.arp.static_mode = False

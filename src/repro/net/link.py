@@ -1,0 +1,131 @@
+"""Point-to-point links with latency, bandwidth, and a bounded queue.
+
+A link connects exactly two endpoints (NICs or switch ports).  Frames
+experience propagation latency plus serialization delay; when the queue
+of in-flight bytes exceeds the configured buffer, new frames are
+dropped.  This is what makes denial-of-service *mechanically* effective
+against hosts it can reach: flooding a link delays and then drops
+legitimate traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Protocol
+
+from repro.net.packet import Frame
+from repro.sim.simulator import Simulator
+
+
+class LinkEndpoint(Protocol):
+    """Anything that can be attached to a link end."""
+
+    def on_frame(self, frame: Frame, link: "Link") -> None:
+        """Deliver a frame arriving over ``link``."""
+
+    @property
+    def endpoint_name(self) -> str:
+        """Stable name for logs."""
+        ...
+
+
+class Link:
+    """A full-duplex cable between two endpoints.
+
+    Args:
+        sim: simulation kernel.
+        name: label for logs.
+        latency: one-way propagation delay in seconds.
+        bandwidth: bytes/second per direction.
+        queue_bytes: per-direction buffer before tail drop.
+    """
+
+    def __init__(self, sim: Simulator, name: str, latency: float = 0.0002,
+                 bandwidth: float = 125_000_000.0, queue_bytes: int = 512_000):
+        self.sim = sim
+        self.name = name
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.queue_bytes = queue_bytes
+        self._ends: List[Optional[LinkEndpoint]] = [None, None]
+        # Per-direction transmit state: time the transmitter is busy until,
+        # and bytes currently queued.
+        self._busy_until = [0.0, 0.0]
+        self._queued_bytes = [0, 0]
+        self.up = True
+        self.frames_sent = 0
+        self.frames_dropped = 0
+        self._taps: List[Callable[[Frame, "Link", float], None]] = []
+
+    def attach(self, endpoint: LinkEndpoint) -> int:
+        """Attach an endpoint; returns its end index (0 or 1)."""
+        for idx in (0, 1):
+            if self._ends[idx] is None:
+                self._ends[idx] = endpoint
+                return idx
+        raise RuntimeError(f"link {self.name} already has two endpoints")
+
+    def other_end(self, endpoint: LinkEndpoint) -> Optional[LinkEndpoint]:
+        if self._ends[0] is endpoint:
+            return self._ends[1]
+        if self._ends[1] is endpoint:
+            return self._ends[0]
+        raise RuntimeError(f"{endpoint.endpoint_name} not attached to link {self.name}")
+
+    def add_tap(self, tap: Callable[[Frame, "Link", float], None]) -> None:
+        """Register a passive capture callback (MANA's packet feed)."""
+        self._taps.append(tap)
+
+    def set_up(self, up: bool) -> None:
+        """Administratively enable/disable the cable."""
+        self.up = up
+
+    # ------------------------------------------------------------------
+    def transmit(self, sender: LinkEndpoint, frame: Frame) -> bool:
+        """Send a frame from ``sender`` toward the other end.
+
+        Returns False if the frame was dropped (link down, queue full,
+        or no peer attached).
+        """
+        if not self.up:
+            self.frames_dropped += 1
+            return False
+        receiver = self.other_end(sender)
+        if receiver is None:
+            self.frames_dropped += 1
+            return False
+
+        direction = 0 if self._ends[0] is sender else 1
+        size = frame.wire_size()
+        now = self.sim.now
+
+        # Reset queue accounting if the transmitter has drained.
+        if self._busy_until[direction] <= now:
+            self._busy_until[direction] = now
+            self._queued_bytes[direction] = 0
+
+        if self._queued_bytes[direction] + size > self.queue_bytes:
+            self.frames_dropped += 1
+            return False
+
+        serialization = size / self.bandwidth
+        self._queued_bytes[direction] += size
+        self._busy_until[direction] += serialization
+        deliver_at = self._busy_until[direction] + self.latency
+
+        for tap in self._taps:
+            tap(frame, self, now)
+
+        self.frames_sent += 1
+        self.sim.at(deliver_at, self._deliver, receiver, frame, direction, size)
+        return True
+
+    def _deliver(self, receiver: LinkEndpoint, frame: Frame,
+                 direction: int, size: int) -> None:
+        self._queued_bytes[direction] = max(0, self._queued_bytes[direction] - size)
+        if self.up:
+            receiver.on_frame(frame, self)
+
+    def __repr__(self) -> str:
+        a = self._ends[0].endpoint_name if self._ends[0] else "-"
+        b = self._ends[1].endpoint_name if self._ends[1] else "-"
+        return f"Link({self.name}: {a} <-> {b}, up={self.up})"

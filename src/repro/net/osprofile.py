@@ -1,0 +1,92 @@
+"""Operating-system profiles for simulated hosts.
+
+The paper ported every component from Ubuntu desktop installs to
+minimal, up-to-date CentOS server installs (Section III-B) and credits
+this with defeating the red team's privilege-escalation attempts
+(dirtycow kernel exploit, SSH daemon exploit — Section IV-B).
+
+A profile determines (a) which service ports the OS itself exposes
+(before the application binds anything) and (b) which local/remote
+vulnerabilities are present.  The red-team harness consults these
+mechanically: an exploit succeeds iff the vulnerability id is present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet
+
+# Vulnerability identifiers used by the red-team harness.
+VULN_DIRTYCOW = "dirtycow"            # local user -> root via kernel shm bug
+VULN_SSHD_CVE = "sshd-cve"            # remote/local sshd exploit
+VULN_SMB_REMOTE = "smb-remote"        # remote code exec on legacy file sharing
+VULN_WEBADMIN_DEFAULT_CREDS = "webadmin-default-creds"
+
+
+@dataclass(frozen=True)
+class OsProfile:
+    """Host operating-system posture.
+
+    Attributes:
+        name: profile label.
+        os_service_ports: TCP ports opened by preinstalled services,
+            mapping port -> service name.
+        local_vulns: vulnerabilities exploitable with user-level access.
+        remote_vulns: vulnerabilities exploitable over the network,
+            mapping vuln id -> the service port that exposes it.
+        hardened: True for minimal-server installs (also implies the
+            ARP stack refuses to answer for other interfaces' addresses).
+    """
+
+    name: str
+    os_service_ports: Dict[int, str] = field(default_factory=dict)
+    local_vulns: FrozenSet[str] = frozenset()
+    remote_vulns: Dict[str, int] = field(default_factory=dict)
+    hardened: bool = False
+
+    def with_extra_service(self, port: int, service: str) -> "OsProfile":
+        ports = dict(self.os_service_ports)
+        ports[port] = service
+        return replace(self, os_service_ports=ports)
+
+
+def ubuntu_desktop_2016() -> OsProfile:
+    """The pre-port posture: open philosophy, many services, known CVEs."""
+    return OsProfile(
+        name="ubuntu-desktop-2016",
+        os_service_ports={
+            22: "sshd",
+            111: "rpcbind",
+            139: "smbd",
+            445: "smbd",
+            631: "cups",
+            5353: "avahi",
+        },
+        local_vulns=frozenset({VULN_DIRTYCOW, VULN_SSHD_CVE}),
+        remote_vulns={VULN_SMB_REMOTE: 445, VULN_SSHD_CVE: 22},
+        hardened=False,
+    )
+
+
+def centos_minimal_latest() -> OsProfile:
+    """The deployed posture: minimal, patched, closed by default."""
+    return OsProfile(
+        name="centos-minimal-latest",
+        os_service_ports={22: "sshd"},
+        local_vulns=frozenset(),
+        remote_vulns={},
+        hardened=True,
+    )
+
+
+def commercial_appliance() -> OsProfile:
+    """Commercial SCADA server/HMI appliance: patched enough to avoid
+    trivial remote root, but runs a web admin console with default
+    credentials (the class of weakness that let the red team pivot)."""
+    return OsProfile(
+        name="commercial-appliance",
+        os_service_ports={22: "sshd", 80: "webadmin", 502: "modbus"},
+        local_vulns=frozenset({VULN_DIRTYCOW}),
+        remote_vulns={VULN_WEBADMIN_DEFAULT_CREDS: 80},
+        hardened=False,
+    )

@@ -1,0 +1,100 @@
+"""IP router / perimeter firewall appliance.
+
+Models the firewall separating the enterprise network from the
+operations network in the red-team experiment (Fig. 3).  Forwarding is
+governed by a dedicated rule set over (src ip, dst ip, proto, dst
+port); the default is deny, matching perimeter-firewall practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.net.firewall import Firewall
+from repro.net.host import Host, Interface
+from repro.net.osprofile import OsProfile
+from repro.net.packet import IpPacket, TcpSegment, UdpDatagram
+from repro.sim.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class ForwardRule:
+    """Perimeter rule; ``None`` fields are wildcards."""
+
+    action: str                      # "allow" | "deny"
+    src_ip: Optional[str] = None
+    dst_ip: Optional[str] = None
+    proto: Optional[str] = None
+    dst_port: Optional[int] = None
+
+    def matches(self, src_ip: str, dst_ip: str, proto: str, dst_port: int) -> bool:
+        if self.src_ip is not None and self.src_ip != src_ip:
+            return False
+        if self.dst_ip is not None and self.dst_ip != dst_ip:
+            return False
+        if self.proto is not None and self.proto != proto:
+            return False
+        if self.dst_port is not None and self.dst_port != dst_port:
+            return False
+        return True
+
+
+class Router(Host):
+    """A host that forwards IP packets between its interfaces."""
+
+    def __init__(self, sim: Simulator, name: str,
+                 os_profile: Optional[OsProfile] = None,
+                 firewall: Optional[Firewall] = None):
+        super().__init__(sim, name, os_profile=os_profile, firewall=firewall)
+        self.ip_forwarding = True
+        self.forward_rules: List[ForwardRule] = []
+        self.forward_default_allow = False
+        self.packets_forwarded = 0
+        self.packets_blocked = 0
+
+    def allow_forward(self, src_ip: Optional[str] = None,
+                      dst_ip: Optional[str] = None,
+                      proto: Optional[str] = None,
+                      dst_port: Optional[int] = None) -> None:
+        self.forward_rules.append(
+            ForwardRule("allow", src_ip, dst_ip, proto, dst_port))
+
+    def deny_forward(self, src_ip: Optional[str] = None,
+                     dst_ip: Optional[str] = None,
+                     proto: Optional[str] = None,
+                     dst_port: Optional[int] = None) -> None:
+        self.forward_rules.append(
+            ForwardRule("deny", src_ip, dst_ip, proto, dst_port))
+
+    def _dst_port(self, packet: IpPacket) -> int:
+        payload = packet.payload
+        if isinstance(payload, (UdpDatagram, TcpSegment)):
+            return payload.dst_port
+        return 0
+
+    def _forward(self, in_iface: Interface, packet: IpPacket) -> None:
+        if packet.ttl <= 1:
+            return
+        dst_port = self._dst_port(packet)
+        permitted = self.forward_default_allow
+        for rule in self.forward_rules:
+            if rule.matches(packet.src_ip, packet.dst_ip, packet.proto, dst_port):
+                permitted = rule.action == "allow"
+                break
+        if not permitted:
+            self.packets_blocked += 1
+            self.log("router.blocked", "forwarding denied",
+                     src=packet.src_ip, dst=packet.dst_ip,
+                     proto=packet.proto, dst_port=dst_port)
+            return
+        out_iface = None
+        for iface in self.interfaces:
+            if iface is not in_iface and iface.subnet.contains(packet.dst_ip):
+                out_iface = iface
+                break
+        if out_iface is None:
+            return
+        packet.ttl -= 1
+        self.packets_forwarded += 1
+        self._route_out(out_iface, packet)

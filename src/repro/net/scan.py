@@ -1,0 +1,73 @@
+"""Network reconnaissance helpers (attacker-side).
+
+A :class:`PortScanner` SYN-scans targets from a foothold host.  The
+results expose the visibility difference the paper reports: hosts with
+default-deny firewalls show every port filtered ("they had no
+visibility into the system"), while the commercial hosts enumerate
+their services.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.net.host import Host
+
+
+@dataclass
+class ScanReport:
+    """Outcome of scanning one target IP."""
+
+    target_ip: str
+    results: Dict[int, str] = field(default_factory=dict)  # port -> status
+
+    @property
+    def open_ports(self) -> List[int]:
+        return sorted(p for p, s in self.results.items() if s == "open")
+
+    @property
+    def closed_ports(self) -> List[int]:
+        return sorted(p for p, s in self.results.items() if s == "closed")
+
+    @property
+    def filtered_ports(self) -> List[int]:
+        return sorted(p for p, s in self.results.items() if s == "filtered")
+
+    @property
+    def any_visibility(self) -> bool:
+        """True if the scan learned anything (any open/closed response)."""
+        return bool(self.open_ports or self.closed_ports)
+
+
+DEFAULT_PORTS = [21, 22, 23, 25, 80, 111, 139, 443, 445, 502, 631, 2000,
+                 4901, 4902, 5353, 8100, 8101, 8120]
+
+
+class PortScanner:
+    """SYN scanner running on an attacker foothold."""
+
+    def __init__(self, host: Host, ports: Optional[List[int]] = None,
+                 probe_spacing: float = 0.005):
+        self.host = host
+        self.ports = list(ports) if ports is not None else list(DEFAULT_PORTS)
+        self.probe_spacing = probe_spacing
+
+    def scan(self, target_ip: str,
+             on_complete: Callable[[ScanReport], None]) -> ScanReport:
+        """Asynchronously scan ``target_ip``; report passed to callback
+        once every probe has resolved (and also returned for polling)."""
+        report = ScanReport(target_ip=target_ip)
+        outstanding = {"count": len(self.ports)}
+
+        def probe(port: int) -> None:
+            def done(status: str, port=port) -> None:
+                report.results[port] = status
+                outstanding["count"] -= 1
+                if outstanding["count"] == 0:
+                    on_complete(report)
+            self.host.tcp_probe(target_ip, port, done)
+
+        for index, port in enumerate(self.ports):
+            self.host.call_later(index * self.probe_spacing, probe, port)
+        return report

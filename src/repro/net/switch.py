@@ -1,0 +1,135 @@
+"""Ethernet switch with MAC learning, static port security, and SPAN.
+
+Two operating modes reproduce the paper's Section III-B setup:
+
+* **Learning mode** (commercial network): the CAM table is learned from
+  source MACs, making the switch — and every host behind it —
+  susceptible to MAC spoofing and enabling ARP-poisoning MITM.
+* **Static mode** (Spire network): a fixed MAC↔port mapping is
+  configured.  A frame entering a port whose source MAC is not mapped
+  to that port is dropped (port security), and forwarding consults only
+  the static table.  This is the mechanism the paper credits with
+  stopping the red team's man-in-the-middle attacks.
+
+A SPAN (mirror) port forwards a copy of every frame to a passive
+monitoring tap — how MANA receives its out-of-band packet capture.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.net.addresses import BROADCAST_MAC
+from repro.net.link import Link
+from repro.net.packet import Frame, describe
+from repro.sim.process import Process
+from repro.sim.simulator import Simulator
+
+
+class SwitchPort:
+    """One switch port; the endpoint object attached to a link."""
+
+    def __init__(self, switch: "Switch", index: int):
+        self.switch = switch
+        self.index = index
+        self.link: Optional[Link] = None
+
+    @property
+    def endpoint_name(self) -> str:
+        return f"{self.switch.name}.p{self.index}"
+
+    def on_frame(self, frame: Frame, link: Link) -> None:
+        self.switch._ingress(self, frame)
+
+    def send(self, frame: Frame) -> None:
+        if self.link is not None:
+            self.link.transmit(self, frame)
+
+
+class Switch(Process):
+    """A store-and-forward Ethernet switch."""
+
+    def __init__(self, sim: Simulator, name: str, ports: int = 8):
+        super().__init__(sim, name)
+        self.ports: List[SwitchPort] = [SwitchPort(self, i) for i in range(ports)]
+        self._cam: Dict[str, int] = {}
+        self._static_map: Optional[Dict[str, int]] = None
+        self._span_taps: List[Callable[[Frame, str, float], None]] = []
+        self.frames_forwarded = 0
+        self.frames_blocked = 0
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def attach_link(self, port_index: int, link: Link) -> SwitchPort:
+        port = self.ports[port_index]
+        if port.link is not None:
+            raise RuntimeError(f"{port.endpoint_name} already wired")
+        port.link = link
+        link.attach(port)
+        return port
+
+    def free_port(self) -> int:
+        """Index of the first unwired port."""
+        for port in self.ports:
+            if port.link is None:
+                return port.index
+        raise RuntimeError(f"switch {self.name} has no free ports")
+
+    def configure_static_mapping(self, mac_to_port: Dict[str, int]) -> None:
+        """Enable static MAC↔port security (Section III-B)."""
+        self._static_map = dict(mac_to_port)
+        self._cam.clear()
+        self.log("switch.config", "static MAC-to-port mapping enabled",
+                 entries=len(mac_to_port))
+
+    def clear_static_mapping(self) -> None:
+        """Revert to learning mode (the commercial/ablation configuration)."""
+        self._static_map = None
+
+    @property
+    def static_mode(self) -> bool:
+        return self._static_map is not None
+
+    def add_span_tap(self, tap: Callable[[Frame, str, float], None]) -> None:
+        """Mirror every ingress frame to a passive monitor (for MANA)."""
+        self._span_taps.append(tap)
+
+    # ------------------------------------------------------------------
+    # Forwarding
+    # ------------------------------------------------------------------
+    def _ingress(self, port: SwitchPort, frame: Frame) -> None:
+        if not self.running:
+            return
+        for tap in self._span_taps:
+            tap(frame, self.name, self.now)
+
+        if self._static_map is not None:
+            allowed_port = self._static_map.get(frame.src_mac)
+            if allowed_port != port.index:
+                # Port security: unknown MAC, or known MAC on wrong port
+                # (spoofing attempt) — drop and log.
+                self.frames_blocked += 1
+                self.log("switch.port_security", "blocked frame",
+                         port=port.index, src_mac=frame.src_mac,
+                         summary=describe(frame))
+                return
+        else:
+            self._cam[frame.src_mac] = port.index
+
+        out_index = self._lookup(frame.dst_mac)
+        self.frames_forwarded += 1
+        if frame.dst_mac == BROADCAST_MAC or out_index is None:
+            self._flood(frame, exclude=port.index)
+        elif out_index != port.index:
+            self.ports[out_index].send(frame)
+
+    def _lookup(self, dst_mac: str) -> Optional[int]:
+        if self._static_map is not None:
+            return self._static_map.get(dst_mac)
+        return self._cam.get(dst_mac)
+
+    def _flood(self, frame: Frame, exclude: int) -> None:
+        for port in self.ports:
+            if port.index != exclude and port.link is not None:
+                port.send(frame)

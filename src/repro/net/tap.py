@@ -1,0 +1,95 @@
+"""Passive packet capture — MANA's out-of-band feed.
+
+A :class:`Capture` collects :class:`PacketRecord` summaries from link
+taps and switch SPAN ports.  It is strictly read-only with respect to
+the monitored network, matching the paper's constraint that the IDS be
+"completely non-invasive so that the availability of SCADA systems is
+never in doubt".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.net.addresses import ETHERTYPE_ARP, ETHERTYPE_IP
+from repro.net.packet import ArpMessage, Frame, IpPacket, TcpSegment, UdpDatagram
+
+
+@dataclass(frozen=True)
+class PacketRecord:
+    """Metadata of one captured frame (no payload contents — the IDS
+    must work on encrypted traffic)."""
+
+    time: float
+    network: str
+    ethertype: str
+    src_mac: str
+    dst_mac: str
+    size: int
+    src_ip: Optional[str] = None
+    dst_ip: Optional[str] = None
+    proto: Optional[str] = None
+    src_port: Optional[int] = None
+    dst_port: Optional[int] = None
+    tcp_flags: Optional[str] = None
+    is_arp: bool = False
+    arp_op: Optional[str] = None
+
+
+def record_from_frame(frame: Frame, network: str, time: float) -> PacketRecord:
+    src_ip = dst_ip = proto = None
+    src_port = dst_port = None
+    tcp_flags = None
+    is_arp = False
+    arp_op = None
+    if frame.ethertype == ETHERTYPE_IP and isinstance(frame.payload, IpPacket):
+        packet = frame.payload
+        src_ip, dst_ip, proto = packet.src_ip, packet.dst_ip, packet.proto
+        inner = packet.payload
+        if isinstance(inner, (UdpDatagram, TcpSegment)):
+            src_port, dst_port = inner.src_port, inner.dst_port
+        if isinstance(inner, TcpSegment):
+            tcp_flags = inner.flags
+    elif frame.ethertype == ETHERTYPE_ARP and isinstance(frame.payload, ArpMessage):
+        is_arp = True
+        arp_op = frame.payload.op
+    return PacketRecord(
+        time=time, network=network, ethertype=frame.ethertype,
+        src_mac=frame.src_mac, dst_mac=frame.dst_mac, size=frame.wire_size(),
+        src_ip=src_ip, dst_ip=dst_ip, proto=proto,
+        src_port=src_port, dst_port=dst_port, tcp_flags=tcp_flags,
+        is_arp=is_arp, arp_op=arp_op,
+    )
+
+
+class Capture:
+    """An append-only packet capture for one monitored network."""
+
+    def __init__(self, network: str):
+        self.network = network
+        self.records: List[PacketRecord] = []
+        self._listeners: List[Callable[[PacketRecord], None]] = []
+
+    def subscribe(self, listener: Callable[[PacketRecord], None]) -> None:
+        """Stream records to a live consumer (MANA near-real-time mode)."""
+        self._listeners.append(listener)
+
+    def span_tap(self, frame: Frame, switch_name: str, time: float) -> None:
+        """Callback signature for :meth:`Switch.add_span_tap`."""
+        self._ingest(record_from_frame(frame, self.network, time))
+
+    def link_tap(self, frame: Frame, link, time: float) -> None:
+        """Callback signature for :meth:`Link.add_tap`."""
+        self._ingest(record_from_frame(frame, self.network, time))
+
+    def _ingest(self, record: PacketRecord) -> None:
+        self.records.append(record)
+        for listener in self._listeners:
+            listener(record)
+
+    def between(self, start: float, end: float) -> List[PacketRecord]:
+        return [r for r in self.records if start <= r.time < end]
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,32 @@
+"""PLC substrate: Modbus/TCP, device emulation, and power topologies."""
+
+from repro.plc.modbus import (
+    MODBUS_PORT, ModbusRequest, ModbusResponse, READ_COILS,
+    READ_INPUT_REGISTERS, VENDOR_CONFIG_UPLOAD, VENDOR_MEMORY_DUMP,
+    WRITE_SINGLE_COIL, config_upload, memory_dump, read_coils,
+    read_input_registers, write_coil,
+)
+from repro.plc.device import PlcDevice
+from repro.plc.topology import (
+    Breaker, PowerTopology, distribution_scenario, generation_scenario,
+    plant_topology, redteam_topology,
+)
+
+__all__ = [
+    "MODBUS_PORT", "ModbusRequest", "ModbusResponse", "READ_COILS",
+    "READ_INPUT_REGISTERS", "VENDOR_CONFIG_UPLOAD", "VENDOR_MEMORY_DUMP",
+    "WRITE_SINGLE_COIL", "config_upload", "memory_dump", "read_coils",
+    "read_input_registers", "write_coil",
+    "PlcDevice", "Breaker", "PowerTopology", "distribution_scenario",
+    "generation_scenario", "plant_topology", "redteam_topology",
+]
+
+from repro.plc.dnp3 import (
+    Crob, CROB_LATCH_OFF, CROB_LATCH_ON, DNP3_PORT, Dnp3Outstation,
+    Dnp3Request, Dnp3Response,
+)
+
+__all__ += [
+    "Crob", "CROB_LATCH_OFF", "CROB_LATCH_ON", "DNP3_PORT",
+    "Dnp3Outstation", "Dnp3Request", "Dnp3Response",
+]

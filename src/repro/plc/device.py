@@ -1,0 +1,188 @@
+"""PLC device emulation (OpenPLC-style).
+
+A :class:`PlcDevice` serves Modbus/TCP on its host and drives a
+:class:`~repro.plc.topology.PowerTopology`: coils map one-to-one onto
+breakers, input registers report measured state.  The paper prepared
+with OpenPLC-emulated devices and swapped in the real PLC "with only
+minimal changes"; the same class models both (``physical=True`` marks
+the real one for reporting).
+
+Security model: Modbus is unauthenticated.  Whoever can open TCP/502
+on the PLC can read everything, operate breakers, dump the logic
+configuration, and upload a replacement — the attack the red team
+executed against the commercial system.  Protection must come from the
+network architecture (Spire's proxy + direct cable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.net.host import Host, TcpConnection
+from repro.plc.modbus import (
+    EXC_ILLEGAL_ADDRESS, EXC_ILLEGAL_FUNCTION, MODBUS_PORT, ModbusRequest,
+    ModbusResponse, READ_COILS, READ_DISCRETE_INPUTS, READ_HOLDING_REGISTERS,
+    READ_INPUT_REGISTERS, VENDOR_CONFIG_UPLOAD, VENDOR_MEMORY_DUMP,
+    WRITE_MULTIPLE_COILS, WRITE_SINGLE_COIL, WRITE_SINGLE_REGISTER,
+)
+from repro.plc.topology import PowerTopology
+from repro.sim.process import Process
+
+
+class PlcDevice(Process):
+    """A PLC controlling the breakers of one topology.
+
+    Args:
+        sim: simulation kernel.
+        name: device name.
+        host: the host whose network stack serves Modbus (for the
+            proxied Spire setup this host hangs off a direct cable).
+        topology: the physical process this PLC actuates.
+        physical: True for the one real PLC; False for emulated ones.
+    """
+
+    def __init__(self, sim, name: str, host: Host, topology: PowerTopology,
+                 physical: bool = False, port: int = MODBUS_PORT):
+        super().__init__(sim, name)
+        self.host = host
+        self.topology = topology
+        self.physical = physical
+        self.port = port
+        # Coil address -> breaker name, fixed at commissioning.
+        self.coil_map: Dict[int, str] = {
+            addr: breaker
+            for addr, breaker in enumerate(topology.breaker_names())}
+        self.holding_registers: Dict[int, int] = {0: 0}
+        self.config: Dict[str, Any] = {
+            "firmware": "1.4.2", "logic": "interlock-v1",
+            "coil_map": {str(a): b for a, b in self.coil_map.items()},
+        }
+        self.config_uploads: List[Dict[str, Any]] = []
+        self.writes_served = 0
+        self.reads_served = 0
+        host.tcp_listen(port, self._accept)
+        host.register_app(f"plc:{name}", self)
+
+    # ------------------------------------------------------------------
+    def _accept(self, conn: TcpConnection) -> None:
+        conn.on_data = self._request_in
+
+    def _request_in(self, conn: TcpConnection, payload: Any) -> None:
+        if not self.running or not isinstance(payload, ModbusRequest):
+            return
+        response = self.handle_request(payload)
+        conn.send(response)
+
+    def handle_request(self, request: ModbusRequest) -> ModbusResponse:
+        """Process one Modbus PDU (also callable directly over a 'wire')."""
+        handler = {
+            READ_COILS: self._read_coils,
+            READ_DISCRETE_INPUTS: self._read_coils,
+            READ_HOLDING_REGISTERS: self._read_registers,
+            READ_INPUT_REGISTERS: self._read_input_registers,
+            WRITE_SINGLE_COIL: self._write_coil,
+            WRITE_SINGLE_REGISTER: self._write_register,
+            WRITE_MULTIPLE_COILS: self._write_coils,
+            VENDOR_MEMORY_DUMP: self._memory_dump,
+            VENDOR_CONFIG_UPLOAD: self._config_upload,
+        }.get(request.function)
+        if handler is None:
+            return self._exception(request, EXC_ILLEGAL_FUNCTION)
+        return handler(request)
+
+    def _exception(self, request: ModbusRequest, code: int) -> ModbusResponse:
+        return ModbusResponse(transaction_id=request.transaction_id,
+                              unit_id=request.unit_id,
+                              function=request.function, exception=code)
+
+    def _ok(self, request: ModbusRequest, values: List[int] = None,
+            payload: Any = None) -> ModbusResponse:
+        return ModbusResponse(transaction_id=request.transaction_id,
+                              unit_id=request.unit_id,
+                              function=request.function,
+                              values=values or [], payload=payload)
+
+    # -- reads ------------------------------------------------------------
+    def _read_coils(self, request: ModbusRequest) -> ModbusResponse:
+        values = []
+        for addr in range(request.address, request.address + request.count):
+            breaker = self.coil_map.get(addr)
+            if breaker is None:
+                return self._exception(request, EXC_ILLEGAL_ADDRESS)
+            values.append(1 if self.topology.get_breaker(breaker) else 0)
+        self.reads_served += 1
+        return self._ok(request, values=values)
+
+    def _read_registers(self, request: ModbusRequest) -> ModbusResponse:
+        values = []
+        for addr in range(request.address, request.address + request.count):
+            if addr not in self.holding_registers:
+                return self._exception(request, EXC_ILLEGAL_ADDRESS)
+            values.append(self.holding_registers[addr])
+        self.reads_served += 1
+        return self._ok(request, values=values)
+
+    def _read_input_registers(self, request: ModbusRequest) -> ModbusResponse:
+        """Input registers report measurement data: register i carries a
+        synthetic 'line current' for breaker i (nonzero iff its to-bus
+        is energized)."""
+        energized = self.topology.energized_buses()
+        values = []
+        for addr in range(request.address, request.address + request.count):
+            breaker_name = self.coil_map.get(addr)
+            if breaker_name is None:
+                return self._exception(request, EXC_ILLEGAL_ADDRESS)
+            breaker = self.topology.breakers[breaker_name]
+            flowing = breaker.closed and breaker.to_bus in energized
+            values.append(100 if flowing else 0)
+        self.reads_served += 1
+        return self._ok(request, values=values)
+
+    # -- writes -----------------------------------------------------------
+    def _write_coil(self, request: ModbusRequest) -> ModbusResponse:
+        breaker = self.coil_map.get(request.address)
+        if breaker is None:
+            return self._exception(request, EXC_ILLEGAL_ADDRESS)
+        closed = bool(request.values and request.values[0])
+        self.topology.set_breaker(breaker, closed)
+        self.writes_served += 1
+        self.log("plc.write", f"breaker {breaker} -> "
+                 f"{'closed' if closed else 'open'}", breaker=breaker,
+                 closed=closed)
+        return self._ok(request, values=list(request.values))
+
+    def _write_coils(self, request: ModbusRequest) -> ModbusResponse:
+        for offset, value in enumerate(request.values):
+            breaker = self.coil_map.get(request.address + offset)
+            if breaker is None:
+                return self._exception(request, EXC_ILLEGAL_ADDRESS)
+            self.topology.set_breaker(breaker, bool(value))
+        self.writes_served += 1
+        return self._ok(request, values=list(request.values))
+
+    def _write_register(self, request: ModbusRequest) -> ModbusResponse:
+        if not request.values:
+            return self._exception(request, EXC_ILLEGAL_ADDRESS)
+        self.holding_registers[request.address] = request.values[0]
+        self.writes_served += 1
+        return self._ok(request, values=list(request.values))
+
+    # -- vendor maintenance (the commercial system's downfall) ------------
+    def _memory_dump(self, request: ModbusRequest) -> ModbusResponse:
+        self.log("plc.dump", "memory dump served (unauthenticated)")
+        return self._ok(request, payload=dict(self.config))
+
+    def _config_upload(self, request: ModbusRequest) -> ModbusResponse:
+        if not isinstance(request.payload, dict):
+            return self._exception(request, EXC_ILLEGAL_FUNCTION)
+        self.config_uploads.append(request.payload)
+        self.config.update(request.payload)
+        self.log("plc.config_upload", "configuration replaced "
+                 "(unauthenticated)", keys=sorted(request.payload))
+        return self._ok(request)
+
+    @property
+    def compromised_config(self) -> bool:
+        """True once a foreign configuration has been uploaded."""
+        return bool(self.config_uploads)

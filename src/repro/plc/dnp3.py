@@ -1,0 +1,204 @@
+"""DNP3 protocol model (the other industrial protocol the paper names:
+"their typical, insecure industrial communication protocols, such as
+Modbus or DNP3").
+
+Implements the application-layer vocabulary a SCADA master exercises
+against a DNP3 outstation:
+
+* class-0 static reads (binary inputs = breaker positions, analog
+  inputs = line currents),
+* CROB (control relay output block) operate commands with the standard
+  select-before-operate sequence,
+* unsolicited responses: the outstation pushes event data to its master
+  when points change — the characteristic DNP3 feature that Modbus
+  lacks.
+
+Like Modbus, baseline DNP3 has no authentication: anything that can
+reach the outstation's TCP port can read and operate.  The protection
+must come from the architecture (Spire's proxy + direct cable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.net.host import Host, TcpConnection
+from repro.plc.topology import PowerTopology
+from repro.sim.process import Process
+
+DNP3_PORT = 20000
+
+# Application-layer function codes (subset).
+FC_READ = 0x01
+FC_SELECT = 0x03
+FC_OPERATE = 0x04
+FC_DIRECT_OPERATE = 0x05
+FC_UNSOLICITED = 0x82
+
+# Internal indication (IIN) bits we model.
+IIN_DEVICE_RESTART = 0x80
+IIN_NO_FUNC_SUPPORT = 0x01
+IIN_PARAM_ERROR = 0x04
+
+CROB_LATCH_ON = "latch-on"
+CROB_LATCH_OFF = "latch-off"
+
+
+@dataclass
+class Crob:
+    """Control relay output block targeting one binary output point."""
+
+    point: int
+    operation: str            # CROB_LATCH_ON | CROB_LATCH_OFF
+
+    def wire_size(self) -> int:
+        return 11
+
+
+@dataclass
+class Dnp3Request:
+    seq: int
+    function: int
+    crob: Optional[Crob] = None
+
+    def wire_size(self) -> int:
+        return 17 + (self.crob.wire_size() if self.crob else 0)
+
+
+@dataclass
+class Dnp3Response:
+    seq: int
+    function: int
+    iin: int = 0
+    binary_inputs: Dict[int, bool] = field(default_factory=dict)
+    analog_inputs: Dict[int, int] = field(default_factory=dict)
+    crob_status: Optional[str] = None     # "success" | error text
+
+    @property
+    def ok(self) -> bool:
+        return self.iin & (IIN_NO_FUNC_SUPPORT | IIN_PARAM_ERROR) == 0
+
+    def wire_size(self) -> int:
+        return (20 + 2 * len(self.binary_inputs)
+                + 5 * len(self.analog_inputs))
+
+
+class Dnp3Outstation(Process):
+    """A DNP3 outstation (RTU) actuating one power topology.
+
+    Binary input/output point ``i`` maps to the i-th breaker in sorted
+    order; analog input ``i`` reports the synthetic line current of
+    that breaker.
+
+    Args:
+        sim: simulation kernel.
+        name: outstation name.
+        host: host serving DNP3/TCP.
+        topology: the physical process.
+        unsolicited_period: how often changed points are pushed to
+            connected masters (0 disables unsolicited reporting).
+    """
+
+    def __init__(self, sim, name: str, host: Host, topology: PowerTopology,
+                 port: int = DNP3_PORT, unsolicited_period: float = 0.1):
+        super().__init__(sim, name)
+        self.host = host
+        self.topology = topology
+        self.port = port
+        self.point_map: Dict[int, str] = {
+            index: breaker
+            for index, breaker in enumerate(topology.breaker_names())}
+        self._selected: Dict[int, Crob] = {}
+        self._masters: List[TcpConnection] = []
+        self._last_reported: Dict[int, bool] = {}
+        self._unsol_seq = 0
+        self.requests_served = 0
+        self.unsolicited_sent = 0
+        host.tcp_listen(port, self._accept)
+        host.register_app(f"dnp3:{name}", self)
+        if unsolicited_period > 0:
+            self.call_every(unsolicited_period, self._unsolicited_tick)
+
+    # ------------------------------------------------------------------
+    def _accept(self, conn: TcpConnection) -> None:
+        self._masters.append(conn)
+        conn.on_data = self._request_in
+        conn.on_closed = lambda c: self._masters.remove(c) \
+            if c in self._masters else None
+
+    def _request_in(self, conn: TcpConnection, payload: Any) -> None:
+        if not self.running or not isinstance(payload, Dnp3Request):
+            return
+        conn.send(self.handle_request(payload))
+
+    def handle_request(self, request: Dnp3Request) -> Dnp3Response:
+        self.requests_served += 1
+        if request.function == FC_READ:
+            return self._static_read(request)
+        if request.function == FC_SELECT:
+            return self._select(request)
+        if request.function in (FC_OPERATE, FC_DIRECT_OPERATE):
+            return self._operate(request)
+        return Dnp3Response(seq=request.seq, function=request.function,
+                            iin=IIN_NO_FUNC_SUPPORT)
+
+    def _current_points(self):
+        energized = self.topology.energized_buses()
+        binary, analog = {}, {}
+        for point, breaker_name in self.point_map.items():
+            breaker = self.topology.breakers[breaker_name]
+            binary[point] = breaker.closed
+            analog[point] = 100 if (breaker.closed
+                                    and breaker.to_bus in energized) else 0
+        return binary, analog
+
+    def _static_read(self, request: Dnp3Request) -> Dnp3Response:
+        binary, analog = self._current_points()
+        return Dnp3Response(seq=request.seq, function=FC_READ,
+                            binary_inputs=binary, analog_inputs=analog)
+
+    def _select(self, request: Dnp3Request) -> Dnp3Response:
+        if request.crob is None or request.crob.point not in self.point_map:
+            return Dnp3Response(seq=request.seq, function=FC_SELECT,
+                                iin=IIN_PARAM_ERROR)
+        self._selected[request.crob.point] = request.crob
+        return Dnp3Response(seq=request.seq, function=FC_SELECT,
+                            crob_status="selected")
+
+    def _operate(self, request: Dnp3Request) -> Dnp3Response:
+        crob = request.crob
+        if crob is None or crob.point not in self.point_map:
+            return Dnp3Response(seq=request.seq, function=request.function,
+                                iin=IIN_PARAM_ERROR)
+        if request.function == FC_OPERATE:
+            selected = self._selected.pop(crob.point, None)
+            if selected is None or selected.operation != crob.operation:
+                return Dnp3Response(seq=request.seq, function=FC_OPERATE,
+                                    iin=IIN_PARAM_ERROR,
+                                    crob_status="no matching select")
+        breaker = self.point_map[crob.point]
+        self.topology.set_breaker(breaker, crob.operation == CROB_LATCH_ON)
+        self.log("dnp3.operate", f"{breaker} -> {crob.operation}",
+                 breaker=breaker)
+        return Dnp3Response(seq=request.seq, function=request.function,
+                            crob_status="success")
+
+    # ------------------------------------------------------------------
+    # Unsolicited reporting
+    # ------------------------------------------------------------------
+    def _unsolicited_tick(self) -> None:
+        binary, analog = self._current_points()
+        changed = {point: state for point, state in binary.items()
+                   if self._last_reported.get(point) != state}
+        if not changed:
+            return
+        self._last_reported.update(binary)
+        self._unsol_seq += 1
+        response = Dnp3Response(seq=self._unsol_seq, function=FC_UNSOLICITED,
+                                binary_inputs=dict(binary),
+                                analog_inputs=dict(analog))
+        for conn in list(self._masters):
+            if conn.established and not conn.closed:
+                conn.send(response)
+                self.unsolicited_sent += 1

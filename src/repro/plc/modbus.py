@@ -1,0 +1,100 @@
+"""Modbus/TCP protocol model.
+
+Implements the request/response vocabulary the deployment used between
+the PLC proxy and the PLC (read coils / registers, write coils), plus
+two *vendor* function codes that model the unauthenticated maintenance
+interface the red team abused on the commercial system: a memory dump
+(returning the PLC's logic configuration) and a configuration upload
+(replacing it).  Modbus has no authentication — anything that can reach
+TCP port 502 can issue any of these, which is precisely why Spire puts
+the PLC behind a proxy on a direct cable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+MODBUS_PORT = 502
+
+# Standard function codes.
+READ_COILS = 0x01
+READ_DISCRETE_INPUTS = 0x02
+READ_HOLDING_REGISTERS = 0x03
+READ_INPUT_REGISTERS = 0x04
+WRITE_SINGLE_COIL = 0x05
+WRITE_SINGLE_REGISTER = 0x06
+WRITE_MULTIPLE_COILS = 0x0F
+
+# Vendor maintenance codes (modeled; unauthenticated like the rest).
+VENDOR_MEMORY_DUMP = 0x5A
+VENDOR_CONFIG_UPLOAD = 0x5B
+
+EXC_ILLEGAL_FUNCTION = 0x01
+EXC_ILLEGAL_ADDRESS = 0x02
+EXC_ILLEGAL_VALUE = 0x03
+
+
+@dataclass
+class ModbusRequest:
+    """One Modbus/TCP ADU (transaction id + PDU)."""
+
+    transaction_id: int
+    unit_id: int
+    function: int
+    address: int = 0
+    count: int = 1
+    values: List[int] = field(default_factory=list)
+    payload: Any = None              # vendor codes: config blob
+
+    def wire_size(self) -> int:
+        return 12 + 2 * len(self.values) + (len(repr(self.payload))
+                                            if self.payload is not None else 0)
+
+
+@dataclass
+class ModbusResponse:
+    transaction_id: int
+    unit_id: int
+    function: int
+    values: List[int] = field(default_factory=list)
+    exception: Optional[int] = None
+    payload: Any = None              # vendor codes: dumped config
+
+    @property
+    def ok(self) -> bool:
+        return self.exception is None
+
+    def wire_size(self) -> int:
+        return 10 + 2 * len(self.values) + (len(repr(self.payload))
+                                            if self.payload is not None else 0)
+
+
+def read_coils(tid: int, address: int, count: int, unit: int = 1) -> ModbusRequest:
+    return ModbusRequest(transaction_id=tid, unit_id=unit,
+                         function=READ_COILS, address=address, count=count)
+
+
+def read_input_registers(tid: int, address: int, count: int,
+                         unit: int = 1) -> ModbusRequest:
+    return ModbusRequest(transaction_id=tid, unit_id=unit,
+                         function=READ_INPUT_REGISTERS, address=address,
+                         count=count)
+
+
+def write_coil(tid: int, address: int, value: bool,
+               unit: int = 1) -> ModbusRequest:
+    return ModbusRequest(transaction_id=tid, unit_id=unit,
+                         function=WRITE_SINGLE_COIL, address=address,
+                         values=[1 if value else 0])
+
+
+def memory_dump(tid: int, unit: int = 1) -> ModbusRequest:
+    return ModbusRequest(transaction_id=tid, unit_id=unit,
+                         function=VENDOR_MEMORY_DUMP)
+
+
+def config_upload(tid: int, config: Dict[str, Any],
+                  unit: int = 1) -> ModbusRequest:
+    return ModbusRequest(transaction_id=tid, unit_id=unit,
+                         function=VENDOR_CONFIG_UPLOAD, payload=config)

@@ -1,0 +1,188 @@
+"""Power topology models.
+
+A :class:`PowerTopology` is the physical ground truth of the
+deployment: breakers connect buses; a load is energized iff a path of
+closed breakers reaches a source.  PLC coils map onto breakers, so the
+state of the field devices *is* the state of the power system — the
+property that lets a SCADA master rebuild its view after an assumption
+breach by re-polling the PLCs (Section III-A).
+
+Three scenarios from the paper are provided:
+
+* :func:`redteam_topology` — the Fig. 4 HMI scenario: seven breakers
+  managing power flow to four buildings (one physical PLC).
+* :func:`plant_topology` — the power plant subset: the three left
+  breakers of Fig. 4 (B10-1, B57, B56) on real equipment.
+* :func:`distribution_scenario` / :func:`generation_scenario` — the ten
+  emulated distribution PLCs (both deployments) and six emulated
+  generation PLCs (plant deployment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+
+@dataclass
+class Breaker:
+    """A controllable breaker between two buses."""
+
+    name: str
+    from_bus: str
+    to_bus: str
+    closed: bool = True
+
+
+class PowerTopology:
+    """A graph of buses connected by breakers, with sources and loads."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.buses: Set[str] = set()
+        self.sources: Set[str] = set()
+        self.loads: Dict[str, str] = {}      # load name -> bus
+        self.breakers: Dict[str, Breaker] = {}
+        self.flip_count = 0
+
+    # -- construction ---------------------------------------------------
+    def add_bus(self, bus: str, source: bool = False) -> None:
+        self.buses.add(bus)
+        if source:
+            self.sources.add(bus)
+
+    def add_breaker(self, name: str, from_bus: str, to_bus: str,
+                    closed: bool = True) -> None:
+        for bus in (from_bus, to_bus):
+            if bus not in self.buses:
+                raise ValueError(f"unknown bus {bus!r}")
+        if name in self.breakers:
+            raise ValueError(f"duplicate breaker {name!r}")
+        self.breakers[name] = Breaker(name, from_bus, to_bus, closed)
+
+    def add_load(self, name: str, bus: str) -> None:
+        if bus not in self.buses:
+            raise ValueError(f"unknown bus {bus!r}")
+        self.loads[name] = bus
+
+    # -- operation --------------------------------------------------------
+    def breaker_names(self) -> List[str]:
+        return sorted(self.breakers)
+
+    def set_breaker(self, name: str, closed: bool) -> bool:
+        """Operate a breaker; returns True if the position changed."""
+        breaker = self.breakers[name]
+        if breaker.closed == closed:
+            return False
+        breaker.closed = closed
+        self.flip_count += 1
+        return True
+
+    def get_breaker(self, name: str) -> bool:
+        return self.breakers[name].closed
+
+    def breaker_states(self) -> Dict[str, bool]:
+        return {name: b.closed for name, b in self.breakers.items()}
+
+    # -- physics ----------------------------------------------------------
+    def energized_buses(self) -> Set[str]:
+        """Buses reachable from a source through closed breakers."""
+        adjacency: Dict[str, List[str]] = {bus: [] for bus in self.buses}
+        for breaker in self.breakers.values():
+            if breaker.closed:
+                adjacency[breaker.from_bus].append(breaker.to_bus)
+                adjacency[breaker.to_bus].append(breaker.from_bus)
+        seen: Set[str] = set()
+        frontier = list(self.sources)
+        while frontier:
+            bus = frontier.pop()
+            if bus in seen:
+                continue
+            seen.add(bus)
+            frontier.extend(adjacency[bus])
+        return seen
+
+    def energized_loads(self) -> Dict[str, bool]:
+        energized = self.energized_buses()
+        return {load: bus in energized for load, bus in self.loads.items()}
+
+    def snapshot(self) -> Dict[str, Dict]:
+        return {"breakers": self.breaker_states(),
+                "loads": self.energized_loads()}
+
+
+def redteam_topology() -> PowerTopology:
+    """Fig. 4: seven breakers managing power to four buildings.
+
+    A radial feed: the utility source feeds the main bus through B10-1;
+    B57 and B56 energize two distribution buses; four building breakers
+    (B21–B24) hang off them.
+    """
+    topo = PowerTopology("redteam-fig4")
+    topo.add_bus("utility", source=True)
+    topo.add_bus("main")
+    topo.add_bus("dist-north")
+    topo.add_bus("dist-south")
+    for building in "ABCD":
+        topo.add_bus(f"bldg-{building}")
+    topo.add_breaker("B10-1", "utility", "main")
+    topo.add_breaker("B57", "main", "dist-north")
+    topo.add_breaker("B56", "main", "dist-south")
+    topo.add_breaker("B21", "dist-north", "bldg-A")
+    topo.add_breaker("B22", "dist-north", "bldg-B")
+    topo.add_breaker("B23", "dist-south", "bldg-C")
+    topo.add_breaker("B24", "dist-south", "bldg-D")
+    for building in "ABCD":
+        topo.add_load(f"building-{building}", f"bldg-{building}")
+    return topo
+
+
+def plant_topology() -> PowerTopology:
+    """Power plant deployment: the three left breakers of Fig. 4
+    (B10-1, B57, B56) on real equipment."""
+    topo = PowerTopology("plant-subset")
+    topo.add_bus("utility", source=True)
+    topo.add_bus("main")
+    topo.add_bus("dist-north")
+    topo.add_bus("dist-south")
+    topo.add_breaker("B10-1", "utility", "main")
+    topo.add_breaker("B57", "main", "dist-north")
+    topo.add_breaker("B56", "main", "dist-south")
+    topo.add_load("north-feeder", "dist-north")
+    topo.add_load("south-feeder", "dist-south")
+    return topo
+
+
+def distribution_scenario(count: int = 10) -> List[PowerTopology]:
+    """The ten emulated PLCs modeling power distribution to substations
+    and remote sites (used in both deployments)."""
+    topologies = []
+    for i in range(1, count + 1):
+        topo = PowerTopology(f"substation-{i}")
+        topo.add_bus("grid", source=True)
+        topo.add_bus("substation")
+        topo.add_bus("feeder-1")
+        topo.add_bus("feeder-2")
+        topo.add_breaker(f"S{i}-main", "grid", "substation")
+        topo.add_breaker(f"S{i}-f1", "substation", "feeder-1")
+        topo.add_breaker(f"S{i}-f2", "substation", "feeder-2")
+        topo.add_load("remote-site-1", "feeder-1")
+        topo.add_load("remote-site-2", "feeder-2")
+        topologies.append(topo)
+    return topologies
+
+
+def generation_scenario(count: int = 6) -> List[PowerTopology]:
+    """The six emulated PLCs modeling a power generation scenario
+    (created with plant engineer input for the 2018 deployment)."""
+    topologies = []
+    for i in range(1, count + 1):
+        topo = PowerTopology(f"generator-{i}")
+        topo.add_bus("turbine", source=True)
+        topo.add_bus("generator-bus")
+        topo.add_bus("step-up")
+        topo.add_breaker(f"G{i}-field", "turbine", "generator-bus")
+        topo.add_breaker(f"G{i}-output", "generator-bus", "step-up")
+        topo.add_load("grid-tie", "step-up")
+        topologies.append(topo)
+    return topologies

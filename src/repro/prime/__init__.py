@@ -1,0 +1,22 @@
+"""Prime: Byzantine fault-tolerant replication with performance
+guarantees under attack (the replication engine used by Spire)."""
+
+from repro.prime.config import (
+    PrimeConfig, PrimeTiming, build_config, replicas_required,
+)
+from repro.prime.messages import (
+    ClientUpdate, PRIME_CLIENT_PORT, PRIME_INTERNAL_PORT, Reply,
+    SignedPrimeMessage,
+)
+from repro.prime.replica import (
+    PrimeApp, PrimeReplica, STATE_NORMAL, STATE_RECOVERING,
+)
+from repro.prime.client import PrimeClient
+
+__all__ = [
+    "PrimeConfig", "PrimeTiming", "build_config", "replicas_required",
+    "ClientUpdate", "PRIME_CLIENT_PORT", "PRIME_INTERNAL_PORT", "Reply",
+    "SignedPrimeMessage",
+    "PrimeApp", "PrimeReplica", "STATE_NORMAL", "STATE_RECOVERING",
+    "PrimeClient",
+]

@@ -1,0 +1,120 @@
+"""Prime client library.
+
+Used by the SCADA proxies and the HMI proxy: submits signed updates to
+the replicated masters over the external Spines network and accepts a
+result once ``f + 1`` replicas send matching replies (at least one of
+which is then guaranteed correct).  Unanswered updates are retransmitted
+— execution is deduplicated server-side, so retransmission is safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from repro.crypto.auth import sign_payload
+from repro.prime.config import PrimeConfig
+from repro.prime.messages import ClientUpdate, PRIME_CLIENT_PORT, Reply
+from repro.sim.process import Process
+from repro.spines.daemon import SpinesDaemon
+from repro.spines.messages import IT_FLOOD, OverlayAddress
+
+CLIENT_RETRY = 1.0
+CLIENT_MAX_RETRIES = 10
+
+
+@dataclass
+class _PendingUpdate:
+    update: ClientUpdate
+    submitted_at: float
+    replies: Dict[str, Any] = field(default_factory=dict)  # replica -> result
+    retries: int = 0
+    delivered: bool = False
+
+
+class PrimeClient(Process):
+    """A client of the replicated SCADA master.
+
+    Args:
+        sim: simulation kernel.
+        client_id: principal name (must have a signing key installed on
+            the host's key ring).
+        config: the Prime configuration (for f+1 reply matching).
+        daemon: external-network Spines daemon on the client's host.
+        port: overlay port for this client's session.
+        on_result: callback ``(client_seq, result)`` when an update is
+            confirmed by f+1 replicas.
+    """
+
+    def __init__(self, sim, client_id: str, config: PrimeConfig,
+                 daemon: SpinesDaemon, port: int,
+                 on_result: Optional[Callable[[int, Any], None]] = None):
+        super().__init__(sim, f"client:{client_id}")
+        self.client_id = client_id
+        self.config = config
+        self.daemon = daemon
+        self.on_result = on_result
+        self.session = daemon.create_session(port, self._reply_in)
+        self.next_seq = 1
+        self.pending: Dict[int, _PendingUpdate] = {}
+        self.confirmed: Dict[int, Any] = {}
+        self.confirm_latency: Dict[int, float] = {}
+        self.call_every(CLIENT_RETRY, self._retry_tick)
+
+    # ------------------------------------------------------------------
+    def submit(self, op: Any) -> int:
+        """Sign and broadcast an update; returns its client sequence."""
+        seq = self.next_seq
+        self.next_seq += 1
+        update = ClientUpdate(client_id=self.client_id, client_seq=seq, op=op,
+                              reply_to=self.session.address)
+        update = ClientUpdate(
+            client_id=update.client_id, client_seq=update.client_seq,
+            op=update.op, reply_to=update.reply_to,
+            signature=sign_payload(self.daemon.host.key_ring, self.client_id,
+                                   update.signed_view()))
+        self.pending[seq] = _PendingUpdate(update=update, submitted_at=self.now)
+        self._transmit(update)
+        return seq
+
+    def _transmit(self, update: ClientUpdate) -> None:
+        self.session.send(("*", PRIME_CLIENT_PORT), update, service=IT_FLOOD)
+
+    def _reply_in(self, src: OverlayAddress, payload: Any) -> None:
+        if not self.running or not isinstance(payload, Reply):
+            return
+        if payload.client_id != self.client_id:
+            return
+        state = self.pending.get(payload.client_seq)
+        if state is None or state.delivered:
+            return
+        if payload.replica not in self.config.replica_names:
+            return
+        state.replies[payload.replica] = payload.result
+        matching: Dict[str, Set[str]] = {}
+        for replica, result in state.replies.items():
+            matching.setdefault(repr(result), set()).add(replica)
+        for result_repr, replicas in matching.items():
+            if len(replicas) >= self.config.vouch:
+                state.delivered = True
+                result = next(r for r in state.replies.values()
+                              if repr(r) == result_repr)
+                self.confirmed[payload.client_seq] = result
+                self.confirm_latency[payload.client_seq] = (
+                    self.now - state.submitted_at)
+                self.pending.pop(payload.client_seq, None)
+                if self.on_result is not None:
+                    self.on_result(payload.client_seq, result)
+                return
+
+    def _retry_tick(self) -> None:
+        for seq, state in list(self.pending.items()):
+            if state.delivered:
+                continue
+            if state.retries >= CLIENT_MAX_RETRIES:
+                self.pending.pop(seq, None)
+                self.log("client.giveup", "update never confirmed", seq=seq)
+                continue
+            if self.now - state.submitted_at > CLIENT_RETRY * (state.retries + 1):
+                state.retries += 1
+                self._transmit(state.update)

@@ -1,0 +1,86 @@
+"""Prime replication configuration.
+
+The replica-count requirement is the paper's: to withstand ``f``
+intrusions while ``k`` replicas may simultaneously be undergoing
+proactive recovery, ``3f + 2k + 1`` replicas are needed (Sousa et al.,
+cited as [15]).  The red-team deployment used f=1, k=0 (4 replicas); the
+power plant deployment used f=1, k=1 (6 replicas).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+def replicas_required(f: int, k: int) -> int:
+    """Total replicas needed for f intrusions + k concurrent recoveries."""
+    return 3 * f + 2 * k + 1
+
+
+@dataclass(frozen=True)
+class PrimeTiming:
+    """Protocol timing parameters (seconds)."""
+
+    po_batch_interval: float = 0.01      # aggregation of client updates
+    ack_interval: float = 0.01           # PO-Ack / PO-ARU batching
+    pre_prepare_interval: float = 0.03   # leader proposal cadence
+    suspect_timeout: float = 1.0         # max tolerated own-update age
+    reconciliation_interval: float = 0.5
+    view_change_resend: float = 0.5
+
+
+@dataclass(frozen=True)
+class PrimeConfig:
+    """Static configuration of one Prime instance.
+
+    Args:
+        f: tolerated intrusions.
+        k: concurrent proactive recoveries supported.
+        replica_names: names of the replicas, length ``3f + 2k + 1``.
+        timing: protocol timing parameters.
+    """
+
+    f: int
+    k: int
+    replica_names: List[str]
+    timing: PrimeTiming = field(default_factory=PrimeTiming)
+
+    def __post_init__(self):
+        expected = replicas_required(self.f, self.k)
+        if len(self.replica_names) != expected:
+            raise ValueError(
+                f"f={self.f}, k={self.k} requires {expected} replicas, "
+                f"got {len(self.replica_names)}")
+        if len(set(self.replica_names)) != len(self.replica_names):
+            raise ValueError("replica names must be unique")
+
+    @property
+    def n(self) -> int:
+        return len(self.replica_names)
+
+    @property
+    def quorum(self) -> int:
+        """Ordering quorum: 2f + k + 1."""
+        return 2 * self.f + self.k + 1
+
+    @property
+    def vouch(self) -> int:
+        """Replies/vouchers needed to trust a value: f + 1 (at least one
+        correct replica)."""
+        return self.f + 1
+
+    def leader_of(self, view: int) -> str:
+        return self.replica_names[view % self.n]
+
+    def index_of(self, name: str) -> int:
+        return self.replica_names.index(name)
+
+
+def build_config(f: int = 1, k: int = 1, prefix: str = "replica",
+                 timing: PrimeTiming = None) -> PrimeConfig:
+    """Standard configuration with generated replica names."""
+    n = replicas_required(f, k)
+    names = [f"{prefix}{i + 1}" for i in range(n)]
+    return PrimeConfig(f=f, k=k, replica_names=names,
+                       timing=timing or PrimeTiming())

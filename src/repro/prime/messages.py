@@ -1,0 +1,240 @@
+"""Prime protocol messages.
+
+All replica-to-replica messages are signed by the sending replica (the
+signature lives in the envelope produced by ``PrimeReplica._broadcast``;
+the structures here are the signed bodies).  Client updates carry their
+own client signature and are therefore self-certifying when relayed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.crypto.auth import Signature
+
+PRIME_INTERNAL_PORT = 7000
+PRIME_CLIENT_PORT = 7100
+
+
+@dataclass(frozen=True)
+class ClientUpdate:
+    """An update submitted by a SCADA client (proxy or HMI).
+
+    ``op`` is opaque to Prime; the SCADA master interprets it.
+    """
+
+    client_id: str
+    client_seq: int
+    op: Any
+    reply_to: Optional[Tuple[str, int]] = None   # overlay address for replies
+    signature: Optional[Signature] = None
+
+    def key(self) -> Tuple[str, int]:
+        return (self.client_id, self.client_seq)
+
+    def signed_view(self) -> dict:
+        return {"client_id": self.client_id, "client_seq": self.client_seq,
+                "op_repr": repr(self.op),
+                "reply_to": list(self.reply_to) if self.reply_to else None}
+
+    def wire_size(self) -> int:
+        return 80 + len(repr(self.op))
+
+
+@dataclass
+class PoRequestBatch:
+    """Preorder requests: the originator assigns (originator, seq) slots
+    to client updates it introduces."""
+
+    originator: str
+    start_seq: int                      # first update gets this po-seq
+    updates: List[ClientUpdate]
+
+    def wire_size(self) -> int:
+        return 24 + sum(u.wire_size() for u in self.updates)
+
+
+@dataclass
+class PoAckBatch:
+    """Acknowledges preorder slots and carries the sender's cumulative
+    PO-ARU vector (originator -> highest contiguous acked seq)."""
+
+    acker: str
+    acks: List[Tuple[str, int, bytes]]   # (originator, seq, digest)
+    po_aru: Dict[str, int]
+
+    def wire_size(self) -> int:
+        return 16 + 44 * len(self.acks) + 12 * len(self.po_aru)
+
+
+@dataclass
+class PrePrepare:
+    """Leader proposal: a summary matrix of PO-ARU vectors."""
+
+    view: int
+    gseq: int
+    matrix: Dict[str, Dict[str, int]]    # replica -> its po_aru vector
+
+    def digest_view(self) -> dict:
+        return {"view": self.view, "gseq": self.gseq, "matrix": self.matrix}
+
+    def wire_size(self) -> int:
+        return 16 + 12 * sum(len(v) for v in self.matrix.values())
+
+
+@dataclass
+class PrepareMsg:
+    view: int
+    gseq: int
+    digest: bytes
+    replica: str
+
+    def wire_size(self) -> int:
+        return 56
+
+
+@dataclass
+class CommitMsg:
+    view: int
+    gseq: int
+    digest: bytes
+    replica: str
+
+    def wire_size(self) -> int:
+        return 56
+
+
+@dataclass
+class NewLeaderMsg:
+    """Vote to install ``new_view``, carrying the sender's prepared (but
+    possibly uncommitted) proposals for carry-over safety."""
+
+    new_view: int
+    replica: str
+    last_executed: int
+    prepared: Dict[int, Tuple[int, Any]]   # gseq -> (view, PrePrepare)
+
+    def wire_size(self) -> int:
+        return 24 + 64 * len(self.prepared)
+
+
+@dataclass
+class ReconcRequest:
+    """Ask peers for committed proposals the sender missed."""
+
+    replica: str
+    from_gseq: int
+    to_gseq: int
+
+    def wire_size(self) -> int:
+        return 24
+
+
+@dataclass
+class ReconcResponse:
+    replica: str
+    batches: List[Any]                    # list of PrePrepare
+
+    def wire_size(self) -> int:
+        return 8 + sum(b.wire_size() for b in self.batches)
+
+
+@dataclass
+class UpdateRequest:
+    """Ask peers for preordered update content the sender is missing."""
+
+    replica: str
+    slots: List[Tuple[str, int]]          # (originator, po-seq)
+
+    def wire_size(self) -> int:
+        return 8 + 16 * len(self.slots)
+
+
+@dataclass
+class UpdateResponse:
+    replica: str
+    items: List[Tuple[str, int, ClientUpdate]]
+
+    def wire_size(self) -> int:
+        return 8 + sum(u.wire_size() + 16 for (_, _, u) in self.items)
+
+
+@dataclass
+class AruExchange:
+    """Periodic 'how far have you executed' gossip for reconciliation,
+    also carrying the sender's view (view-evidence healing)."""
+
+    replica: str
+    last_executed: int
+    view: int = 0
+
+    def wire_size(self) -> int:
+        return 20
+
+
+@dataclass
+class StateRequest:
+    """A recovering replica asking for replication + application state."""
+
+    replica: str
+    nonce: int
+
+    def wire_size(self) -> int:
+        return 16
+
+
+@dataclass
+class StateResponse:
+    replica: str
+    nonce: int
+    last_executed: int
+    view: int
+    exec_aru: Dict[str, int]             # executed-through vector
+    executed_keys_digest: bytes
+    app_state: Any
+    app_digest: bytes
+
+    def wire_size(self) -> int:
+        return 120 + len(repr(self.app_state))
+
+
+@dataclass
+class Reply:
+    """Replica's answer to a client update (client waits for f+1
+    matching)."""
+
+    replica: str
+    client_id: str
+    client_seq: int
+    result: Any
+
+    def wire_size(self) -> int:
+        return 48 + len(repr(self.result))
+
+
+@dataclass
+class SignedPrimeMessage:
+    """Envelope for replica-to-replica traffic: body + replica signature.
+
+    The signature covers the canonical serialization of the body, so any
+    in-flight modification (even by a keyed-but-compromised overlay
+    daemon) is detected by the receiving replica.
+    """
+
+    sender: str
+    body: Any
+    signature: Optional[Signature] = None
+
+    def signed_view(self) -> dict:
+        from repro.crypto.serialize import UnserializableError, canonical_bytes
+        try:
+            body_bytes = canonical_bytes(self.body)
+        except UnserializableError:
+            body_bytes = repr(self.body).encode()
+        return {"sender": self.sender, "body_type": type(self.body).__name__,
+                "body": body_bytes}
+
+    def wire_size(self) -> int:
+        inner = getattr(self.body, "wire_size", lambda: 64)()
+        return 40 + inner

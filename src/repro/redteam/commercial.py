@@ -1,0 +1,253 @@
+"""Commercial SCADA system baseline.
+
+Models the commercial system from the red-team experiment: configured
+according to NIST-recommended best practices — perimeter firewall,
+primary-backup SCADA masters — but with the architectural weaknesses
+the experiment exposed:
+
+* the PLC sits **directly on the operations network**, speaking
+  unauthenticated Modbus to whoever connects;
+* SCADA-master ↔ HMI traffic is **unauthenticated UDP**, so an on-path
+  attacker can forge updates to the HMI or suppress real ones;
+* the operations LAN uses dynamic ARP and a learning switch, enabling
+  man-in-the-middle;
+* the server appliance exposes a web admin console with default
+  credentials (the enterprise→operations pivot).
+
+Failover: the backup master monitors the primary's heartbeat and takes
+over polling and HMI feeding when it stops — standard availability
+engineering, no integrity protection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.net.host import Host, TcpConnection
+from repro.plc.device import PlcDevice
+from repro.plc.modbus import (
+    ModbusResponse, read_coils, read_input_registers, write_coil,
+)
+from repro.sim.process import Process
+
+STATE_PUSH_PORT = 5000      # server -> HMI (UDP, unauthenticated)
+COMMAND_PORT = 5001         # HMI -> server (UDP, unauthenticated)
+HEARTBEAT_PORT = 5002       # primary -> backup
+HISTORIAN_FEED_PORT = 5003  # server -> enterprise historian
+
+
+@dataclass
+class StatePush:
+    """Unauthenticated state update pushed to the HMI."""
+
+    seq: int
+    server: str
+    breakers: Dict[str, bool]
+    source_note: str = "legit"   # attackers stamp their forgeries
+
+    def wire_size(self) -> int:
+        return 24 + 8 * len(self.breakers)
+
+
+@dataclass
+class OperatorCommand:
+    breaker: str
+    close: bool
+
+    def wire_size(self) -> int:
+        return 24
+
+
+@dataclass
+class Heartbeat:
+    server: str
+    seq: int
+
+    def wire_size(self) -> int:
+        return 12
+
+
+class CommercialScadaServer(Process):
+    """One commercial SCADA master (primary or backup).
+
+    Args:
+        sim: simulation kernel.
+        name: server name.
+        host: server host on the operations LAN.
+        plc_ip: address of the PLC on the same LAN.
+        hmi_ip: address of the HMI to push state to.
+        primary: start active (True) or as warm standby (False).
+        poll_interval: PLC scan cadence (commercial systems scan slowly;
+            the default models a typical 1 s scan class).
+        push_interval: HMI refresh cadence.
+    """
+
+    def __init__(self, sim, name: str, host: Host, plc_ip: str,
+                 hmi_ip: Optional[str], primary: bool = True,
+                 poll_interval: float = 1.0, push_interval: float = 1.0,
+                 peer_ip: Optional[str] = None):
+        super().__init__(sim, name)
+        self.host = host
+        self.plc_ip = plc_ip
+        self.hmi_ip = hmi_ip
+        self.active = primary
+        self.poll_interval = poll_interval
+        self.push_interval = push_interval
+        self.peer_ip = peer_ip
+        self.breakers: Dict[str, bool] = {}
+        self._conn: Optional[TcpConnection] = None
+        self._tid = 0
+        self._pending: Dict[int, str] = {}
+        self._push_seq = 0
+        self._hb_seq = 0
+        self._last_peer_heartbeat = 0.0
+        self.failovers = 0
+        self._coil_names: List[str] = []
+        host.udp_bind(COMMAND_PORT, self._command_in)
+        host.udp_bind(HEARTBEAT_PORT, self._heartbeat_in)
+        host.udp_bind(HISTORIAN_FEED_PORT, self._historian_pull_in)
+        host.register_app(f"commercial:{name}", self)
+        self.call_every(poll_interval, self._poll)
+        self.call_every(push_interval, self._push_state)
+        self.call_every(0.5, self._heartbeat_tick)
+
+    # ------------------------------------------------------------------
+    # Polling the PLC over the shared operations LAN
+    # ------------------------------------------------------------------
+    def set_coil_names(self, names: List[str]) -> None:
+        self._coil_names = list(names)
+
+    def _poll(self) -> None:
+        if not self.active or not self._coil_names:
+            return
+        if self._conn is None or self._conn.closed:
+            self._connect()
+            return
+        self._tid += 1
+        self._pending[self._tid] = "coils"
+        self._conn.send(read_coils(self._tid, 0, len(self._coil_names)))
+
+    def _connect(self) -> None:
+        def established(conn):
+            self._conn = conn
+            self._poll()
+
+        self.host.tcp_connect(self.plc_ip, 502, established,
+                              on_data=self._modbus_in,
+                              on_failure=lambda reason: None)
+
+    def _modbus_in(self, conn: TcpConnection, payload: Any) -> None:
+        if not self.running or not isinstance(payload, ModbusResponse):
+            return
+        kind = self._pending.pop(payload.transaction_id, None)
+        if kind != "coils" or not payload.ok:
+            return
+        self.breakers = {name: bool(v) for name, v in
+                         zip(self._coil_names, payload.values)}
+
+    # ------------------------------------------------------------------
+    # HMI feed (unauthenticated UDP)
+    # ------------------------------------------------------------------
+    def _push_state(self) -> None:
+        if not self.active or self.hmi_ip is None or not self.breakers:
+            return
+        self._push_seq += 1
+        push = StatePush(seq=self._push_seq, server=self.name,
+                         breakers=dict(self.breakers))
+        self.host.udp_send(self.hmi_ip, STATE_PUSH_PORT, push,
+                           src_port=STATE_PUSH_PORT)
+
+    # ------------------------------------------------------------------
+    # Operator commands (unauthenticated UDP)
+    # ------------------------------------------------------------------
+    def _command_in(self, src_ip: str, src_port: int, payload: Any) -> None:
+        if not self.running or not self.active:
+            return
+        if not isinstance(payload, OperatorCommand):
+            return
+        if self._conn is None or self._conn.closed:
+            self._connect()
+            return
+        try:
+            address = self._coil_names.index(payload.breaker)
+        except ValueError:
+            return
+        self._tid += 1
+        self._pending[self._tid] = "write"
+        self._conn.send(write_coil(self._tid, address, payload.close))
+
+    def _historian_pull_in(self, src_ip: str, src_port: int,
+                           payload: Any) -> None:
+        """Answer the enterprise historian's periodic data pull."""
+        if not self.running or not self.active:
+            return
+        self.host.udp_send(src_ip, src_port,
+                           {"server": self.name,
+                            "breakers": dict(self.breakers)},
+                           src_port=HISTORIAN_FEED_PORT)
+
+    # ------------------------------------------------------------------
+    # Primary-backup failover
+    # ------------------------------------------------------------------
+    def _heartbeat_tick(self) -> None:
+        if self.active and self.peer_ip is not None:
+            self._hb_seq += 1
+            self.host.udp_send(self.peer_ip, HEARTBEAT_PORT,
+                               Heartbeat(server=self.name, seq=self._hb_seq),
+                               src_port=HEARTBEAT_PORT)
+        elif not self.active:
+            if (self._last_peer_heartbeat > 0
+                    and self.now - self._last_peer_heartbeat > 2.0):
+                self.active = True
+                self.failovers += 1
+                self.log("commercial.failover", "backup took over")
+
+    def _heartbeat_in(self, src_ip: str, src_port: int, payload: Any) -> None:
+        if isinstance(payload, Heartbeat):
+            self._last_peer_heartbeat = self.now
+
+    def crash(self) -> None:
+        self.log("commercial.crash", "server crashed")
+        self.shutdown()
+
+
+class CommercialHmi(Process):
+    """The commercial HMI: displays whatever the last state push said.
+
+    No authentication, no voting — the display is exactly as
+    trustworthy as the network path to it.
+    """
+
+    def __init__(self, sim, name: str, host: Host, server_ip: str):
+        super().__init__(sim, name)
+        self.host = host
+        self.server_ip = server_ip
+        self.view: Dict[str, bool] = {}
+        self.last_push_seq = 0
+        self.last_push_time = 0.0
+        self.pushes_received = 0
+        self.forged_pushes_displayed = 0
+        host.udp_bind(STATE_PUSH_PORT, self._push_in)
+        host.register_app(f"hmi:{name}", self)
+
+    def _push_in(self, src_ip: str, src_port: int, payload: Any) -> None:
+        if not self.running or not isinstance(payload, StatePush):
+            return
+        self.pushes_received += 1
+        self.view = dict(payload.breakers)
+        self.last_push_seq = payload.seq
+        self.last_push_time = self.now
+        if payload.source_note != "legit":
+            self.forged_pushes_displayed += 1
+
+    def breaker_state(self, breaker: str) -> Optional[bool]:
+        return self.view.get(breaker)
+
+    def command_breaker(self, breaker: str, close: bool) -> None:
+        self.host.udp_send(self.server_ip, COMMAND_PORT,
+                           OperatorCommand(breaker=breaker, close=close),
+                           src_port=COMMAND_PORT + 10)
+
+    def seconds_since_update(self) -> float:
+        return self.now - self.last_push_time

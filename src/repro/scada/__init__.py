@@ -1,0 +1,26 @@
+"""SCADA application layer: the replicated master, PLC proxies, HMIs,
+and the historian."""
+
+from repro.scada.events import (
+    CommandDirective, HmiFeed, breaker_command_op, plc_status_op,
+    register_hmi_op, register_proxy_op,
+)
+from repro.scada.master import ScadaMaster
+from repro.scada.proxy import PlcProxy, wire_direct
+from repro.scada.hmi import Hmi
+from repro.scada.history import Historian, HistoryRecord
+
+__all__ = [
+    "CommandDirective", "HmiFeed", "breaker_command_op", "plc_status_op",
+    "register_hmi_op", "register_proxy_op",
+    "ScadaMaster", "PlcProxy", "wire_direct", "Hmi", "Historian",
+    "HistoryRecord",
+]
+
+from repro.scada.dnp3_proxy import Dnp3PlcProxy
+
+__all__ += ["Dnp3PlcProxy"]
+
+from repro.scada.visualization import HmiScreen, render_hmi
+
+__all__ += ["HmiScreen", "render_hmi"]

@@ -1,0 +1,192 @@
+"""DNP3 variant of the PLC/RTU proxy.
+
+Same trust architecture as :class:`~repro.scada.proxy.PlcProxy` — the
+insecure field protocol stays on a direct cable, the proxy speaks the
+authenticated Spines protocol upstream, and breaker commands need f+1
+agreeing masters — but the field side speaks DNP3: class-0 polls for
+integrity, **unsolicited responses** for change detection (so status
+updates reach the masters without waiting for the next poll), and
+select-before-operate CROBs for commands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.net.host import Host, TcpConnection
+from repro.plc.dnp3 import (
+    Crob, CROB_LATCH_OFF, CROB_LATCH_ON, Dnp3Outstation, Dnp3Request,
+    Dnp3Response, FC_DIRECT_OPERATE, FC_READ, FC_UNSOLICITED,
+)
+from repro.prime.client import PrimeClient
+from repro.prime.config import PrimeConfig
+from repro.scada.events import (
+    CommandDirective, plc_status_op, register_proxy_op,
+)
+from repro.sim.process import Process
+from repro.spines.daemon import SpinesDaemon
+from repro.spines.messages import OverlayAddress
+
+
+@dataclass
+class _OutstationLine:
+    outstation: Dnp3Outstation
+    ip: str
+    conn: Optional[TcpConnection] = None
+    seq: int = 0
+    last_breakers: Dict[str, bool] = field(default_factory=dict)
+    last_currents: Dict[str, int] = field(default_factory=dict)
+    last_submitted: Optional[Dict[str, bool]] = None
+    last_submit_time: float = -1e9
+
+
+class Dnp3PlcProxy(Process):
+    """Proxy for DNP3 outstations.
+
+    Args mirror :class:`~repro.scada.proxy.PlcProxy`; ``poll_interval``
+    drives the integrity poll (change data arrives unsolicited).
+    """
+
+    CLIENT_PORT_BASE = 7550
+    DIRECTIVE_PORT_BASE = 7650
+    _port_counter = 0
+
+    def __init__(self, sim, name: str, host: Host, daemon: SpinesDaemon,
+                 config: PrimeConfig, poll_interval: float = 1.0,
+                 heartbeat_interval: float = 2.0):
+        super().__init__(sim, name)
+        self.host = host
+        self.daemon = daemon
+        self.config = config
+        self.poll_interval = poll_interval
+        self.heartbeat_interval = heartbeat_interval
+        index = Dnp3PlcProxy._port_counter
+        Dnp3PlcProxy._port_counter += 1
+        self.client = PrimeClient(sim, name, config, daemon,
+                                  Dnp3PlcProxy.CLIENT_PORT_BASE + index)
+        self.directive_port = Dnp3PlcProxy.DIRECTIVE_PORT_BASE + index
+        self.directive_session = daemon.create_session(
+            self.directive_port, self._directive_in)
+        self.lines: Dict[str, _OutstationLine] = {}
+        self._command_claims: Dict[Tuple[str, int], Dict[str, Set[str]]] = {}
+        self._commands_done: Set[Tuple[str, int]] = set()
+        self.commands_applied = 0
+        self.unsolicited_received = 0
+        host.register_app(f"dnp3proxy:{name}", self)
+        self.call_every(poll_interval, self._poll_all)
+
+    # ------------------------------------------------------------------
+    def attach_outstation(self, outstation: Dnp3Outstation, ip: str) -> None:
+        self.lines[outstation.name] = _OutstationLine(outstation=outstation,
+                                                      ip=ip)
+
+    def register_with_masters(self) -> None:
+        self.client.submit(register_proxy_op(
+            list(self.lines), (self.daemon.name, self.directive_port)))
+
+    @property
+    def directive_addr(self) -> OverlayAddress:
+        return (self.daemon.name, self.directive_port)
+
+    # ------------------------------------------------------------------
+    # DNP3 session management
+    # ------------------------------------------------------------------
+    def _poll_all(self) -> None:
+        for line in self.lines.values():
+            self._poll(line)
+
+    def _poll(self, line: _OutstationLine) -> None:
+        if line.conn is None or line.conn.closed:
+            self._connect(line)
+            return
+        line.seq += 1
+        line.conn.send(Dnp3Request(seq=line.seq, function=FC_READ))
+
+    def _connect(self, line: _OutstationLine) -> None:
+        def established(conn):
+            line.conn = conn
+            self._poll(line)
+
+        self.host.tcp_connect(
+            line.ip, line.outstation.port, established,
+            on_data=lambda c, p: self._response_in(line, p),
+            on_failure=lambda reason: None)
+
+    def _response_in(self, line: _OutstationLine, payload: Any) -> None:
+        if not self.running or not isinstance(payload, Dnp3Response):
+            return
+        if payload.function == FC_UNSOLICITED:
+            self.unsolicited_received += 1
+        if payload.function in (FC_READ, FC_UNSOLICITED):
+            names = [line.outstation.point_map[p]
+                     for p in sorted(line.outstation.point_map)]
+            if payload.binary_inputs:
+                line.last_breakers = {
+                    names[p]: state
+                    for p, state in sorted(payload.binary_inputs.items())}
+            if payload.analog_inputs:
+                line.last_currents = {
+                    names[p]: value
+                    for p, value in sorted(payload.analog_inputs.items())}
+            self._submit_status(line)
+        elif payload.function == FC_DIRECT_OPERATE and payload.ok:
+            self.commands_applied += 1
+            self._poll(line)
+
+    def _submit_status(self, line: _OutstationLine) -> None:
+        if not line.last_breakers:
+            return
+        changed = line.last_submitted != line.last_breakers
+        heartbeat_due = (self.now - line.last_submit_time
+                         >= self.heartbeat_interval)
+        if not changed and not heartbeat_due:
+            return
+        line.last_submitted = dict(line.last_breakers)
+        line.last_submit_time = self.now
+        self.client.submit(plc_status_op(
+            line.outstation.name, line.last_breakers, line.last_currents))
+
+    # ------------------------------------------------------------------
+    # Directives (f+1 agreement, then CROB)
+    # ------------------------------------------------------------------
+    def _directive_in(self, src: OverlayAddress, payload: Any) -> None:
+        if not self.running or not isinstance(payload, CommandDirective):
+            return
+        command_id = tuple(payload.command_id)
+        if command_id in self._commands_done:
+            return
+        if payload.replica not in self.config.replica_names:
+            return
+        claims = self._command_claims.setdefault(command_id, {})
+        voters = claims.setdefault(payload.matching_key(), set())
+        voters.add(payload.replica)
+        if len(voters) < self.config.vouch:
+            return
+        self._commands_done.add(command_id)
+        self._command_claims.pop(command_id, None)
+        self._apply_command(payload)
+
+    def _apply_command(self, directive: CommandDirective) -> None:
+        line = self.lines.get(directive.plc)
+        if line is None:
+            return
+        if line.conn is None or line.conn.closed:
+            self._connect(line)
+            self.call_later(0.05, self._apply_command, directive)
+            return
+        point = None
+        for p, breaker in line.outstation.point_map.items():
+            if breaker == directive.breaker:
+                point = p
+                break
+        if point is None:
+            return
+        operation = CROB_LATCH_ON if directive.close else CROB_LATCH_OFF
+        line.seq += 1
+        line.conn.send(Dnp3Request(seq=line.seq, function=FC_DIRECT_OPERATE,
+                                   crob=Crob(point=point,
+                                             operation=operation)))
+        self.log("dnp3proxy.actuate",
+                 f"CROB {directive.breaker} {operation}",
+                 breaker=directive.breaker)

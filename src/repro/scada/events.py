@@ -1,0 +1,105 @@
+"""SCADA update vocabulary and master→client push messages.
+
+Client updates (ordered through Prime) are plain dicts with a ``type``
+field so they stay canonically serializable:
+
+* ``plc_status`` — a proxy's poll result: full breaker/current snapshot
+  of one PLC (sent every poll; the full snapshot is what makes
+  ground-truth rebuild after an assumption breach automatic).
+* ``breaker_command`` — a supervisory command from an HMI operator.
+* ``register_proxy`` / ``register_hmi`` — clients announcing the
+  overlay addresses masters should push to (kept in replicated state so
+  every replica pushes identically).
+
+Master → client pushes (NOT ordered; consistency comes from the
+receiver requiring f+1 replicas to send byte-identical content):
+
+* :class:`CommandDirective` — masters instructing a proxy to operate a
+  breaker.
+* :class:`HmiFeed` — masters pushing the current system view to HMIs
+  and historians.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+def plc_status_op(plc: str, breakers: Dict[str, bool],
+                  currents: Dict[str, int]) -> dict:
+    return {"type": "plc_status", "plc": plc,
+            "breakers": dict(sorted(breakers.items())),
+            "currents": dict(sorted(currents.items()))}
+
+
+def breaker_command_op(plc: str, breaker: str, close: bool) -> dict:
+    return {"type": "breaker_command", "plc": plc, "breaker": breaker,
+            "close": close}
+
+
+def register_proxy_op(plc_names: List[str],
+                      directive_addr: Tuple[str, int]) -> dict:
+    return {"type": "register_proxy", "plcs": sorted(plc_names),
+            "directive_addr": list(directive_addr)}
+
+
+def register_hmi_op(feed_addr: Tuple[str, int]) -> dict:
+    return {"type": "register_hmi", "feed_addr": list(feed_addr)}
+
+
+@dataclass
+class CommandDirective:
+    """Masters → proxy: operate a breaker.
+
+    The proxy acts only once f+1 replicas agree — either by counting
+    matching directives from distinct replicas (default), or, when the
+    deployment uses threshold crypto, by combining the attached partial
+    signatures into one verifiable k-of-n signature.
+    """
+
+    command_id: Tuple[str, int]        # (client_id, client_seq) of the op
+    plc: str
+    breaker: str
+    close: bool
+    replica: str
+    partial: Any = None                # Optional[PartialSignature]
+
+    def matching_key(self) -> str:
+        return repr((tuple(self.command_id), self.plc, self.breaker, self.close))
+
+    def signed_view(self) -> dict:
+        return {"command_id": list(self.command_id), "plc": self.plc,
+                "breaker": self.breaker, "close": self.close}
+
+    def wire_size(self) -> int:
+        return 64 + (32 if self.partial is not None else 0)
+
+
+@dataclass
+class HmiFeed:
+    """Masters → HMI/historian: current system view.
+
+    ``version`` increases with every executed update; ``reset_epoch``
+    distinguishes state rebuilt after a coordinated system reset.
+    Receivers display a version once f+1 replicas push identical
+    content for it.
+    """
+
+    version: int
+    reset_epoch: int
+    replica: str
+    plcs: Dict[str, Dict[str, bool]]          # plc -> breaker -> closed
+    currents: Dict[str, Dict[str, int]]
+    alarms: List[str] = field(default_factory=list)
+
+    def matching_key(self) -> str:
+        return repr((self.version, self.reset_epoch,
+                     sorted((p, tuple(sorted(b.items())))
+                            for p, b in self.plcs.items()),
+                     sorted((p, tuple(sorted(c.items())))
+                            for p, c in self.currents.items()),
+                     tuple(self.alarms)))
+
+    def wire_size(self) -> int:
+        return 48 + 16 * sum(len(b) for b in self.plcs.values())

@@ -1,0 +1,105 @@
+"""SCADA historian.
+
+Stores the time series of system states — the PI-server role from the
+red-team experiment's enterprise network.  The historian consumes the
+same f+1-matched master feed as an HMI, but unlike the masters' *active*
+state, its archive is genuinely historical: after an assumption breach
+that wipes it, the data cannot be rebuilt from the field devices
+(Section III-A: "SCADA historians ... cannot recover historical state
+automatically after an assumption breach").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.net.host import Host
+from repro.prime.config import PrimeConfig
+from repro.scada.events import HmiFeed
+from repro.sim.process import Process
+from repro.spines.daemon import SpinesDaemon
+from repro.spines.messages import OverlayAddress
+
+
+@dataclass(frozen=True)
+class HistoryRecord:
+    time: float
+    version: int
+    reset_epoch: int
+    plcs: Tuple[Tuple[str, Tuple[Tuple[str, bool], ...]], ...]
+
+
+class Historian(Process):
+    """Archives confirmed system states.
+
+    Args:
+        sim: simulation kernel.
+        name: historian name.
+        host: host machine (enterprise network in the deployments).
+        daemon: Spines daemon used to receive the master feed.
+        config: Prime configuration (f+1 confirmation).
+        feed_port: overlay port for the feed session.
+    """
+
+    FEED_PORT = 7900
+
+    def __init__(self, sim, name: str, host: Host, daemon: SpinesDaemon,
+                 config: PrimeConfig, feed_port: int = FEED_PORT):
+        super().__init__(sim, name)
+        self.host = host
+        self.daemon = daemon
+        self.config = config
+        self.feed_port = feed_port
+        self.session = daemon.create_session(feed_port, self._feed_in)
+        self.records: List[HistoryRecord] = []
+        self._confirmed: Set[Tuple[int, int]] = set()
+        self._claims: Dict[Tuple[int, int], Dict[str, Set[str]]] = {}
+        host.register_app(f"historian:{name}", self)
+
+    @property
+    def feed_addr(self) -> OverlayAddress:
+        return (self.daemon.name, self.feed_port)
+
+    def _feed_in(self, src: OverlayAddress, payload: Any) -> None:
+        if not self.running or not isinstance(payload, HmiFeed):
+            return
+        if payload.replica not in self.config.replica_names:
+            return
+        stamp = (payload.reset_epoch, payload.version)
+        if stamp in self._confirmed:
+            return
+        claims = self._claims.setdefault(stamp, {})
+        voters = claims.setdefault(payload.matching_key(), set())
+        voters.add(payload.replica)
+        if len(voters) < self.config.vouch:
+            return
+        self._confirmed.add(stamp)
+        self._claims.pop(stamp, None)
+        self.records.append(HistoryRecord(
+            time=self.now, version=payload.version,
+            reset_epoch=payload.reset_epoch,
+            plcs=tuple(sorted((p, tuple(sorted(b.items())))
+                              for p, b in payload.plcs.items()))))
+
+    # ------------------------------------------------------------------
+    def breaker_series(self, plc: str, breaker: str) -> List[Tuple[float, bool]]:
+        """Time series of one breaker's recorded positions."""
+        series = []
+        for record in self.records:
+            for plc_name, breakers in record.plcs:
+                if plc_name == plc:
+                    for name, closed in breakers:
+                        if name == breaker:
+                            series.append((record.time, closed))
+        return series
+
+    def wipe(self) -> int:
+        """Destroy the archive (assumption breach).  Returns how many
+        records were irrecoverably lost — there is no ground-truth
+        source for history, unlike the masters' active state."""
+        lost = len(self.records)
+        self.records.clear()
+        self._confirmed.clear()
+        self._claims.clear()
+        return lost

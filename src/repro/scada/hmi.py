@@ -1,0 +1,123 @@
+"""Human-Machine Interface.
+
+Displays the replicated masters' view of the power system and lets the
+operator issue supervisory commands.  Consistency rule: a feed version
+is displayed only after ``f + 1`` replicas push byte-identical content
+for it, so a single compromised master can neither fake nor suppress
+what the operator sees.
+
+The ``indicator`` API models the measurement aid from the plant
+deployment: "a large box that changed from black to white based on the
+breaker state so that the sensor could easily detect the HMI update".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.net.host import Host
+from repro.prime.client import PrimeClient
+from repro.prime.config import PrimeConfig
+from repro.scada.events import HmiFeed, breaker_command_op, register_hmi_op
+from repro.sim.process import Process
+from repro.spines.daemon import SpinesDaemon
+from repro.spines.messages import OverlayAddress
+
+
+class Hmi(Process):
+    """An operator console on the external Spines network.
+
+    Args:
+        sim: simulation kernel.
+        name: HMI name; also its Prime client principal.
+        host: HMI host.
+        daemon: external-overlay daemon on the HMI host.
+        config: Prime configuration (f+1 display rule).
+    """
+
+    CLIENT_PORT_BASE = 7700
+    FEED_PORT_BASE = 7800
+    _port_counter = 0
+
+    def __init__(self, sim, name: str, host: Host, daemon: SpinesDaemon,
+                 config: PrimeConfig):
+        super().__init__(sim, name)
+        self.host = host
+        self.daemon = daemon
+        self.config = config
+        index = Hmi._port_counter
+        Hmi._port_counter += 1
+        self.client = PrimeClient(sim, name, config, daemon,
+                                  Hmi.CLIENT_PORT_BASE + index)
+        self.feed_port = Hmi.FEED_PORT_BASE + index
+        self.feed_session = daemon.create_session(self.feed_port, self._feed_in)
+        # (reset_epoch, version) currently displayed.
+        self.displayed: Tuple[int, int] = (-1, -1)
+        self.view: Dict[str, Dict[str, bool]] = {}
+        self.currents: Dict[str, Dict[str, int]] = {}
+        self.alarms: List[str] = []
+        # claims[(epoch, version)][matching_key] -> set of replicas
+        self._claims: Dict[Tuple[int, int], Dict[str, Set[str]]] = {}
+        self._display_log: List[Tuple[float, Tuple[int, int]]] = []
+        self.on_display: Optional[Callable[["Hmi"], None]] = None
+        self.commands_sent = 0
+        host.register_app(f"hmi:{name}", self)
+
+    # ------------------------------------------------------------------
+    def subscribe(self) -> None:
+        """Register with the masters for feed pushes (ordered update)."""
+        self.client.submit(register_hmi_op((self.daemon.name, self.feed_port)))
+
+    def command_breaker(self, plc: str, breaker: str, close: bool) -> int:
+        """Operator action: open/close a breaker."""
+        self.commands_sent += 1
+        return self.client.submit(breaker_command_op(plc, breaker, close))
+
+    # ------------------------------------------------------------------
+    def _feed_in(self, src: OverlayAddress, payload: Any) -> None:
+        if not self.running or not isinstance(payload, HmiFeed):
+            return
+        if payload.replica not in self.config.replica_names:
+            return
+        stamp = (payload.reset_epoch, payload.version)
+        if stamp <= self.displayed:
+            return
+        claims = self._claims.setdefault(stamp, {})
+        voters = claims.setdefault(payload.matching_key(), set())
+        voters.add(payload.replica)
+        if len(voters) < self.config.vouch:
+            return
+        self._display(stamp, payload)
+
+    def _display(self, stamp: Tuple[int, int], feed: HmiFeed) -> None:
+        self.displayed = stamp
+        self.view = {p: dict(b) for p, b in feed.plcs.items()}
+        self.currents = {p: dict(c) for p, c in feed.currents.items()}
+        self.alarms = list(feed.alarms)
+        self._display_log.append((self.now, stamp))
+        self._claims = {s: c for s, c in self._claims.items() if s > stamp}
+        if self.on_display is not None:
+            self.on_display(self)
+
+    # ------------------------------------------------------------------
+    # Display queries
+    # ------------------------------------------------------------------
+    def breaker_state(self, plc: str, breaker: str) -> Optional[bool]:
+        return self.view.get(plc, {}).get(breaker)
+
+    def indicator(self, plc: str, breaker: str) -> str:
+        """The black/white measurement box from the plant test."""
+        state = self.breaker_state(plc, breaker)
+        if state is None:
+            return "unknown"
+        return "white" if state else "black"
+
+    def energized_summary(self) -> Dict[str, int]:
+        """Closed-breaker count per PLC (the HMI's topology overview)."""
+        return {plc: sum(1 for closed in breakers.values() if closed)
+                for plc, breakers in self.view.items()}
+
+    @property
+    def display_updates(self) -> int:
+        return len(self._display_log)

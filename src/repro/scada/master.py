@@ -1,0 +1,199 @@
+"""The replicated SCADA master application.
+
+This is the ``PrimeApp`` that Spire replicates.  It owns the
+application-level state (the master's view of every PLC), interprets
+ordered updates, pushes directives to proxies and feeds to HMIs, and
+implements the application side of the paper's Section III-A design:
+
+* The replication layer *signals* state transfer; the master's
+  ``snapshot``/``restore`` carry the application state.
+* The master's view of active system state is rebuilt automatically
+  from field devices: proxies push full PLC snapshots every poll, so a
+  master starting from nothing converges to ground truth within one
+  poll cycle — the recovery a generic BFT database cannot perform.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.prime.messages import ClientUpdate
+from repro.scada.events import CommandDirective, HmiFeed
+from repro.spines.messages import IT_FLOOD
+
+
+class ScadaMaster:
+    """SCADA master replica application state machine.
+
+    Args:
+        name: replica name (for logs and push attribution).
+        historian_hook: optional callable receiving every executed
+            status update (the local historian feed).
+    """
+
+    def __init__(self, name: str, historian_hook=None):
+        self.name = name
+        self.replica = None                   # bound after replica creation
+        self.historian_hook = historian_hook
+        # ---- replicated state (must be identical across replicas) ----
+        self.plc_state: Dict[str, Dict[str, bool]] = {}
+        self.plc_currents: Dict[str, Dict[str, int]] = {}
+        self.proxies: Dict[str, Tuple[str, int]] = {}   # plc -> directive addr
+        self.hmis: List[Tuple[str, int]] = []
+        self.version = 0
+        self.reset_epoch = 0
+        self.alarms: List[str] = []
+        # Stale-PLC detection: if a PLC contributes no status while many
+        # other updates execute, its proxy/link/device is in trouble.
+        # Counted in executed updates (not wall time) so all replicas
+        # raise the alarm deterministically at the same version.
+        self.stale_after_updates = 60
+        self.last_status_version: Dict[str, int] = {}
+        # ---- local (non-replicated) bookkeeping ----
+        self.commands_issued = 0
+        self.statuses_applied = 0
+        self.transfer_signals: List[str] = []
+        # Optional k-of-n share for threshold-signed directives.
+        self.threshold_share = None
+
+    def bind(self, replica) -> None:
+        """Attach the Prime replica once it exists (two-phase init)."""
+        self.replica = replica
+
+    # ------------------------------------------------------------------
+    # PrimeApp interface
+    # ------------------------------------------------------------------
+    def execute_update(self, update: ClientUpdate) -> Any:
+        op = update.op
+        if not isinstance(op, dict) or "type" not in op:
+            return {"status": "bad-op"}
+        self.version += 1
+        self._check_stale_plcs()
+        op_type = op["type"]
+        if op_type == "plc_status":
+            return self._apply_status(op)
+        if op_type == "breaker_command":
+            return self._apply_command(update, op)
+        if op_type == "register_proxy":
+            for plc in op["plcs"]:
+                self.proxies[plc] = tuple(op["directive_addr"])
+            return {"status": "registered"}
+        if op_type == "register_hmi":
+            addr = tuple(op["feed_addr"])
+            if addr not in self.hmis:
+                self.hmis.append(addr)
+            self._push_feed()   # give the new HMI an immediate view
+            return {"status": "registered"}
+        return {"status": "unknown-op"}
+
+    def _check_stale_plcs(self) -> None:
+        for plc, last in self.last_status_version.items():
+            alarm = f"stale-plc:{plc}"
+            if (self.version - last > self.stale_after_updates
+                    and alarm not in self.alarms):
+                self.alarms.append(alarm)
+                self._push_feed()
+
+    def _apply_status(self, op: dict) -> dict:
+        plc = op["plc"]
+        previous = self.plc_state.get(plc)
+        self.plc_state[plc] = dict(op["breakers"])
+        self.plc_currents[plc] = dict(op["currents"])
+        self.last_status_version[plc] = self.version
+        alarm = f"stale-plc:{plc}"
+        if alarm in self.alarms:
+            self.alarms.remove(alarm)    # the PLC came back
+            self._push_feed()
+        self.statuses_applied += 1
+        if self.historian_hook is not None:
+            self.historian_hook(plc, dict(op["breakers"]), self.version)
+        if previous != self.plc_state[plc] or previous is None:
+            self._push_feed()
+        return {"status": "ok", "plc": plc}
+
+    def _apply_command(self, update: ClientUpdate, op: dict) -> dict:
+        plc, breaker, close = op["plc"], op["breaker"], op["close"]
+        known = self.plc_state.get(plc)
+        if known is not None and breaker not in known:
+            return {"status": "unknown-breaker"}
+        directive_addr = self.proxies.get(plc)
+        if directive_addr is None:
+            self.alarms.append(f"no-proxy:{plc}")
+            return {"status": "no-proxy", "plc": plc}
+        self.commands_issued += 1
+        directive = CommandDirective(
+            command_id=update.key(), plc=plc, breaker=breaker, close=close,
+            replica=self.name)
+        if self.threshold_share is not None:
+            directive.partial = self.threshold_share.sign_partial(
+                directive.signed_view())
+        self._push(directive_addr, directive)
+        return {"status": "commanded", "plc": plc, "breaker": breaker,
+                "close": close}
+
+    def snapshot(self) -> Any:
+        return {
+            "plc_state": {p: dict(b) for p, b in self.plc_state.items()},
+            "plc_currents": {p: dict(c) for p, c in self.plc_currents.items()},
+            "proxies": {p: list(a) for p, a in self.proxies.items()},
+            "hmis": [list(a) for a in self.hmis],
+            "version": self.version,
+            "reset_epoch": self.reset_epoch,
+            "alarms": list(self.alarms),
+            "last_status_version": dict(self.last_status_version),
+        }
+
+    def restore(self, state: Any) -> None:
+        self.plc_state = {p: dict(b) for p, b in state["plc_state"].items()}
+        self.plc_currents = {p: dict(c)
+                             for p, c in state["plc_currents"].items()}
+        self.proxies = {p: tuple(a) for p, a in state["proxies"].items()}
+        self.hmis = [tuple(a) for a in state["hmis"]]
+        self.version = state["version"]
+        self.reset_epoch = state["reset_epoch"]
+        self.alarms = list(state["alarms"])
+        self.last_status_version = dict(state.get("last_status_version", {}))
+
+    def on_state_transfer(self, outcome: str) -> None:
+        self.transfer_signals.append(outcome)
+
+    # ------------------------------------------------------------------
+    # Assumption-breach reset (Section III-A)
+    # ------------------------------------------------------------------
+    def cold_reset(self, reset_epoch: int) -> None:
+        """Wipe the master's view; proxies' full-snapshot polls rebuild
+        it from the field devices (the ground truth)."""
+        self.plc_state.clear()
+        self.plc_currents.clear()
+        self.version = 0
+        self.reset_epoch = reset_epoch
+        self.alarms = []
+        self.last_status_version.clear()
+        # proxies/hmis intentionally kept: re-registration also works,
+        # but the deployment provisions these addresses statically.
+
+    # ------------------------------------------------------------------
+    # Pushes (unordered; receivers require f+1 matching)
+    # ------------------------------------------------------------------
+    def _push(self, addr: Tuple[str, int], payload: Any) -> None:
+        if self.replica is None or self.replica.external_session is None:
+            return
+        if not self.replica.running:
+            return
+        self.replica.external_session.send(tuple(addr), payload,
+                                           service=IT_FLOOD)
+
+    def _push_feed(self) -> None:
+        feed = HmiFeed(
+            version=self.version, reset_epoch=self.reset_epoch,
+            replica=self.name,
+            plcs={p: dict(b) for p, b in self.plc_state.items()},
+            currents={p: dict(c) for p, c in self.plc_currents.items()},
+            alarms=list(self.alarms),
+        )
+        for addr in self.hmis:
+            self._push(addr, feed)
+
+    # ------------------------------------------------------------------
+    def system_view(self) -> Dict[str, Dict[str, bool]]:
+        return {p: dict(b) for p, b in self.plc_state.items()}

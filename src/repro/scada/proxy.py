@@ -1,0 +1,265 @@
+"""PLC/RTU proxy.
+
+The proxy is Spire's answer to the unauthenticated industrial protocol
+problem: the PLC speaks Modbus only over a *direct cable* to its proxy
+(no switch in the path — "ideally, can simply be a wire"), and the
+proxy speaks the authenticated, encrypted Spines protocol to the rest
+of the system.  The proxy:
+
+* polls its PLC(s) every ``poll_interval`` and submits the full
+  snapshot as a signed client update to the replicated masters;
+* accepts :class:`~repro.scada.events.CommandDirective` pushes and
+  operates a breaker only once ``f + 1`` replicas agree on the command
+  (a single compromised master cannot actuate anything);
+* re-polls immediately after actuating, which is what gives Spire its
+  fast end-to-end reaction time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.net.host import Host, TcpConnection
+from repro.net.link import Link
+from repro.plc.device import PlcDevice
+from repro.plc.modbus import (
+    MODBUS_PORT, ModbusResponse, read_coils, read_input_registers, write_coil,
+)
+from repro.prime.client import PrimeClient
+from repro.prime.config import PrimeConfig
+from repro.scada.events import (
+    CommandDirective, plc_status_op, register_proxy_op,
+)
+from repro.sim.process import Process
+from repro.spines.daemon import SpinesDaemon
+from repro.spines.messages import OverlayAddress
+
+
+def wire_direct(sim, host_a: Host, host_b: Host, cidr: str,
+                latency: float = 0.0001) -> Link:
+    """Connect two hosts with a dedicated cable (no switch): the
+    paper's PLC-to-proxy connection."""
+    link = Link(sim, f"direct:{host_a.name}-{host_b.name}", latency=latency)
+    from repro.net.addresses import MacAllocator, Subnet
+    subnet = Subnet(cidr)
+    macs = MacAllocator(prefix=0x06)
+    for host in (host_a, host_b):
+        host.add_interface(f"cable{len(host.interfaces)}", macs.allocate(),
+                           subnet.allocate(), cidr, link=link)
+    return link
+
+
+@dataclass
+class _PlcLine:
+    """One PLC served by this proxy."""
+
+    plc: PlcDevice
+    ip: str                      # PLC address on the direct cable
+    conn: Optional[TcpConnection] = None
+    last_breakers: Dict[str, bool] = field(default_factory=dict)
+    last_currents: Dict[str, int] = field(default_factory=dict)
+    pending: Dict[int, str] = field(default_factory=dict)  # tid -> kind
+    tid: int = 0
+    last_submitted: Optional[Dict[str, bool]] = None
+    last_submit_time: float = -1e9
+
+
+class PlcProxy(Process):
+    """Proxy for one or more PLCs.
+
+    Args:
+        sim: simulation kernel.
+        name: proxy name; also the Prime client principal (a signing
+            key for it must exist on the proxy host's key ring).
+        host: proxy host (on the external Spines network).
+        daemon: the external-overlay Spines daemon on the proxy host.
+        config: Prime configuration (for f+1 agreement).
+        poll_interval: PLC scan cadence in seconds.
+        heartbeat_interval: unchanged snapshots are still submitted at
+            this cadence, so masters starting from nothing rebuild the
+            full system view from the field devices within one
+            heartbeat (the Section III-A ground-truth property).
+    """
+
+    CLIENT_PORT_BASE = 7500
+    DIRECTIVE_PORT_BASE = 7600
+    _port_counter = 0
+
+    def __init__(self, sim, name: str, host: Host, daemon: SpinesDaemon,
+                 config: PrimeConfig, poll_interval: float = 0.25,
+                 heartbeat_interval: float = 2.0):
+        super().__init__(sim, name)
+        self.host = host
+        self.daemon = daemon
+        self.config = config
+        self.poll_interval = poll_interval
+        self.heartbeat_interval = heartbeat_interval
+        index = PlcProxy._port_counter
+        PlcProxy._port_counter += 1
+        self.client = PrimeClient(sim, name, config, daemon,
+                                  PlcProxy.CLIENT_PORT_BASE + index)
+        self.directive_port = PlcProxy.DIRECTIVE_PORT_BASE + index
+        self.directive_session = daemon.create_session(
+            self.directive_port, self._directive_in)
+        self.lines: Dict[str, _PlcLine] = {}
+        # command id -> {matching key -> set of replicas}
+        self._command_claims: Dict[Tuple[str, int], Dict[str, Set[str]]] = {}
+        # command id -> {matching key -> list of partial signatures}
+        self._command_partials: Dict[Tuple[str, int], Dict[str, list]] = {}
+        self._commands_done: Set[Tuple[str, int]] = set()
+        # When set, directives must carry partials that combine into a
+        # valid k-of-n threshold signature (the deployed mechanism).
+        self.threshold_scheme = None
+        self.commands_applied = 0
+        self.polls = 0
+        host.register_app(f"proxy:{name}", self)
+        self.call_every(poll_interval, self._poll_all)
+
+    # ------------------------------------------------------------------
+    def attach_plc(self, plc: PlcDevice, plc_ip: str) -> None:
+        """Register a PLC reachable at ``plc_ip`` over the direct cable."""
+        self.lines[plc.name] = _PlcLine(plc=plc, ip=plc_ip)
+
+    def register_with_masters(self) -> None:
+        """Announce this proxy's PLCs and directive address (ordered)."""
+        self.client.submit(register_proxy_op(
+            list(self.lines), (self.daemon.name, self.directive_port)))
+
+    @property
+    def directive_addr(self) -> OverlayAddress:
+        return (self.daemon.name, self.directive_port)
+
+    # ------------------------------------------------------------------
+    # Polling
+    # ------------------------------------------------------------------
+    def _poll_all(self) -> None:
+        for line in self.lines.values():
+            self._poll(line)
+
+    def _poll(self, line: _PlcLine) -> None:
+        self.polls += 1
+        if line.conn is None or line.conn.closed:
+            self._connect(line)
+            return
+        count = len(line.plc.coil_map)
+        line.tid += 1
+        line.pending[line.tid] = "coils"
+        line.conn.send(read_coils(line.tid, 0, count))
+        line.tid += 1
+        line.pending[line.tid] = "currents"
+        line.conn.send(read_input_registers(line.tid, 0, count))
+
+    def _connect(self, line: _PlcLine) -> None:
+        def established(conn):
+            line.conn = conn
+            self._poll(line)
+
+        def failed(reason):
+            self.log("proxy.plc", "PLC connection failed", reason=reason,
+                     plc=line.plc.name)
+
+        self.host.tcp_connect(line.ip, line.plc.port, established,
+                              on_data=lambda c, p: self._modbus_in(line, p),
+                              on_failure=failed)
+
+    def _modbus_in(self, line: _PlcLine, payload: Any) -> None:
+        if not self.running or not isinstance(payload, ModbusResponse):
+            return
+        kind = line.pending.pop(payload.transaction_id, None)
+        if kind is None or not payload.ok:
+            return
+        names = [line.plc.coil_map[a] for a in sorted(line.plc.coil_map)]
+        if kind == "coils":
+            line.last_breakers = {name: bool(v)
+                                  for name, v in zip(names, payload.values)}
+            self._submit_status(line)
+        elif kind == "currents":
+            line.last_currents = {name: v
+                                  for name, v in zip(names, payload.values)}
+        elif kind == "write":
+            self.commands_applied += 1
+            self._poll(line)   # immediate re-poll: fast reaction path
+
+    def _submit_status(self, line: _PlcLine) -> None:
+        if not line.last_breakers:
+            return
+        changed = line.last_submitted != line.last_breakers
+        heartbeat_due = (self.now - line.last_submit_time
+                         >= self.heartbeat_interval)
+        if not changed and not heartbeat_due:
+            return
+        line.last_submitted = dict(line.last_breakers)
+        line.last_submit_time = self.now
+        self.client.submit(plc_status_op(
+            line.plc.name, line.last_breakers, line.last_currents))
+
+    # ------------------------------------------------------------------
+    # Directives (masters -> proxy)
+    # ------------------------------------------------------------------
+    def _directive_in(self, src: OverlayAddress, payload: Any) -> None:
+        if not self.running or not isinstance(payload, CommandDirective):
+            return
+        command_id = tuple(payload.command_id)
+        if command_id in self._commands_done:
+            return
+        if payload.replica not in self.config.replica_names:
+            return
+        if self.threshold_scheme is not None:
+            self._directive_in_threshold(command_id, payload)
+            return
+        claims = self._command_claims.setdefault(command_id, {})
+        voters = claims.setdefault(payload.matching_key(), set())
+        voters.add(payload.replica)
+        if len(voters) < self.config.vouch:
+            return
+        self._commands_done.add(command_id)
+        self._command_claims.pop(command_id, None)
+        self._apply_command(payload)
+
+    def _directive_in_threshold(self, command_id, payload) -> None:
+        """Threshold mode: combine partials into one k-of-n signature
+        and verify it before actuating."""
+        from repro.crypto.threshold import ThresholdError
+        if payload.partial is None:
+            return
+        buckets = self._command_partials.setdefault(command_id, {})
+        partials = buckets.setdefault(payload.matching_key(), [])
+        partials.append(payload.partial)
+        try:
+            signature = self.threshold_scheme.combine(
+                partials, payload.signed_view())
+        except ThresholdError:
+            return
+        if not self.threshold_scheme.verify(signature, payload.signed_view()):
+            return
+        self._commands_done.add(command_id)
+        self._command_partials.pop(command_id, None)
+        self.log("proxy.threshold", "combined k-of-n directive signature",
+                 signers=list(signature.signers))
+        self._apply_command(payload)
+
+    def _apply_command(self, directive: CommandDirective) -> None:
+        line = self.lines.get(directive.plc)
+        if line is None:
+            self.log("proxy.directive", "directive for unknown PLC",
+                     plc=directive.plc)
+            return
+        if line.conn is None or line.conn.closed:
+            self._connect(line)
+            self.call_later(0.05, self._apply_command, directive)
+            return
+        address = None
+        for addr, breaker in line.plc.coil_map.items():
+            if breaker == directive.breaker:
+                address = addr
+                break
+        if address is None:
+            return
+        line.tid += 1
+        line.pending[line.tid] = "write"
+        line.conn.send(write_coil(line.tid, address, directive.close))
+        self.log("proxy.actuate", f"breaker {directive.breaker} -> "
+                 f"{'closed' if directive.close else 'open'}",
+                 plc=directive.plc, breaker=directive.breaker,
+                 close=directive.close)

@@ -1,0 +1,108 @@
+"""HMI visualization of the power topology (Fig. 4).
+
+Renders the operator's one-line diagram as text: breaker positions
+(closed ▣ / open ▢ in unicode mode, [X]/[ ] in ascii mode), energized
+buses, and building/load status — driven either by ground truth (a
+:class:`~repro.plc.topology.PowerTopology`) or by what an HMI
+*believes* (its f+1-confirmed view), which is what an operator actually
+sees.
+
+The situational-awareness strip at the bottom reproduces the paper's
+"network activity is monitored from a situational awareness board ...
+and can be viewed as part of the HMI".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.mana.alerts import SituationalAwarenessBoard
+from repro.plc.topology import PowerTopology
+
+
+def _symbol(closed: Optional[bool], ascii_mode: bool) -> str:
+    if closed is None:
+        return "[?]"
+    if ascii_mode:
+        return "[X]" if closed else "[ ]"
+    return "▣" if closed else "▢"
+
+
+class HmiScreen:
+    """Text rendering of one PLC's topology for an HMI.
+
+    Args:
+        topology: the one-line diagram structure (bus/breaker/load
+            graph).  Only the *structure* is read from it; the breaker
+            states shown come from ``breaker_states`` so the screen can
+            render the HMI's believed view rather than ground truth.
+        ascii_mode: use pure-ASCII symbols.
+    """
+
+    def __init__(self, topology: PowerTopology, ascii_mode: bool = True):
+        self.topology = topology
+        self.ascii_mode = ascii_mode
+
+    def render(self, breaker_states: Optional[Dict[str, bool]] = None,
+               title: Optional[str] = None) -> str:
+        states = (breaker_states if breaker_states is not None
+                  else self.topology.breaker_states())
+        # Compute energization under the *displayed* states.
+        shadow = PowerTopology(self.topology.name)
+        for bus in self.topology.buses:
+            shadow.add_bus(bus, source=bus in self.topology.sources)
+        for name, breaker in self.topology.breakers.items():
+            shadow.add_breaker(name, breaker.from_bus, breaker.to_bus,
+                               closed=bool(states.get(name, False)))
+        for load, bus in self.topology.loads.items():
+            shadow.add_load(load, bus)
+        energized = shadow.energized_buses()
+        loads = shadow.energized_loads()
+
+        lines: List[str] = []
+        lines.append(f"+--- {title or self.topology.name} " + "-" * 24)
+        for name in self.topology.breaker_names():
+            breaker = self.topology.breakers[name]
+            state = states.get(name)
+            live = "~" if breaker.from_bus in energized else " "
+            symbol = _symbol(state, self.ascii_mode)
+            position = ("closed" if state else
+                        "OPEN" if state is not None else "unknown")
+            lines.append(f"|  {breaker.from_bus:>12} {live}--{symbol}--"
+                         f" {breaker.to_bus:<12} {name:<6} {position}")
+        lines.append("|")
+        for load in sorted(self.topology.loads):
+            lamp = "LIT " if loads[load] else "DARK"
+            lines.append(f"|  load {load:<18} {lamp}")
+        lines.append("+" + "-" * 44)
+        return "\n".join(lines)
+
+    def render_indicator_box(self, breaker: str,
+                             state: Optional[bool]) -> str:
+        """The measurement aid: 'a large box that changed from black to
+        white based on the breaker state'."""
+        if state is None:
+            return "???"
+        fill = "#" if state else "."
+        rows = [fill * 12 for _ in range(4)]
+        label = "WHITE (closed)" if state else "BLACK (open)"
+        return "\n".join(rows) + f"\n{breaker}: {label}"
+
+
+def render_hmi(hmi, topology: PowerTopology, plc_name: str,
+               board: Optional[SituationalAwarenessBoard] = None) -> str:
+    """Render an HMI's believed view, plus the awareness strip."""
+    screen = HmiScreen(topology)
+    believed = hmi.view.get(plc_name, {})
+    states = {name: believed.get(name) for name in topology.breaker_names()}
+    out = screen.render(breaker_states=states,
+                        title=f"{hmi.name} :: {plc_name} "
+                              f"(view v{hmi.displayed[1]})")
+    if board is not None:
+        status = " | ".join(f"{network}:{state}"
+                            for network, state in
+                            sorted(board.network_status.items()))
+        out += f"\n[MANA] {status or 'no networks monitored'}"
+    if hmi.alarms:
+        out += "\n[ALARMS] " + "; ".join(hmi.alarms)
+    return out

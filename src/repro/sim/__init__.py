@@ -1,0 +1,6 @@
+"""Discrete-event simulation kernel used by every subsystem."""
+
+from repro.sim.simulator import Event, PeriodicTimer, SimulationError, Simulator
+from repro.sim.process import Process
+
+__all__ = ["Event", "PeriodicTimer", "SimulationError", "Simulator", "Process"]

@@ -1,0 +1,81 @@
+"""Base class for simulated components."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List
+
+from repro.sim.simulator import Event, PeriodicTimer, Simulator
+
+
+class Process:
+    """A named component living inside a :class:`Simulator`.
+
+    Provides scoped logging, a private random stream, and timer helpers
+    that are automatically cancelled by :meth:`shutdown` — components
+    that get "taken down" (crashes, proactive recovery, red-team kills)
+    rely on this to silence all of their pending activity.
+    """
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self.rng = sim.rng.child(name)
+        self._timers: List[PeriodicTimer] = []
+        self._events: List[Event] = []
+        self._running = True
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def log(self, category: str, message: str, **data: Any) -> None:
+        self.sim.log.log(self.name, category, message, **data)
+
+    # ------------------------------------------------------------------
+    # Timer helpers (tracked for shutdown)
+    # ------------------------------------------------------------------
+    def call_later(self, delay: float, fn: Callable, *args: Any) -> Event:
+        event = self.sim.schedule(delay, self._guarded, fn, args)
+        self._events.append(event)
+        self._prune()
+        return event
+
+    def call_every(self, period: float, fn: Callable, *args: Any,
+                   start_after: float = None) -> PeriodicTimer:
+        timer = self.sim.every(period, self._guarded, fn, args, start_after=start_after)
+        self._timers.append(timer)
+        return timer
+
+    def _guarded(self, fn: Callable, args) -> None:
+        """Drop callbacks that fire after the process was shut down."""
+        if self._running:
+            fn(*args)
+
+    def _prune(self) -> None:
+        if len(self._events) > 256:
+            self._events = [e for e in self._events if not e.cancelled and e.time >= self.now]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop the process: cancel timers and ignore in-flight events."""
+        self._running = False
+        for timer in self._timers:
+            timer.stop()
+        for event in self._events:
+            event.cancel()
+        self._timers.clear()
+        self._events.clear()
+
+    def restart(self) -> None:
+        """Mark the process as running again (timers must be re-armed)."""
+        self._running = True
+
+    def __repr__(self) -> str:
+        state = "running" if self._running else "stopped"
+        return f"{type(self).__name__}({self.name!r}, {state})"

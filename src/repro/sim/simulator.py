@@ -1,0 +1,195 @@
+"""Discrete-event simulation kernel.
+
+Every component in the reproduction — hosts, switches, overlay daemons,
+BFT replicas, PLCs, attackers, the measurement device — runs inside one
+:class:`Simulator`.  The kernel provides:
+
+* an event heap ordered by (time, tie-breaker) for deterministic replay,
+* cancellable one-shot events and periodic timers,
+* a root :class:`~repro.util.rng.DeterministicRng` and shared
+  :class:`~repro.util.eventlog.EventLog`.
+
+Time is a float in seconds.  The simulator never consults the wall
+clock, so latency results are reproducible across machines.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.util.eventlog import EventLog
+from repro.util.rng import DeterministicRng
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (scheduling in the past, etc.)."""
+
+
+class Event:
+    """A scheduled callback.  Returned by scheduling calls for cancellation."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "periodic")
+
+    def __init__(self, time: float, seq: int, fn: Callable, args: Tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self.periodic: Optional["PeriodicTimer"] = None
+
+    def cancel(self) -> None:
+        """Prevent this event from firing (no-op if already fired)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, seq={self.seq}, {state})"
+
+
+class PeriodicTimer:
+    """A repeating timer managed by the simulator.
+
+    The callback may call :meth:`stop` (directly or transitively) to end
+    the series.  The period may be changed between firings.
+    """
+
+    def __init__(self, sim: "Simulator", period: float, fn: Callable, args: Tuple):
+        if period <= 0:
+            raise SimulationError(f"periodic timer period must be > 0, got {period}")
+        self._sim = sim
+        self.period = period
+        self._fn = fn
+        self._args = args
+        self._event: Optional[Event] = None
+        self._stopped = False
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def _arm(self, delay: float) -> None:
+        if self._stopped:
+            return
+        self._event = self._sim.schedule(delay, self._fire)
+        self._event.periodic = self
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._fn(*self._args)
+        self._arm(self.period)
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+
+
+class Simulator:
+    """Deterministic discrete-event scheduler.
+
+    Args:
+        seed: root seed for all randomness in the simulation.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._now = 0.0
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._events_executed = 0
+        self.rng = DeterministicRng(seed)
+        self.log = EventLog(clock=lambda: self._now)
+        self._halted = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> Event:
+        """Run ``fn(*args)`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.at(self._now + delay, fn, *args)
+
+    def at(self, time: float, fn: Callable, *args: Any) -> Event:
+        """Run ``fn(*args)`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}")
+        event = Event(time, next(self._seq), fn, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def every(self, period: float, fn: Callable, *args: Any,
+              start_after: Optional[float] = None) -> PeriodicTimer:
+        """Run ``fn(*args)`` every ``period`` seconds.
+
+        The first firing is after ``start_after`` seconds (defaults to
+        one full period).
+        """
+        timer = PeriodicTimer(self, period, fn, args)
+        timer._arm(period if start_after is None else start_after)
+        return timer
+
+    def halt(self) -> None:
+        """Stop the run loop after the current event completes."""
+        self._halted = True
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False if none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_executed += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run events until the heap empties, ``until`` is reached, or
+        ``max_events`` have executed.  Returns the final simulated time.
+
+        When ``until`` is given, the clock is advanced to exactly
+        ``until`` even if the last event fires earlier, so back-to-back
+        ``run(until=...)`` calls behave like a continuous timeline.
+        """
+        self._halted = False
+        executed = 0
+        while self._heap and not self._halted:
+            if max_events is not None and executed >= max_events:
+                break
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and head.time > until:
+                break
+            if not self.step():
+                break
+            executed += 1
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now

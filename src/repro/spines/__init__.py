@@ -1,0 +1,20 @@
+"""Spines intrusion-tolerant overlay network (simulation).
+
+Reproduces the properties of the Spines overlay that the deployment
+relied on: hop-by-hop authenticated/encrypted daemon links, client
+sessions, reliable delivery, and an intrusion-tolerant dissemination
+mode based on source-signed flooding with per-source fairness.
+"""
+
+from repro.spines.daemon import SpinesDaemon, SpinesSession
+from repro.spines.messages import (
+    AckBody, BEST_EFFORT, IT_FLOOD, LinkEnvelope, OverlayAddress,
+    OverlayMessage, RELIABLE, SERVICES, SessionStats,
+)
+from repro.spines.overlay import SpinesNetwork
+
+__all__ = [
+    "SpinesDaemon", "SpinesSession", "SpinesNetwork",
+    "AckBody", "BEST_EFFORT", "IT_FLOOD", "LinkEnvelope", "OverlayAddress",
+    "OverlayMessage", "RELIABLE", "SERVICES", "SessionStats",
+]

@@ -1,0 +1,362 @@
+"""Spines overlay daemon.
+
+One daemon runs per participating host.  Daemons authenticate every
+hop-by-hop transmission under the overlay network's symmetric key, so a
+process without the key — the red team's recompiled daemon — cannot
+join or disrupt the overlay.  In intrusion-tolerant mode, client data
+is disseminated by source-signed flooding with per-source fairness
+(token buckets + dedup), bounding the damage a *keyed but malicious*
+member can do to other flows.
+
+The daemon exposes a client session API used by Prime replicas, the
+SCADA proxies, and the HMI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.crypto.auth import (
+    mac_payload, sign_payload, verify_mac, verify_signature,
+)
+from repro.net.host import Host
+from repro.sim.process import Process
+from repro.spines.messages import (
+    AckBody, BEST_EFFORT, IT_FLOOD, LinkEnvelope, OverlayAddress,
+    OverlayMessage, RELIABLE, SessionStats,
+)
+
+RELIABLE_TIMEOUT = 0.2
+RELIABLE_MAX_RETRIES = 5
+FLOOD_CACHE_LIMIT = 50_000
+PROCESSING_DELAY = 0.00005
+
+# Per-source fairness: messages a daemon will forward for one source
+# daemon within one fairness window.
+FAIRNESS_WINDOW = 0.1
+FAIRNESS_BUDGET = 2048
+
+
+@dataclass
+class _ReliableState:
+    message: OverlayMessage
+    retries: int = 0
+    timer: Any = None
+
+
+class SpinesSession:
+    """A client endpoint attached to a daemon at a given port."""
+
+    def __init__(self, daemon: "SpinesDaemon", port: int,
+                 handler: Callable[[OverlayAddress, Any], None]):
+        self.daemon = daemon
+        self.port = port
+        self.handler = handler
+        self.stats = SessionStats()
+        self.closed = False
+
+    @property
+    def address(self) -> OverlayAddress:
+        return (self.daemon.name, self.port)
+
+    def send(self, dst: OverlayAddress, payload: Any,
+             service: str = RELIABLE) -> bool:
+        if self.closed or not self.daemon.running:
+            return False
+        self.stats.sent += 1
+        return self.daemon.originate(self, dst, payload, service)
+
+    def close(self) -> None:
+        self.closed = True
+        self.daemon.sessions.pop(self.port, None)
+
+
+class SpinesDaemon(Process):
+    """One overlay daemon bound to a UDP port on its host.
+
+    Args:
+        sim: simulation kernel.
+        name: overlay node name (unique within the overlay).
+        host: host machine this daemon runs on.
+        port: UDP port for daemon-to-daemon traffic.
+        network_key_id: symmetric key id authenticating this overlay.
+        intrusion_tolerant: select IT (flooding) or routed operation for
+            client data.
+    """
+
+    def __init__(self, sim, name: str, host: Host, port: int,
+                 network_key_id: str, intrusion_tolerant: bool = True):
+        super().__init__(sim, name)
+        self.host = host
+        self.port = port
+        self.network_key_id = network_key_id
+        self.intrusion_tolerant = intrusion_tolerant
+        self.neighbors: Dict[str, Tuple[str, int]] = {}   # name -> (ip, port)
+        self.next_hop: Dict[str, str] = {}                # dst daemon -> neighbor
+        self.sessions: Dict[int, SpinesSession] = {}
+        self._seq = 0
+        self._flood_seen: Set[Tuple[str, int]] = set()
+        self._reliable_pending: Dict[Tuple[str, int], _ReliableState] = {}
+        self._delivered_reliable: Set[Tuple[str, int]] = set()
+        # Per-source fairness accounting (window start, count).
+        self._fairness: Dict[str, List[float]] = {}
+        self.stats_forwarded = 0
+        self.stats_dropped_auth = 0
+        self.stats_dropped_fairness = 0
+        self.stats_dropped_sig = 0
+        # Red-team hooks (see repro.redteam.attacks): a "patched" daemon
+        # carries attacker code that only runs outside IT mode.
+        self.patched_exploit: Optional[Callable[["SpinesDaemon", OverlayMessage], None]] = None
+        host.udp_bind(port, self._udp_in)
+        host.register_app(f"spines:{name}", self)
+
+    # ------------------------------------------------------------------
+    # Topology management (driven by SpinesNetwork)
+    # ------------------------------------------------------------------
+    def add_neighbor(self, name: str, ip: str, port: int) -> None:
+        self.neighbors[name] = (ip, port)
+
+    def remove_neighbor(self, name: str) -> None:
+        self.neighbors.pop(name, None)
+
+    def set_routes(self, next_hop: Dict[str, str]) -> None:
+        self.next_hop = dict(next_hop)
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def create_session(self, port: int,
+                       handler: Callable[[OverlayAddress, Any], None]) -> SpinesSession:
+        if port in self.sessions:
+            raise RuntimeError(f"{self.name}: session port {port} in use")
+        session = SpinesSession(self, port, handler)
+        self.sessions[port] = session
+        return session
+
+    def originate(self, session: SpinesSession, dst: OverlayAddress,
+                  payload: Any, service: str) -> bool:
+        if dst[0] == "*" and service == RELIABLE:
+            raise ValueError("overlay multicast does not support RELIABLE; "
+                             "use IT_FLOOD")
+        self._seq += 1
+        message = OverlayMessage(
+            src=session.address, dst=dst, service=service, payload=payload,
+            seq=self._seq, src_daemon=self.name,
+        )
+        if service == IT_FLOOD or (self.intrusion_tolerant and service == RELIABLE):
+            # In IT mode all client data is source-signed.
+            message.signature = sign_payload(
+                self.host.key_ring, self.name, message.signed_view())
+        if service == RELIABLE:
+            state = _ReliableState(message=message)
+            key = message.flood_key()
+            self._reliable_pending[key] = state
+            state.timer = self.call_later(
+                RELIABLE_TIMEOUT, self._reliable_retry, key)
+        self._dispatch(message)
+        return True
+
+    # ------------------------------------------------------------------
+    # Dissemination
+    # ------------------------------------------------------------------
+    def _dispatch(self, message: OverlayMessage) -> None:
+        if message.dst[0] == "*":
+            # Overlay multicast: deliver at every daemon (including the
+            # source).  Only meaningful with flooding dissemination.
+            self._deliver_local(message)
+            self._flood(message, arrived_from=None)
+            return
+        if message.dst[0] == self.name:
+            self._deliver_local(message)
+            return
+        if self.intrusion_tolerant:
+            self._flood(message, arrived_from=None)
+        else:
+            self._route(message)
+
+    def _route(self, message: OverlayMessage) -> None:
+        hop = self.next_hop.get(message.dst[0])
+        if hop is None or hop not in self.neighbors:
+            session = self.sessions.get(message.src[1])
+            if session is not None and message.src_daemon == self.name:
+                session.stats.dropped_no_route += 1
+            return
+        self._send_envelope(hop, LinkEnvelope(sender=self.name, kind="data",
+                                              body=message))
+
+    def _flood(self, message: OverlayMessage, arrived_from: Optional[str]) -> None:
+        key = message.flood_key()
+        if key in self._flood_seen:
+            return
+        self._flood_seen.add(key)
+        if len(self._flood_seen) > FLOOD_CACHE_LIMIT:
+            self._flood_seen.clear()  # coarse cache reset; dups re-dropped upstream
+        if not self._fairness_admit(message.src_daemon):
+            self.stats_dropped_fairness += 1
+            return
+        for neighbor in self.neighbors:
+            if neighbor != arrived_from:
+                envelope = LinkEnvelope(sender=self.name, kind="data",
+                                        body=message)
+                self._send_envelope(neighbor, envelope)
+
+    def _fairness_admit(self, src_daemon: str) -> bool:
+        """Token-bucket fairness per source daemon."""
+        window = self._fairness.get(src_daemon)
+        now = self.now
+        if window is None or now - window[0] >= FAIRNESS_WINDOW:
+            self._fairness[src_daemon] = [now, 1]
+            return True
+        if window[1] >= FAIRNESS_BUDGET:
+            return False
+        window[1] += 1
+        return True
+
+    def _send_envelope(self, neighbor: str, envelope: LinkEnvelope) -> None:
+        target = self.neighbors.get(neighbor)
+        if target is None:
+            return
+        envelope.mac = mac_payload(self.host.key_ring, self.network_key_id,
+                                   envelope.mac_view())
+        ip, port = target
+        self.host.udp_send(ip, port, envelope, src_port=self.port)
+        self.stats_forwarded += 1
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def _udp_in(self, src_ip: str, src_port: int, payload: Any) -> None:
+        if not self.running:
+            return
+        if not isinstance(payload, LinkEnvelope):
+            self.stats_dropped_auth += 1
+            return
+        if payload.mac is None or not verify_mac(
+                self.host.key_ring, payload.mac, payload.mac_view()):
+            # Unauthenticated daemon-to-daemon traffic: the modified
+            # daemon without keys, or an injected/tampered frame.
+            self.stats_dropped_auth += 1
+            self.log("spines.auth", "dropped unauthenticated envelope",
+                     from_ip=src_ip)
+            return
+        self.call_later(PROCESSING_DELAY, self._envelope_in, payload)
+
+    def _envelope_in(self, envelope: LinkEnvelope) -> None:
+        if envelope.kind == "ack" and isinstance(envelope.body, AckBody):
+            self._ack_in(envelope.body)
+            return
+        if not isinstance(envelope.body, OverlayMessage):
+            return
+        message = envelope.body
+        message.hop_count += 1
+        if self.intrusion_tolerant:
+            if message.signature is None or not verify_signature(
+                    self.host.key_ring, message.signature, message.signed_view()):
+                self.stats_dropped_sig += 1
+                return
+            # NOTE: self.patched_exploit is intentionally NOT invoked
+            # here — the vulnerable code path the red team patched lives
+            # in the routed (non-IT) mode and is disabled when the
+            # daemon runs intrusion-tolerant (Section IV-B).
+            first_copy = message.flood_key() not in self._flood_seen
+            if first_copy and message.dst[0] in ("*", self.name):
+                self._deliver_local(message)
+            # Continue flooding so all daemons share the dedup view (and
+            # so multicast reaches everyone); _flood dedups internally.
+            self._flood(message, arrived_from=envelope.sender)
+        else:
+            # Routed mode: the attacker-patched code path is live here.
+            if self.patched_exploit is not None:
+                self.patched_exploit(self, message)
+            if message.dst[0] == self.name:
+                self._deliver_local(message)
+            else:
+                self._route(message)
+
+    def _deliver_local(self, message: OverlayMessage) -> None:
+        if message.dst[1] == -1 and isinstance(message.payload, AckBody):
+            self._ack_in(message.payload)
+            return
+        if message.service == RELIABLE:
+            key = message.flood_key()
+            self._send_ack(message)
+            if key in self._delivered_reliable:
+                return
+            self._delivered_reliable.add(key)
+        session = self.sessions.get(message.dst[1])
+        if session is None or session.closed:
+            return
+        session.stats.delivered += 1
+        session.handler(message.src, message.payload)
+
+    # ------------------------------------------------------------------
+    # Reliable service: end-to-end acks
+    # ------------------------------------------------------------------
+    def _send_ack(self, message: OverlayMessage) -> None:
+        if message.src_daemon == self.name:
+            self._ack_in(AckBody(src_daemon=message.src_daemon, seq=message.seq))
+            return
+        ack = AckBody(src_daemon=message.src_daemon, seq=message.seq)
+        if self.intrusion_tolerant:
+            # Acks ride the flood as a tiny overlay message to the source.
+            self._seq += 1
+            wrapper = OverlayMessage(
+                src=(self.name, 0), dst=(message.src_daemon, -1),
+                service=BEST_EFFORT, payload=ack, seq=self._seq,
+                src_daemon=self.name,
+                )
+            wrapper.signature = sign_payload(
+                self.host.key_ring, self.name, wrapper.signed_view())
+            self._flood(wrapper, arrived_from=None)
+        else:
+            hop = self.next_hop.get(message.src_daemon)
+            if hop is not None:
+                self._send_envelope(hop, LinkEnvelope(sender=self.name,
+                                                      kind="ack", body=ack))
+
+    def _ack_in(self, ack: AckBody) -> None:
+        state = self._reliable_pending.pop((ack.src_daemon, ack.seq), None)
+        if state is not None:
+            if state.timer is not None:
+                state.timer.cancel()
+            session = self.sessions.get(state.message.src[1])
+            if session is not None:
+                session.stats.acked += 1
+
+    def _reliable_retry(self, key: Tuple[str, int]) -> None:
+        state = self._reliable_pending.get(key)
+        if state is None:
+            return
+        if state.retries >= RELIABLE_MAX_RETRIES:
+            del self._reliable_pending[key]
+            return
+        state.retries += 1
+        session = self.sessions.get(state.message.src[1])
+        if session is not None:
+            session.stats.retransmissions += 1
+        # Retransmissions must bypass the flood dedup cache.
+        self._flood_seen.discard(key)
+        self._dispatch(state.message)
+        state.timer = self.call_later(
+            RELIABLE_TIMEOUT * (state.retries + 1), self._reliable_retry, key)
+
+    def _deliver_ack_wrapper(self, src: OverlayAddress, payload: Any) -> None:
+        if isinstance(payload, AckBody):
+            self._ack_in(payload)
+
+    # ------------------------------------------------------------------
+    # Lifecycle (red-team/recovery actions)
+    # ------------------------------------------------------------------
+    def stop_daemon(self) -> None:
+        """Stop the daemon (e.g. the red team killing the process)."""
+        self.log("spines.lifecycle", "daemon stopped")
+        self.host.udp_unbind(self.port)
+        self.shutdown()
+
+    def start_daemon(self) -> None:
+        """Restart a previously stopped daemon."""
+        self.restart()
+        self.host.udp_bind(self.port, self._udp_in)
+        self._flood_seen.clear()
+        self.log("spines.lifecycle", "daemon restarted")

@@ -1,0 +1,127 @@
+"""Spines overlay message formats and service types.
+
+Spines offers its clients several dissemination services; the two that
+matter for Spire are:
+
+* ``RELIABLE`` — routed point-to-point delivery with end-to-end
+  acknowledgment and retransmission (used for ordinary traffic).
+* ``IT_FLOOD`` — the intrusion-tolerant mode: source-signed,
+  per-source-sequenced messages disseminated by authenticated flooding
+  with per-source fairness, so no single compromised daemon can block
+  or starve communication between correct daemons (Obenshain et al.,
+  ICDCS 2016).
+
+``BEST_EFFORT`` is included for completeness (monitoring traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+from repro.crypto.auth import Mac, Signature
+from repro.net.packet import payload_size
+
+BEST_EFFORT = "best-effort"
+RELIABLE = "reliable"
+IT_FLOOD = "it-flood"
+
+SERVICES = (BEST_EFFORT, RELIABLE, IT_FLOOD)
+
+OVERLAY_HEADER = 40
+
+# An overlay address: (daemon name, client port).
+OverlayAddress = Tuple[str, int]
+
+
+@dataclass
+class OverlayMessage:
+    """One client message traveling through the overlay."""
+
+    src: OverlayAddress
+    dst: OverlayAddress
+    service: str
+    payload: Any
+    seq: int                       # per-source-daemon sequence number
+    src_daemon: str
+    signature: Optional[Signature] = None   # IT_FLOOD source signature
+    hop_count: int = 0
+
+    def wire_size(self) -> int:
+        return OVERLAY_HEADER + payload_size(self.payload)
+
+    def flood_key(self) -> Tuple[str, int]:
+        return (self.src_daemon, self.seq)
+
+    def signed_view(self) -> dict:
+        """The fields covered by the source signature."""
+        return {
+            "src": list(self.src), "dst": list(self.dst),
+            "service": self.service, "seq": self.seq,
+            "src_daemon": self.src_daemon,
+        }
+
+
+@dataclass
+class LinkEnvelope:
+    """Hop-by-hop envelope: every daemon-to-daemon transmission is
+    authenticated (and in deployment, encrypted) under the overlay
+    network's symmetric key.  Frames without a valid MAC are dropped on
+    receipt — this is what shut out the red team's modified daemon."""
+
+    sender: str
+    kind: str                      # "data" | "ack"
+    body: Any
+    mac: Optional[Mac] = None
+
+    def wire_size(self) -> int:
+        return 8 + payload_size(self.body)
+
+    def mac_view(self) -> dict:
+        body = self.body
+        return {"sender": self.sender, "kind": self.kind,
+                "body_size": payload_size(body),
+                "body_digest_fields": _digest_fields(body)}
+
+
+def _digest_fields(body: Any) -> Any:
+    """A canonicalizable projection of the envelope body.
+
+    ``OverlayMessage`` payloads are arbitrary Python objects (Prime
+    messages, Modbus frames...).  The MAC covers routing-relevant fields
+    plus the object identity of the payload via ``id`` — sufficient for
+    the simulation because payload objects are never mutated in flight
+    except through the explicit tamper APIs, which replace the object
+    (changing its id) and therefore break the MAC.
+    """
+    if isinstance(body, OverlayMessage):
+        return {
+            "src": list(body.src), "dst": list(body.dst),
+            "service": body.service, "seq": body.seq,
+            "src_daemon": body.src_daemon, "payload_id": id(body.payload),
+        }
+    if isinstance(body, dict):
+        return {k: str(v) for k, v in body.items()}
+    return str(body)
+
+
+@dataclass
+class AckBody:
+    """End-to-end acknowledgment for RELIABLE service."""
+
+    src_daemon: str
+    seq: int
+
+    def wire_size(self) -> int:
+        return 16
+
+
+@dataclass
+class SessionStats:
+    """Per-session delivery counters (exposed for tests/benchmarks)."""
+
+    sent: int = 0
+    delivered: int = 0
+    acked: int = 0
+    retransmissions: int = 0
+    dropped_no_route: int = 0

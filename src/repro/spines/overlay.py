@@ -1,0 +1,191 @@
+"""Overlay network construction and route computation.
+
+A :class:`SpinesNetwork` groups the daemons of one overlay (Spire uses
+two: *internal* for replica-to-replica traffic, *external* for
+replica↔proxy/HMI traffic), manages their shared symmetric key, the
+overlay topology, and — for routed mode — shortest-path next-hop
+tables.
+
+Route computation is performed centrally and pushed to daemons.  In the
+real system each daemon runs a link-state protocol and converges to the
+same tables; the centralized stand-in produces identical steady-state
+routes and is re-run whenever topology changes (daemon crash/recovery,
+edge changes), modeling post-convergence behaviour.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.crypto.keys import KeyStore
+from repro.net.firewall import INBOUND, OUTBOUND
+from repro.net.host import Host
+from repro.net.lan import Lan
+from repro.sim.simulator import Simulator
+from repro.spines.daemon import SpinesDaemon
+
+
+class SpinesNetwork:
+    """One Spines overlay over a set of hosts on a LAN.
+
+    Args:
+        sim: simulation kernel.
+        name: overlay name; also used to derive the network key id
+            (``"spines.<name>"``).
+        lan: the underlying LAN carrying daemon-to-daemon UDP.
+        keystore: deployment key authority (creates the network key).
+        port: UDP port daemons bind (8100 internal, 8120 external in the
+            deployed system).
+        intrusion_tolerant: run daemons in IT (flooding) mode.
+    """
+
+    def __init__(self, sim: Simulator, name: str, lan: Lan, keystore: KeyStore,
+                 port: int = 8100, intrusion_tolerant: bool = True):
+        self.sim = sim
+        self.name = name
+        self.lan = lan
+        self.keystore = keystore
+        self.port = port
+        self.intrusion_tolerant = intrusion_tolerant
+        self.key_id = f"spines.{name}"
+        if not keystore.has_symmetric(self.key_id):
+            keystore.create_symmetric(self.key_id)
+        self.daemons: Dict[str, SpinesDaemon] = {}
+        self.edges: Set[Tuple[str, str]] = set()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_daemon(self, host: Host, daemon_name: Optional[str] = None) -> SpinesDaemon:
+        """Create a daemon on ``host`` and provision its keys.
+
+        The daemon's signing key (for IT-mode source signatures) and the
+        network symmetric key are installed into the *host* key ring —
+        compromising the host therefore leaks them, as in a real
+        deployment.
+        """
+        daemon_name = daemon_name or f"{self.name}.{host.name}"
+        if daemon_name in self.daemons:
+            raise RuntimeError(f"duplicate daemon {daemon_name}")
+        if not host.key_ring.has_symmetric(self.key_id):
+            host.key_ring.install_symmetric(
+                self.key_id, self.keystore.symmetric(self.key_id))
+        self.keystore.create_signing(daemon_name)
+        host.key_ring.install_signing(
+            daemon_name, self.keystore.signing(daemon_name))
+        if host.key_ring._verifier is None:
+            host.key_ring._verifier = self.keystore
+        daemon = SpinesDaemon(self.sim, daemon_name, host, self.port,
+                              self.key_id,
+                              intrusion_tolerant=self.intrusion_tolerant)
+        self.daemons[daemon_name] = daemon
+        # Firewall allowance: daemons accept overlay traffic on their port.
+        host.firewall.allow(INBOUND, "udp", local_port=self.port)
+        host.firewall.allow(OUTBOUND, "udp", remote_port=self.port)
+        return daemon
+
+    def connect_full_mesh(self) -> None:
+        names = list(self.daemons)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                self.add_edge(a, b)
+
+    def connect_sparse(self, degree: int = 4) -> None:
+        """Build a ring-plus-chords overlay of roughly ``degree``
+        neighbors per daemon.
+
+        Deployed Spines overlays are sparse: flooding cost scales with
+        the edge count, so a full mesh is wasteful beyond a handful of
+        nodes.  A ring guarantees connectivity (and survives daemon
+        failures thanks to the chords); chords cut the flood diameter.
+        """
+        names = sorted(self.daemons)
+        n = len(names)
+        if n <= degree + 1:
+            self.connect_full_mesh()
+            return
+        for i, a in enumerate(names):
+            self.add_edge(a, names[(i + 1) % n])           # ring
+            for c in range(2, degree // 2 + 1):
+                stride = max(2, (n // degree) * c)
+                self.add_edge(a, names[(i + stride) % n])   # chords
+
+    def add_edge(self, a: str, b: str) -> None:
+        if a == b or (a, b) in self.edges or (b, a) in self.edges:
+            return
+        self.edges.add((a, b))
+        daemon_a, daemon_b = self.daemons[a], self.daemons[b]
+        ip_a = self.lan.ip_of(daemon_a.host)
+        ip_b = self.lan.ip_of(daemon_b.host)
+        daemon_a.add_neighbor(b, ip_b, self.port)
+        daemon_b.add_neighbor(a, ip_a, self.port)
+        self.recompute_routes()
+
+    def remove_edge(self, a: str, b: str) -> None:
+        self.edges.discard((a, b))
+        self.edges.discard((b, a))
+        if a in self.daemons:
+            self.daemons[a].remove_neighbor(b)
+        if b in self.daemons:
+            self.daemons[b].remove_neighbor(a)
+        self.recompute_routes()
+
+    # ------------------------------------------------------------------
+    # Routing (routed mode)
+    # ------------------------------------------------------------------
+    def _adjacency(self) -> Dict[str, List[str]]:
+        adj: Dict[str, List[str]] = {name: [] for name in self.daemons}
+        for a, b in self.edges:
+            if self.daemons[a].running and self.daemons[b].running:
+                adj[a].append(b)
+                adj[b].append(a)
+        return adj
+
+    def recompute_routes(self) -> None:
+        """Recompute shortest-path next hops for every live daemon."""
+        adj = self._adjacency()
+        for name, daemon in self.daemons.items():
+            if not daemon.running:
+                continue
+            daemon.set_routes(self._next_hops_from(name, adj))
+
+    def _next_hops_from(self, src: str,
+                        adj: Dict[str, List[str]]) -> Dict[str, str]:
+        dist: Dict[str, float] = {src: 0.0}
+        first_hop: Dict[str, str] = {}
+        heap: List[Tuple[float, str, Optional[str]]] = [(0.0, src, None)]
+        visited: Set[str] = set()
+        while heap:
+            d, node, hop = heapq.heappop(heap)
+            if node in visited:
+                continue
+            visited.add(node)
+            if hop is not None:
+                first_hop[node] = hop
+            for neighbor in adj.get(node, ()):
+                if neighbor in visited:
+                    continue
+                nd = d + 1.0
+                if nd < dist.get(neighbor, float("inf")):
+                    dist[neighbor] = nd
+                    heapq.heappush(
+                        heap, (nd, neighbor, hop if hop is not None else neighbor))
+        return first_hop
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def daemon_on(self, host: Host) -> SpinesDaemon:
+        for daemon in self.daemons.values():
+            if daemon.host is host:
+                return daemon
+        raise KeyError(f"no {self.name} daemon on {host.name}")
+
+    def stop_daemon(self, name: str) -> None:
+        self.daemons[name].stop_daemon()
+        self.recompute_routes()
+
+    def start_daemon(self, name: str) -> None:
+        self.daemons[name].start_daemon()
+        self.recompute_routes()

@@ -1,0 +1,7 @@
+"""Shared utilities: deterministic randomness, id generation, event logging."""
+
+from repro.util.idgen import IdGenerator
+from repro.util.rng import DeterministicRng
+from repro.util.eventlog import EventLog, LogRecord
+
+__all__ = ["IdGenerator", "DeterministicRng", "EventLog", "LogRecord"]

@@ -1,0 +1,87 @@
+"""Structured, simulated-time-aware event logging.
+
+Components append :class:`LogRecord` entries to a shared
+:class:`EventLog`.  Tests and benchmarks query the log instead of
+scraping stdout; examples may print it for human consumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One logged event.
+
+    Attributes:
+        time: simulated time (seconds) at which the event occurred.
+        source: component that emitted the event (e.g. ``"replica3"``).
+        category: coarse event type (e.g. ``"prime.execute"``).
+        message: human-readable description.
+        data: structured payload for programmatic assertions.
+    """
+
+    time: float
+    source: str
+    category: str
+    message: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class EventLog:
+    """Append-only log of simulation events with simple query helpers."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self._records: List[LogRecord] = []
+        self._clock = clock or (lambda: 0.0)
+        self._listeners: List[Callable[[LogRecord], None]] = []
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Attach the simulator clock so records carry simulated time."""
+        self._clock = clock
+
+    def subscribe(self, listener: Callable[[LogRecord], None]) -> None:
+        """Invoke ``listener`` synchronously for every future record."""
+        self._listeners.append(listener)
+
+    def log(self, source: str, category: str, message: str, **data: Any) -> LogRecord:
+        record = LogRecord(
+            time=self._clock(), source=source, category=category,
+            message=message, data=data,
+        )
+        self._records.append(record)
+        for listener in self._listeners:
+            listener(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self._records)
+
+    def records(
+        self,
+        category: Optional[str] = None,
+        source: Optional[str] = None,
+        since: float = float("-inf"),
+    ) -> List[LogRecord]:
+        """Return records filtered by category prefix, source, and time."""
+        out = []
+        for rec in self._records:
+            if category is not None and not rec.category.startswith(category):
+                continue
+            if source is not None and rec.source != source:
+                continue
+            if rec.time < since:
+                continue
+            out.append(rec)
+        return out
+
+    def count(self, category: Optional[str] = None, source: Optional[str] = None) -> int:
+        return len(self.records(category=category, source=source))
+
+    def clear(self) -> None:
+        self._records.clear()

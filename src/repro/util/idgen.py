@@ -1,0 +1,24 @@
+"""Monotonic identifier generation."""
+
+from __future__ import annotations
+
+import itertools
+
+
+class IdGenerator:
+    """Produces monotonically increasing integer ids, optionally prefixed.
+
+    Used for packet ids, update sequence numbers, alert ids, etc. so
+    that traces are stable and greppable.
+    """
+
+    def __init__(self, prefix: str = ""):
+        self._prefix = prefix
+        self._counter = itertools.count(1)
+
+    def next_int(self) -> int:
+        return next(self._counter)
+
+    def next_id(self) -> str:
+        n = next(self._counter)
+        return f"{self._prefix}{n}" if self._prefix else str(n)

@@ -1,0 +1,139 @@
+"""Shared test fixtures: a miniature Spire-style Prime cluster.
+
+Builds the two-network layout of Fig. 2 — replicas dual-homed on an
+isolated *internal* LAN (replication traffic) and an *external* LAN
+(client traffic) — with a toy replicated key-value app standing in for
+the SCADA master.  The SCADA tests use the real master instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import pytest
+
+from repro.crypto import KeyStore
+from repro.net import Host, Lan, locked_down_firewall
+from repro.prime import PrimeClient, PrimeConfig, PrimeReplica, build_config
+from repro.prime.config import PrimeTiming
+from repro.sim import Simulator
+from repro.spines import SpinesNetwork
+
+
+class KvApp:
+    """A tiny deterministic replicated application for Prime tests."""
+
+    def __init__(self):
+        self.store: Dict[str, object] = {}
+        self.oplog: List[tuple] = []
+        self.transfer_signals: List[str] = []
+
+    def execute_update(self, update):
+        op = update.op
+        self.oplog.append((update.client_id, update.client_seq, repr(op)))
+        if isinstance(op, dict) and "set" in op:
+            key, value = op["set"]
+            self.store[key] = value
+            return {"ok": True, "key": key}
+        return {"ok": True}
+
+    def snapshot(self):
+        return {"store": dict(self.store), "oplog": list(self.oplog)}
+
+    def restore(self, state):
+        self.store = dict(state["store"])
+        self.oplog = [tuple(entry) for entry in state["oplog"]]
+
+    def on_state_transfer(self, outcome):
+        self.transfer_signals.append(outcome)
+
+
+@dataclass
+class Cluster:
+    sim: Simulator
+    config: PrimeConfig
+    keystore: KeyStore
+    internal_lan: object
+    external_lan: object
+    internal: SpinesNetwork
+    external: SpinesNetwork
+    replicas: Dict[str, PrimeReplica]
+    apps: Dict[str, KvApp]
+    clients: Dict[str, PrimeClient] = field(default_factory=dict)
+    results: Dict[str, list] = field(default_factory=dict)
+
+    def replica(self, index: int) -> PrimeReplica:
+        return self.replicas[self.config.replica_names[index]]
+
+    def app(self, index: int) -> KvApp:
+        return self.apps[self.config.replica_names[index]]
+
+    def correct_apps(self):
+        return [self.apps[name] for name, rep in self.replicas.items()
+                if rep.running and rep.byzantine is None]
+
+    def add_client(self, client_id: str, port: int = 7500) -> PrimeClient:
+        host = Host(self.sim, f"{client_id}-host",
+                    firewall=locked_down_firewall())
+        self.external_lan.connect(host)
+        daemon = self.external.add_daemon(host, f"ext.{client_id}")
+        for name in self.external.daemons:
+            if name != daemon.name:
+                self.external.add_edge(daemon.name, name)
+        self.keystore.create_signing(client_id)
+        host.key_ring.install_signing(client_id,
+                                      self.keystore.signing(client_id))
+        results: list = []
+        client = PrimeClient(self.sim, client_id, self.config, daemon, port,
+                             on_result=lambda seq, res: results.append((seq, res)))
+        self.clients[client_id] = client
+        self.results[client_id] = results
+        return client
+
+
+def build_cluster(sim: Simulator, f: int = 1, k: int = 1,
+                  timing: PrimeTiming = None) -> Cluster:
+    config = build_config(f=f, k=k, timing=timing)
+    keystore = KeyStore(sim.rng.child("keys"))
+    internal_lan = Lan(sim, "internal", "192.168.101.0/24")
+    external_lan = Lan(sim, "external", "192.168.102.0/24")
+    internal = SpinesNetwork(sim, "internal", internal_lan, keystore, port=8100)
+    external = SpinesNetwork(sim, "external", external_lan, keystore, port=8120)
+    replicas: Dict[str, PrimeReplica] = {}
+    apps: Dict[str, KvApp] = {}
+    for name in config.replica_names:
+        host = Host(sim, name, firewall=locked_down_firewall())
+        internal_lan.connect(host)
+        external_lan.connect(host)
+        internal_daemon = internal.add_daemon(host, f"int.{name}")
+        external_daemon = external.add_daemon(host, f"ext.{name}")
+        app = KvApp()
+        apps[name] = app
+        keystore.create_signing(name)
+        host.key_ring.install_signing(name, keystore.signing(name))
+        replicas[name] = PrimeReplica(sim, name, config, internal_daemon,
+                                      external_daemon, app)
+    internal.connect_full_mesh()
+    external.connect_full_mesh()
+    return Cluster(sim=sim, config=config, keystore=keystore,
+                   internal_lan=internal_lan, external_lan=external_lan,
+                   internal=internal, external=external,
+                   replicas=replicas, apps=apps)
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=11)
+
+
+@pytest.fixture
+def cluster(sim):
+    """f=1, k=1 (6 replicas) cluster — the power plant configuration."""
+    return build_cluster(sim, f=1, k=1)
+
+
+@pytest.fixture
+def small_cluster(sim):
+    """f=1, k=0 (4 replicas) cluster — the red-team configuration."""
+    return build_cluster(sim, f=1, k=0)

@@ -1,0 +1,181 @@
+"""Unit tests for the attacker toolkit primitives."""
+
+import pytest
+
+from repro.net import (
+    Host, Lan, commercial_appliance, locked_down_firewall,
+    ubuntu_desktop_2016, VULN_DIRTYCOW, VULN_WEBADMIN_DEFAULT_CREDS,
+)
+from repro.plc import PlcDevice, redteam_topology
+from repro.redteam import ArpMitm, Attacker
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def world():
+    sim = Simulator(seed=51)
+    lan = Lan(sim, "lan", "10.0.0.0/24")
+    attacker_host = Host(sim, "rt-box", os_profile=ubuntu_desktop_2016())
+    lan.connect(attacker_host)
+    attacker = Attacker(sim, "rt", attacker_host)
+    return sim, lan, attacker_host, attacker
+
+
+def test_attack_records_accumulate(world):
+    sim, lan, attacker_host, attacker = world
+    target = Host(sim, "victim", os_profile=ubuntu_desktop_2016())
+    lan.connect(target)
+    attacker.port_scan(attacker_host, lan.ip_of(target), ports=[22])
+    sim.run(until=2.0)
+    records = attacker.report()
+    assert len(records) == 1
+    assert records[0].name == "port-scan"
+    assert records[0].succeeded is True
+    assert attacker.summary()["port-scan"]
+
+
+def test_exploit_remote_requires_vulnerable_service(world):
+    sim, lan, attacker_host, attacker = world
+    appliance = Host(sim, "appliance", os_profile=commercial_appliance())
+    hardened = Host(sim, "hardened", firewall=locked_down_firewall())
+    lan.connect(appliance)
+    lan.connect(hardened)
+    ok = attacker.exploit_remote(attacker_host, appliance,
+                                 lan.ip_of(appliance),
+                                 VULN_WEBADMIN_DEFAULT_CREDS)
+    no_vuln = attacker.exploit_remote(attacker_host, hardened,
+                                      lan.ip_of(hardened),
+                                      VULN_WEBADMIN_DEFAULT_CREDS)
+    sim.run(until=3.0)
+    assert ok.succeeded is True
+    assert attacker.footholds["appliance"] == "user"
+    assert appliance.compromised_level == "user"
+    assert no_vuln.succeeded is False
+
+
+def test_exploit_remote_blocked_by_firewall(world):
+    """Vulnerable service behind a default-deny firewall: unreachable."""
+    sim, lan, attacker_host, attacker = world
+    shielded = Host(sim, "shielded", os_profile=commercial_appliance(),
+                    firewall=locked_down_firewall())
+    lan.connect(shielded)
+    record = attacker.exploit_remote(attacker_host, shielded,
+                                     lan.ip_of(shielded),
+                                     VULN_WEBADMIN_DEFAULT_CREDS)
+    sim.run(until=3.0)
+    assert record.succeeded is False
+    assert "unreachable" in record.detail
+
+
+def test_escalate_local_needs_foothold_and_vuln(world):
+    sim, lan, attacker_host, attacker = world
+    target = Host(sim, "victim", os_profile=ubuntu_desktop_2016())
+    lan.connect(target)
+    no_foothold = attacker.escalate_local(target, VULN_DIRTYCOW)
+    assert no_foothold.succeeded is False
+    attacker.grant_foothold(target, "user")
+    escalated = attacker.escalate_local(target, VULN_DIRTYCOW)
+    assert escalated.succeeded is True
+    assert attacker.footholds["victim"] == "root"
+
+
+def test_loot_accumulates_key_material(world):
+    sim, lan, attacker_host, attacker = world
+    from repro.crypto import KeyStore
+    ks = KeyStore()
+    ks.create_symmetric("spines.ops")
+    target = Host(sim, "replica")
+    target.key_ring = ks.ring_for(symmetric_ids=["spines.ops"])
+    lan.connect(target)
+    attacker.grant_foothold(target, "user")
+    assert attacker.loot.has_symmetric("spines.ops")
+
+
+def test_plc_attacks_against_reachable_plc(world):
+    sim, lan, attacker_host, attacker = world
+    plc_host = Host(sim, "plc")
+    lan.connect(plc_host)
+    device = PlcDevice(sim, "plc", plc_host, redteam_topology(),
+                       physical=True)
+    dump = attacker.plc_memory_dump(attacker_host, lan.ip_of(plc_host))
+    sim.run(until=2.0)
+    assert dump.succeeded is True
+    assert attacker.dumped_configs[lan.ip_of(plc_host)]["logic"] == \
+        "interlock-v1"
+    upload = attacker.plc_config_upload(attacker_host, lan.ip_of(plc_host),
+                                        {"logic": "evil"})
+    sim.run(until=4.0)
+    assert upload.succeeded is True
+    assert device.compromised_config
+
+
+def test_dos_flood_saturates_victim_link(world):
+    sim, lan, attacker_host, attacker = world
+    victim = Host(sim, "victim")
+    lan.connect(victim)
+    link = lan.link_of(victim)
+    link.bandwidth = 100_000.0
+    link.queue_bytes = 8_000
+    victim.udp_bind(5000, lambda *args: None)
+    record = attacker.dos_flood(attacker_host, lan.ip_of(victim), 5000,
+                                duration=2.0, rate_pps=1000)
+    sim.run(until=4.0)
+    assert record.succeeded is True
+    assert link.frames_dropped > 0
+
+
+def test_spoofed_udp_carries_claimed_source(world):
+    sim, lan, attacker_host, attacker = world
+    victim = Host(sim, "victim")
+    peer = Host(sim, "peer")
+    lan.connect(victim)
+    lan.connect(peer)
+    seen = []
+    victim.udp_bind(7777, lambda src_ip, src_port, payload: seen.append(src_ip))
+    attacker.spoof_udp(attacker_host, lan.ip_of(peer), lan.ip_of(victim),
+                       7777, "spoofed")
+    sim.run(until=2.0)
+    assert seen == [lan.ip_of(peer)]   # victim believes it came from peer
+
+
+def test_mitm_forward_policy_observes_without_modifying(world):
+    sim, lan, attacker_host, attacker = world
+    a = Host(sim, "a")
+    b = Host(sim, "b")
+    lan.connect(a)
+    lan.connect(b)
+    received = []
+    b.udp_bind(6000, lambda src, port, payload: received.append(payload))
+    # Prime ARP caches, then poison.
+    a.udp_send(lan.ip_of(b), 6000, "before", src_port=1)
+    sim.run(until=1.0)
+    mitm = ArpMitm(sim, "mitm", attacker_host, lan, lan.ip_of(a),
+                   lan.ip_of(b), policy="forward")
+    sim.run(until=2.0)
+    a.udp_send(lan.ip_of(b), 6000, "through-mitm", src_port=1)
+    sim.run(until=3.0)
+    mitm.stop_attack()
+    assert "through-mitm" in received       # relayed intact
+    assert len(mitm.intercepted) >= 1
+    assert mitm.relayed >= 1
+
+
+def test_mitm_modify_policy_rewrites_payloads(world):
+    sim, lan, attacker_host, attacker = world
+    a = Host(sim, "a")
+    b = Host(sim, "b")
+    lan.connect(a)
+    lan.connect(b)
+    received = []
+    b.udp_bind(6000, lambda src, port, payload: received.append(payload))
+    a.udp_send(lan.ip_of(b), 6000, "warmup", src_port=1)
+    sim.run(until=1.0)
+    mitm = ArpMitm(sim, "mitm", attacker_host, lan, lan.ip_of(a),
+                   lan.ip_of(b),
+                   policy=lambda payload: f"evil:{payload}")
+    sim.run(until=2.0)
+    a.udp_send(lan.ip_of(b), 6000, "secret", src_port=1)
+    sim.run(until=3.0)
+    mitm.stop_attack()
+    assert "evil:secret" in received
+    assert mitm.modified >= 1

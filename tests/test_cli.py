@@ -1,0 +1,33 @@
+"""Tests for the spire-sim command-line interface."""
+
+import io
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(argv)
+    return code, buffer.getvalue()
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_quickstart_command():
+    code, output = run_cli(["--seed", "3", "quickstart"])
+    assert code == 0
+    assert "replicas" in output
+    assert "views consistent: True" in output
+
+
+def test_breach_command():
+    code, output = run_cli(["--seed", "3", "breach"])
+    assert code == 0
+    assert "rebuilt from field devices: True" in output

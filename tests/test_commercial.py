@@ -1,0 +1,116 @@
+"""Tests for the commercial SCADA baseline (primary-backup, Fig. 1)."""
+
+import pytest
+
+from repro.net import Host, Lan
+from repro.plc import PlcDevice, redteam_topology
+from repro.redteam.commercial import (
+    CommercialHmi, CommercialScadaServer, OperatorCommand, StatePush,
+    COMMAND_PORT, STATE_PUSH_PORT,
+)
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator(seed=41)
+    lan = Lan(sim, "ops", "10.0.0.0/24")
+    topology = redteam_topology()
+    plc_host = Host(sim, "plc")
+    lan.connect(plc_host)
+    PlcDevice(sim, "plc", plc_host, topology, physical=True)
+    hosts = {}
+    for name in ("primary", "backup", "hmi"):
+        hosts[name] = Host(sim, name)
+        lan.connect(hosts[name])
+    primary = CommercialScadaServer(
+        sim, "primary", hosts["primary"], lan.ip_of(plc_host),
+        lan.ip_of(hosts["hmi"]), primary=True,
+        peer_ip=lan.ip_of(hosts["backup"]))
+    backup = CommercialScadaServer(
+        sim, "backup", hosts["backup"], lan.ip_of(plc_host),
+        lan.ip_of(hosts["hmi"]), primary=False,
+        peer_ip=lan.ip_of(hosts["primary"]))
+    names = topology.breaker_names()
+    primary.set_coil_names(names)
+    backup.set_coil_names(names)
+    hmi = CommercialHmi(sim, "hmi", hosts["hmi"],
+                        lan.ip_of(hosts["primary"]))
+    return sim, lan, topology, primary, backup, hmi, hosts
+
+
+def test_polling_reaches_hmi(setup):
+    sim, lan, topology, primary, backup, hmi, hosts = setup
+    sim.run(until=4.0)
+    assert hmi.breaker_state("B10-1") is True
+    assert hmi.pushes_received >= 2
+
+
+def test_operator_command_actuates_breaker(setup):
+    sim, lan, topology, primary, backup, hmi, hosts = setup
+    sim.run(until=3.0)
+    hmi.command_breaker("B21", False)
+    sim.run(until=7.0)
+    assert topology.get_breaker("B21") is False
+    assert hmi.breaker_state("B21") is False
+
+
+def test_backup_remains_passive_while_primary_alive(setup):
+    sim, lan, topology, primary, backup, hmi, hosts = setup
+    sim.run(until=6.0)
+    assert primary.active
+    assert not backup.active
+    assert backup.failovers == 0
+
+
+def test_failover_on_primary_crash(setup):
+    sim, lan, topology, primary, backup, hmi, hosts = setup
+    sim.run(until=4.0)
+    primary.crash()
+    sim.run(until=10.0)
+    assert backup.active
+    assert backup.failovers == 1
+    # The HMI keeps receiving updates from the backup.
+    last = hmi.pushes_received
+    sim.run(until=13.0)
+    assert hmi.pushes_received > last
+
+
+def test_unauthenticated_push_accepted_from_anywhere(setup):
+    """The architectural weakness: the HMI believes any StatePush."""
+    sim, lan, topology, primary, backup, hmi, hosts = setup
+    sim.run(until=3.0)
+    attacker = Host(sim, "attacker")
+    lan.connect(attacker)
+    forged = StatePush(seq=10_000, server="primary",
+                       breakers={"B10-1": False}, source_note="forged")
+    attacker.udp_send(lan.ip_of(hosts["hmi"]), STATE_PUSH_PORT, forged,
+                      src_port=STATE_PUSH_PORT)
+    sim.run(until=4.0)
+    assert hmi.forged_pushes_displayed == 1
+    assert hmi.breaker_state("B10-1") is False   # the lie is displayed
+
+
+def test_unauthenticated_command_accepted_from_anywhere(setup):
+    """Anyone on the LAN can operate breakers through the server."""
+    sim, lan, topology, primary, backup, hmi, hosts = setup
+    sim.run(until=3.0)
+    attacker = Host(sim, "attacker")
+    lan.connect(attacker)
+    attacker.udp_send(lan.ip_of(hosts["primary"]), COMMAND_PORT,
+                      OperatorCommand(breaker="B10-1", close=False),
+                      src_port=5)
+    sim.run(until=6.0)
+    assert topology.get_breaker("B10-1") is False
+
+
+def test_crashed_server_stops_polling(setup):
+    sim, lan, topology, primary, backup, hmi, hosts = setup
+    sim.run(until=3.0)
+    primary.crash()
+    backup.crash()
+    sim.run(until=3.5)   # drain in-flight frames
+    last = hmi.pushes_received
+    sim.run(until=8.0)
+    assert hmi.pushes_received == last
+    assert hmi.seconds_since_update() >= 4.0

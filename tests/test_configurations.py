@@ -1,0 +1,76 @@
+"""Deployment-configuration flexibility: the builder supports any
+(f, k) sizing, threshold mode, and hardening toggles."""
+
+import pytest
+
+from repro.core import SpireConfig, build_spire
+from repro.prime import replicas_required
+from repro.sim import Simulator
+
+
+def make_config(f, k, **overrides):
+    base = SpireConfig(name=f"cfg-f{f}k{k}", f=f, k=k,
+                       n_distribution_plcs=0, n_generation_plcs=0,
+                       physical_scenario="plant", n_hmis=1,
+                       with_historian=False)
+    for key, value in overrides.items():
+        setattr(base, key, value)
+    return base
+
+
+@pytest.mark.parametrize("f,k", [(1, 0), (1, 1), (2, 0)])
+def test_any_fk_configuration_operates(f, k):
+    sim = Simulator(seed=200 + 10 * f + k)
+    system = build_spire(sim, make_config(f, k))
+    assert system.prime_config.n == replicas_required(f, k)
+    sim.run(until=4.0)
+    hmi = system.hmis[0]
+    assert hmi.breaker_state("plc-physical", "B57") is True
+    # Tolerates f silent replicas.
+    for name in system.prime_config.replica_names[:f]:
+        system.replicas[name].byzantine = "crash"
+    hmi.command_breaker("plc-physical", "B57", False)
+    sim.run(until=sim.now + 4.0)
+    assert system.physical_plc.topology.get_breaker("B57") is False
+    assert system.master_views_consistent()
+
+
+def test_f2_tolerates_two_compromises():
+    sim = Simulator(seed=231)
+    system = build_spire(sim, make_config(2, 0))
+    assert system.prime_config.n == 7
+    sim.run(until=4.0)
+    names = system.prime_config.replica_names
+    system.replicas[names[0]].byzantine = "crash"
+    system.replicas[names[1]].byzantine = "crash"
+    hmi = system.hmis[0]
+    hmi.command_breaker("plc-physical", "B56", False)
+    sim.run(until=sim.now + 5.0)
+    assert system.physical_plc.topology.get_breaker("B56") is False
+
+
+def test_unhardened_config_builds_dynamic_networks():
+    sim = Simulator(seed=232)
+    system = build_spire(sim, make_config(1, 0, harden_networks=False))
+    assert not system.external_lan.switch.static_mode
+    assert not any(iface.arp.static_mode
+                   for iface in system.external_lan.members)
+
+
+def test_no_physical_scenario():
+    sim = Simulator(seed=233)
+    config = make_config(1, 0, physical_scenario="none",
+                         n_distribution_plcs=2)
+    system = build_spire(sim, config)
+    assert system.physical_plc is None
+    sim.run(until=4.0)
+    master = next(iter(system.masters.values()))
+    assert "plc-dist-1" in master.plc_state
+
+
+def test_variants_tracked_per_replica():
+    sim = Simulator(seed=234)
+    system = build_spire(sim, make_config(1, 1))
+    layouts = {system.variants[name]["scada-master"].layout_seed
+               for name in system.prime_config.replica_names}
+    assert len(layouts) == system.prime_config.n   # all distinct

@@ -1,0 +1,100 @@
+"""Tests for the Fig. 3 testbed assembly and its supporting processes."""
+
+import pytest
+
+from repro.core.deployment import BreakerCycler, build_redteam_testbed
+from repro.sim import Simulator
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    sim = Simulator(seed=95)
+    tb = build_redteam_testbed(sim)
+    sim.run(until=8.0)
+    return sim, tb
+
+
+def test_networks_present(testbed):
+    sim, tb = testbed
+    assert tb.enterprise_lan.subnet.cidr == "10.10.10.0/24"
+    assert tb.commercial.lan.subnet.cidr == "10.10.20.0/24"
+    assert tb.spire.prime_config.n == 4        # red-team config: f=1, k=0
+    assert len(tb.mana) == 3
+
+
+def test_enterprise_chatter_generates_traffic(testbed):
+    sim, tb = testbed
+    assert len(tb.captures["enterprise"]) > 10
+
+
+def test_commercial_and_spire_both_operational(testbed):
+    sim, tb = testbed
+    assert tb.commercial.hmi.pushes_received > 0
+    assert tb.spire.hmis[0].display_updates > 0
+
+
+def test_firewall_blocks_unsolicited_enterprise_to_ops(testbed):
+    """Only the allowed (historian/webadmin) flows cross the perimeter."""
+    sim, tb = testbed
+    results = []
+    workstation = tb.enterprise_hosts[0]
+    plc_ip = tb.commercial.lan.ip_of(tb.commercial.plc_host)
+    workstation.tcp_probe(plc_ip, 502, results.append)
+    sim.run(until=sim.now + 2.0)
+    assert results == ["filtered"]
+
+
+def test_allowed_webadmin_flow_crosses_perimeter(testbed):
+    sim, tb = testbed
+    results = []
+    workstation = tb.enterprise_hosts[0]
+    server_ip = tb.commercial.lan.ip_of(tb.commercial.primary.host)
+    workstation.tcp_probe(server_ip, 80, results.append)
+    sim.run(until=sim.now + 2.0)
+    assert results == ["open"]
+
+
+def test_spire_isolated_from_enterprise(testbed):
+    sim, tb = testbed
+    results = []
+    workstation = tb.enterprise_hosts[0]
+    replica_host = next(iter(tb.spire.replica_hosts.values()))
+    replica_ip = tb.spire.external_lan.ip_of(replica_host)
+    workstation.tcp_probe(replica_ip, 8120, results.append)
+    sim.run(until=sim.now + 2.0)
+    assert results in (["filtered"], ["unreachable"])
+
+
+def test_breaker_cycler_follows_predetermined_sequence():
+    sim = Simulator(seed=96)
+    commands = []
+    cycler = BreakerCycler(sim, "cyc", ["A", "B", "C"],
+                           lambda breaker, close: commands.append(
+                               (breaker, close)),
+                           interval=1.0)
+    sim.run(until=6.5)
+    assert commands == [("A", False), ("B", False), ("C", False),
+                        ("A", True), ("B", True), ("C", True)]
+    assert cycler.expected_state() == {"A": True, "B": True, "C": True}
+
+
+def test_place_attacker_enterprise_has_gateway(testbed):
+    sim, tb = testbed
+    host = tb.place_attacker("enterprise", "rt-probe")
+    assert host._gateway_ip == tb.enterprise_lan.ip_of(tb.router)
+
+
+def test_place_attacker_spire_registered_on_switch(testbed):
+    sim, tb = testbed
+    host = tb.place_attacker("ops-spire", "rt-sp-probe")
+    mac = tb.spire.external_lan.interface_of(host).mac
+    assert mac in tb.spire.external_lan.switch._static_map
+
+
+def test_mana_instances_are_passive(testbed):
+    """IDS hosts never transmit into the monitored networks: the MANA
+    instances only consume Capture objects."""
+    sim, tb = testbed
+    for instance in tb.mana.values():
+        assert not hasattr(instance, "host")
+        assert instance.capture.records is not None

@@ -1,0 +1,191 @@
+"""Tests for the crypto layer: key rings, MACs, signatures, sealing."""
+
+import dataclasses
+
+import pytest
+
+from repro.crypto import (
+    KeyError_, KeyRing, KeyStore, SealError, UnserializableError,
+    canonical_bytes, digest, forge_signature, mac_payload, seal,
+    sign_payload, verify_mac, verify_signature,
+)
+
+
+@pytest.fixture
+def keystore():
+    ks = KeyStore()
+    ks.create_symmetric("spines.internal")
+    ks.create_symmetric("spines.external")
+    ks.create_signing("replica1")
+    ks.create_signing("replica2")
+    return ks
+
+
+# ---------------------------------------------------------------------------
+# canonical serialization
+# ---------------------------------------------------------------------------
+def test_canonical_bytes_is_deterministic():
+    value = {"b": [1, 2, (3, "x")], "a": {"k": b"bytes", "f": 1.5}}
+    assert canonical_bytes(value) == canonical_bytes(value)
+
+
+def test_canonical_bytes_dict_order_independent():
+    assert canonical_bytes({"a": 1, "b": 2}) == canonical_bytes({"b": 2, "a": 1})
+
+
+def test_canonical_bytes_type_tagged():
+    assert canonical_bytes(1) != canonical_bytes("1")
+    assert canonical_bytes(True) != canonical_bytes(1)
+    assert canonical_bytes(None) != canonical_bytes(0)
+    assert canonical_bytes(1.0) != canonical_bytes(1)
+
+
+def test_canonical_bytes_dataclass():
+    @dataclasses.dataclass
+    class Point:
+        x: int
+        y: int
+
+    assert canonical_bytes(Point(1, 2)) == canonical_bytes(Point(1, 2))
+    assert canonical_bytes(Point(1, 2)) != canonical_bytes(Point(2, 1))
+
+
+def test_canonical_bytes_rejects_unknown_types():
+    with pytest.raises(UnserializableError):
+        canonical_bytes(object())
+
+
+def test_digest_distinguishes_payloads():
+    assert digest({"seq": 1}) != digest({"seq": 2})
+    assert len(digest("x")) == 32
+
+
+# ---------------------------------------------------------------------------
+# key store / rings
+# ---------------------------------------------------------------------------
+def test_keystore_rejects_duplicates(keystore):
+    with pytest.raises(KeyError_):
+        keystore.create_symmetric("spines.internal")
+    with pytest.raises(KeyError_):
+        keystore.create_signing("replica1")
+
+
+def test_keystore_unknown_key(keystore):
+    with pytest.raises(KeyError_):
+        keystore.symmetric("nope")
+    with pytest.raises(KeyError_):
+        keystore.signing("nobody")
+
+
+def test_ring_provisioning(keystore):
+    ring = keystore.ring_for(symmetric_ids=["spines.internal"],
+                             signing_principals=["replica1"])
+    assert ring.has_symmetric("spines.internal")
+    assert not ring.has_symmetric("spines.external")
+    assert ring.can_sign_as("replica1")
+    assert not ring.can_sign_as("replica2")
+
+
+def test_ring_clone_models_compromise(keystore):
+    ring = keystore.ring_for(symmetric_ids=["spines.internal"])
+    loot = ring.clone()
+    assert loot.has_symmetric("spines.internal")
+    # Cloned ring is independent.
+    loot.install_symmetric("extra", b"x" * 32)
+    assert not ring.has_symmetric("extra")
+
+
+def test_ring_merge_accumulates(keystore):
+    a = keystore.ring_for(symmetric_ids=["spines.internal"])
+    b = keystore.ring_for(signing_principals=["replica2"])
+    attacker = KeyRing()
+    attacker.merge(a.clone())
+    attacker.merge(b.clone())
+    assert attacker.has_symmetric("spines.internal")
+    assert attacker.can_sign_as("replica2")
+
+
+# ---------------------------------------------------------------------------
+# MACs
+# ---------------------------------------------------------------------------
+def test_mac_roundtrip(keystore):
+    ring = keystore.ring_for(symmetric_ids=["spines.internal"])
+    payload = {"type": "hello", "seq": 7}
+    mac = mac_payload(ring, "spines.internal", payload)
+    assert verify_mac(ring, mac, payload)
+
+
+def test_mac_detects_tampering(keystore):
+    ring = keystore.ring_for(symmetric_ids=["spines.internal"])
+    mac = mac_payload(ring, "spines.internal", {"seq": 7})
+    assert not verify_mac(ring, mac, {"seq": 8})
+
+
+def test_mac_requires_key(keystore):
+    ring = keystore.ring_for(symmetric_ids=["spines.internal"])
+    stranger = keystore.ring_for(symmetric_ids=["spines.external"])
+    mac = mac_payload(ring, "spines.internal", "data")
+    assert not verify_mac(stranger, mac, "data")
+    with pytest.raises(KeyError_):
+        mac_payload(stranger, "spines.internal", "data")
+
+
+# ---------------------------------------------------------------------------
+# signatures
+# ---------------------------------------------------------------------------
+def test_signature_roundtrip(keystore):
+    signer = keystore.ring_for(signing_principals=["replica1"])
+    verifier = keystore.ring_for()  # holds no secrets, only the registry
+    sig = sign_payload(signer, "replica1", {"update": 1})
+    assert verify_signature(verifier, sig, {"update": 1})
+
+
+def test_signature_tampering_detected(keystore):
+    signer = keystore.ring_for(signing_principals=["replica1"])
+    sig = sign_payload(signer, "replica1", {"update": 1})
+    assert not verify_signature(signer, sig, {"update": 2})
+
+
+def test_cannot_sign_as_other_principal(keystore):
+    ring = keystore.ring_for(signing_principals=["replica1"])
+    with pytest.raises(KeyError_):
+        sign_payload(ring, "replica2", "data")
+
+
+def test_forged_signature_never_verifies(keystore):
+    verifier = keystore.ring_for()
+    forged = forge_signature("replica1")
+    assert not verify_signature(verifier, forged, "anything")
+
+
+def test_verification_of_unknown_principal_fails(keystore):
+    verifier = keystore.ring_for()
+    signer = keystore.ring_for(signing_principals=["replica1"])
+    sig = sign_payload(signer, "replica1", "x")
+    lonely = KeyRing()  # no registry at all
+    assert not verify_signature(lonely, sig, "x")
+
+
+# ---------------------------------------------------------------------------
+# sealed payloads
+# ---------------------------------------------------------------------------
+def test_seal_open_roundtrip(keystore):
+    ring = keystore.ring_for(symmetric_ids=["spines.internal"])
+    sealed = seal(ring, "spines.internal", {"cmd": "trip breaker"})
+    assert sealed.open(ring) == {"cmd": "trip breaker"}
+
+
+def test_seal_requires_key(keystore):
+    ring = keystore.ring_for(symmetric_ids=["spines.internal"])
+    outsider = keystore.ring_for(symmetric_ids=["spines.external"])
+    sealed = seal(ring, "spines.internal", "secret")
+    with pytest.raises(SealError):
+        sealed.open(outsider)
+
+
+def test_tampered_seal_detected(keystore):
+    ring = keystore.ring_for(symmetric_ids=["spines.internal"])
+    sealed = seal(ring, "spines.internal", "secret")
+    tampered = sealed.tamper("evil")
+    with pytest.raises(SealError):
+        tampered.open(ring)

@@ -1,0 +1,152 @@
+"""Tests for MultiCompiler diversity, exploits, and proactive recovery."""
+
+from repro.diversity import (
+    BASE_EXPLOIT_EFFORT_HOURS, CodeVariant, Exploit, ExploitDeveloper,
+    MultiCompiler, exploit_effort_hours,
+)
+from repro.util.rng import DeterministicRng
+
+
+def make_compiler(diversify=True):
+    return MultiCompiler(DeterministicRng(5), diversify=diversify)
+
+
+def test_diversified_builds_have_distinct_layouts():
+    compiler = make_compiler()
+    variants = [compiler.compile("spines") for _ in range(20)]
+    layouts = {v.layout_seed for v in variants}
+    assert len(layouts) == 20
+
+
+def test_monoculture_builds_share_layout():
+    compiler = make_compiler(diversify=False)
+    a = compiler.compile("spines")
+    b = compiler.compile("spines")
+    c = compiler.compile("scada-master")
+    assert a.layout_seed == b.layout_seed
+    assert a.layout_seed != c.layout_seed   # per-program, still
+
+
+def test_exploit_only_works_on_matching_layout():
+    compiler = make_compiler()
+    victim = compiler.compile("spines")
+    other = compiler.compile("spines")
+    exploit = Exploit(program="spines", target_layout=victim.layout_seed,
+                      vuln_id="overflow-1", developed_at=0.0)
+    assert exploit.attempt(victim)
+    assert not exploit.attempt(other)
+    wrong_program = compiler.compile("scada-master")
+    assert not exploit.attempt(wrong_program)
+
+
+def test_one_exploit_compromises_entire_monoculture():
+    """The ablation that motivates diversity (Section II)."""
+    compiler = make_compiler(diversify=False)
+    fleet = [compiler.compile("scada-master") for _ in range(6)]
+    exploit = Exploit(program="scada-master",
+                      target_layout=fleet[0].layout_seed,
+                      vuln_id="overflow-1", developed_at=0.0)
+    assert all(exploit.attempt(variant) for variant in fleet)
+
+
+def test_exploit_effort_reflects_hygiene():
+    sloppy = CodeVariant(program="spines", layout_seed=1, build_id=1,
+                         debug_symbols=True, options_in_binary=False)
+    tight = CodeVariant(program="spines", layout_seed=2, build_id=2,
+                        debug_symbols=False, options_in_binary=True)
+    assert exploit_effort_hours(sloppy) < BASE_EXPLOIT_EFFORT_HOURS
+    assert exploit_effort_hours(tight) > exploit_effort_hours(sloppy)
+
+
+def test_exploit_developer_accumulates_effort_and_arsenal():
+    developer = ExploitDeveloper(clock=lambda: 42.0, speedup=2.0)
+    compiler = make_compiler()
+    variant = compiler.compile("spines")
+    exploit = developer.study_and_develop(variant, "overflow-1")
+    assert developer.hours_spent > 0
+    assert developer.try_all(variant) is exploit
+    fresh = compiler.compile("spines")
+    assert developer.try_all(fresh) is None
+
+
+def test_recovery_invalidates_developed_exploits():
+    """After proactive recovery installs a fresh variant, the
+    attacker's exploit no longer matches — the paper's argument for
+    recovery + diversity over a long system lifetime."""
+    from repro.diversity import ProactiveRecoveryScheduler, RecoveryTarget
+    from repro.sim import Simulator, Process
+
+    sim = Simulator(seed=4)
+
+    class FakeReplica(Process):
+        def __init__(self):
+            super().__init__(sim, "fake")
+            self.crashes = 0
+            self.recoveries = 0
+
+        def crash(self):
+            self.crashes += 1
+
+        def recover(self):
+            self.recoveries += 1
+
+    class FakeHost:
+        name = "host1"
+        compromised_level = "root"
+
+    compiler = MultiCompiler(sim.rng, diversify=True)
+    replica = FakeReplica()
+    target = RecoveryTarget(name="r1", host=FakeHost(), replica=replica)
+    scheduler = ProactiveRecoveryScheduler(sim, compiler, [target],
+                                           period=5.0, downtime=1.0, k=1)
+    before = target.variants["scada-master"]
+    developer = ExploitDeveloper(clock=lambda: sim.now)
+    exploit = developer.study_and_develop(before, "overflow-1")
+    assert exploit.attempt(before)
+
+    scheduler.start()
+    sim.run(until=7.0)
+    after = target.variants["scada-master"]
+    assert after.build_id != before.build_id
+    assert not exploit.attempt(after)
+    assert target.host.compromised_level is None   # cleansed
+    assert replica.crashes == 1 and replica.recoveries == 1
+    assert scheduler.recoveries_completed == 1
+
+
+def test_scheduler_never_exceeds_k():
+    from repro.diversity import ProactiveRecoveryScheduler, RecoveryTarget
+    from repro.sim import Simulator, Process
+
+    sim = Simulator(seed=6)
+    down_now = []
+    max_down = {"n": 0}
+
+    class FakeReplica(Process):
+        def __init__(self, name):
+            super().__init__(sim, name)
+
+        def crash(self):
+            down_now.append(self.name)
+            max_down["n"] = max(max_down["n"], len(down_now))
+
+        def recover(self):
+            down_now.remove(self.name)
+
+    class FakeHost:
+        def __init__(self, name):
+            self.name = name
+            self.compromised_level = None
+
+    compiler = MultiCompiler(sim.rng)
+    targets = [RecoveryTarget(name=f"r{i}", host=FakeHost(f"h{i}"),
+                              replica=FakeReplica(f"rep{i}"))
+               for i in range(6)]
+    # Recovery takes longer than the period: pressure to overlap.
+    scheduler = ProactiveRecoveryScheduler(sim, compiler, targets,
+                                           period=1.0, downtime=2.5, k=1)
+    scheduler.start()
+    sim.run(until=20.0)
+    assert max_down["n"] <= 1
+    assert scheduler.recoveries_completed >= 4
+    assert scheduler.recoveries_skipped > 0

@@ -1,0 +1,81 @@
+"""End-to-end diversity campaign: exploits vs the replicated fleet
+(Section II's long-lifetime threat model)."""
+
+import pytest
+
+from repro.core import build_spire, plant_config
+from repro.diversity import ExploitDeveloper
+from repro.redteam import Attacker
+from repro.redteam.scenarios import (
+    exploit_replica_application, run_diversity_exploit_campaign,
+)
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def campaign():
+    sim = Simulator(seed=91)
+    system = build_spire(sim, plant_config(
+        n_distribution_plcs=0, n_generation_plcs=0, n_hmis=1,
+        proactive_recovery_period=30.0, proactive_recovery_downtime=0.5))
+    sim.run(until=4.0)
+    from repro.net import Host, ubuntu_desktop_2016
+    staging = Host(sim, "rt-box", os_profile=ubuntu_desktop_2016())
+    system.external_lan.connect(staging)
+    attacker = Attacker(sim, "redteam", staging)
+    developer = ExploitDeveloper(clock=lambda: sim.now)
+    return sim, system, attacker, developer
+
+
+def test_campaign_outcomes(campaign):
+    sim, system, attacker, developer = campaign
+    report = run_diversity_exploit_campaign(system, attacker, developer)
+    assert report.achieved("exploit first replica (matching build)")
+    assert not report.achieved("reuse exploit on other replicas")
+    assert not report.achieved(
+        "disrupt SCADA with one compromised replica")
+    assert not report.achieved("exploit survives proactive recovery")
+    # The cleansed replica is back in a clean state.
+    stage = next(s for s in report.stages
+                 if s.stage == "exploit survives proactive recovery")
+    assert stage.observations["cleansed"] is True
+
+
+def test_exploit_only_matches_current_build(campaign):
+    sim, system, attacker, developer = campaign
+    names = system.prime_config.replica_names
+    exploit = developer.study_and_develop(
+        system.variants[names[1]]["scada-master"], "overflow")
+    assert exploit_replica_application(attacker, system, names[1], exploit)
+    assert not exploit_replica_application(attacker, system, names[2],
+                                           exploit)
+    assert system.replicas[names[1]].byzantine == "crash"
+    assert system.replicas[names[2]].byzantine is None
+
+
+def test_monoculture_system_falls_to_one_exploit():
+    """With diversify=False (the ablation), one exploit owns the fleet
+    and the f=1 assumption is violated: the system halts or worse."""
+    sim = Simulator(seed=92)
+    system = build_spire(sim, plant_config(
+        n_distribution_plcs=0, n_generation_plcs=0, n_hmis=1,
+        diversify=False))
+    sim.run(until=4.0)
+    from repro.net import Host
+    staging = Host(sim, "rt-box")
+    system.external_lan.connect(staging)
+    attacker = Attacker(sim, "redteam", staging)
+    developer = ExploitDeveloper(clock=lambda: sim.now)
+    names = system.prime_config.replica_names
+    exploit = developer.study_and_develop(
+        system.variants[names[0]]["scada-master"], "overflow")
+    felled = sum(1 for name in names
+                 if exploit_replica_application(attacker, system, name,
+                                                exploit))
+    assert felled == len(names)
+    # No quorum remains: a new command never executes.
+    hmi = system.hmis[0]
+    unit = system.physical_plc
+    hmi.command_breaker(unit.device.name, "B57", False)
+    sim.run(until=sim.now + 6.0)
+    assert unit.topology.get_breaker("B57") is True

@@ -1,0 +1,181 @@
+"""Tests for the DNP3 outstation and the DNP3 proxy."""
+
+import pytest
+
+from repro.net import Host, Lan
+from repro.plc.dnp3 import (
+    Crob, CROB_LATCH_OFF, CROB_LATCH_ON, Dnp3Outstation, Dnp3Request,
+    Dnp3Response, FC_DIRECT_OPERATE, FC_OPERATE, FC_READ, FC_SELECT,
+    FC_UNSOLICITED, IIN_NO_FUNC_SUPPORT, IIN_PARAM_ERROR,
+)
+from repro.plc.topology import plant_topology
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def outstation_setup():
+    sim = Simulator(seed=61)
+    lan = Lan(sim, "lan", "10.0.0.0/24")
+    rtu_host = Host(sim, "rtu")
+    master_host = Host(sim, "master")
+    lan.connect(rtu_host)
+    lan.connect(master_host)
+    topo = plant_topology()
+    outstation = Dnp3Outstation(sim, "rtu1", rtu_host, topo)
+    return sim, lan, rtu_host, master_host, topo, outstation
+
+
+def dnp3_exchange(sim, master_host, rtu_ip, requests):
+    """Send requests, return solicited responses (unsolicited pushes
+    arrive on the same connection and are filtered out here)."""
+    responses = []
+
+    def established(conn):
+        for request in requests:
+            conn.send(request)
+
+    master_host.tcp_connect(
+        rtu_ip, 20000, established,
+        on_data=lambda c, p: responses.append(p)
+        if p.function != FC_UNSOLICITED else None)
+    sim.run(until=sim.now + 2.0)
+    return responses
+
+
+def test_class0_read_returns_all_points(outstation_setup):
+    sim, lan, rtu_host, master, topo, outstation = outstation_setup
+    responses = dnp3_exchange(sim, master, lan.ip_of(rtu_host),
+                              [Dnp3Request(seq=1, function=FC_READ)])
+    assert len(responses) == 1
+    response = responses[0]
+    assert response.ok
+    assert response.binary_inputs == {0: True, 1: True, 2: True}
+    assert all(v in (0, 100) for v in response.analog_inputs.values())
+
+
+def test_direct_operate_actuates_breaker(outstation_setup):
+    sim, lan, rtu_host, master, topo, outstation = outstation_setup
+    point = next(p for p, b in outstation.point_map.items() if b == "B57")
+    responses = dnp3_exchange(
+        sim, master, lan.ip_of(rtu_host),
+        [Dnp3Request(seq=2, function=FC_DIRECT_OPERATE,
+                     crob=Crob(point=point, operation=CROB_LATCH_OFF))])
+    assert responses[0].crob_status == "success"
+    assert topo.get_breaker("B57") is False
+
+
+def test_select_before_operate_sequence(outstation_setup):
+    sim, lan, rtu_host, master, topo, outstation = outstation_setup
+    point = next(p for p, b in outstation.point_map.items() if b == "B56")
+    crob = Crob(point=point, operation=CROB_LATCH_OFF)
+    responses = dnp3_exchange(
+        sim, master, lan.ip_of(rtu_host),
+        [Dnp3Request(seq=3, function=FC_SELECT, crob=crob),
+         Dnp3Request(seq=4, function=FC_OPERATE, crob=crob)])
+    assert responses[0].crob_status == "selected"
+    assert responses[1].crob_status == "success"
+    assert topo.get_breaker("B56") is False
+
+
+def test_operate_without_select_rejected(outstation_setup):
+    sim, lan, rtu_host, master, topo, outstation = outstation_setup
+    point = next(p for p, b in outstation.point_map.items() if b == "B56")
+    responses = dnp3_exchange(
+        sim, master, lan.ip_of(rtu_host),
+        [Dnp3Request(seq=5, function=FC_OPERATE,
+                     crob=Crob(point=point, operation=CROB_LATCH_OFF))])
+    assert responses[0].iin & IIN_PARAM_ERROR
+    assert topo.get_breaker("B56") is True
+
+
+def test_unknown_function_flagged(outstation_setup):
+    sim, lan, rtu_host, master, topo, outstation = outstation_setup
+    responses = dnp3_exchange(sim, master, lan.ip_of(rtu_host),
+                              [Dnp3Request(seq=6, function=0x55)])
+    assert responses[0].iin & IIN_NO_FUNC_SUPPORT
+
+
+def test_bad_point_rejected(outstation_setup):
+    sim, lan, rtu_host, master, topo, outstation = outstation_setup
+    responses = dnp3_exchange(
+        sim, master, lan.ip_of(rtu_host),
+        [Dnp3Request(seq=7, function=FC_DIRECT_OPERATE,
+                     crob=Crob(point=99, operation=CROB_LATCH_ON))])
+    assert responses[0].iin & IIN_PARAM_ERROR
+
+
+def test_unsolicited_responses_on_change(outstation_setup):
+    """The DNP3 outstation pushes changed points to connected masters."""
+    sim, lan, rtu_host, master, topo, outstation = outstation_setup
+    received = []
+
+    def established(conn):
+        pass
+
+    master.tcp_connect(lan.ip_of(rtu_host), 20000, established,
+                       on_data=lambda c, p: received.append(p))
+    sim.run(until=1.0)
+    topo.set_breaker("B57", False)
+    sim.run(until=2.0)
+    unsolicited = [r for r in received if r.function == FC_UNSOLICITED]
+    assert unsolicited
+    point = next(p for p, b in outstation.point_map.items() if b == "B57")
+    assert unsolicited[-1].binary_inputs[point] is False
+    assert outstation.unsolicited_sent >= 1
+
+
+def test_dnp3_proxy_end_to_end():
+    """Full path: DNP3 outstation -> proxy -> Prime masters -> HMI feed,
+    and commands back down via f+1-agreed CROBs."""
+    import sys, os
+    sys.path.insert(0, os.path.dirname(__file__))
+    from conftest import build_cluster
+    from repro.scada.dnp3_proxy import Dnp3PlcProxy
+    from repro.scada.proxy import wire_direct
+
+    sim = Simulator(seed=62)
+    cluster = build_cluster(sim, f=1, k=1)
+    # Bind masters: reuse cluster replicas but swap the KvApp for the
+    # real ScadaMaster so directives/feeds flow.
+    from repro.scada.master import ScadaMaster
+    for name, replica in cluster.replicas.items():
+        master = ScadaMaster(name)
+        master.bind(replica)
+        replica.app = master
+        cluster.apps[name] = master
+
+    proxy_host = Host(sim, "dnp3-proxy-host")
+    cluster.external_lan.connect(proxy_host)
+    daemon = cluster.external.add_daemon(proxy_host, "ext.dnp3proxy")
+    for other in cluster.external.daemons:
+        if other != daemon.name:
+            cluster.external.add_edge(daemon.name, other)
+    cluster.keystore.create_signing("dnp3-proxy")
+    proxy_host.key_ring.install_signing(
+        "dnp3-proxy", cluster.keystore.signing("dnp3-proxy"))
+
+    rtu_host = Host(sim, "rtu-host")
+    wire_direct(sim, proxy_host, rtu_host, "10.88.0.0/30")
+    topo = plant_topology()
+    outstation = Dnp3Outstation(sim, "rtu1", rtu_host, topo)
+    proxy = Dnp3PlcProxy(sim, "dnp3-proxy", proxy_host, daemon,
+                         cluster.config)
+    proxy.attach_outstation(outstation, rtu_host.interfaces[-1].ip)
+    proxy.register_with_masters()
+    sim.run(until=4.0)
+
+    # Status flowed up into the replicated masters.
+    for name in cluster.config.replica_names:
+        assert cluster.apps[name].plc_state.get("rtu1", {}).get("B57") is True
+
+    # Command flows down: a master directive quorum triggers the CROB.
+    from repro.scada.events import breaker_command_op
+    client = cluster.add_client("operator")
+    client.submit(breaker_command_op("rtu1", "B57", False))
+    sim.run(until=8.0)
+    assert topo.get_breaker("B57") is False
+    assert proxy.commands_applied == 1
+
+    # The unsolicited report raced the next poll: masters saw the change.
+    assert any(cluster.apps[name].plc_state["rtu1"]["B57"] is False
+               for name in cluster.config.replica_names)

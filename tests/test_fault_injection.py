@@ -1,0 +1,106 @@
+"""Randomized fault injection: seeded chaos schedules against the
+cluster, checking the two BFT invariants that must never break —
+agreement (no two correct replicas diverge) and validity (everything
+executed was submitted by a client).
+"""
+
+import pytest
+
+from repro.sim import Simulator
+from tests.conftest import build_cluster
+
+SEEDS = [1001, 1002, 1003]
+
+
+def chaos_run(seed):
+    sim = Simulator(seed=seed)
+    cluster = build_cluster(sim, f=1, k=1)
+    rng = sim.rng.child("chaos")
+    client_a = cluster.add_client("chaos-a", port=7501)
+    client_b = cluster.add_client("chaos-b", port=7502)
+    submitted = []
+
+    def submit():
+        client = client_a if rng.random() < 0.5 else client_b
+        op = {"set": (f"k{len(submitted)}", len(submitted))}
+        submitted.append(op)
+        client.submit(op)
+
+    # Continuous workload.
+    for i in range(30):
+        sim.schedule(0.2 + i * 0.3, submit)
+
+    # Chaos: random crash/recover and link flaps, never exceeding the
+    # f + k = 2 simultaneous-failure budget.
+    names = cluster.config.replica_names
+    down = set()
+
+    def crash_one():
+        if len(down) >= 2:
+            return
+        candidates = [n for n in names if n not in down]
+        victim = rng.choice(candidates)
+        down.add(victim)
+        cluster.replicas[victim].crash()
+        sim.schedule(rng.uniform(0.5, 2.0), recover_one, victim)
+
+    def recover_one(name):
+        cluster.replicas[name].recover()
+        sim.schedule(1.5, lambda: down.discard(name)
+                     if cluster.replicas[name].state == "normal"
+                     else sim.schedule(1.0, lambda: down.discard(name)))
+
+    def flap_link():
+        victim = rng.choice(names)
+        if victim in down:
+            return
+        link = cluster.internal_lan.link_of(
+            cluster.replicas[victim].internal_daemon.host)
+        link.set_up(False)
+        sim.schedule(rng.uniform(0.2, 0.8), link.set_up, True)
+
+    for i in range(5):
+        sim.schedule(1.0 + i * 2.1, crash_one)
+        sim.schedule(2.0 + i * 1.7, flap_link)
+
+    sim.run(until=25.0)
+    return cluster, submitted
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_chaos_preserves_agreement_and_validity(seed):
+    cluster, submitted = chaos_run(seed)
+    # Agreement: all correct NORMAL replicas share one oplog prefix
+    # relationship (the shorter log is a prefix of the longer).
+    logs = []
+    for name, rep in cluster.replicas.items():
+        if rep.running and rep.state == "normal":
+            logs.append(tuple(cluster.apps[name].oplog))
+    assert logs
+    longest = max(logs, key=len)
+    for log in logs:
+        assert longest[:len(log)] == log, f"divergence with seed {seed}"
+    # Validity: nothing executed that was not submitted.
+    submitted_reprs = {repr(op) for op in submitted}
+    for log in logs:
+        for (_cid, _cseq, op_repr) in log:
+            assert op_repr in submitted_reprs
+    # Liveness (weak): the majority of updates executed despite chaos.
+    assert len(longest) >= len(submitted) * 0.7
+
+
+@pytest.mark.parametrize("seed", [2001])
+def test_chaos_then_quiesce_converges(seed):
+    """After the chaos stops, every replica converges to the same log."""
+    cluster, submitted = chaos_run(seed)
+    sim = cluster.sim
+    # Ensure everyone is up and give reconciliation time to finish.
+    for name, rep in cluster.replicas.items():
+        if not rep.running:
+            rep.recover()
+    sim.run(until=40.0)
+    logs = {tuple(cluster.apps[name].oplog)
+            for name, rep in cluster.replicas.items()
+            if rep.state == "normal"}
+    assert len(logs) == 1
+    assert len(next(iter(logs))) == len(submitted)

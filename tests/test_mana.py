@@ -1,0 +1,233 @@
+"""Tests for MANA: features, models, detection, correlation."""
+
+import numpy as np
+import pytest
+
+from repro.mana import (
+    FEATURE_NAMES, FeatureExtractor, IsolationForestModel, KMeansModel,
+    MahalanobisModel, ManaInstance, Alert, AlertCorrelator,
+    SituationalAwarenessBoard,
+)
+from repro.net.tap import PacketRecord
+
+
+def make_record(time, src_mac="02:00:00:00:00:01", dst_ip="10.0.0.2",
+                dst_port=8120, size=120, proto="udp", tcp_flags=None,
+                is_arp=False, arp_op=None, dst_mac="02:00:00:00:00:02",
+                src_ip="10.0.0.1"):
+    return PacketRecord(time=time, network="test", ethertype="ipv4",
+                        src_mac=src_mac, dst_mac=dst_mac, size=size,
+                        src_ip=src_ip, dst_ip=dst_ip, proto=proto,
+                        src_port=9999, dst_port=dst_port,
+                        tcp_flags=tcp_flags, is_arp=is_arp, arp_op=arp_op)
+
+
+def baseline_records(duration=60.0, rate=10.0, jitter=0.0):
+    """Steady SCADA-like polling traffic."""
+    records = []
+    t = 0.0
+    i = 0
+    while t < duration:
+        records.append(make_record(t, size=118 + (i % 3)))
+        records.append(make_record(t + 0.01, src_mac="02:00:00:00:00:02",
+                                   dst_ip="10.0.0.1", size=96))
+        t += 1.0 / rate
+        i += 1
+    return records
+
+
+# ---------------------------------------------------------------------------
+# Feature extraction
+# ---------------------------------------------------------------------------
+def test_feature_vector_shape_and_names():
+    extractor = FeatureExtractor(window=5.0)
+    windows = extractor.featurize_capture(baseline_records(20.0), "test")
+    assert len(windows) == 4
+    for window in windows:
+        assert window.vector.shape == (len(FEATURE_NAMES),)
+        named = window.named()
+        assert named["packets"] > 0
+        assert named["udp_fraction"] == 1.0
+
+
+def test_empty_window_is_zero_vector():
+    extractor = FeatureExtractor(window=5.0)
+    window = extractor.featurize_window([], 0.0, "test")
+    assert window.packet_count == 0
+    assert not window.vector.any()
+
+
+def test_new_flow_counting_is_stateful():
+    extractor = FeatureExtractor(window=5.0)
+    first = extractor.featurize_window([make_record(0.1)], 0.0, "t")
+    second = extractor.featurize_window([make_record(5.1)], 5.0, "t")
+    assert first.named()["new_flow_count"] == 1
+    assert second.named()["new_flow_count"] == 0
+
+
+def test_arp_and_scan_features():
+    records = [make_record(0.1, is_arp=True, arp_op="reply", proto=None,
+                           dst_ip=None, dst_port=None),
+               make_record(0.2, proto="tcp", tcp_flags="syn"),
+               make_record(0.3, proto="tcp", tcp_flags="rst")]
+    window = FeatureExtractor(window=5.0).featurize_window(records, 0.0, "t")
+    named = window.named()
+    assert named["arp_packets"] == 1
+    assert named["arp_replies"] == 1
+    assert named["tcp_syn_count"] == 1
+    assert named["tcp_rst_count"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Models
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def training_matrix():
+    rng = np.random.default_rng(3)
+    base = np.array([100.0, 12000, 120, 5, 2, 2, 2, 0, 1, 0, 0.05,
+                     0, 0, 1.0, 0.5])
+    return base + rng.normal(0, base * 0.02 + 0.01,
+                             size=(40, len(base)))
+
+
+@pytest.mark.parametrize("model_cls", [MahalanobisModel, KMeansModel,
+                                       IsolationForestModel])
+def test_models_accept_baseline_and_flag_anomaly(model_cls, training_matrix):
+    model = model_cls()
+    model.fit(training_matrix)
+    for row in training_matrix:
+        assert model.score(row) <= 1.0, f"{model.name} false positive"
+    anomaly = training_matrix[0].copy()
+    anomaly[0] *= 50       # 50x packet burst
+    anomaly[1] *= 80
+    anomaly[4] += 10       # new talkers
+    assert model.score(anomaly) > 1.0, f"{model.name} missed the anomaly"
+
+
+@pytest.mark.parametrize("model_cls", [MahalanobisModel, KMeansModel,
+                                       IsolationForestModel])
+def test_models_require_training(model_cls, training_matrix):
+    model = model_cls()
+    with pytest.raises(RuntimeError):
+        model.score(training_matrix[0])
+    with pytest.raises(ValueError):
+        model.fit(training_matrix[:1])
+
+
+def test_kmeans_handles_multimodal_baseline():
+    rng = np.random.default_rng(5)
+    mode_a = rng.normal(100, 2, size=(30, len(FEATURE_NAMES)))
+    mode_b = rng.normal(300, 2, size=(30, len(FEATURE_NAMES)))
+    X = np.vstack([mode_a, mode_b])
+    model = KMeansModel(k=2)
+    model.fit(X)
+    assert model.score(mode_a[0]) <= 1.0
+    assert model.score(mode_b[0]) <= 1.0
+    middle = np.full(len(FEATURE_NAMES), 200.0)
+    assert model.score(middle) > 1.0
+
+
+# ---------------------------------------------------------------------------
+# Detector pipeline on a capture
+# ---------------------------------------------------------------------------
+def build_instance(extra_records=(), train_until=60.0):
+    from repro.net.tap import Capture
+    from repro.sim import Simulator
+    sim = Simulator(seed=8)
+    capture = Capture("test")
+    for record in baseline_records(120.0):
+        capture.records.append(record)
+    for record in extra_records:
+        capture.records.append(record)
+    capture.records.sort(key=lambda r: r.time)
+    instance = ManaInstance(sim, "mana", capture, window=5.0)
+    instance.train(0.0, train_until)
+    return instance
+
+
+def test_no_alerts_on_clean_traffic():
+    instance = build_instance()
+    alerts = instance.evaluate_range(60.0, 120.0)
+    assert alerts == []
+
+
+def test_port_scan_detected():
+    scan = [make_record(80.0 + i * 0.02, proto="tcp", tcp_flags="syn",
+                        dst_port=port, src_mac="02:00:00:00:00:99")
+            for i, port in enumerate(range(1, 120))]
+    instance = build_instance(extra_records=scan)
+    alerts = instance.evaluate_range(60.0, 120.0)
+    assert alerts
+    drivers = {name for alert in alerts for name, _ in alert.top_features}
+    assert drivers & {"tcp_syn_count", "unique_dst_ports", "new_flow_count",
+                      "tcp_rst_count", "packets"}
+
+
+def test_arp_poisoning_burst_detected():
+    # Gratuitous-ARP storms from tools like arpspoof send replies
+    # continuously (tens per second, here 20/s for 15s).
+    poison = [make_record(80.0 + i * 0.05, is_arp=True, arp_op="reply",
+                          proto=None, dst_ip=None, dst_port=None,
+                          dst_mac="ff:ff:ff:ff:ff:ff",
+                          src_mac="02:00:00:00:00:99", size=42)
+              for i in range(300)]
+    instance = build_instance(extra_records=poison)
+    alerts = instance.evaluate_range(60.0, 120.0)
+    assert alerts
+    assert max(alert.score for alert in alerts) > 2.0
+    # The poisoned windows themselves show the ARP storm clearly.
+    window = instance.extractor.featurize_window(
+        instance.capture.between(80.0, 85.0), 80.0, "test")
+    assert window.named()["arp_replies"] >= 50
+
+
+def test_dos_flood_detected():
+    flood = [make_record(85.0 + i * 0.002, size=900,
+                         src_mac="02:00:00:00:00:99")
+             for i in range(2000)]
+    instance = build_instance(extra_records=flood)
+    alerts = instance.evaluate_range(60.0, 120.0)
+    assert alerts
+    assert max(alert.score for alert in alerts) > 2.0
+
+
+def test_untrained_instance_refuses_evaluation():
+    from repro.net.tap import Capture
+    from repro.sim import Simulator
+    instance = ManaInstance(Simulator(seed=1), "m", Capture("x"))
+    with pytest.raises(RuntimeError):
+        instance.evaluate_range(0, 10)
+    with pytest.raises(ValueError):
+        instance.train(0.0, 1.0)   # empty capture
+
+
+# ---------------------------------------------------------------------------
+# Correlation and the board
+# ---------------------------------------------------------------------------
+def test_alert_correlation_groups_bursts():
+    correlator = AlertCorrelator(gap=10.0)
+    for t in (100.0, 103.0, 106.0):
+        correlator.add(Alert(time=t, network="ops", score=2.0,
+                             models_flagging=("mahalanobis",),
+                             top_features=(("packets", 5.0),)))
+    correlator.add(Alert(time=300.0, network="ops", score=3.0,
+                         models_flagging=("kmeans",),
+                         top_features=(("bytes", 9.0),)))
+    assert len(correlator.incidents) == 2
+    assert len(correlator.incidents[0].alerts) == 3
+    assert correlator.incidents[0].duration == 6.0
+    assert correlator.incidents[1].peak_score == 3.0
+
+
+def test_board_tracks_status():
+    correlator = AlertCorrelator(gap=10.0)
+    correlator.add(Alert(time=50.0, network="ops", score=2.0,
+                         models_flagging=("m",), top_features=()))
+    board = SituationalAwarenessBoard()
+    board.set_quiet("enterprise")
+    board.observe(correlator, now=55.0)
+    assert board.network_status["ops"] == "ALERT"
+    assert board.network_status["enterprise"] == "normal"
+    board.observe(correlator, now=500.0)
+    assert board.network_status["ops"] == "normal"
+    assert "incidents logged: 1" in board.render()

@@ -1,0 +1,225 @@
+"""Security-mechanism tests for the network substrate.
+
+These verify the *mechanics* that the red-team experiment exercised:
+ARP poisoning against dynamic vs static tables, switch port security,
+port-scan visibility against hardened hosts, and passive capture.
+"""
+
+import pytest
+
+from repro.net import (
+    ArpMessage, BROADCAST_MAC, Capture, ETHERTYPE_ARP, Frame, Host, Lan,
+    PortScanner, locked_down_firewall, INBOUND,
+)
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=7)
+
+
+def build(sim, harden=False):
+    """A LAN with victim pair (a talks to b) and an attacker host."""
+    lan = Lan(sim, "ops", "10.0.0.0/24")
+    a = Host(sim, "a")
+    b = Host(sim, "b")
+    attacker = Host(sim, "attacker")
+    for h in (a, b, attacker):
+        lan.connect(h)
+    if harden:
+        lan.harden()
+    return lan, a, b, attacker
+
+
+def gratuitous_arp(lan, attacker, claim_ip):
+    """Attacker broadcasts an ARP reply claiming ``claim_ip``."""
+    iface = lan.interface_of(attacker)
+    arp = ArpMessage(op="reply", sender_mac=iface.mac, sender_ip=claim_ip,
+                     target_mac=BROADCAST_MAC, target_ip="0.0.0.0")
+    frame = Frame(src_mac=iface.mac, dst_mac=BROADCAST_MAC,
+                  ethertype=ETHERTYPE_ARP, payload=arp)
+    iface.inject(frame)
+
+
+def test_arp_poisoning_succeeds_on_dynamic_lan(sim):
+    lan, a, b, attacker = build(sim, harden=False)
+    received_by_b, sniffed = [], []
+    b.udp_bind(9000, lambda *args: received_by_b.append(args))
+    attacker.set_sniffer(lambda iface, frame: sniffed.append(frame))
+    # Prime a's ARP cache with the real mapping, then poison it.
+    a.udp_send(lan.ip_of(b), 9000, "legit", src_port=1)
+    sim.run(until=1.0)
+    gratuitous_arp(lan, attacker, claim_ip=lan.ip_of(b))
+    sim.run(until=2.0)
+    a.udp_send(lan.ip_of(b), 9000, "intercept-me", src_port=1)
+    sim.run(until=3.0)
+    # The second datagram went to the attacker's MAC, not to b.
+    assert [p for (_, _, p) in received_by_b] == ["legit"]
+    payloads = [f.payload.payload.payload for f in sniffed
+                if getattr(getattr(f.payload, "payload", None), "payload", None)]
+    assert "intercept-me" in payloads
+
+
+def test_arp_poisoning_blocked_by_static_tables(sim):
+    lan, a, b, attacker = build(sim, harden=True)
+    received_by_b = []
+    b.udp_bind(9000, lambda *args: received_by_b.append(args))
+    gratuitous_arp(lan, attacker, claim_ip=lan.ip_of(b))
+    sim.run(until=1.0)
+    a.udp_send(lan.ip_of(b), 9000, "protected", src_port=1)
+    sim.run(until=2.0)
+    assert [p for (_, _, p) in received_by_b] == ["protected"]
+    iface_a = lan.interface_of(a)
+    assert iface_a.arp.lookup(lan.ip_of(b), sim.now) == lan.interface_of(b).mac
+
+
+def test_switch_port_security_blocks_unknown_and_spoofed_macs(sim):
+    lan, a, b, attacker = build(sim, harden=True)
+    switch = lan.switch
+    # Remove the attacker from the static map: a machine plugged into
+    # the switch whose MAC was never registered.
+    mapping = {mac: port for mac, port in lan._iface_port.items()
+               if mac != lan.interface_of(attacker).mac}
+    switch.configure_static_mapping(mapping)
+    received_by_b = []
+    b.udp_bind(9000, lambda *args: received_by_b.append(args))
+    # 1) Attacker's own MAC: dropped at ingress.
+    iface_atk = lan.interface_of(attacker)
+    iface_atk.arp.add_static(lan.ip_of(b), lan.interface_of(b).mac)
+    attacker.udp_send(lan.ip_of(b), 9000, "from-unknown-mac", src_port=6)
+    # 2) Spoofing b's MAC from the attacker's port: also dropped.
+    spoofed = Frame(src_mac=lan.interface_of(b).mac,
+                    dst_mac=lan.interface_of(a).mac,
+                    ethertype=ETHERTYPE_ARP,
+                    payload=ArpMessage(op="reply",
+                                       sender_mac=lan.interface_of(b).mac,
+                                       sender_ip=lan.ip_of(b),
+                                       target_mac=lan.interface_of(a).mac,
+                                       target_ip=lan.ip_of(a)))
+    iface_atk.inject(spoofed)
+    sim.run(until=2.0)
+    assert received_by_b == []
+    assert switch.frames_blocked >= 2
+
+
+def test_port_scan_sees_services_on_open_host(sim):
+    from repro.net import ubuntu_desktop_2016
+    lan = Lan(sim, "lan", "10.0.0.0/24")
+    target = Host(sim, "target", os_profile=ubuntu_desktop_2016())
+    attacker = Host(sim, "attacker")
+    lan.connect(target)
+    lan.connect(attacker)
+    reports = []
+    PortScanner(attacker).scan(lan.ip_of(target), reports.append)
+    sim.run(until=5.0)
+    assert len(reports) == 1
+    report = reports[0]
+    assert 22 in report.open_ports
+    assert 445 in report.open_ports
+    assert report.any_visibility
+
+
+def test_port_scan_of_locked_down_host_sees_nothing(sim):
+    lan = Lan(sim, "lan", "10.0.0.0/24")
+    target = Host(sim, "target", firewall=locked_down_firewall())
+    attacker = Host(sim, "attacker")
+    lan.connect(target)
+    lan.connect(attacker)
+    target.tcp_listen(8100, lambda conn: None)  # a real service, hidden
+    reports = []
+    PortScanner(attacker).scan(lan.ip_of(target), reports.append)
+    sim.run(until=10.0)
+    report = reports[0]
+    assert not report.any_visibility
+    assert report.filtered_ports == sorted(report.results)
+
+
+def test_port_scan_allowed_peer_still_sees_allowed_port(sim):
+    """Firewall allow-rules are per remote IP: the peer that is allowed
+    can reach the port; the attacker cannot."""
+    lan = Lan(sim, "lan", "10.0.0.0/24")
+    target = Host(sim, "target", firewall=locked_down_firewall())
+    peer = Host(sim, "peer")
+    attacker = Host(sim, "attacker")
+    for h in (target, peer, attacker):
+        lan.connect(h)
+    target.firewall.allow(INBOUND, "tcp", remote_ip=lan.ip_of(peer),
+                          local_port=8100)
+    target.tcp_listen(8100, lambda conn: None)
+    peer_reports, attacker_reports = [], []
+    PortScanner(peer, ports=[8100]).scan(lan.ip_of(target), peer_reports.append)
+    PortScanner(attacker, ports=[8100]).scan(lan.ip_of(target),
+                                             attacker_reports.append)
+    sim.run(until=5.0)
+    assert peer_reports[0].open_ports == [8100]
+    assert attacker_reports[0].filtered_ports == [8100]
+
+
+def test_arp_announce_all_leaks_other_interface(sim):
+    """A dual-homed host answering ARP for its other interface's IP on
+    the wrong network leaks its presence (the behaviour the paper
+    disabled)."""
+    external = Lan(sim, "ext", "10.1.0.0/24")
+    internal = Lan(sim, "int", "10.2.0.0/24")
+    replica = Host(sim, "replica")
+    attacker = Host(sim, "attacker")
+    external.connect(replica)
+    internal_iface = internal.connect(replica)
+    external.connect(attacker)
+
+    replica.arp_announce_all = True
+    leaks = []
+    attacker.set_sniffer(lambda iface, frame: leaks.append(frame)
+                         if frame.ethertype == ETHERTYPE_ARP
+                         and frame.payload.op == "reply" else None)
+    atk_iface = external.interface_of(attacker)
+    probe = ArpMessage(op="request", sender_mac=atk_iface.mac,
+                       sender_ip=atk_iface.ip, target_mac="00:00:00:00:00:00",
+                       target_ip=internal_iface.ip)
+    atk_iface.inject(Frame(src_mac=atk_iface.mac, dst_mac=BROADCAST_MAC,
+                           ethertype=ETHERTYPE_ARP, payload=probe))
+    sim.run(until=1.0)
+    assert leaks, "misconfigured host must answer for its internal IP"
+
+    # Hardened setting: no answer, no leak.
+    replica.arp_announce_all = False
+    leaks.clear()
+    atk_iface.inject(Frame(src_mac=atk_iface.mac, dst_mac=BROADCAST_MAC,
+                           ethertype=ETHERTYPE_ARP, payload=probe))
+    sim.run(until=2.0)
+    assert not leaks
+
+
+def test_capture_records_traffic_passively(sim):
+    lan, a, b, attacker = build(sim)
+    capture = Capture("ops")
+    lan.switch.add_span_tap(capture.span_tap)
+    b.udp_bind(9000, lambda *args: None)
+    a.udp_send(lan.ip_of(b), 9000, "payload", src_port=4)
+    sim.run(until=1.0)
+    udp_records = [r for r in capture.records if r.proto == "udp"]
+    assert udp_records
+    rec = udp_records[0]
+    assert rec.src_ip == lan.ip_of(a)
+    assert rec.dst_ip == lan.ip_of(b)
+    assert rec.dst_port == 9000
+    assert rec.size > 0
+    # ARP resolution traffic was also observed.
+    assert any(r.is_arp for r in capture.records)
+
+
+def test_compromise_yields_key_ring(sim):
+    from repro.crypto import KeyStore
+    lan, a, b, attacker = build(sim)
+    ks = KeyStore()
+    ks.create_symmetric("spines.internal")
+    a.key_ring = ks.ring_for(symmetric_ids=["spines.internal"])
+    loot = a.compromise("user")
+    assert loot.has_symmetric("spines.internal")
+    assert a.compromised_level == "user"
+    a.compromise("root")
+    assert a.compromised_level == "root"
+    # Compromising at a lower level later must not downgrade.
+    a.compromise("user")
+    assert a.compromised_level == "root"

@@ -1,0 +1,185 @@
+"""Tests for the PLC substrate: topology physics, Modbus, devices."""
+
+import pytest
+
+from repro.net import Host, Lan
+from repro.plc import (
+    PlcDevice, PowerTopology, distribution_scenario, generation_scenario,
+    plant_topology, read_coils, read_input_registers, redteam_topology,
+    write_coil, memory_dump, config_upload,
+)
+from repro.plc.modbus import (
+    EXC_ILLEGAL_ADDRESS, EXC_ILLEGAL_FUNCTION, ModbusRequest,
+)
+from repro.sim import Simulator
+
+
+# ---------------------------------------------------------------------------
+# Topology physics
+# ---------------------------------------------------------------------------
+def test_redteam_topology_shape():
+    topo = redteam_topology()
+    assert len(topo.breakers) == 7
+    assert set(topo.breaker_names()) == {
+        "B10-1", "B57", "B56", "B21", "B22", "B23", "B24"}
+    assert len(topo.loads) == 4
+
+
+def test_plant_topology_is_left_subset():
+    topo = plant_topology()
+    assert set(topo.breaker_names()) == {"B10-1", "B57", "B56"}
+
+
+def test_all_closed_energizes_all_buildings():
+    topo = redteam_topology()
+    assert all(topo.energized_loads().values())
+
+
+def test_opening_main_breaker_kills_everything():
+    topo = redteam_topology()
+    topo.set_breaker("B10-1", False)
+    assert not any(topo.energized_loads().values())
+
+
+def test_opening_feeder_kills_only_its_buildings():
+    topo = redteam_topology()
+    topo.set_breaker("B57", False)
+    loads = topo.energized_loads()
+    assert not loads["building-A"]
+    assert not loads["building-B"]
+    assert loads["building-C"]
+    assert loads["building-D"]
+
+
+def test_building_breaker_isolates_single_building():
+    topo = redteam_topology()
+    topo.set_breaker("B23", False)
+    loads = topo.energized_loads()
+    assert not loads["building-C"]
+    assert sum(loads.values()) == 3
+
+
+def test_flip_count_tracks_changes_only():
+    topo = redteam_topology()
+    topo.set_breaker("B57", False)
+    topo.set_breaker("B57", False)   # no-op
+    topo.set_breaker("B57", True)
+    assert topo.flip_count == 2
+
+
+def test_scenarios_sizes():
+    assert len(distribution_scenario()) == 10
+    assert len(generation_scenario()) == 6
+    for topo in distribution_scenario(3):
+        assert len(topo.breakers) == 3
+        assert len(topo.loads) == 2
+
+
+def test_unknown_bus_and_duplicate_breaker_rejected():
+    topo = PowerTopology("t")
+    topo.add_bus("a", source=True)
+    topo.add_bus("b")
+    topo.add_breaker("x", "a", "b")
+    with pytest.raises(ValueError):
+        topo.add_breaker("x", "a", "b")
+    with pytest.raises(ValueError):
+        topo.add_breaker("y", "a", "nope")
+    with pytest.raises(ValueError):
+        topo.add_load("l", "nope")
+
+
+# ---------------------------------------------------------------------------
+# PLC device over the network
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def plc_setup():
+    sim = Simulator(seed=2)
+    lan = Lan(sim, "lan", "10.0.0.0/24")
+    plc_host = Host(sim, "plc-host")
+    client_host = Host(sim, "client")
+    lan.connect(plc_host)
+    lan.connect(client_host)
+    topo = redteam_topology()
+    device = PlcDevice(sim, "plc1", plc_host, topo, physical=True)
+    return sim, lan, plc_host, client_host, topo, device
+
+
+def modbus_roundtrip(sim, client_host, plc_ip, request):
+    responses = []
+
+    def established(conn):
+        conn.send(request)
+
+    client_host.tcp_connect(plc_ip, 502, established,
+                            on_data=lambda c, p: responses.append(p))
+    sim.run(until=sim.now + 2.0)
+    return responses
+
+
+def test_read_coils_over_tcp(plc_setup):
+    sim, lan, plc_host, client, topo, device = plc_setup
+    responses = modbus_roundtrip(sim, client, lan.ip_of(plc_host),
+                                 read_coils(1, 0, 7))
+    assert len(responses) == 1
+    assert responses[0].ok
+    assert responses[0].values == [1] * 7
+
+
+def test_write_coil_actuates_breaker(plc_setup):
+    sim, lan, plc_host, client, topo, device = plc_setup
+    address = next(a for a, b in device.coil_map.items() if b == "B57")
+    responses = modbus_roundtrip(sim, client, lan.ip_of(plc_host),
+                                 write_coil(2, address, False))
+    assert responses[0].ok
+    assert topo.get_breaker("B57") is False
+    assert device.writes_served == 1
+
+
+def test_input_registers_reflect_current_flow(plc_setup):
+    sim, lan, plc_host, client, topo, device = plc_setup
+    topo.set_breaker("B10-1", False)   # no source -> no flow anywhere
+    responses = modbus_roundtrip(sim, client, lan.ip_of(plc_host),
+                                 read_input_registers(3, 0, 7))
+    assert responses[0].ok
+    assert all(v == 0 for v in responses[0].values)
+    topo.set_breaker("B10-1", True)
+    responses = modbus_roundtrip(sim, client, lan.ip_of(plc_host),
+                                 read_input_registers(4, 0, 7))
+    assert any(v > 0 for v in responses[0].values)
+
+
+def test_illegal_address_returns_exception(plc_setup):
+    sim, lan, plc_host, client, topo, device = plc_setup
+    responses = modbus_roundtrip(sim, client, lan.ip_of(plc_host),
+                                 read_coils(5, 90, 3))
+    assert not responses[0].ok
+    assert responses[0].exception == EXC_ILLEGAL_ADDRESS
+
+
+def test_unknown_function_returns_exception(plc_setup):
+    sim, lan, plc_host, client, topo, device = plc_setup
+    bogus = ModbusRequest(transaction_id=6, unit_id=1, function=0x77)
+    responses = modbus_roundtrip(sim, client, lan.ip_of(plc_host), bogus)
+    assert responses[0].exception == EXC_ILLEGAL_FUNCTION
+
+
+def test_memory_dump_leaks_config_unauthenticated(plc_setup):
+    """The vendor maintenance interface has no authentication — the
+    red team's first successful attack on the commercial system."""
+    sim, lan, plc_host, client, topo, device = plc_setup
+    responses = modbus_roundtrip(sim, client, lan.ip_of(plc_host),
+                                 memory_dump(7))
+    assert responses[0].ok
+    assert responses[0].payload["logic"] == "interlock-v1"
+    assert "coil_map" in responses[0].payload
+
+
+def test_config_upload_compromises_plc(plc_setup):
+    sim, lan, plc_host, client, topo, device = plc_setup
+    assert not device.compromised_config
+    responses = modbus_roundtrip(
+        sim, client, lan.ip_of(plc_host),
+        config_upload(8, {"logic": "evil", "backdoor": True}))
+    assert responses[0].ok
+    assert device.compromised_config
+    assert device.config["logic"] == "evil"

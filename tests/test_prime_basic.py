@@ -1,0 +1,125 @@
+"""Prime replication: normal-case ordering, consistency, replies."""
+
+
+def test_single_update_executes_on_all_replicas(cluster):
+    client = cluster.add_client("hmi")
+    client.submit({"set": ("breaker1", "open")})
+    cluster.sim.run(until=2.0)
+    for app in cluster.apps.values():
+        assert app.store.get("breaker1") == "open"
+
+
+def test_client_gets_f_plus_1_matching_replies(cluster):
+    client = cluster.add_client("hmi")
+    seq = client.submit({"set": ("b", 1)})
+    cluster.sim.run(until=2.0)
+    assert seq in client.confirmed
+    assert client.confirmed[seq] == {"ok": True, "key": "b"}
+    assert client.confirm_latency[seq] < 1.0
+
+
+def test_updates_execute_in_same_order_everywhere(cluster):
+    client_a = cluster.add_client("proxy-a", port=7501)
+    client_b = cluster.add_client("proxy-b", port=7502)
+    for i in range(10):
+        client_a.submit({"set": (f"a{i}", i)})
+        client_b.submit({"set": (f"b{i}", i)})
+    cluster.sim.run(until=5.0)
+    logs = [tuple(app.oplog) for app in cluster.apps.values()]
+    assert all(len(log) == 20 for log in logs)
+    assert len(set(logs)) == 1, "replicas diverged in execution order"
+
+
+def test_each_update_executes_exactly_once(cluster):
+    client = cluster.add_client("hmi")
+    for i in range(5):
+        client.submit({"set": (f"x{i}", i)})
+    cluster.sim.run(until=3.0)
+    for app in cluster.apps.values():
+        keys = [(cid, cseq) for (cid, cseq, _) in app.oplog]
+        assert len(keys) == len(set(keys)) == 5
+
+
+def test_duplicate_submission_not_reexecuted(cluster):
+    client = cluster.add_client("hmi")
+    client.submit({"set": ("dup", 1)})
+    cluster.sim.run(until=2.0)
+    # Re-broadcast the identical signed update (client retransmission).
+    update = None
+    for name, rep in cluster.replicas.items():
+        for slot in rep.po_slots.values():
+            cu = slot.certified_update()
+            if cu is not None and cu.client_id == "hmi":
+                update = cu
+                break
+        if update:
+            break
+    assert update is not None
+    for rep in cluster.replicas.values():
+        rep.submit_update(update)
+    cluster.sim.run(until=4.0)
+    for app in cluster.apps.values():
+        count = sum(1 for (cid, cseq, _) in app.oplog
+                    if cid == "hmi" and cseq == update.client_seq)
+        assert count == 1
+
+
+def test_throughput_many_updates(cluster):
+    client = cluster.add_client("feeder")
+    for i in range(50):
+        cluster.sim.schedule(i * 0.01, client.submit, {"set": (f"k{i}", i)})
+    cluster.sim.run(until=6.0)
+    for app in cluster.apps.values():
+        assert len(app.oplog) == 50
+
+
+def test_update_latency_is_bounded_normal_case(cluster):
+    """With a correct leader, end-to-end confirm latency stays well
+    under the suspect timeout."""
+    client = cluster.add_client("hmi")
+    for i in range(10):
+        cluster.sim.schedule(i * 0.2, client.submit, {"set": (f"t{i}", i)})
+    cluster.sim.run(until=5.0)
+    assert len(client.confirm_latency) == 10
+    assert max(client.confirm_latency.values()) < 0.5
+
+
+def test_unsigned_update_rejected(cluster):
+    from repro.prime import ClientUpdate
+    bogus = ClientUpdate(client_id="mallory", client_seq=1,
+                         op={"set": ("evil", 1)})
+    for rep in cluster.replicas.values():
+        rep.submit_update(bogus)
+    cluster.sim.run(until=2.0)
+    for app in cluster.apps.values():
+        assert "evil" not in app.store
+
+
+def test_update_signed_by_unknown_principal_rejected(cluster):
+    from repro.crypto import KeyStore
+    from repro.crypto.auth import sign_payload
+    from repro.prime import ClientUpdate
+    other_ks = KeyStore()
+    other_ks.create_signing("mallory")
+    ring = other_ks.ring_for(signing_principals=["mallory"])
+    update = ClientUpdate(client_id="mallory", client_seq=1,
+                          op={"set": ("evil", 1)})
+    forged = ClientUpdate(client_id="mallory", client_seq=1,
+                          op={"set": ("evil", 1)},
+                          signature=sign_payload(ring, "mallory",
+                                                 update.signed_view()))
+    for rep in cluster.replicas.values():
+        rep.submit_update(forged)
+    cluster.sim.run(until=2.0)
+    for app in cluster.apps.values():
+        assert "evil" not in app.store
+
+
+def test_four_replica_configuration_works(small_cluster):
+    """The red-team deployment: f=1, k=0, four replicas."""
+    assert small_cluster.config.n == 4
+    client = small_cluster.add_client("hmi")
+    client.submit({"set": ("breaker", "closed")})
+    small_cluster.sim.run(until=2.0)
+    for app in small_cluster.apps.values():
+        assert app.store.get("breaker") == "closed"

@@ -1,0 +1,194 @@
+"""Prime edge cases: equivocation, partitions, reconciliation, view
+evidence, and content fetching."""
+
+import pytest
+
+from repro.crypto.auth import digest, sign_payload
+from repro.prime import ClientUpdate
+from repro.prime.messages import PoRequestBatch
+from repro.prime.replica import _PoSlot
+
+
+def make_signed_update(cluster, client_id, seq, op):
+    cluster.keystore.create_signing(client_id)
+    ring = cluster.keystore.ring_for(signing_principals=[client_id])
+    update = ClientUpdate(client_id=client_id, client_seq=seq, op=op)
+    return ClientUpdate(client_id=client_id, client_seq=seq, op=op,
+                        signature=sign_payload(ring, client_id,
+                                               update.signed_view()))
+
+
+def test_equivocating_originator_cannot_certify_two_contents(cluster):
+    """An originator sending different client updates for the same
+    preorder slot to different replicas: at most one content can gather
+    a 2f+k+1 certificate (quorum intersection)."""
+    update_a = make_signed_update(cluster, "client-a", 1, {"set": ("x", 1)})
+    update_b = make_signed_update(cluster, "client-b", 1, {"set": ("x", 2)})
+    evil = cluster.replica(0)
+    slot_key = (evil.originator_id, 1)
+    # Deliver conflicting po-requests directly to split the replicas.
+    batch_a = PoRequestBatch(originator=evil.originator_id, start_seq=1,
+                             updates=[update_a])
+    batch_b = PoRequestBatch(originator=evil.originator_id, start_seq=1,
+                             updates=[update_b])
+    names = cluster.config.replica_names
+    for name in names[1:4]:
+        cluster.replicas[name]._po_request_in(evil.name, batch_a)
+    for name in names[4:]:
+        cluster.replicas[name]._po_request_in(evil.name, batch_b)
+    cluster.sim.run(until=3.0)
+    certified = set()
+    for name in names[1:]:
+        slot = cluster.replicas[name].po_slots.get(slot_key)
+        if slot is not None and slot.certified is not None:
+            certified.add(slot.certified)
+    assert len(certified) <= 1, "two contents certified for one slot"
+
+
+def test_po_request_under_foreign_incarnation_rejected(cluster):
+    """A replica may only introduce updates under its own originator id."""
+    update = make_signed_update(cluster, "client-x", 1, {"set": ("y", 1)})
+    victim_incarnation = cluster.replica(1).originator_id
+    batch = PoRequestBatch(originator=victim_incarnation, start_seq=99,
+                           updates=[update])
+    target = cluster.replica(2)
+    target._po_request_in(cluster.replica(0).name, batch)   # wrong sender
+    assert (victim_incarnation, 99) not in target.po_slots
+
+
+def test_partitioned_replica_catches_up_via_reconciliation(cluster):
+    client = cluster.add_client("hmi")
+    lagger = cluster.replica(5)
+    link = cluster.internal_lan.link_of(lagger.internal_daemon.host)
+    link.set_up(False)
+    for i in range(5):
+        client.submit({"set": (f"p{i}", i)})
+    cluster.sim.run(until=3.0)
+    assert cluster.app(5).store == {}
+    link.set_up(True)
+    cluster.sim.run(until=8.0)
+    for i in range(5):
+        assert cluster.app(5).store.get(f"p{i}") == i
+    assert lagger.last_executed >= 1
+
+
+def test_partition_heals_with_consistent_order(cluster):
+    """Updates executed during and after a partition appear in the same
+    order at the healed replica as everywhere else."""
+    client = cluster.add_client("hmi")
+    lagger = cluster.replica(4)
+    link = cluster.internal_lan.link_of(lagger.internal_daemon.host)
+    for i in range(3):
+        client.submit({"set": (f"pre{i}", i)})
+    cluster.sim.run(until=2.0)
+    link.set_up(False)
+    for i in range(3):
+        client.submit({"set": (f"mid{i}", i)})
+    cluster.sim.run(until=4.0)
+    link.set_up(True)
+    for i in range(3):
+        client.submit({"set": (f"post{i}", i)})
+    cluster.sim.run(until=10.0)
+    logs = {tuple(cluster.apps[name].oplog)
+            for name in cluster.config.replica_names}
+    assert len(logs) == 1
+    assert len(next(iter(logs))) == 9
+
+
+def test_view_evidence_heals_stale_view(cluster):
+    """A replica that missed a view change adopts the evident view from
+    peer gossip (f+1 claims)."""
+    client = cluster.add_client("hmi")
+    client.submit({"set": ("warm", 1)})
+    cluster.sim.run(until=2.0)
+    # Take one replica offline while the others rotate views.
+    sleeper = cluster.replica(3)
+    link = cluster.internal_lan.link_of(sleeper.internal_daemon.host)
+    link.set_up(False)
+    leader = cluster.replicas[cluster.config.leader_of(0)]
+    leader.byzantine = "mute-leader"
+    client.submit({"set": ("force-rotation", 1)})
+    cluster.sim.run(until=6.0)
+    others_view = max(rep.view for name, rep in cluster.replicas.items()
+                      if rep is not sleeper)
+    assert others_view >= 1
+    assert sleeper.view == 0
+    link.set_up(True)
+    cluster.sim.run(until=12.0)
+    assert sleeper.view >= 1
+
+
+def test_missing_update_content_fetched_before_execution(cluster):
+    """A replica that has the ordering but not an update's content must
+    fetch it (f+1 matching) before executing."""
+    client = cluster.add_client("hmi")
+    victim = cluster.replica(2)
+    # Drop the content from victim's preorder store after certification.
+    client.submit({"set": ("fetched", 42)})
+    cluster.sim.run(until=0.02)   # po-requests in flight
+
+    # Surgically remove any stored content at the victim.
+    def strip():
+        for slot in victim.po_slots.values():
+            slot.updates.clear()
+    cluster.sim.schedule(0.05, strip)
+    cluster.sim.run(until=4.0)
+    assert cluster.app(2).store.get("fetched") == 42
+
+
+def test_client_gives_up_after_max_retries(cluster):
+    """With the whole system down, a client stops retrying eventually."""
+    for i in range(6):
+        cluster.replica(i).crash()
+    client = cluster.add_client("hmi")
+    client.submit({"set": ("void", 1)})
+    cluster.sim.run(until=60.0)
+    assert client.pending == {}
+    assert 1 not in client.confirmed
+
+
+def test_replies_require_matching_results(cluster):
+    """A single replica sending a wrong reply cannot make the client
+    accept it."""
+    client = cluster.add_client("hmi")
+    seq = client.submit({"set": ("honest", 1)})
+    # One replica lies: intercept its app to return garbage.
+    liar_app = cluster.app(0)
+    original = liar_app.execute_update
+    liar_app.execute_update = lambda update: {"ok": False, "evil": True}
+    cluster.sim.run(until=3.0)
+    liar_app.execute_update = original
+    assert client.confirmed[seq] == {"ok": True, "key": "honest"}
+
+
+def test_duplicate_client_seq_executes_once_across_originators(cluster):
+    """The same signed update introduced by every replica executes once."""
+    update = make_signed_update(cluster, "dup-client", 7, {"set": ("d", 1)})
+    for name in cluster.config.replica_names:
+        cluster.replicas[name].submit_update(update)
+    cluster.sim.run(until=4.0)
+    for app in cluster.apps.values():
+        count = sum(1 for (cid, cseq, _) in app.oplog
+                    if cid == "dup-client" and cseq == 7)
+        assert count == 1
+
+
+def test_recovered_replica_view_adoption(cluster):
+    """A replica recovering into a cluster that moved to a later view
+    installs a recent view from its donors."""
+    client = cluster.add_client("hmi")
+    client.submit({"set": ("a", 1)})
+    cluster.sim.run(until=2.0)
+    leader = cluster.replicas[cluster.config.leader_of(0)]
+    leader.byzantine = "mute-leader"
+    client.submit({"set": ("b", 2)})
+    cluster.sim.run(until=5.0)
+    victim = cluster.replica(3)
+    if victim is leader:
+        victim = cluster.replica(4)
+    victim.crash()
+    cluster.sim.run(until=6.0)
+    victim.recover()
+    cluster.sim.run(until=10.0)
+    assert victim.state == "normal"
+    assert victim.view >= 1

@@ -1,0 +1,103 @@
+"""Tests for the perimeter router/firewall appliance."""
+
+import pytest
+
+from repro.net import Host, Lan
+from repro.net.router import Router
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def two_networks():
+    sim = Simulator(seed=55)
+    lan_a = Lan(sim, "a", "10.1.0.0/24")
+    lan_b = Lan(sim, "b", "10.2.0.0/24")
+    router = Router(sim, "fw")
+    lan_a.connect(router, iface_name="a")
+    lan_b.connect(router, iface_name="b")
+    host_a = Host(sim, "ha")
+    host_b = Host(sim, "hb")
+    lan_a.connect(host_a)
+    lan_b.connect(host_b)
+    host_a.set_default_gateway(host_a.interfaces[0], lan_a.ip_of(router))
+    host_b.set_default_gateway(host_b.interfaces[0], lan_b.ip_of(router))
+    return sim, lan_a, lan_b, router, host_a, host_b
+
+
+def test_default_deny_blocks_forwarding(two_networks):
+    sim, lan_a, lan_b, router, a, b = two_networks
+    received = []
+    b.udp_bind(9000, lambda *args: received.append(args))
+    a.udp_send(lan_b.ip_of(b), 9000, "blocked", src_port=1)
+    sim.run(until=2.0)
+    assert received == []
+    assert router.packets_blocked >= 1
+
+
+def test_allow_rule_forwards_matching_traffic(two_networks):
+    sim, lan_a, lan_b, router, a, b = two_networks
+    router.allow_forward(dst_ip=lan_b.ip_of(b), proto="udp", dst_port=9000)
+    router.allow_forward(src_ip=lan_b.ip_of(b))   # replies
+    received = []
+    b.udp_bind(9000, lambda *args: received.append(args))
+    b.udp_bind(9001, lambda *args: received.append(args))
+    a.udp_send(lan_b.ip_of(b), 9000, "ok", src_port=1)
+    a.udp_send(lan_b.ip_of(b), 9001, "blocked-port", src_port=1)
+    sim.run(until=2.0)
+    assert len(received) == 1
+    assert received[0][2] == "ok"
+
+
+def test_deny_rule_shadows_later_allow(two_networks):
+    sim, lan_a, lan_b, router, a, b = two_networks
+    router.deny_forward(src_ip=lan_a.ip_of(a))
+    router.allow_forward(dst_ip=lan_b.ip_of(b))
+    received = []
+    b.udp_bind(9000, lambda *args: received.append(args))
+    a.udp_send(lan_b.ip_of(b), 9000, "denied-first", src_port=1)
+    sim.run(until=2.0)
+    assert received == []
+
+
+def test_tcp_through_router(two_networks):
+    sim, lan_a, lan_b, router, a, b = two_networks
+    router.allow_forward(dst_ip=lan_b.ip_of(b), proto="tcp", dst_port=8080)
+    router.allow_forward(src_ip=lan_b.ip_of(b))
+    got = []
+    b.tcp_listen(8080, lambda conn: setattr(
+        conn, "on_data", lambda c, p: got.append(p)))
+    a.tcp_connect(lan_b.ip_of(b), 8080,
+                  lambda conn: conn.send("cross-perimeter"))
+    sim.run(until=3.0)
+    assert got == ["cross-perimeter"]
+
+
+def test_ttl_prevents_forwarding_loops(two_networks):
+    sim, lan_a, lan_b, router, a, b = two_networks
+    router.forward_default_allow = True
+    from repro.net.packet import IpPacket, UdpDatagram
+    packet = IpPacket(src_ip=lan_a.ip_of(a), dst_ip=lan_b.ip_of(b),
+                      proto="udp",
+                      payload=UdpDatagram(src_port=1, dst_port=2), ttl=1)
+    iface = lan_a.interface_of(router)
+    forwarded_before = router.packets_forwarded
+    router._forward(iface, packet)
+    assert router.packets_forwarded == forwarded_before
+
+
+def test_router_host_itself_reachable(two_networks):
+    """The router's own addresses respond (it is also a host)."""
+    sim, lan_a, lan_b, router, a, b = two_networks
+    received = []
+    router.udp_bind(500, lambda *args: received.append(args))
+    a.udp_send(lan_a.ip_of(router), 500, "to-router", src_port=1)
+    sim.run(until=2.0)
+    assert len(received) == 1
+
+
+def test_no_route_to_unknown_subnet(two_networks):
+    sim, lan_a, lan_b, router, a, b = two_networks
+    router.forward_default_allow = True
+    a.udp_send("10.99.0.1", 9000, "nowhere", src_port=1)
+    sim.run(until=2.0)   # silently dropped at the router (no out iface)
+    assert router.packets_blocked == 0

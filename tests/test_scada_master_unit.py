@@ -1,0 +1,203 @@
+"""Unit tests for the SCADA master application state machine (no
+network — ops applied directly, pushes captured via a stub replica)."""
+
+import pytest
+
+from repro.prime.messages import ClientUpdate
+from repro.scada.events import (
+    CommandDirective, HmiFeed, breaker_command_op, plc_status_op,
+    register_hmi_op, register_proxy_op,
+)
+from repro.scada.master import ScadaMaster
+
+
+class StubSession:
+    def __init__(self):
+        self.sent = []
+
+    def send(self, dst, payload, service=None):
+        self.sent.append((dst, payload))
+        return True
+
+
+class StubReplica:
+    def __init__(self):
+        self.external_session = StubSession()
+        self.running = True
+
+
+@pytest.fixture
+def master():
+    m = ScadaMaster("replica1")
+    m.bind(StubReplica())
+    return m
+
+
+def update_with(op, client="proxy-1", seq=1):
+    return ClientUpdate(client_id=client, client_seq=seq, op=op)
+
+
+def test_status_update_sets_state(master):
+    result = master.execute_update(update_with(
+        plc_status_op("plc1", {"B1": True, "B2": False},
+                      {"B1": 100, "B2": 0})))
+    assert result == {"status": "ok", "plc": "plc1"}
+    assert master.plc_state["plc1"] == {"B1": True, "B2": False}
+    assert master.plc_currents["plc1"]["B1"] == 100
+    assert master.version == 1
+
+
+def test_version_increases_per_update(master):
+    for seq in range(1, 4):
+        master.execute_update(update_with(
+            plc_status_op("plc1", {"B1": bool(seq % 2)}, {}), seq=seq))
+    assert master.version == 3
+
+
+def test_register_hmi_triggers_immediate_feed(master):
+    master.execute_update(update_with(register_hmi_op(("ext.hmi", 7800))))
+    sent = master.replica.external_session.sent
+    assert any(isinstance(p, HmiFeed) for _, p in sent)
+    assert ("ext.hmi", 7800) in master.hmis
+
+
+def test_status_change_pushes_feed_to_all_hmis(master):
+    master.execute_update(update_with(register_hmi_op(("h1", 1)), seq=1))
+    master.execute_update(update_with(register_hmi_op(("h2", 2)), seq=2))
+    master.replica.external_session.sent.clear()
+    master.execute_update(update_with(
+        plc_status_op("plc1", {"B1": True}, {}), seq=3))
+    targets = [dst for dst, p in master.replica.external_session.sent
+               if isinstance(p, HmiFeed)]
+    assert ("h1", 1) in targets and ("h2", 2) in targets
+
+
+def test_unchanged_status_does_not_push(master):
+    master.execute_update(update_with(register_hmi_op(("h1", 1)), seq=1))
+    master.execute_update(update_with(
+        plc_status_op("plc1", {"B1": True}, {}), seq=2))
+    master.replica.external_session.sent.clear()
+    master.execute_update(update_with(
+        plc_status_op("plc1", {"B1": True}, {}), seq=3))
+    assert master.replica.external_session.sent == []
+
+
+def test_command_requires_registered_proxy(master):
+    result = master.execute_update(update_with(
+        breaker_command_op("plc1", "B1", False)))
+    assert result["status"] == "no-proxy"
+    assert "no-proxy:plc1" in master.alarms
+
+
+def test_command_emits_directive_to_proxy(master):
+    master.execute_update(update_with(
+        register_proxy_op(["plc1"], ("ext.proxy", 7600)), seq=1))
+    master.execute_update(update_with(
+        plc_status_op("plc1", {"B1": True}, {}), seq=2))
+    result = master.execute_update(update_with(
+        breaker_command_op("plc1", "B1", False), client="hmi-1", seq=5))
+    assert result["status"] == "commanded"
+    directives = [p for dst, p in master.replica.external_session.sent
+                  if isinstance(p, CommandDirective)]
+    assert len(directives) == 1
+    directive = directives[0]
+    assert directive.command_id == ("hmi-1", 5)
+    assert directive.breaker == "B1" and directive.close is False
+    assert directive.replica == "replica1"
+
+
+def test_command_for_unknown_breaker_rejected(master):
+    master.execute_update(update_with(
+        register_proxy_op(["plc1"], ("ext.proxy", 7600)), seq=1))
+    master.execute_update(update_with(
+        plc_status_op("plc1", {"B1": True}, {}), seq=2))
+    result = master.execute_update(update_with(
+        breaker_command_op("plc1", "NOPE", False), seq=3))
+    assert result["status"] == "unknown-breaker"
+
+
+def test_malformed_ops_safe(master):
+    assert master.execute_update(update_with("not-a-dict"))["status"] == \
+        "bad-op"
+    assert master.execute_update(update_with({"type": "???"}, seq=2)) == \
+        {"status": "unknown-op"}
+
+
+def test_snapshot_restore_roundtrip(master):
+    master.execute_update(update_with(
+        register_proxy_op(["plc1"], ("ext.proxy", 7600)), seq=1))
+    master.execute_update(update_with(register_hmi_op(("h1", 1)), seq=2))
+    master.execute_update(update_with(
+        plc_status_op("plc1", {"B1": True}, {"B1": 100}), seq=3))
+    snapshot = master.snapshot()
+
+    clone = ScadaMaster("replica2")
+    clone.restore(snapshot)
+    assert clone.plc_state == master.plc_state
+    assert clone.proxies == master.proxies
+    assert clone.hmis == master.hmis
+    assert clone.version == master.version
+    # And the snapshot is canonically serializable (state transfer).
+    from repro.crypto import canonical_bytes
+    assert canonical_bytes(snapshot) == canonical_bytes(clone.snapshot())
+
+
+def test_cold_reset_clears_view_keeps_addresses(master):
+    master.execute_update(update_with(
+        register_proxy_op(["plc1"], ("ext.proxy", 7600)), seq=1))
+    master.execute_update(update_with(
+        plc_status_op("plc1", {"B1": True}, {}), seq=2))
+    master.cold_reset(reset_epoch=3)
+    assert master.plc_state == {}
+    assert master.version == 0
+    assert master.reset_epoch == 3
+    assert master.proxies == {"plc1": ("ext.proxy", 7600)}
+
+
+def test_pushes_suppressed_when_replica_down(master):
+    master.execute_update(update_with(register_hmi_op(("h1", 1)), seq=1))
+    master.replica.running = False
+    master.replica.external_session.sent.clear()
+    master.execute_update(update_with(
+        plc_status_op("plc1", {"B1": False}, {}), seq=2))
+    assert master.replica.external_session.sent == []
+
+
+def test_system_view_is_a_copy(master):
+    master.execute_update(update_with(
+        plc_status_op("plc1", {"B1": True}, {})))
+    view = master.system_view()
+    view["plc1"]["B1"] = False
+    assert master.plc_state["plc1"]["B1"] is True
+
+
+def test_stale_plc_alarm_raised_and_cleared(master):
+    master.stale_after_updates = 5
+    master.execute_update(update_with(register_hmi_op(("h1", 1)), seq=1))
+    master.execute_update(update_with(
+        plc_status_op("plc1", {"B1": True}, {}), seq=2))
+    # Other activity without plc1 reporting.
+    for seq in range(3, 10):
+        master.execute_update(update_with(
+            plc_status_op("plc2", {"X": bool(seq % 2)}, {}), seq=seq))
+    assert "stale-plc:plc1" in master.alarms
+    assert "stale-plc:plc2" not in master.alarms
+    # Alarm travels on the feed.
+    feeds = [p for _, p in master.replica.external_session.sent
+             if isinstance(p, HmiFeed)]
+    assert any("stale-plc:plc1" in f.alarms for f in feeds)
+    # The PLC reports again: alarm clears.
+    master.execute_update(update_with(
+        plc_status_op("plc1", {"B1": True}, {}), seq=10))
+    assert "stale-plc:plc1" not in master.alarms
+
+
+def test_stale_alarm_state_survives_snapshot(master):
+    master.stale_after_updates = 3
+    master.execute_update(update_with(
+        plc_status_op("plc1", {"B1": True}, {}), seq=1))
+    snapshot = master.snapshot()
+    clone = ScadaMaster("replica2")
+    clone.stale_after_updates = 3
+    clone.restore(snapshot)
+    assert clone.last_status_version == master.last_status_version

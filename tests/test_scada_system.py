@@ -1,0 +1,214 @@
+"""End-to-end tests of the Spire SCADA system (Fig. 2 wiring)."""
+
+import pytest
+
+from repro.core import MeasurementDevice, build_spire, plant_config
+from repro.scada.events import CommandDirective
+from repro.sim import Simulator
+from repro.spines.messages import IT_FLOOD
+
+
+@pytest.fixture
+def spire():
+    sim = Simulator(seed=31)
+    config = plant_config(n_distribution_plcs=1, n_generation_plcs=0,
+                          n_hmis=1, heartbeat_interval=1.0)
+    system = build_spire(sim, config)
+    sim.run(until=4.0)   # registrations + first polls
+    return sim, system
+
+
+def test_masters_learn_field_state_from_polls(spire):
+    sim, system = spire
+    for master in system.masters.values():
+        assert "plc-physical" in master.plc_state
+        assert master.plc_state["plc-physical"]["B57"] is True
+        assert "plc-dist-1" in master.plc_state
+
+
+def test_master_views_are_consistent(spire):
+    sim, system = spire
+    assert system.master_views_consistent()
+
+
+def test_hmi_displays_ground_truth(spire):
+    sim, system = spire
+    hmi = system.hmis[0]
+    assert hmi.breaker_state("plc-physical", "B10-1") is True
+    assert hmi.indicator("plc-physical", "B57") == "white"
+
+
+def test_operator_command_roundtrip(spire):
+    sim, system = spire
+    hmi = system.hmis[0]
+    topo = system.physical_plc.topology
+    hmi.command_breaker("plc-physical", "B56", False)
+    sim.run(until=sim.now + 3.0)
+    assert topo.get_breaker("B56") is False
+    assert hmi.breaker_state("plc-physical", "B56") is False
+    assert hmi.indicator("plc-physical", "B56") == "black"
+
+
+def test_external_breaker_flip_reaches_hmi(spire):
+    """A field-side change (the measurement device's flip) propagates
+    through poll -> ordering -> feed -> display."""
+    sim, system = spire
+    hmi = system.hmis[0]
+    topo = system.physical_plc.topology
+    topo.set_breaker("B57", False)
+    sim.run(until=sim.now + 3.0)
+    assert hmi.breaker_state("plc-physical", "B57") is False
+
+
+def test_single_master_cannot_actuate(spire):
+    """A directive from fewer than f+1 replicas must not move a breaker
+    — the proxy's agreement rule."""
+    sim, system = spire
+    proxy = system.proxies[0]
+    replica_name = system.prime_config.replica_names[0]
+    master = system.masters[replica_name]
+    rogue_directive = CommandDirective(
+        command_id=("evil", 999), plc="plc-physical", breaker="B10-1",
+        close=False, replica=replica_name)
+    master._push(proxy.directive_addr, rogue_directive)
+    sim.run(until=sim.now + 3.0)
+    assert system.physical_plc.topology.get_breaker("B10-1") is True
+    assert proxy.commands_applied == 0
+
+
+def test_single_master_cannot_fake_hmi_view(spire):
+    """One compromised master pushing a forged feed cannot change the
+    operator's display (f+1 matching rule)."""
+    sim, system = spire
+    hmi = system.hmis[0]
+    replica_name = system.prime_config.replica_names[0]
+    master = system.masters[replica_name]
+    from repro.scada.events import HmiFeed
+    forged = HmiFeed(version=master.version + 50, reset_epoch=0,
+                     replica=replica_name,
+                     plcs={"plc-physical": {b: False for b in
+                                            master.plc_state["plc-physical"]}},
+                     currents={})
+    before = dict(hmi.view.get("plc-physical", {}))
+    master._push((hmi.daemon.name, hmi.feed_port), forged)
+    sim.run(until=sim.now + 2.0)
+    assert hmi.view["plc-physical"] == before
+    assert hmi.breaker_state("plc-physical", "B10-1") is True
+
+
+def test_historian_records_series(spire):
+    sim, system = spire
+    topo = system.physical_plc.topology
+    topo.set_breaker("B57", False)
+    sim.run(until=sim.now + 2.0)
+    topo.set_breaker("B57", True)
+    sim.run(until=sim.now + 2.0)
+    series = system.historian.breaker_series("plc-physical", "B57")
+    states = [state for _, state in series]
+    assert False in states and True in states
+
+
+def test_ground_truth_rebuild_after_coordinated_reset(spire):
+    """Section III-A: after a total assumption breach the system resets
+    and rebuilds the masters' active state by polling field devices —
+    while the historian's archive is unrecoverable."""
+    sim, system = spire
+    topo = system.physical_plc.topology
+    topo.set_breaker("B56", False)
+    sim.run(until=sim.now + 2.0)
+    history_before = len(system.historian.records)
+    assert history_before > 0
+
+    lost = system.historian.wipe()
+    system.coordinated_reset()
+    # Masters are empty right after the reset.
+    some_master = next(iter(system.masters.values()))
+    assert some_master.plc_state == {}
+    sim.run(until=sim.now + 4.0)   # > heartbeat: polls rebuild the view
+    for master in system.masters.values():
+        assert master.plc_state.get("plc-physical", {}).get("B56") is False
+        assert master.plc_state["plc-physical"]["B10-1"] is True
+    hmi = system.hmis[0]
+    assert hmi.breaker_state("plc-physical", "B56") is False
+    # The historian lost its archive for good.
+    assert lost == history_before
+    old_records = [r for r in system.historian.records if r.time < sim.now - 4.0]
+    assert old_records == []
+
+
+def test_auto_reset_monitor_detects_breach(spire):
+    sim, system = spire
+    system.enable_auto_reset(check_interval=1.0, strikes=2)
+    for replica in system.replicas.values():
+        replica.crash()
+    sim.run(until=sim.now + 1.0)
+    for replica in system.replicas.values():
+        replica.recover()   # all stuck RECOVERING: no donors exist
+    sim.run(until=sim.now + 8.0)
+    assert system.reset_epochs >= 1
+    # After the automatic reset, service is restored from ground truth.
+    for master in system.masters.values():
+        assert "plc-physical" in master.plc_state
+    assert system.master_views_consistent()
+
+
+def test_proactive_recovery_cycle_preserves_operation(spire):
+    sim, system = spire
+    system.config.proactive_recovery_period = 3.0
+    system.config.proactive_recovery_downtime = 0.5
+    scheduler = system.start_proactive_recovery()
+    topo = system.physical_plc.topology
+    hmi = system.hmis[0]
+    # Run through two recoveries while flipping a breaker.
+    sim.run(until=sim.now + 4.0)
+    topo.set_breaker("B57", False)
+    sim.run(until=sim.now + 4.0)
+    assert scheduler.recoveries_completed >= 2
+    assert hmi.breaker_state("plc-physical", "B57") is False
+    assert system.master_views_consistent()
+    # Every recovered replica runs a fresh diverse variant.
+    for target in scheduler.targets:
+        if target.recoveries:
+            assert target.variants["scada-master"].build_id > 0
+
+
+def test_proactive_recovery_requires_k_at_least_one():
+    sim = Simulator(seed=32)
+    from repro.core import redteam_config
+    config = redteam_config(n_distribution_plcs=0)
+    system = build_spire(sim, config)
+    with pytest.raises(RuntimeError):
+        system.start_proactive_recovery()
+
+
+def test_measurement_device_records_latency(spire):
+    sim, system = spire
+    hmi = system.hmis[0]
+    unit = system.physical_plc
+    device = MeasurementDevice(
+        sim, unit.topology, "B10-1",
+        sensors={"spire": lambda: hmi.breaker_state("plc-physical", "B10-1")},
+        period=3.0)
+    sim.run(until=sim.now + 10.0)
+    latencies = device.latencies("spire")
+    assert len(latencies) >= 2
+    assert all(0 < lat < 2.0 for lat in latencies)
+    summary = device.summary()["spire"]
+    assert summary["mean"] > 0
+
+
+def test_dead_proxy_raises_stale_alarm_on_hmi(spire):
+    """When a PLC stops reporting (proxy killed), every master raises
+    the same stale alarm at the same version, and the operator sees it."""
+    sim, system = spire
+    for master in system.masters.values():
+        master.stale_after_updates = 8
+    victim_proxy = next(p for p in system.proxies
+                        if "plc-dist-1" in p.lines)
+    victim_proxy.shutdown()
+    sim.run(until=sim.now + 15.0)
+    hmi = system.hmis[0]
+    assert "stale-plc:plc-dist-1" in hmi.alarms
+    # The physical PLC keeps reporting: no alarm for it.
+    assert "stale-plc:plc-physical" not in hmi.alarms
+    assert system.master_views_consistent()

@@ -1,0 +1,169 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator, Process
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(2.0, order.append, "b")
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule(3.0, order.append, "c")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_same_time_events_run_in_schedule_order():
+    sim = Simulator()
+    order = []
+    for label in "abcde":
+        sim.schedule(1.0, order.append, label)
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, fired.append, "x")
+    event.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_run_until_stops_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(5.0, fired.append, 5)
+    sim.run(until=2.0)
+    assert fired == [1]
+    assert sim.now == 2.0
+    sim.run(until=10.0)
+    assert fired == [1, 5]
+
+
+def test_cannot_schedule_in_past():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(0.5, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_periodic_timer_fires_repeatedly_and_stops():
+    sim = Simulator()
+    ticks = []
+    timer = sim.every(1.0, lambda: ticks.append(sim.now))
+    sim.run(until=3.5)
+    assert ticks == [1.0, 2.0, 3.0]
+    timer.stop()
+    sim.run(until=6.0)
+    assert ticks == [1.0, 2.0, 3.0]
+
+
+def test_periodic_timer_start_after():
+    sim = Simulator()
+    ticks = []
+    sim.every(2.0, lambda: ticks.append(sim.now), start_after=0.5)
+    sim.run(until=5.0)
+    assert ticks == [0.5, 2.5, 4.5]
+
+
+def test_periodic_timer_rejects_nonpositive_period():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.every(0.0, lambda: None)
+
+
+def test_events_nested_scheduling():
+    sim = Simulator()
+    seen = []
+
+    def outer():
+        seen.append(("outer", sim.now))
+        sim.schedule(1.0, inner)
+
+    def inner():
+        seen.append(("inner", sim.now))
+
+    sim.schedule(1.0, outer)
+    sim.run()
+    assert seen == [("outer", 1.0), ("inner", 2.0)]
+
+
+def test_halt_stops_run_loop():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: (seen.append(1), sim.halt()))
+    sim.schedule(2.0, seen.append, 2)
+    sim.run()
+    assert seen == [1]
+    sim.run()
+    assert seen == [1, 2]
+
+
+def test_max_events_limit():
+    sim = Simulator()
+    seen = []
+    for i in range(10):
+        sim.schedule(float(i + 1), seen.append, i)
+    sim.run(max_events=4)
+    assert seen == [0, 1, 2, 3]
+
+
+def test_rng_streams_are_deterministic_and_independent():
+    sim_a = Simulator(seed=42)
+    sim_b = Simulator(seed=42)
+    child_a = sim_a.rng.child("net")
+    child_b = sim_b.rng.child("net")
+    assert [child_a.random() for _ in range(5)] == [child_b.random() for _ in range(5)]
+    # A sibling stream must differ.
+    other = sim_a.rng.child("prime")
+    assert [other.random() for _ in range(5)] != [sim_b.rng.child("net").random() for _ in range(5)]
+
+
+def test_event_log_carries_sim_time():
+    sim = Simulator()
+    sim.schedule(2.5, lambda: sim.log.log("src", "cat", "hello", a=1))
+    sim.run()
+    records = sim.log.records(category="cat")
+    assert len(records) == 1
+    assert records[0].time == 2.5
+    assert records[0].data["a"] == 1
+
+
+class _Ticker(Process):
+    def __init__(self, sim):
+        super().__init__(sim, "ticker")
+        self.ticks = 0
+        self.call_every(1.0, self._tick)
+
+    def _tick(self):
+        self.ticks += 1
+
+
+def test_process_shutdown_cancels_timers():
+    sim = Simulator()
+    ticker = _Ticker(sim)
+    sim.run(until=3.0)
+    assert ticker.ticks == 3
+    ticker.shutdown()
+    sim.run(until=10.0)
+    assert ticker.ticks == 3
+
+
+def test_process_guarded_call_later_after_shutdown():
+    sim = Simulator()
+    ticker = _Ticker(sim)
+    fired = []
+    ticker.call_later(5.0, fired.append, "x")
+    sim.run(until=1.5)
+    ticker.shutdown()
+    sim.run(until=10.0)
+    assert fired == []

@@ -1,0 +1,135 @@
+"""Spines overlay topology: sparse graphs, route recomputation, and
+resilience to daemon failures on constrained topologies."""
+
+import pytest
+
+from repro.crypto import KeyStore
+from repro.net import Host, Lan, locked_down_firewall
+from repro.sim import Simulator
+from repro.spines import IT_FLOOD, RELIABLE, SpinesNetwork
+
+
+def build(sim, n, intrusion_tolerant=True, port=8100):
+    lan = Lan(sim, "net", "10.0.0.0/24", ports=n + 2)
+    ks = KeyStore(sim.rng.child("keys"))
+    overlay = SpinesNetwork(sim, "t", lan, ks, port=port,
+                            intrusion_tolerant=intrusion_tolerant)
+    hosts = []
+    for i in range(n):
+        host = Host(sim, f"h{i}", firewall=locked_down_firewall())
+        lan.connect(host)
+        overlay.add_daemon(host)
+        hosts.append(host)
+    return lan, overlay, hosts
+
+
+def test_sparse_topology_connects_everything():
+    sim = Simulator(seed=81)
+    lan, overlay, hosts = build(sim, 12)
+    overlay.connect_sparse(degree=4)
+    names = sorted(overlay.daemons)
+    # Every daemon has at least 2 neighbors (ring guarantees it).
+    for daemon in overlay.daemons.values():
+        assert len(daemon.neighbors) >= 2
+    # Multicast reaches every daemon.
+    received = []
+    for name in names:
+        overlay.daemons[name].create_session(
+            50, lambda src, p, n=name: received.append(n))
+    src = overlay.daemons[names[0]].create_session(51, lambda s, p: None)
+    src.send(("*", 50), "flood", service=IT_FLOOD)
+    sim.run(until=2.0)
+    assert sorted(received) == names
+
+
+def test_sparse_topology_cheaper_than_mesh():
+    sim = Simulator(seed=82)
+    lan_m, mesh, _ = build(sim, 12, port=8100)
+    mesh.connect_full_mesh()
+    sim2 = Simulator(seed=82)
+    lan_s, sparse, _ = build(sim2, 12, port=8100)
+    sparse.connect_sparse(degree=4)
+    assert len(sparse.edges) < len(mesh.edges) / 2
+
+
+def test_sparse_small_membership_falls_back_to_mesh():
+    sim = Simulator(seed=83)
+    lan, overlay, hosts = build(sim, 4)
+    overlay.connect_sparse(degree=4)
+    # 4 daemons, degree 4 -> full mesh (6 edges).
+    assert len(overlay.edges) == 6
+
+
+def test_unicast_on_sparse_topology():
+    sim = Simulator(seed=84)
+    lan, overlay, hosts = build(sim, 10)
+    overlay.connect_sparse(degree=4)
+    names = sorted(overlay.daemons)
+    received = []
+    overlay.daemons[names[7]].create_session(50,
+                                             lambda s, p: received.append(p))
+    src = overlay.daemons[names[1]].create_session(51, lambda s, p: None)
+    src.send((names[7], 50), "direct", service=RELIABLE)
+    sim.run(until=2.0)
+    assert received == ["direct"]
+    assert src.stats.acked == 1
+
+
+def test_flood_survives_daemon_failures_on_sparse_graph():
+    """Killing a daemon cannot partition correct members of the
+    ring+chord overlay (for a single failure)."""
+    sim = Simulator(seed=85)
+    lan, overlay, hosts = build(sim, 10)
+    overlay.connect_sparse(degree=4)
+    names = sorted(overlay.daemons)
+    overlay.stop_daemon(names[3])
+    received = []
+    for name in names:
+        if name != names[3]:
+            overlay.daemons[name].create_session(
+                50, lambda src, p, n=name: received.append(n))
+    src = overlay.daemons[names[2]].create_session(51, lambda s, p: None)
+    src.send(("*", 50), "post-failure", service=IT_FLOOD)
+    sim.run(until=2.0)
+    assert sorted(received) == [n for n in names if n != names[3]]
+
+
+def test_routed_mode_recomputes_after_failure():
+    """Line topology a-b-c-d: when c dies, a->d becomes unreachable;
+    when it returns, routing works again."""
+    sim = Simulator(seed=86)
+    lan, overlay, hosts = build(sim, 4, intrusion_tolerant=False)
+    a, b, c, d = sorted(overlay.daemons)
+    for x, y in ((a, b), (b, c), (c, d)):
+        overlay.add_edge(x, y)
+    received = []
+    overlay.daemons[d].create_session(50, lambda s, p: received.append(p))
+    src = overlay.daemons[a].create_session(51, lambda s, p: None)
+    src.send((d, 50), "one", service=RELIABLE)
+    sim.run(until=2.0)
+    assert received == ["one"]
+    overlay.stop_daemon(c)
+    src.send((d, 50), "two", service=RELIABLE)
+    sim.run(until=4.0)
+    assert received == ["one"]   # no path
+    assert src.stats.dropped_no_route >= 1 or src.stats.retransmissions > 0
+    overlay.start_daemon(c)
+    src.send((d, 50), "three", service=RELIABLE)
+    sim.run(until=6.0)
+    assert "three" in received
+
+
+def test_redundant_paths_used_in_routed_mode():
+    """Diamond topology: a-b-d and a-c-d; losing b still leaves a path."""
+    sim = Simulator(seed=87)
+    lan, overlay, hosts = build(sim, 4, intrusion_tolerant=False)
+    a, b, c, d = sorted(overlay.daemons)
+    for x, y in ((a, b), (a, c), (b, d), (c, d)):
+        overlay.add_edge(x, y)
+    received = []
+    overlay.daemons[d].create_session(50, lambda s, p: received.append(p))
+    src = overlay.daemons[a].create_session(51, lambda s, p: None)
+    overlay.stop_daemon(b)
+    src.send((d, 50), "via-c", service=RELIABLE)
+    sim.run(until=3.0)
+    assert received == ["via-c"]

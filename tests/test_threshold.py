@@ -1,0 +1,97 @@
+"""Tests for the k-of-n threshold signature scheme."""
+
+import pytest
+
+from repro.crypto.threshold import (
+    PartialSignature, ThresholdError, ThresholdScheme,
+)
+from repro.util.rng import DeterministicRng
+
+
+@pytest.fixture
+def scheme():
+    return ThresholdScheme("spire-masters",
+                           [f"replica{i}" for i in range(1, 7)],
+                           threshold=2, rng=DeterministicRng(3))
+
+
+def test_k_partials_combine_and_verify(scheme):
+    payload = {"cmd": "open", "breaker": "B57"}
+    partials = [scheme.share_for(f"replica{i}").sign_partial(payload)
+                for i in (1, 2)]
+    signature = scheme.combine(partials, payload)
+    assert scheme.verify(signature, payload)
+    assert len(signature.signers) == 2
+
+
+def test_fewer_than_k_partials_fail(scheme):
+    payload = "x"
+    partials = [scheme.share_for("replica1").sign_partial(payload)]
+    with pytest.raises(ThresholdError):
+        scheme.combine(partials, payload)
+
+
+def test_duplicate_partials_do_not_count_twice(scheme):
+    payload = "x"
+    partial = scheme.share_for("replica1").sign_partial(payload)
+    with pytest.raises(ThresholdError):
+        scheme.combine([partial, partial], payload)
+
+
+def test_partial_for_wrong_payload_rejected(scheme):
+    good = scheme.share_for("replica1").sign_partial("A")
+    bad = scheme.share_for("replica2").sign_partial("B")
+    with pytest.raises(ThresholdError):
+        scheme.combine([good, bad], "A")
+
+
+def test_forged_partial_rejected(scheme):
+    good = scheme.share_for("replica1").sign_partial("A")
+    forged = PartialSignature(group="spire-masters",
+                              share_holder="replica2", tag=b"\x00" * 32)
+    with pytest.raises(ThresholdError):
+        scheme.combine([good, forged], "A")
+
+
+def test_outsider_partial_rejected(scheme):
+    other = ThresholdScheme("spire-masters", ["mallory"], threshold=1,
+                            rng=DeterministicRng(9))
+    good = scheme.share_for("replica1").sign_partial("A")
+    fake = other.share_for("mallory").sign_partial("A")
+    with pytest.raises(ThresholdError):
+        scheme.combine([good, fake], "A")
+
+
+def test_verification_detects_payload_tampering(scheme):
+    payload = {"cmd": "open"}
+    partials = [scheme.share_for(f"replica{i}").sign_partial(payload)
+                for i in (3, 4)]
+    signature = scheme.combine(partials, payload)
+    assert not scheme.verify(signature, {"cmd": "close"})
+
+
+def test_verification_rejects_forged_combined(scheme):
+    from repro.crypto.threshold import ThresholdSignature
+    forged = ThresholdSignature(group="spire-masters",
+                                signers=("replica1", "replica2"),
+                                tag=b"\x00" * 32)
+    assert not scheme.verify(forged, "anything")
+
+
+def test_threshold_bounds_checked():
+    with pytest.raises(ValueError):
+        ThresholdScheme("g", ["a"], threshold=2)
+    with pytest.raises(ValueError):
+        ThresholdScheme("g", ["a"], threshold=0)
+    with pytest.raises(ThresholdError):
+        ThresholdScheme("g", ["a"], 1).share_for("b")
+
+
+def test_three_of_six_configuration():
+    scheme = ThresholdScheme("g", [f"r{i}" for i in range(6)], threshold=3,
+                             rng=DeterministicRng(4))
+    payload = [1, 2, 3]
+    partials = [scheme.share_for(f"r{i}").sign_partial(payload)
+                for i in (0, 2, 5)]
+    signature = scheme.combine(partials, payload)
+    assert scheme.verify(signature, payload)

@@ -1,0 +1,85 @@
+"""Threshold-signed directive mode: the proxy verifies one combined
+k-of-n signature instead of counting matching directives."""
+
+import pytest
+
+from repro.core import build_spire, plant_config
+from repro.scada.events import CommandDirective
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def system():
+    sim = Simulator(seed=97)
+    config = plant_config(n_distribution_plcs=0, n_generation_plcs=0,
+                          n_hmis=1, use_threshold_directives=True)
+    spire = build_spire(sim, config)
+    sim.run(until=4.0)
+    return sim, spire
+
+
+def test_threshold_command_roundtrip(system):
+    sim, spire = system
+    hmi = spire.hmis[0]
+    topo = spire.physical_plc.topology
+    hmi.command_breaker("plc-physical", "B57", False)
+    sim.run(until=sim.now + 3.0)
+    assert topo.get_breaker("B57") is False
+    # The proxy logged a combined signature.
+    records = sim.log.records(category="proxy.threshold")
+    assert records
+    assert len(records[0].data["signers"]) == spire.prime_config.vouch
+
+
+def test_single_master_partial_is_insufficient(system):
+    sim, spire = system
+    proxy = spire.proxies[0]
+    replica_name = spire.prime_config.replica_names[0]
+    master = spire.masters[replica_name]
+    directive = CommandDirective(command_id=("evil", 5), plc="plc-physical",
+                                 breaker="B10-1", close=False,
+                                 replica=replica_name)
+    directive.partial = master.threshold_share.sign_partial(
+        directive.signed_view())
+    for _ in range(5):   # replays of the same partial do not help
+        master._push(proxy.directive_addr, directive)
+    sim.run(until=sim.now + 3.0)
+    assert spire.physical_plc.topology.get_breaker("B10-1") is True
+    assert proxy.commands_applied == 0
+
+
+def test_directive_without_partial_ignored_in_threshold_mode(system):
+    sim, spire = system
+    proxy = spire.proxies[0]
+    replica_name = spire.prime_config.replica_names[0]
+    master = spire.masters[replica_name]
+    bare = CommandDirective(command_id=("evil", 6), plc="plc-physical",
+                            breaker="B10-1", close=False,
+                            replica=replica_name)
+    master._push(proxy.directive_addr, bare)
+    sim.run(until=sim.now + 2.0)
+    assert spire.physical_plc.topology.get_breaker("B10-1") is True
+
+
+def test_forged_partial_never_combines(system):
+    sim, spire = system
+    proxy = spire.proxies[0]
+    from repro.crypto.threshold import PartialSignature
+    names = spire.prime_config.replica_names
+    directive = CommandDirective(command_id=("evil", 7), plc="plc-physical",
+                                 breaker="B10-1", close=False,
+                                 replica=names[0])
+    # One real partial + forged partials claiming other replicas.
+    directive.partial = spire.masters[names[0]].threshold_share.sign_partial(
+        directive.signed_view())
+    proxy._directive_in(("x", 1), directive)
+    for name in names[1:]:
+        forged = CommandDirective(command_id=("evil", 7), plc="plc-physical",
+                                  breaker="B10-1", close=False, replica=name)
+        forged.partial = PartialSignature(
+            group=spire.threshold_scheme.group, share_holder=name,
+            tag=b"\x00" * 32)
+        proxy._directive_in(("x", 1), forged)
+    sim.run(until=sim.now + 2.0)
+    assert spire.physical_plc.topology.get_breaker("B10-1") is True
+    assert proxy.commands_applied == 0

@@ -1,0 +1,66 @@
+"""Tests for the HMI topology rendering."""
+
+from repro.plc import redteam_topology
+from repro.scada.visualization import HmiScreen, render_hmi
+
+
+def test_render_all_closed_lights_all_buildings():
+    screen = HmiScreen(redteam_topology())
+    output = screen.render()
+    assert output.count("LIT ") == 4
+    assert "DARK" not in output
+    assert "B10-1" in output and "B57" in output
+
+
+def test_render_reflects_given_states_not_ground_truth():
+    topo = redteam_topology()
+    screen = HmiScreen(topo)
+    states = topo.breaker_states()
+    states["B10-1"] = False           # displayed view says main is open
+    output = screen.render(breaker_states=states)
+    assert output.count("DARK") == 4  # everything dark in the display
+    assert topo.get_breaker("B10-1") is True   # ground truth untouched
+
+
+def test_render_unknown_states():
+    topo = redteam_topology()
+    screen = HmiScreen(topo)
+    output = screen.render(breaker_states={})
+    assert "[?]" in output
+    assert "unknown" in output
+
+
+def test_indicator_box():
+    screen = HmiScreen(redteam_topology())
+    white = screen.render_indicator_box("B57", True)
+    black = screen.render_indicator_box("B57", False)
+    assert "WHITE" in white and "#" in white
+    assert "BLACK" in black and "." in black
+    assert screen.render_indicator_box("B57", None) == "???"
+
+
+def test_render_hmi_integration(spire_pair):
+    sim, system = spire_pair
+    hmi = system.hmis[0]
+    from repro.mana import SituationalAwarenessBoard
+    board = SituationalAwarenessBoard()
+    board.set_quiet("ops-spire")
+    output = render_hmi(hmi, system.physical_plc.topology, "plc-physical",
+                        board=board)
+    assert "B57" in output
+    assert "[MANA] ops-spire:normal" in output
+    assert "closed" in output
+
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def spire_pair():
+    from repro.core import build_spire, plant_config
+    from repro.sim import Simulator
+    sim = Simulator(seed=71)
+    system = build_spire(sim, plant_config(n_distribution_plcs=0,
+                                           n_generation_plcs=0, n_hmis=1))
+    sim.run(until=4.0)
+    return sim, system
