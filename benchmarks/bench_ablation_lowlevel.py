@@ -9,10 +9,9 @@ denial of service without even attempting attacks at the Spines or
 SCADA system levels."
 """
 
-from repro.core import build_spire, redteam_config
+from repro.api import Simulator, build_spire, redteam_config
 from repro.net import PortScanner
 from repro.redteam import ArpMitm, Attacker
-from repro.sim import Simulator
 
 from _support import Report, run_once
 

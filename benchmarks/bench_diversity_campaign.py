@@ -8,12 +8,11 @@ recovery reissues a fresh variant, invalidating the attacker's work —
 the race the paper's architecture is designed to win.
 """
 
-from repro.core import build_spire, plant_config
+from repro.api import Simulator, build_spire, plant_config
 from repro.diversity import ExploitDeveloper
 from repro.net import Host, ubuntu_desktop_2016
 from repro.redteam import Attacker
 from repro.redteam.scenarios import run_diversity_exploit_campaign
-from repro.sim import Simulator
 
 from _support import Report, run_once
 

@@ -10,7 +10,7 @@ works under benign conditions (its security failures are E5).
 from repro.net import Host, Lan
 from repro.plc import PlcDevice, redteam_topology
 from repro.redteam.commercial import CommercialHmi, CommercialScadaServer
-from repro.sim import Simulator
+from repro.api import Simulator
 
 from _support import Report, run_once
 

@@ -9,8 +9,7 @@ while the recovery scheduler takes another down, under a continuous
 breaker-cycling workload.
 """
 
-from repro.core import build_spire, plant_config
-from repro.sim import Simulator
+from repro.api import Simulator, build_spire, plant_config
 
 from _support import Report, run_once
 

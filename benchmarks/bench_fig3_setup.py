@@ -6,8 +6,7 @@ parallel operations networks (commercial + Spire), MANA 1-3 out of band
 the architecture allows it and isolation where it doesn't.
 """
 
-from repro.core.deployment import build_redteam_testbed
-from repro.sim import Simulator
+from repro.api import Simulator, build_redteam_testbed
 
 from _support import Report, run_once
 

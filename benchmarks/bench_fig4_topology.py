@@ -6,9 +6,7 @@ Regenerates the HMI view: breaker positions and which buildings are
 energized, at each cycle step, verified against the physical topology.
 """
 
-from repro.core import build_spire, redteam_config
-from repro.core.deployment import BreakerCycler
-from repro.sim import Simulator
+from repro.api import BreakerCycler, Simulator, build_spire, redteam_config
 
 from _support import Report, run_once
 

@@ -8,8 +8,7 @@ historian, whose data is genuinely historical, cannot recover its
 archive.  A generic BFT database has neither property.
 """
 
-from repro.core import build_spire, plant_config
-from repro.sim import Simulator
+from repro.api import Simulator, build_spire, plant_config
 
 from _support import Report, run_once
 

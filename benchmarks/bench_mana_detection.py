@@ -7,9 +7,8 @@ rate on clean traffic — the operational property that made plant
 engineers accept the IDS.
 """
 
-from repro.core.deployment import build_redteam_testbed
+from repro.api import Simulator, build_redteam_testbed
 from repro.redteam import ArpMitm, Attacker
-from repro.sim import Simulator
 
 from _support import Report, run_once
 

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.mana import FeatureExtractor, ManaInstance, default_ensemble
 from repro.net.tap import Capture, PacketRecord
-from repro.sim import Simulator
+from repro.api import Simulator
 
 from _support import Report, run_once
 

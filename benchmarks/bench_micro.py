@@ -9,7 +9,7 @@ performance regressions when extending the codebase.
 
 from repro.crypto import KeyStore, mac_payload, sign_payload, verify_signature
 from repro.net import Host, Lan
-from repro.sim import Simulator
+from repro.api import Simulator
 
 
 def bench_kernel_event_dispatch(benchmark):

@@ -9,8 +9,7 @@ rejuvenation cycle per replica, the property that matters) and checks
 continuous correct operation throughout.
 """
 
-from repro.core import build_spire, plant_config
-from repro.sim import Simulator
+from repro.api import Simulator, build_spire, plant_config
 
 from _support import Report, run_once
 

@@ -14,7 +14,7 @@ update confirmation latency in three conditions:
 """
 
 from repro.prime.config import PrimeTiming
-from repro.sim import Simulator
+from repro.api import Simulator
 
 import sys, os
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tests"))

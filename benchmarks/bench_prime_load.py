@@ -8,7 +8,7 @@ work, so moderate load increases cost little), rising as the offered
 rate approaches the pipeline's capacity.
 """
 
-from repro.sim import Simulator
+from repro.api import Simulator
 
 import sys, os
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tests"))
@@ -29,13 +29,14 @@ def measure(rate):
     for i in range(count):
         sim.schedule(0.5 + i * interval, client.submit, {"set": (f"k{i}", i)})
     sim.run(until=0.5 + DURATION + 6.0)
-    latencies = sorted(cluster.clients["load"].confirm_latency.values())
-    confirmed = len(latencies)
-    if not latencies:
+    # Confirmation latency comes from the telemetry registry: the Prime
+    # client observes every f+1-confirmed update into this histogram.
+    hist = sim.metrics.get("prime.confirm_latency", component="load")
+    confirmed = len(cluster.clients["load"].confirm_latency)
+    if hist is None or hist.count == 0:
         return confirmed, count, None, None, None
-    mean = sum(latencies) / confirmed
-    p99 = latencies[min(confirmed - 1, int(confirmed * 0.99))]
-    return confirmed, count, mean, latencies[confirmed // 2], p99
+    stats = hist.summary()
+    return confirmed, count, stats["mean"], stats["p50"], stats["p99"]
 
 
 def bench_prime_latency_vs_load(benchmark):

@@ -14,11 +14,10 @@ Absolute numbers are parameter choices (documented below), the ordering
 is the architecture.
 """
 
-from repro.core import MeasurementDevice, build_spire, plant_config
+from repro.api import MeasurementDevice, Simulator, build_spire, plant_config
 from repro.net import Host, Lan
 from repro.plc import PlcDevice
 from repro.redteam.commercial import CommercialHmi, CommercialScadaServer
-from repro.sim import Simulator
 
 from _support import Report, run_once
 
@@ -71,10 +70,17 @@ def bench_reaction_time_spire_vs_commercial(benchmark):
             },
             period=4.0)
         sim.run(until=5.0 + FLIPS * 4.0 + 2.0)
-        return device
+        return device, sim.metrics
 
-    device = run_once(benchmark, experiment)
-    summary = device.summary()
+    device, metrics = run_once(benchmark, experiment)
+    # The device records each detection into the telemetry registry
+    # (histogram "measure.reaction_latency", one component per system);
+    # the report reads from there.
+    summary = {
+        name: metrics.get("measure.reaction_latency", component=name).summary()
+        for name in ("spire", "commercial")
+    }
+    assert summary == device.summary()   # registry and device agree
     rows = []
     for system_name in ("spire", "commercial"):
         stats = summary[system_name]

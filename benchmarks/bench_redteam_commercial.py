@@ -8,12 +8,11 @@ server and HMI, sending modified updates and suppressing real ones.
 The paper: all of this succeeded "within only a few hours".
 """
 
-from repro.core.deployment import build_redteam_testbed
+from repro.api import Simulator, build_redteam_testbed
 from repro.redteam import Attacker
 from repro.redteam.scenarios import (
     run_commercial_enterprise_pivot, run_commercial_ops_mitm,
 )
-from repro.sim import Simulator
 
 from _support import Report, run_once
 

@@ -9,10 +9,9 @@ member (bounded by per-source fairness).  Spire operation is verified
 after every step.
 """
 
-from repro.core.deployment import build_redteam_testbed
+from repro.api import Simulator, build_redteam_testbed
 from repro.redteam import Attacker
 from repro.redteam.scenarios import run_spire_excursion
-from repro.sim import Simulator
 
 from _support import Report, run_once
 

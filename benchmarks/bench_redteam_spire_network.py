@@ -7,12 +7,11 @@ hours).  From the operations network: port scanning, ARP poisoning,
 IP spoofing, and DoS bursts over two days — none successful.
 """
 
-from repro.core.deployment import build_redteam_testbed
+from repro.api import Simulator, build_redteam_testbed
 from repro.redteam import Attacker
 from repro.redteam.scenarios import (
     run_spire_enterprise_probe, run_spire_ops_attacks,
 )
-from repro.sim import Simulator
 
 from _support import Report, run_once
 

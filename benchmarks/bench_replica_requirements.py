@@ -11,7 +11,7 @@ import pytest
 
 from repro.prime import replicas_required
 from repro.prime.config import PrimeTiming
-from repro.sim import Simulator
+from repro.api import Simulator
 
 import sys, os
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tests"))

@@ -11,9 +11,8 @@ archive, which has no physical ground truth, stays lost.
 Run:  python examples/ground_truth_recovery.py
 """
 
-from repro.core import build_spire, plant_config
+from repro.api import Simulator, build_spire, plant_config
 from repro.scada import render_hmi
-from repro.sim import Simulator
 
 
 def main() -> None:

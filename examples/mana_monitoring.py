@@ -9,10 +9,9 @@ the attacks are invisible at the SCADA level.
 Run:  python examples/mana_monitoring.py
 """
 
-from repro.core.deployment import build_redteam_testbed
+from repro.api import Simulator, build_redteam_testbed
 from repro.mana import SituationalAwarenessBoard
 from repro.redteam import ArpMitm, Attacker
-from repro.sim import Simulator
 
 
 def main() -> None:

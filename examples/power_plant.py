@@ -10,13 +10,12 @@ commercial system watching the same physical breaker.
 Run:  python examples/power_plant.py
 """
 
-from repro.core import (
-    MeasurementDevice, build_spire, plant_config,
+from repro.api import (
+    MeasurementDevice, Simulator, build_spire, plant_config,
 )
 from repro.net import Host, Lan
 from repro.plc import PlcDevice
 from repro.redteam.commercial import CommercialHmi, CommercialScadaServer
-from repro.sim import Simulator
 
 
 def main() -> None:

@@ -9,8 +9,7 @@ changes.
 Run:  python examples/quickstart.py
 """
 
-from repro.core import build_spire, plant_config
-from repro.sim import Simulator
+from repro.api import Simulator, build_spire, plant_config
 
 
 def main() -> None:

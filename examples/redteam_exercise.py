@@ -9,14 +9,13 @@ situational-awareness board.
 Run:  python examples/redteam_exercise.py
 """
 
-from repro.core.deployment import build_redteam_testbed
+from repro.api import Simulator, build_redteam_testbed
 from repro.mana import SituationalAwarenessBoard
 from repro.redteam import Attacker
 from repro.redteam.scenarios import (
     run_commercial_enterprise_pivot, run_commercial_ops_mitm,
     run_spire_enterprise_probe, run_spire_excursion, run_spire_ops_attacks,
 )
-from repro.sim import Simulator
 
 
 def main() -> None:

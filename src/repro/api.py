@@ -1,0 +1,49 @@
+"""The single public entry point for the reproduction.
+
+Everything a script, notebook, benchmark, or test needs to stand up a
+Spire deployment and observe it lives here::
+
+    from repro.api import Simulator, build_spire, plant_config
+
+    sim = Simulator(seed=7)
+    system = build_spire(sim, plant_config(n_hmis=1))
+    sim.run(until=10.0)
+    print(sim.metrics.to_csv())
+
+Importing from the historical locations (``repro.core``, ``repro.sim``)
+still works but emits :class:`DeprecationWarning` naming the
+replacement here.  Deep module paths (``repro.core.spire``,
+``repro.sim.simulator``, ...) remain the stable internal layout and do
+not warn.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SpireConfig, plant_config, redteam_config
+from repro.core.deployment import (
+    BreakerCycler, EnterpriseChatter, RedTeamTestbed, build_redteam_testbed,
+)
+from repro.core.measurement import MeasurementDevice, ReactionSample
+from repro.core.spire import PlcUnit, SpireSystem, build_spire
+from repro.sim.process import Process
+from repro.sim.simulator import (
+    Event, PeriodicTimer, SimulationError, Simulator,
+)
+from repro.telemetry import (
+    Counter, Gauge, Histogram, Metric, MetricsRegistry, Span, TraceContext,
+    Tracer,
+)
+
+__all__ = [
+    # Simulation kernel
+    "Event", "PeriodicTimer", "Process", "SimulationError", "Simulator",
+    # Deployment configuration and builders
+    "SpireConfig", "plant_config", "redteam_config",
+    "PlcUnit", "SpireSystem", "build_spire",
+    "BreakerCycler", "EnterpriseChatter", "RedTeamTestbed",
+    "build_redteam_testbed",
+    # Measurement and telemetry
+    "MeasurementDevice", "ReactionSample",
+    "Counter", "Gauge", "Histogram", "Metric", "MetricsRegistry",
+    "Span", "TraceContext", "Tracer",
+]

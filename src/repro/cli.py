@@ -7,9 +7,13 @@ Installed as ``spire-sim`` (see pyproject) or runnable as
   operate a breaker, compromise a replica, show nothing breaks.
 * ``spire-sim redteam``    — the full Section IV campaign with reports.
 * ``spire-sim plant``      — the Section V deployment + reaction-time
-  measurement.
+  measurement, with the traced per-hop latency breakdown of one
+  supervisory command (HMI → overlay → Prime → master → proxy → PLC →
+  HMI update).
 * ``spire-sim breach``     — the Section III-A assumption-breach
   rebuild-from-field-devices demonstration.
+* ``spire-sim metrics``    — run a short scenario and export the full
+  metrics registry as JSON or CSV.
 
 Every command accepts ``--seed`` (deterministic replay) and prints a
 human-readable account to stdout.
@@ -23,9 +27,8 @@ from typing import List, Optional
 
 
 def cmd_quickstart(args) -> int:
-    from repro.core import build_spire, plant_config
+    from repro.api import Simulator, build_spire, plant_config
     from repro.scada import render_hmi
-    from repro.sim import Simulator
 
     sim = Simulator(seed=args.seed)
     system = build_spire(sim, plant_config(
@@ -49,14 +52,13 @@ def cmd_quickstart(args) -> int:
 
 
 def cmd_redteam(args) -> int:
-    from repro.core.deployment import build_redteam_testbed
+    from repro.api import Simulator, build_redteam_testbed
     from repro.redteam import Attacker
     from repro.redteam.scenarios import (
         run_commercial_enterprise_pivot, run_commercial_ops_mitm,
         run_spire_enterprise_probe, run_spire_excursion,
         run_spire_ops_attacks,
     )
-    from repro.sim import Simulator
 
     sim = Simulator(seed=args.seed)
     testbed = build_redteam_testbed(sim)
@@ -81,8 +83,8 @@ def cmd_redteam(args) -> int:
 
 
 def cmd_plant(args) -> int:
-    from repro.core import MeasurementDevice, build_spire, plant_config
-    from repro.sim import Simulator
+    from repro.api import MeasurementDevice, Simulator, build_spire, \
+        plant_config
 
     sim = Simulator(seed=args.seed)
     system = build_spire(sim, plant_config(proactive_recovery_period=15.0))
@@ -99,13 +101,33 @@ def cmd_plant(args) -> int:
     print(f"recoveries: {system.recovery.recoveries_completed}; "
           f"HMIs: {len(system.hmis)}; PLCs: {len(system.plcs)}")
     print(f"reaction time over {stats['samples']} flips: "
-          f"mean {stats['mean']*1000:.0f} ms, max {stats['max']*1000:.0f} ms")
-    return 0 if stats["samples"] >= 5 else 1
+          f"mean {stats['mean']*1000:.0f} ms, "
+          f"p50 {stats['p50']*1000:.0f} ms, "
+          f"p90 {stats['p90']*1000:.0f} ms, "
+          f"max {stats['max']*1000:.0f} ms")
+
+    # Traced supervisory command: per-hop latency from the span chain.
+    state = hmi.breaker_state("plc-physical", "B57")
+    hmi.command_breaker("plc-physical", "B57", not state)
+    sim.run(until=sim.now + 3.0)
+    trace_id = hmi.last_trace_id()
+    print()
+    print(sim.tracer.format_trace(trace_id))
+    confirm = sim.metrics.merged_histogram("prime.confirm_latency").summary()
+    ordered = int(sim.metrics.total("prime.updates_executed"))
+    print(f"\nprime: {ordered} update executions across replicas; "
+          f"client confirm p50 "
+          f"{confirm.get('p50', 0.0)*1000:.1f} ms over "
+          f"{confirm.get('samples', 0)} submissions")
+    names = set(sim.tracer.span_names(trace_id))
+    complete = {"hmi.command", "overlay.deliver", "prime.order",
+                "master.execute", "proxy.actuate", "plc.poll",
+                "hmi.update"} <= names
+    return 0 if stats["samples"] >= 5 and complete else 1
 
 
 def cmd_breach(args) -> int:
-    from repro.core import build_spire, plant_config
-    from repro.sim import Simulator
+    from repro.api import Simulator, build_spire, plant_config
 
     sim = Simulator(seed=args.seed)
     system = build_spire(sim, plant_config(
@@ -130,6 +152,33 @@ def cmd_breach(args) -> int:
     return 0 if rebuilt and system.reset_epochs >= 1 else 1
 
 
+def cmd_metrics(args) -> int:
+    from repro.api import Simulator, build_spire, plant_config
+
+    sim = Simulator(seed=args.seed)
+    system = build_spire(sim, plant_config(
+        n_distribution_plcs=2, n_generation_plcs=1, n_hmis=1))
+    sim.run(until=5.0)
+    hmi = system.hmis[0]
+    state = hmi.breaker_state("plc-physical", "B57")
+    hmi.command_breaker("plc-physical", "B57", not state)
+    sim.run(until=args.duration)
+    if args.format == "csv":
+        output = sim.metrics.to_csv()
+    elif args.format == "traces":
+        output = sim.tracer.to_json()
+    else:
+        output = sim.metrics.to_json()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(output)
+        print(f"wrote {len(output)} bytes ({len(sim.metrics)} metrics, "
+              f"{len(sim.tracer)} spans) to {args.output}")
+    else:
+        print(output)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="spire-sim",
@@ -137,18 +186,38 @@ def build_parser() -> argparse.ArgumentParser:
                     "for the Power Grid' (DSN 2019)")
     parser.add_argument("--seed", type=int, default=1,
                         help="simulation seed (deterministic replay)")
+    # --seed is also accepted after the subcommand; SUPPRESS keeps the
+    # subparser from clobbering a value given before it.
+    seed = argparse.ArgumentParser(add_help=False)
+    seed.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                      help="simulation seed (deterministic replay)")
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("quickstart", help="build and operate a Spire system")
-    sub.add_parser("redteam", help="run the Section IV red-team campaign")
-    sub.add_parser("plant", help="run the Section V plant deployment")
-    sub.add_parser("breach", help="run the Section III-A breach rebuild")
+    sub.add_parser("quickstart", parents=[seed],
+                   help="build and operate a Spire system")
+    sub.add_parser("redteam", parents=[seed],
+                   help="run the Section IV red-team campaign")
+    sub.add_parser("plant", parents=[seed],
+                   help="run the Section V plant deployment")
+    sub.add_parser("breach", parents=[seed],
+                   help="run the Section III-A breach rebuild")
+    metrics = sub.add_parser(
+        "metrics", parents=[seed],
+        help="run a short scenario and export telemetry")
+    metrics.add_argument("--format", choices=["json", "csv", "traces"],
+                         default="json",
+                         help="export metrics as JSON/CSV, or span dumps")
+    metrics.add_argument("--duration", type=float, default=10.0,
+                         help="simulated seconds to run before exporting")
+    metrics.add_argument("--output", default=None,
+                         help="write to a file instead of stdout")
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {"quickstart": cmd_quickstart, "redteam": cmd_redteam,
-               "plant": cmd_plant, "breach": cmd_breach}[args.command]
+               "plant": cmd_plant, "breach": cmd_breach,
+               "metrics": cmd_metrics}[args.command]
     return handler(args)
 
 

@@ -1,21 +1,45 @@
-"""Spire system assembly: deployment configs, full-system builder,
-and the reaction-time measurement device."""
+"""Deprecated import location — use :mod:`repro.api` instead.
 
-from repro.core.config import SpireConfig, plant_config, redteam_config
-from repro.core.spire import PlcUnit, SpireSystem, build_spire
-from repro.core.measurement import MeasurementDevice, ReactionSample
+This package's submodules (``repro.core.config``, ``repro.core.spire``,
+``repro.core.deployment``, ``repro.core.measurement``) are the stable
+internal layout and import without warnings.  Pulling names from
+``repro.core`` itself is the legacy surface: it still works, but emits
+``DeprecationWarning`` pointing at the :mod:`repro.api` replacement.
+"""
 
-__all__ = [
-    "SpireConfig", "plant_config", "redteam_config",
-    "PlcUnit", "SpireSystem", "build_spire",
-    "MeasurementDevice", "ReactionSample",
-]
+from __future__ import annotations
 
-from repro.core.deployment import (
-    BreakerCycler, EnterpriseChatter, RedTeamTestbed, build_redteam_testbed,
-)
+import importlib
+import warnings
 
-__all__ += [
-    "BreakerCycler", "EnterpriseChatter", "RedTeamTestbed",
-    "build_redteam_testbed",
-]
+_MOVED = {
+    "SpireConfig": "repro.core.config",
+    "plant_config": "repro.core.config",
+    "redteam_config": "repro.core.config",
+    "PlcUnit": "repro.core.spire",
+    "SpireSystem": "repro.core.spire",
+    "build_spire": "repro.core.spire",
+    "MeasurementDevice": "repro.core.measurement",
+    "ReactionSample": "repro.core.measurement",
+    "BreakerCycler": "repro.core.deployment",
+    "EnterpriseChatter": "repro.core.deployment",
+    "RedTeamTestbed": "repro.core.deployment",
+    "build_redteam_testbed": "repro.core.deployment",
+}
+
+__all__ = sorted(_MOVED)
+
+
+def __getattr__(name: str):
+    home = _MOVED.get(name)
+    if home is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    warnings.warn(
+        f"importing {name!r} from 'repro.core' is deprecated; use "
+        f"'from repro.api import {name}' instead",
+        DeprecationWarning, stacklevel=2)
+    return getattr(importlib.import_module(home), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_MOVED))

@@ -14,14 +14,19 @@ Captures the two deployments from the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.prime.config import PrimeTiming
 
 
-@dataclass
+@dataclass(kw_only=True)
 class SpireConfig:
-    """Parameters of one Spire deployment."""
+    """Parameters of one Spire deployment.
+
+    All fields are keyword-only: deployments are described by name, not
+    by position.  ``seed`` and ``telemetry`` are consumed by
+    :func:`~repro.core.spire.build_spire` when it creates the simulator
+    itself (the one-argument form).
+    """
 
     name: str
     f: int = 1
@@ -44,16 +49,32 @@ class SpireConfig:
     timing: PrimeTiming = field(default_factory=PrimeTiming)
     internal_cidr: str = "192.168.101.0/24"
     external_cidr: str = "192.168.102.0/24"
+    seed: int = 0
+    telemetry: bool = True
+
+
+def _apply_overrides(base: SpireConfig, overrides: dict) -> SpireConfig:
+    valid = {f.name for f in base.__dataclass_fields__.values()}
+    for key, value in overrides.items():
+        if key not in valid:
+            raise TypeError(
+                f"unknown SpireConfig field {key!r}; valid fields: "
+                f"{', '.join(sorted(valid))}")
+        setattr(base, key, value)
+    return base
 
 
 def redteam_config(**overrides) -> SpireConfig:
-    """The 2017 red-team experiment deployment (Section IV)."""
+    """The 2017 red-team experiment deployment (Section IV).
+
+    Keyword overrides must name real :class:`SpireConfig` fields
+    (``n_distribution_plcs=3``, ``seed=7``, ``telemetry=False``, ...);
+    typos raise ``TypeError`` instead of silently attaching attributes.
+    """
     base = SpireConfig(name="redteam-2017", f=1, k=0,
                        n_distribution_plcs=10, n_generation_plcs=0,
                        physical_scenario="redteam", n_hmis=1)
-    for key, value in overrides.items():
-        setattr(base, key, value)
-    return base
+    return _apply_overrides(base, overrides)
 
 
 def plant_config(**overrides) -> SpireConfig:
@@ -61,6 +82,4 @@ def plant_config(**overrides) -> SpireConfig:
     base = SpireConfig(name="plant-2018", f=1, k=1,
                        n_distribution_plcs=10, n_generation_plcs=6,
                        physical_scenario="plant", n_hmis=3)
-    for key, value in overrides.items():
-        setattr(base, key, value)
-    return base
+    return _apply_overrides(base, overrides)

@@ -16,7 +16,7 @@ enterprise network (the pivot the red team found "within a few hours").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.config import SpireConfig, redteam_config
@@ -250,8 +250,8 @@ def build_redteam_testbed(sim: Simulator,
 
     # --- perimeter firewall/router ---------------------------------------
     router = Router(sim, "perimeter-firewall")
-    ent_iface = enterprise_lan.connect(router, iface_name="ent")
-    ops_iface = ops_lan.connect(router, iface_name="ops")
+    enterprise_lan.connect(router, iface_name="ent")
+    ops_lan.connect(router, iface_name="ops")
     # Default gateways so cross-network traffic traverses the firewall.
     for host in [historian_host] + workstations:
         host.set_default_gateway(host.interfaces[0],

@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.plc.topology import PowerTopology
 from repro.sim.process import Process
+from repro.telemetry.metrics import Histogram
 
 
 @dataclass
@@ -79,6 +80,9 @@ class MeasurementDevice(Process):
                 continue
             if sensor() == self._current.new_state:
                 self._current.detect_times[system] = self.now
+                self.metrics.histogram(
+                    "measure.reaction_latency", component=system).observe(
+                        self.now - self._current.flip_time)
 
     # ------------------------------------------------------------------
     def latencies(self, system: str) -> List[float]:
@@ -90,18 +94,20 @@ class MeasurementDevice(Process):
         return out
 
     def summary(self) -> Dict[str, dict]:
+        """Per-system latency statistics.
+
+        Quantiles are computed by :meth:`Histogram.quantile` (linear
+        interpolation), which handles even-length sample sets correctly
+        — the old nearest-rank shortcut overshot p50 for those.
+        """
         report = {}
         for system in self.sensors:
             values = self.latencies(system)
             if not values:
                 report[system] = {"samples": 0}
                 continue
-            values_sorted = sorted(values)
-            report[system] = {
-                "samples": len(values),
-                "mean": sum(values) / len(values),
-                "min": values_sorted[0],
-                "max": values_sorted[-1],
-                "p50": values_sorted[len(values) // 2],
-            }
+            hist = Histogram("measure.reaction_latency", component=system)
+            for value in values:
+                hist.observe(value)
+            report[system] = hist.summary()
         return report

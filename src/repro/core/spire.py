@@ -181,8 +181,25 @@ class SpireSystem:
         return self.recovery
 
 
-def build_spire(sim: Simulator, config: SpireConfig) -> SpireSystem:
-    """Construct and wire a complete Spire deployment."""
+def build_spire(sim, config: Optional[SpireConfig] = None) -> SpireSystem:
+    """Construct and wire a complete Spire deployment.
+
+    Two call forms::
+
+        build_spire(sim, config)   # attach to an existing Simulator
+        build_spire(config)        # create Simulator(seed=config.seed,
+                                   #                  telemetry=config.telemetry)
+
+    The one-argument form returns a system whose simulator is reachable
+    as ``system.sim``.
+    """
+    if isinstance(sim, SpireConfig):
+        if config is not None:
+            raise TypeError("pass either (sim, config) or (config,)")
+        config = sim
+        sim = Simulator(seed=config.seed, telemetry=config.telemetry)
+    if config is None:
+        raise TypeError("build_spire requires a SpireConfig")
     system = SpireSystem(sim, config)
     prime_config = build_config(f=config.f, k=config.k, timing=config.timing)
     system.prime_config = prime_config

@@ -20,8 +20,8 @@ also modeled because they change the *attacker's work factor*:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict
 
 from repro.util.rng import DeterministicRng
 

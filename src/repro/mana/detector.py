@@ -12,7 +12,7 @@ Operation is strictly passive: the instance consumes a
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -56,6 +56,12 @@ class ManaInstance(Process):
         self.alerts: List[Alert] = []
         self.correlator = AlertCorrelator()
         self.windows_evaluated = 0
+        self._metric_windows = sim.metrics.counter("mana.windows_evaluated",
+                                                   component=name)
+        self._metric_alerts = sim.metrics.counter("mana.alerts",
+                                                  component=name)
+        self._metric_score = sim.metrics.histogram("mana.score",
+                                                   component=name)
         self._live_timer = None
         self._live_cursor = 0.0
 
@@ -93,8 +99,10 @@ class ManaInstance(Process):
         if not self.trained:
             raise RuntimeError(f"{self.name} is not trained")
         self.windows_evaluated += 1
+        self._metric_windows.inc()
         scores = {model.name: model.score(window.vector)
                   for model in self.models}
+        self._metric_score.observe(max(scores.values()))
         flagging = tuple(sorted(name for name, score in scores.items()
                                 if score > 1.0))
         if len(flagging) < self.vote_threshold:
@@ -107,6 +115,7 @@ class ManaInstance(Process):
                       score=max(scores.values()), models_flagging=flagging,
                       top_features=top_features)
         self.alerts.append(alert)
+        self._metric_alerts.inc()
         self.correlator.add(alert)
         self.log("mana.alert", alert.describe(), score=alert.score)
         return alert

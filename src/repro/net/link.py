@@ -55,6 +55,12 @@ class Link:
         self.frames_sent = 0
         self.frames_dropped = 0
         self._taps: List[Callable[[Frame, "Link", float], None]] = []
+        self._metric_sent = sim.metrics.counter("net.link.frames_sent",
+                                                component=name)
+        self._metric_dropped = sim.metrics.counter("net.link.frames_dropped",
+                                                   component=name)
+        self._metric_bytes = sim.metrics.counter("net.link.bytes",
+                                                 component=name)
 
     def attach(self, endpoint: LinkEndpoint) -> int:
         """Attach an endpoint; returns its end index (0 or 1)."""
@@ -88,10 +94,12 @@ class Link:
         """
         if not self.up:
             self.frames_dropped += 1
+            self._metric_dropped.inc()
             return False
         receiver = self.other_end(sender)
         if receiver is None:
             self.frames_dropped += 1
+            self._metric_dropped.inc()
             return False
 
         direction = 0 if self._ends[0] is sender else 1
@@ -105,6 +113,7 @@ class Link:
 
         if self._queued_bytes[direction] + size > self.queue_bytes:
             self.frames_dropped += 1
+            self._metric_dropped.inc()
             return False
 
         serialization = size / self.bandwidth
@@ -116,6 +125,8 @@ class Link:
             tap(frame, self, now)
 
         self.frames_sent += 1
+        self._metric_sent.inc()
+        self._metric_bytes.inc(size)
         self.sim.at(deliver_at, self._deliver, receiver, frame, direction, size)
         return True
 

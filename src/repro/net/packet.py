@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import Any, Optional
+from typing import Any
 
 from repro.net.addresses import ETHERTYPE_ARP, ETHERTYPE_IP, PROTO_TCP, PROTO_UDP
 

@@ -16,8 +16,7 @@ network architecture (Spire's proxy + direct cable).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 from repro.net.host import Host, TcpConnection
 from repro.plc.modbus import (

@@ -21,7 +21,7 @@ must come from the architecture (Spire's proxy + direct cable).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.net.host import Host, TcpConnection
 from repro.plc.topology import PowerTopology

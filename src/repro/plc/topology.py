@@ -21,7 +21,7 @@ Three scenarios from the paper are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Set
 
 
 @dataclass

@@ -10,7 +10,7 @@ which is then guaranteed correct).  Unanswered updates are retransmitted
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Optional, Set
 
 from repro.crypto.auth import sign_payload
 from repro.prime.config import PrimeConfig
@@ -30,6 +30,7 @@ class _PendingUpdate:
     replies: Dict[str, Any] = field(default_factory=dict)  # replica -> result
     retries: int = 0
     delivered: bool = False
+    span: Any = None               # open client.submit span (traced ops)
 
 
 class PrimeClient(Process):
@@ -63,17 +64,28 @@ class PrimeClient(Process):
 
     # ------------------------------------------------------------------
     def submit(self, op: Any) -> int:
-        """Sign and broadcast an update; returns its client sequence."""
+        """Sign and broadcast an update; returns its client sequence.
+
+        Ops carrying a ``"trace"`` context get a ``client.submit`` span
+        that stays open until f+1 matching replies confirm the update.
+        """
         seq = self.next_seq
         self.next_seq += 1
+        trace = op.get("trace") if isinstance(op, dict) else None
         update = ClientUpdate(client_id=self.client_id, client_seq=seq, op=op,
                               reply_to=self.session.address)
         update = ClientUpdate(
             client_id=update.client_id, client_seq=update.client_seq,
             op=update.op, reply_to=update.reply_to,
             signature=sign_payload(self.daemon.host.key_ring, self.client_id,
-                                   update.signed_view()))
-        self.pending[seq] = _PendingUpdate(update=update, submitted_at=self.now)
+                                   update.signed_view()),
+            trace=trace)
+        state = _PendingUpdate(update=update, submitted_at=self.now)
+        if trace is not None:
+            state.span = self.tracer.start_span(
+                "client.submit", component=self.client_id, parent=trace,
+                client_seq=seq)
+        self.pending[seq] = state
         self._transmit(update)
         return seq
 
@@ -102,6 +114,12 @@ class PrimeClient(Process):
                 self.confirmed[payload.client_seq] = result
                 self.confirm_latency[payload.client_seq] = (
                     self.now - state.submitted_at)
+                self.metrics.histogram(
+                    "prime.confirm_latency",
+                    component=self.client_id).observe(
+                        self.now - state.submitted_at)
+                if state.span is not None:
+                    state.span.finish(self.now)
                 self.pending.pop(payload.client_seq, None)
                 if self.on_result is not None:
                     self.on_result(payload.client_seq, result)

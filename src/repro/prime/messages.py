@@ -8,7 +8,7 @@ own client signature and are therefore self-certifying when relayed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.crypto.auth import Signature
@@ -29,6 +29,9 @@ class ClientUpdate:
     op: Any
     reply_to: Optional[Tuple[str, int]] = None   # overlay address for replies
     signature: Optional[Signature] = None
+    # Telemetry-only trace context ({"trace_id", "span_id"}); excluded
+    # from the signed view so tracing never perturbs authentication.
+    trace: Optional[Dict[str, str]] = None
 
     def key(self) -> Tuple[str, int]:
         return (self.client_id, self.client_seq)

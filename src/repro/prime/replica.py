@@ -195,6 +195,22 @@ class PrimeReplica(Process):
         self.updates_executed = 0
         self.replies_sent = 0
         self.execute_times: List[float] = []
+        # --- telemetry ---
+        metrics = sim.metrics
+        self._metric_executed = metrics.counter("prime.updates_executed",
+                                                component=name)
+        self._metric_view_changes = metrics.counter("prime.view_changes",
+                                                    component=name)
+        self._metric_ordinal = metrics.gauge("prime.last_executed",
+                                             component=name)
+        self._metric_intro_queue = metrics.gauge("prime.intro_queue",
+                                                 component=name)
+        self._metric_pending = metrics.gauge("prime.pending_slots",
+                                             component=name)
+        self._metric_order_latency = metrics.histogram("prime.order_latency",
+                                                       component=name)
+        # update key -> introduction time, for traced ordering spans
+        self._trace_intro: Dict[Tuple[str, int], float] = {}
         # --- malicious behaviour hooks (red-team / benches) ---
         # None | "crash" | "mute-leader" | "slow-leader" | "censor"
         # | "censor-matrix"
@@ -264,7 +280,10 @@ class PrimeReplica(Process):
         if self.byzantine == "censor" and update.client_id in self.censor_clients:
             return
         self.introduced.add(key)
+        if update.trace is not None:
+            self._trace_intro.setdefault(key, self.now)
         self.intro_queue.append(update)
+        self._metric_intro_queue.set(len(self.intro_queue))
 
     def _flush_intro_queue(self) -> None:
         if not self.intro_queue or self.state != STATE_NORMAL:
@@ -280,6 +299,7 @@ class PrimeReplica(Process):
             self._slot_update_key[slot_key] = update.key()
         self.next_po_seq += len(self.intro_queue)
         self.intro_queue.clear()
+        self._metric_intro_queue.set(0)
         self._po_request_in(self.name, batch)
         self._broadcast(batch)
 
@@ -535,6 +555,9 @@ class PrimeReplica(Process):
             slot.exec_batch = []
             slot.executed = True
             self.last_executed = gseq
+            self._metric_ordinal.set(gseq)
+            self._metric_pending.set(
+                len(self.own_pending) + len(self._certified_pending))
 
     def _execute_slot(self, slot_key: Tuple[str, int]) -> None:
         update = self.po_slots[slot_key].certified_update()
@@ -552,6 +575,15 @@ class PrimeReplica(Process):
         result = self.app.execute_update(update)
         self.updates_executed += 1
         self.execute_times.append(self.now)
+        self._metric_executed.inc()
+        intro = self._trace_intro.pop(key, None)
+        if update.trace is not None:
+            start = intro if intro is not None else self.now
+            self._metric_order_latency.observe(self.now - start)
+            self.tracer.record("prime.order", component=self.name,
+                               parent=update.trace, start=start,
+                               client=update.client_id,
+                               client_seq=update.client_seq)
         self._send_reply(update, result)
 
     def _send_reply(self, update: ClientUpdate, result: Any) -> None:
@@ -679,6 +711,7 @@ class PrimeReplica(Process):
             return
         self.view = new_view
         self.view_changes += 1
+        self._metric_view_changes.inc()
         self.suspected_view = None
         self.new_leader_msgs = {v: m for v, m in self.new_leader_msgs.items()
                                 if v > new_view}
@@ -763,6 +796,7 @@ class PrimeReplica(Process):
             if evident > self.view:
                 self.view = evident
                 self.view_changes += 1
+                self._metric_view_changes.inc()
                 self.suspected_view = None
                 now = self.now
                 self.own_pending = {key: now for key in self.own_pending}

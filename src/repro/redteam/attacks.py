@@ -22,7 +22,7 @@ recorded as an :class:`AttackRecord` for the scenario reports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.crypto.keys import KeyRing, KeyStore

@@ -21,11 +21,10 @@ engineering, no integrity protection.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from repro.net.host import Host, TcpConnection
-from repro.plc.device import PlcDevice
 from repro.plc.modbus import (
     ModbusResponse, read_coils, read_input_registers, write_coil,
 )

@@ -23,7 +23,7 @@ mirroring how the experiment was judged:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.net.osprofile import VULN_DIRTYCOW, VULN_SSHD_CVE, \
     VULN_WEBADMIN_DEFAULT_CREDS
@@ -189,7 +189,6 @@ def run_commercial_ops_mitm(testbed, attacker: Attacker,
 
     # Suppress updates entirely.
     mitm.policy = "drop"
-    suppress_start = sim.now
     sim.run(until=sim.now + 6.0)
     staleness = hmi.seconds_since_update()
     report.add("prevent correct updates from being received",
@@ -268,8 +267,8 @@ def run_spire_ops_attacks(testbed, attacker: Attacker, attacker_host,
                intercepted=intercepted, hmi_refreshes=displays_during)
 
     # IP spoofing at the Spines port.
-    spoof = attacker.spoof_udp(attacker_host, proxy_ip, replica_ip, 8120,
-                               "spoofed-junk")
+    attacker.spoof_udp(attacker_host, proxy_ip, replica_ip, 8120,
+                       "spoofed-junk")
     drop_before = sum(d.stats_dropped_auth
                       for d in spire.external.daemons.values())
     sim.run(until=sim.now + 2.0)
@@ -370,7 +369,6 @@ def run_spire_excursion(testbed, attacker: Attacker,
     # (e) root + source: fairness attack as a trusted member.
     attacker.grant_foothold(victim_host, "root")
     hmi = spire.hmis[0]
-    displays_before = hmi.display_updates
     fairness_flood(attacker, internal_daemon, ("*", 7000), count=3000)
     sim.run(until=sim.now + 4.0)
     health = check_spire_health(testbed)
@@ -432,7 +430,6 @@ def run_diversity_exploit_campaign(system, attacker: Attacker, developer,
     reused = sum(1 for name in names[1:]
                  if exploit_replica_application(attacker, system, name,
                                                 exploit))
-    diversity_held = reused == 0
     report.add("reuse exploit on other replicas", reused > 0,
                f"{reused}/{len(names) - 1} further replicas fell "
                + ("(monoculture!)" if reused else "(diversity held)"))

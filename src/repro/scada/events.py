@@ -27,15 +27,23 @@ from typing import Any, Dict, List, Optional, Tuple
 
 
 def plc_status_op(plc: str, breakers: Dict[str, bool],
-                  currents: Dict[str, int]) -> dict:
-    return {"type": "plc_status", "plc": plc,
-            "breakers": dict(sorted(breakers.items())),
-            "currents": dict(sorted(currents.items()))}
+                  currents: Dict[str, int],
+                  trace: Optional[Dict[str, str]] = None) -> dict:
+    op = {"type": "plc_status", "plc": plc,
+          "breakers": dict(sorted(breakers.items())),
+          "currents": dict(sorted(currents.items()))}
+    if trace is not None:
+        op["trace"] = dict(trace)
+    return op
 
 
-def breaker_command_op(plc: str, breaker: str, close: bool) -> dict:
-    return {"type": "breaker_command", "plc": plc, "breaker": breaker,
-            "close": close}
+def breaker_command_op(plc: str, breaker: str, close: bool,
+                       trace: Optional[Dict[str, str]] = None) -> dict:
+    op = {"type": "breaker_command", "plc": plc, "breaker": breaker,
+          "close": close}
+    if trace is not None:
+        op["trace"] = dict(trace)
+    return op
 
 
 def register_proxy_op(plc_names: List[str],
@@ -64,6 +72,9 @@ class CommandDirective:
     close: bool
     replica: str
     partial: Any = None                # Optional[PartialSignature]
+    # Telemetry-only trace context; excluded from matching_key() and
+    # signed_view() so tracing never affects f+1 agreement.
+    trace: Optional[Dict[str, str]] = None
 
     def matching_key(self) -> str:
         return repr((tuple(self.command_id), self.plc, self.breaker, self.close))
@@ -92,6 +103,9 @@ class HmiFeed:
     plcs: Dict[str, Dict[str, bool]]          # plc -> breaker -> closed
     currents: Dict[str, Dict[str, int]]
     alarms: List[str] = field(default_factory=list)
+    # Telemetry-only trace context; excluded from matching_key() so
+    # tracing never affects the f+1 display rule.
+    trace: Optional[Dict[str, str]] = None
 
     def matching_key(self) -> str:
         return repr((self.version, self.reset_epoch,

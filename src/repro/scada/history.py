@@ -12,7 +12,7 @@ automatically after an assumption breach").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Set, Tuple
 
 from repro.net.host import Host
 from repro.prime.config import PrimeConfig

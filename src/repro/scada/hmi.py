@@ -13,7 +13,6 @@ breaker state so that the sensor could easily detect the HMI update".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.net.host import Host
@@ -62,6 +61,16 @@ class Hmi(Process):
         self._display_log: List[Tuple[float, Tuple[int, int]]] = []
         self.on_display: Optional[Callable[["Hmi"], None]] = None
         self.commands_sent = 0
+        # trace_id -> open root hmi.command span (closed on display).
+        self._open_traces: Dict[str, Any] = {}
+        self._metric_commands = sim.metrics.counter("scada.commands_sent",
+                                                    component=name)
+        self._metric_displays = sim.metrics.counter("scada.displays",
+                                                    component=name)
+        self._metric_staleness = sim.metrics.histogram(
+            "scada.update_staleness", component=name)
+        self._metric_reaction = sim.metrics.histogram(
+            "scada.command_reaction", component=name)
         host.register_app(f"hmi:{name}", self)
 
     # ------------------------------------------------------------------
@@ -70,9 +79,28 @@ class Hmi(Process):
         self.client.submit(register_hmi_op((self.daemon.name, self.feed_port)))
 
     def command_breaker(self, plc: str, breaker: str, close: bool) -> int:
-        """Operator action: open/close a breaker."""
+        """Operator action: open/close a breaker.
+
+        With tracing enabled, each command roots an ``hmi.command`` trace
+        that is closed when the resulting state change reaches this
+        HMI's display (the paper's end-to-end reaction-time path).
+        """
         self.commands_sent += 1
-        return self.client.submit(breaker_command_op(plc, breaker, close))
+        self._metric_commands.inc()
+        trace = None
+        if self.tracer.enabled:
+            span = self.tracer.start_span("hmi.command", component=self.name,
+                                          plc=plc, breaker=breaker,
+                                          close=close)
+            self._open_traces[span.trace_id] = span
+            trace = span.context()
+        return self.client.submit(
+            breaker_command_op(plc, breaker, close, trace=trace))
+
+    def last_trace_id(self) -> Optional[str]:
+        """Trace id of the most recent traced command (open or closed)."""
+        spans = self.tracer.spans(name="hmi.command", component=self.name)
+        return spans[-1].trace_id if spans else None
 
     # ------------------------------------------------------------------
     def _feed_in(self, src: OverlayAddress, payload: Any) -> None:
@@ -95,8 +123,19 @@ class Hmi(Process):
         self.view = {p: dict(b) for p, b in feed.plcs.items()}
         self.currents = {p: dict(c) for p, c in feed.currents.items()}
         self.alarms = list(feed.alarms)
+        self._metric_displays.inc()
+        if self._display_log:
+            self._metric_staleness.observe(self.now - self._display_log[-1][0])
         self._display_log.append((self.now, stamp))
         self._claims = {s: c for s, c in self._claims.items() if s > stamp}
+        if feed.trace is not None:
+            self.tracer.record("hmi.update", component=self.name,
+                               parent=feed.trace, version=stamp[1])
+            root = self._open_traces.pop(feed.trace.get("trace_id"), None)
+            if root is not None:
+                root.finish(self.now)
+                if root.duration is not None:
+                    self._metric_reaction.observe(root.duration)
         if self.on_display is not None:
             self.on_display(self)
 

@@ -61,6 +61,20 @@ class ScadaMaster:
         self.replica = replica
 
     # ------------------------------------------------------------------
+    # Telemetry (available only once bound to a replica)
+    # ------------------------------------------------------------------
+    def _count(self, name: str, amount: int = 1) -> None:
+        sim = getattr(self.replica, "sim", None)
+        if sim is not None:
+            sim.metrics.counter(name, component=self.name).inc(amount)
+
+    def _span(self, name: str, trace: Optional[dict], **attrs) -> None:
+        sim = getattr(self.replica, "sim", None)
+        if trace is not None and sim is not None:
+            sim.tracer.record(name, component=self.name, parent=trace,
+                              **attrs)
+
+    # ------------------------------------------------------------------
     # PrimeApp interface
     # ------------------------------------------------------------------
     def execute_update(self, update: ClientUpdate) -> Any:
@@ -96,6 +110,7 @@ class ScadaMaster:
 
     def _apply_status(self, op: dict) -> dict:
         plc = op["plc"]
+        trace = op.get("trace")
         previous = self.plc_state.get(plc)
         self.plc_state[plc] = dict(op["breakers"])
         self.plc_currents[plc] = dict(op["currents"])
@@ -105,10 +120,13 @@ class ScadaMaster:
             self.alarms.remove(alarm)    # the PLC came back
             self._push_feed()
         self.statuses_applied += 1
+        self._count("scada.statuses_applied")
+        self._span("master.execute", trace, op="plc_status", plc=plc)
         if self.historian_hook is not None:
             self.historian_hook(plc, dict(op["breakers"]), self.version)
-        if previous != self.plc_state[plc] or previous is None:
-            self._push_feed()
+        if previous != self.plc_state[plc] or previous is None or \
+                trace is not None:
+            self._push_feed(trace=trace)
         return {"status": "ok", "plc": plc}
 
     def _apply_command(self, update: ClientUpdate, op: dict) -> dict:
@@ -121,9 +139,13 @@ class ScadaMaster:
             self.alarms.append(f"no-proxy:{plc}")
             return {"status": "no-proxy", "plc": plc}
         self.commands_issued += 1
+        trace = op.get("trace")
+        self._count("scada.commands_issued")
+        self._span("master.execute", trace, op="breaker_command",
+                   plc=plc, breaker=breaker)
         directive = CommandDirective(
             command_id=update.key(), plc=plc, breaker=breaker, close=close,
-            replica=self.name)
+            replica=self.name, trace=trace)
         if self.threshold_share is not None:
             directive.partial = self.threshold_share.sign_partial(
                 directive.signed_view())
@@ -183,14 +205,16 @@ class ScadaMaster:
         self.replica.external_session.send(tuple(addr), payload,
                                            service=IT_FLOOD)
 
-    def _push_feed(self) -> None:
+    def _push_feed(self, trace: Optional[dict] = None) -> None:
         feed = HmiFeed(
             version=self.version, reset_epoch=self.reset_epoch,
             replica=self.name,
             plcs={p: dict(b) for p, b in self.plc_state.items()},
             currents={p: dict(c) for p, c in self.plc_currents.items()},
             alarms=list(self.alarms),
+            trace=trace,
         )
+        self._count("scada.feeds_pushed", len(self.hmis))
         for addr in self.hmis:
             self._push(addr, feed)
 

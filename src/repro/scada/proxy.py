@@ -18,7 +18,7 @@ of the system.  The proxy:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, Optional, Set, Tuple
 
 from repro.net.host import Host, TcpConnection
 from repro.net.link import Link
@@ -63,6 +63,11 @@ class _PlcLine:
     tid: int = 0
     last_submitted: Optional[Dict[str, bool]] = None
     last_submit_time: float = -1e9
+    # Telemetry: write tid -> (trace ctx, actuate start time); the trace
+    # context carried by the post-actuation re-poll, and its start time.
+    write_traces: Dict[int, Tuple[dict, float]] = field(default_factory=dict)
+    poll_trace: Optional[Dict[str, str]] = None
+    poll_trace_start: float = 0.0
 
 
 class PlcProxy(Process):
@@ -113,6 +118,9 @@ class PlcProxy(Process):
         self.threshold_scheme = None
         self.commands_applied = 0
         self.polls = 0
+        self._metric_polls = sim.metrics.counter("scada.polls", component=name)
+        self._metric_commands = sim.metrics.counter("scada.commands_applied",
+                                                    component=name)
         host.register_app(f"proxy:{name}", self)
         self.call_every(poll_interval, self._poll_all)
 
@@ -139,6 +147,7 @@ class PlcProxy(Process):
 
     def _poll(self, line: _PlcLine) -> None:
         self.polls += 1
+        self._metric_polls.inc()
         if line.conn is None or line.conn.closed:
             self._connect(line)
             return
@@ -179,20 +188,36 @@ class PlcProxy(Process):
                                   for name, v in zip(names, payload.values)}
         elif kind == "write":
             self.commands_applied += 1
+            self._metric_commands.inc()
+            traced = line.write_traces.pop(payload.transaction_id, None)
+            if traced is not None:
+                trace, started = traced
+                self.tracer.record("proxy.actuate", component=self.name,
+                                   parent=trace, start=started,
+                                   plc=line.plc.name)
+                line.poll_trace = trace
+                line.poll_trace_start = self.now
             self._poll(line)   # immediate re-poll: fast reaction path
 
     def _submit_status(self, line: _PlcLine) -> None:
         if not line.last_breakers:
             return
+        trace = line.poll_trace
         changed = line.last_submitted != line.last_breakers
         heartbeat_due = (self.now - line.last_submit_time
                          >= self.heartbeat_interval)
-        if not changed and not heartbeat_due:
+        if not changed and not heartbeat_due and trace is None:
             return
         line.last_submitted = dict(line.last_breakers)
         line.last_submit_time = self.now
+        if trace is not None:
+            self.tracer.record("plc.poll", component=self.name, parent=trace,
+                               start=line.poll_trace_start,
+                               plc=line.plc.name)
+            line.poll_trace = None
         self.client.submit(plc_status_op(
-            line.plc.name, line.last_breakers, line.last_currents))
+            line.plc.name, line.last_breakers, line.last_currents,
+            trace=trace))
 
     # ------------------------------------------------------------------
     # Directives (masters -> proxy)
@@ -258,6 +283,8 @@ class PlcProxy(Process):
             return
         line.tid += 1
         line.pending[line.tid] = "write"
+        if directive.trace is not None:
+            line.write_traces[line.tid] = (dict(directive.trace), self.now)
         line.conn.send(write_coil(line.tid, address, directive.close))
         self.log("proxy.actuate", f"breaker {directive.breaker} -> "
                  f"{'closed' if directive.close else 'open'}",

@@ -1,6 +1,36 @@
-"""Discrete-event simulation kernel used by every subsystem."""
+"""Deprecated import location — use :mod:`repro.api` instead.
 
-from repro.sim.simulator import Event, PeriodicTimer, SimulationError, Simulator
-from repro.sim.process import Process
+The kernel modules (``repro.sim.simulator``, ``repro.sim.process``)
+import without warnings; pulling names from ``repro.sim`` itself emits
+``DeprecationWarning`` pointing at the :mod:`repro.api` replacement.
+"""
 
-__all__ = ["Event", "PeriodicTimer", "SimulationError", "Simulator", "Process"]
+from __future__ import annotations
+
+import importlib
+import warnings
+
+_MOVED = {
+    "Event": "repro.sim.simulator",
+    "PeriodicTimer": "repro.sim.simulator",
+    "SimulationError": "repro.sim.simulator",
+    "Simulator": "repro.sim.simulator",
+    "Process": "repro.sim.process",
+}
+
+__all__ = sorted(_MOVED)
+
+
+def __getattr__(name: str):
+    home = _MOVED.get(name)
+    if home is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    warnings.warn(
+        f"importing {name!r} from 'repro.sim' is deprecated; use "
+        f"'from repro.api import {name}' instead",
+        DeprecationWarning, stacklevel=2)
+    return getattr(importlib.import_module(home), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_MOVED))

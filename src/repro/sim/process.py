@@ -32,6 +32,16 @@ class Process:
     def now(self) -> float:
         return self.sim.now
 
+    @property
+    def metrics(self):
+        """The simulation-wide :class:`~repro.telemetry.MetricsRegistry`."""
+        return self.sim.metrics
+
+    @property
+    def tracer(self):
+        """The simulation-wide :class:`~repro.telemetry.Tracer`."""
+        return self.sim.tracer
+
     def log(self, category: str, message: str, **data: Any) -> None:
         self.sim.log.log(self.name, category, message, **data)
 

@@ -19,6 +19,8 @@ import heapq
 import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.trace import Tracer
 from repro.util.eventlog import EventLog
 from repro.util.rng import DeterministicRng
 
@@ -98,13 +100,21 @@ class Simulator:
         seed: root seed for all randomness in the simulation.
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, *, telemetry: bool = True):
         self._now = 0.0
         self._heap: List[Event] = []
         self._seq = itertools.count()
         self._events_executed = 0
         self.rng = DeterministicRng(seed)
         self.log = EventLog(clock=lambda: self._now)
+        self.metrics = MetricsRegistry(clock=lambda: self._now)
+        self.tracer = Tracer(clock=lambda: self._now, enabled=telemetry)
+        self._metric_executed = self.metrics.counter("sim.events_executed",
+                                                     component="kernel")
+        self._metric_cancelled = self.metrics.counter("sim.events_cancelled",
+                                                      component="kernel")
+        self._metric_heap = self.metrics.gauge("sim.heap_depth",
+                                               component="kernel")
         self._halted = False
 
     @property
@@ -161,9 +171,12 @@ class Simulator:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._metric_cancelled.inc()
                 continue
             self._now = event.time
             self._events_executed += 1
+            self._metric_executed.inc()
+            self._metric_heap.set(len(self._heap))
             event.fn(*event.args)
             return True
         return False
@@ -184,6 +197,7 @@ class Simulator:
             head = self._heap[0]
             if head.cancelled:
                 heapq.heappop(self._heap)
+                self._metric_cancelled.inc()
                 continue
             if until is not None and head.time > until:
                 break

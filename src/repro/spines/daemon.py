@@ -105,6 +105,17 @@ class SpinesDaemon(Process):
         self.stats_dropped_auth = 0
         self.stats_dropped_fairness = 0
         self.stats_dropped_sig = 0
+        metrics = sim.metrics
+        self._metric_forwarded = metrics.counter("spines.forwarded",
+                                                 component=name)
+        self._metric_delivered = metrics.counter("spines.delivered",
+                                                 component=name)
+        self._metric_dropped = metrics.counter("spines.dropped",
+                                               component=name)
+        self._metric_latency = metrics.histogram("spines.delivery_latency",
+                                                 component=name)
+        self._metric_hops = metrics.histogram("spines.delivery_hops",
+                                              component=name)
         # Red-team hooks (see repro.redteam.attacks): a "patched" daemon
         # carries attacker code that only runs outside IT mode.
         self.patched_exploit: Optional[Callable[["SpinesDaemon", OverlayMessage], None]] = None
@@ -142,7 +153,7 @@ class SpinesDaemon(Process):
         self._seq += 1
         message = OverlayMessage(
             src=session.address, dst=dst, service=service, payload=payload,
-            seq=self._seq, src_daemon=self.name,
+            seq=self._seq, src_daemon=self.name, sent_at=self.now,
         )
         if service == IT_FLOOD or (self.intrusion_tolerant and service == RELIABLE):
             # In IT mode all client data is source-signed.
@@ -194,6 +205,7 @@ class SpinesDaemon(Process):
             self._flood_seen.clear()  # coarse cache reset; dups re-dropped upstream
         if not self._fairness_admit(message.src_daemon):
             self.stats_dropped_fairness += 1
+            self._metric_dropped.inc()
             return
         for neighbor in self.neighbors:
             if neighbor != arrived_from:
@@ -222,6 +234,7 @@ class SpinesDaemon(Process):
         ip, port = target
         self.host.udp_send(ip, port, envelope, src_port=self.port)
         self.stats_forwarded += 1
+        self._metric_forwarded.inc()
 
     # ------------------------------------------------------------------
     # Receive path
@@ -231,12 +244,14 @@ class SpinesDaemon(Process):
             return
         if not isinstance(payload, LinkEnvelope):
             self.stats_dropped_auth += 1
+            self._metric_dropped.inc()
             return
         if payload.mac is None or not verify_mac(
                 self.host.key_ring, payload.mac, payload.mac_view()):
             # Unauthenticated daemon-to-daemon traffic: the modified
             # daemon without keys, or an injected/tampered frame.
             self.stats_dropped_auth += 1
+            self._metric_dropped.inc()
             self.log("spines.auth", "dropped unauthenticated envelope",
                      from_ip=src_ip)
             return
@@ -254,6 +269,7 @@ class SpinesDaemon(Process):
             if message.signature is None or not verify_signature(
                     self.host.key_ring, message.signature, message.signed_view()):
                 self.stats_dropped_sig += 1
+                self._metric_dropped.inc()
                 return
             # NOTE: self.patched_exploit is intentionally NOT invoked
             # here — the vulnerable code path the red team patched lives
@@ -288,6 +304,20 @@ class SpinesDaemon(Process):
         if session is None or session.closed:
             return
         session.stats.delivered += 1
+        self._metric_delivered.inc()
+        if message.src_daemon != self.name:
+            # Remote deliveries: latency from origination, flood hops,
+            # and — for traced payloads — an overlay hop span.
+            self._metric_latency.observe(self.now - message.sent_at)
+            self._metric_hops.observe(message.hop_count)
+            trace = getattr(message.payload, "trace", None)
+            if trace is None and isinstance(message.payload, dict):
+                trace = message.payload.get("trace")
+            if trace is not None:
+                self.tracer.record("overlay.deliver", component=self.name,
+                                   parent=trace, start=message.sent_at,
+                                   src=message.src_daemon,
+                                   hops=message.hop_count)
         session.handler(message.src, message.payload)
 
     # ------------------------------------------------------------------

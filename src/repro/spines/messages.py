@@ -46,6 +46,7 @@ class OverlayMessage:
     src_daemon: str
     signature: Optional[Signature] = None   # IT_FLOOD source signature
     hop_count: int = 0
+    sent_at: float = 0.0           # origination time (telemetry only)
 
     def wire_size(self) -> int:
         return OVERLAY_HEADER + payload_size(self.payload)

@@ -16,7 +16,7 @@ edge changes), modeling post-convergence behaviour.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.crypto.keys import KeyStore
 from repro.net.firewall import INBOUND, OUTBOUND
@@ -144,6 +144,8 @@ class SpinesNetwork:
 
     def recompute_routes(self) -> None:
         """Recompute shortest-path next hops for every live daemon."""
+        self.sim.metrics.counter("spines.route_recomputes",
+                                 component=self.name).inc()
         adj = self._adjacency()
         for name, daemon in self.daemons.items():
             if not daemon.running:

@@ -1,0 +1,25 @@
+"""First-class observability for the reproduction.
+
+Two complementary instruments, both driven by *simulated* time:
+
+* :class:`MetricsRegistry` — counters, gauges, and histograms keyed by
+  ``(name, component)``; histograms provide interpolated quantiles and
+  JSON/CSV export.  Every :class:`~repro.sim.simulator.Simulator` owns
+  one as ``sim.metrics``.
+* :class:`Tracer` — end-to-end trace spans threaded through the hot
+  path (HMI command → overlay → Prime → master → proxy → PLC → HMI
+  update) as ``sim.tracer``, with per-hop latency decomposition.
+
+See ``docs/telemetry.md`` for the metric taxonomy and span naming
+convention.
+"""
+
+from repro.telemetry.metrics import (
+    Counter, Gauge, Histogram, Metric, MetricsRegistry,
+)
+from repro.telemetry.trace import Span, TraceContext, Tracer
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "Metric", "MetricsRegistry",
+    "Span", "TraceContext", "Tracer",
+]

@@ -1,0 +1,233 @@
+"""End-to-end trace spans over simulated time.
+
+A *trace* follows one logical operation — an HMI breaker command, say —
+through every hop of the stack: HMI client submit, external-overlay
+delivery, Prime ordering, master execution, proxy actuation, the PLC
+write/re-poll, and finally the HMI display update.  Each hop records a
+:class:`Span`; spans within one trace share a ``trace_id`` and form a
+parent/child tree via ``parent_id``.
+
+Trace *context* travels on the wire as a plain ``{"trace_id", "span_id"}``
+dict (inside op dicts and as an opaque field on push messages), so any
+component can attach a child span without importing the component that
+started the trace.  Span and trace IDs come from a deterministic
+counter — same seed, same IDs, same replay.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+Clock = Callable[[], float]
+TraceContext = Dict[str, str]
+
+# Safety valve for pathological runs; normal scenarios stay far below.
+MAX_SPANS = 200_000
+
+
+class Span:
+    """One timed hop of a traced operation."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "component",
+                 "start", "end", "attrs")
+
+    def __init__(self, trace_id: str, span_id: str, parent_id: Optional[str],
+                 name: str, component: str, start: float,
+                 attrs: Optional[Dict[str, Any]] = None):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.component = component
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs: Dict[str, Any] = attrs or {}
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+    def context(self) -> TraceContext:
+        """Wire-format handle for attaching child spans downstream."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    def finish(self, at: Optional[float] = None) -> "Span":
+        if self.end is None:
+            self.end = self.start if at is None else at
+        return self
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"trace_id": self.trace_id, "span_id": self.span_id,
+                "parent_id": self.parent_id, "name": self.name,
+                "component": self.component, "start": self.start,
+                "end": self.end, "attrs": dict(self.attrs)}
+
+    def __repr__(self) -> str:
+        dur = f"{self.duration*1000:.2f}ms" if self.finished else "open"
+        return (f"Span({self.name} @{self.component} trace={self.trace_id} "
+                f"{dur})")
+
+
+class Tracer:
+    """Creates, stores, and summarizes spans for one simulation.
+
+    Disabled tracers (``enabled = False``) return inert spans and store
+    nothing, so hot paths can call unconditionally.
+    """
+
+    def __init__(self, clock: Optional[Clock] = None, enabled: bool = True):
+        self._clock: Clock = clock or (lambda: 0.0)
+        self.enabled = enabled
+        self._ids = itertools.count(1)
+        self._spans: List[Span] = []
+        self._by_trace: Dict[str, List[Span]] = {}
+        self.spans_dropped = 0
+
+    def bind_clock(self, clock: Clock) -> None:
+        self._clock = clock
+
+    # ------------------------------------------------------------------
+    # Span creation
+    # ------------------------------------------------------------------
+    def start_span(self, name: str, component: str = "",
+                   parent: Optional[Any] = None,
+                   start: Optional[float] = None,
+                   **attrs: Any) -> Span:
+        """Open a span.
+
+        ``parent`` may be a :class:`Span` or a wire-format trace context
+        dict; omitted, the span roots a fresh trace.  ``start`` defaults
+        to now; pass an earlier simulated time to record a hop
+        retroactively (e.g. overlay delivery measured at the receiver).
+        """
+        trace_id, parent_id = self._parent_ids(parent)
+        if trace_id is None:
+            trace_id = f"t{next(self._ids):06d}"
+        span = Span(trace_id=trace_id, span_id=f"s{next(self._ids):06d}",
+                    parent_id=parent_id, name=name, component=component,
+                    start=self._clock() if start is None else start,
+                    attrs=attrs)
+        if self.enabled and len(self._spans) < MAX_SPANS:
+            self._spans.append(span)
+            self._by_trace.setdefault(trace_id, []).append(span)
+        elif self.enabled:
+            self.spans_dropped += 1
+        return span
+
+    def record(self, name: str, component: str = "",
+               parent: Optional[Any] = None,
+               start: Optional[float] = None,
+               **attrs: Any) -> Span:
+        """Create an already-finished span ending now (one-shot hop)."""
+        span = self.start_span(name, component, parent=parent, start=start,
+                               **attrs)
+        return span.finish(self._clock())
+
+    @staticmethod
+    def _parent_ids(parent: Any) -> Tuple[Optional[str], Optional[str]]:
+        if parent is None:
+            return None, None
+        if isinstance(parent, Span):
+            return parent.trace_id, parent.span_id
+        if isinstance(parent, dict):
+            return parent.get("trace_id"), parent.get("span_id")
+        raise TypeError(f"parent must be Span or context dict, got "
+                        f"{type(parent).__name__}")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def spans(self, trace_id: Optional[str] = None,
+              name: Optional[str] = None,
+              component: Optional[str] = None) -> List[Span]:
+        pool = (self._by_trace.get(trace_id, []) if trace_id is not None
+                else self._spans)
+        return [s for s in pool
+                if (name is None or s.name == name)
+                and (component is None or s.component == component)]
+
+    def trace_ids(self) -> List[str]:
+        return sorted(self._by_trace)
+
+    def chain(self, trace_id: str) -> List[Span]:
+        """Spans of one trace in start-time order (ties: creation order)."""
+        return sorted(self._by_trace.get(trace_id, []),
+                      key=lambda s: (s.start, s.span_id))
+
+    def span_names(self, trace_id: str) -> List[str]:
+        return [span.name for span in self.chain(trace_id)]
+
+    # ------------------------------------------------------------------
+    # Per-hop latency decomposition
+    # ------------------------------------------------------------------
+    def hop_breakdown(self, trace_id: str) -> List[Dict[str, Any]]:
+        """Aggregate a trace per hop *name* (replicated hops — six
+        replicas each executing the update — collapse into one row with
+        the earliest start and latest end)."""
+        chain = self.chain(trace_id)
+        if not chain:
+            return []
+        t0 = min(s.start for s in chain)
+        hops: Dict[str, Dict[str, Any]] = {}
+        order: List[str] = []
+        for span in chain:
+            hop = hops.get(span.name)
+            if hop is None:
+                order.append(span.name)
+                hops[span.name] = {
+                    "hop": span.name, "spans": 1,
+                    "components": [span.component],
+                    "start": span.start, "end": span.end,
+                }
+                continue
+            hop["spans"] += 1
+            if span.component not in hop["components"]:
+                hop["components"].append(span.component)
+            hop["start"] = min(hop["start"], span.start)
+            if span.end is not None:
+                hop["end"] = (span.end if hop["end"] is None
+                              else max(hop["end"], span.end))
+        out = []
+        for name in order:
+            hop = hops[name]
+            hop["offset"] = hop["start"] - t0
+            hop["duration"] = (None if hop["end"] is None
+                               else hop["end"] - hop["start"])
+            out.append(hop)
+        return out
+
+    def format_trace(self, trace_id: str) -> str:
+        """Human-readable per-hop latency table for one trace."""
+        breakdown = self.hop_breakdown(trace_id)
+        if not breakdown:
+            return f"trace {trace_id}: no spans"
+        lines = [f"trace {trace_id}: {len(self.chain(trace_id))} spans",
+                 f"  {'hop':<18} {'component(s)':<28} "
+                 f"{'offset':>9} {'duration':>9}"]
+        for hop in breakdown:
+            components = ",".join(hop["components"][:2])
+            if len(hop["components"]) > 2:
+                components += f",+{len(hop['components']) - 2}"
+            duration = ("open" if hop["duration"] is None
+                        else f"{hop['duration']*1000:.1f}ms")
+            lines.append(f"  {hop['hop']:<18} {components:<28} "
+                         f"{hop['offset']*1000:>7.1f}ms {duration:>9}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> List[Dict[str, Any]]:
+        return [span.snapshot() for span in self._spans]
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)

@@ -68,10 +68,17 @@ class EventLog:
         source: Optional[str] = None,
         since: float = float("-inf"),
     ) -> List[LogRecord]:
-        """Return records filtered by category prefix, source, and time."""
+        """Return records filtered by category, source, and time.
+
+        Category matching is exact or on a dotted-prefix boundary:
+        ``"prime"`` matches ``"prime"`` and ``"prime.execute"`` but not
+        ``"primex"``.
+        """
         out = []
         for rec in self._records:
-            if category is not None and not rec.category.startswith(category):
+            if category is not None and not (
+                    rec.category == category
+                    or rec.category.startswith(category + ".")):
                 continue
             if source is not None and rec.source != source:
                 continue

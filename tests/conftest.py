@@ -17,7 +17,7 @@ from repro.crypto import KeyStore
 from repro.net import Host, Lan, locked_down_firewall
 from repro.prime import PrimeClient, PrimeConfig, PrimeReplica, build_config
 from repro.prime.config import PrimeTiming
-from repro.sim import Simulator
+from repro.api import Simulator
 from repro.spines import SpinesNetwork
 
 

@@ -8,7 +8,7 @@ from repro.net import (
 )
 from repro.plc import PlcDevice, redteam_topology
 from repro.redteam import ArpMitm, Attacker
-from repro.sim import Simulator
+from repro.api import Simulator
 
 
 @pytest.fixture

@@ -8,7 +8,7 @@ from repro.redteam.commercial import (
     CommercialHmi, CommercialScadaServer, OperatorCommand, StatePush,
     COMMAND_PORT, STATE_PUSH_PORT,
 )
-from repro.sim import Simulator
+from repro.api import Simulator
 
 
 @pytest.fixture

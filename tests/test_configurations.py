@@ -3,9 +3,8 @@
 
 import pytest
 
-from repro.core import SpireConfig, build_spire
+from repro.api import Simulator, SpireConfig, build_spire
 from repro.prime import replicas_required
-from repro.sim import Simulator
 
 
 def make_config(f, k, **overrides):

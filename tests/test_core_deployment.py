@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.core.deployment import BreakerCycler, build_redteam_testbed
-from repro.sim import Simulator
+from repro.api import BreakerCycler, Simulator, build_redteam_testbed
 
 
 @pytest.fixture(scope="module")

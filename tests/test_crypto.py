@@ -159,7 +159,6 @@ def test_forged_signature_never_verifies(keystore):
 
 
 def test_verification_of_unknown_principal_fails(keystore):
-    verifier = keystore.ring_for()
     signer = keystore.ring_for(signing_principals=["replica1"])
     sig = sign_payload(signer, "replica1", "x")
     lonely = KeyRing()  # no registry at all

@@ -74,7 +74,7 @@ def test_recovery_invalidates_developed_exploits():
     attacker's exploit no longer matches — the paper's argument for
     recovery + diversity over a long system lifetime."""
     from repro.diversity import ProactiveRecoveryScheduler, RecoveryTarget
-    from repro.sim import Simulator, Process
+    from repro.api import Process, Simulator
 
     sim = Simulator(seed=4)
 
@@ -116,7 +116,7 @@ def test_recovery_invalidates_developed_exploits():
 
 def test_scheduler_never_exceeds_k():
     from repro.diversity import ProactiveRecoveryScheduler, RecoveryTarget
-    from repro.sim import Simulator, Process
+    from repro.api import Process, Simulator
 
     sim = Simulator(seed=6)
     down_now = []

@@ -3,13 +3,12 @@
 
 import pytest
 
-from repro.core import build_spire, plant_config
+from repro.api import Simulator, build_spire, plant_config
 from repro.diversity import ExploitDeveloper
 from repro.redteam import Attacker
 from repro.redteam.scenarios import (
     exploit_replica_application, run_diversity_exploit_campaign,
 )
-from repro.sim import Simulator
 
 
 @pytest.fixture

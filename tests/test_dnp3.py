@@ -9,7 +9,7 @@ from repro.plc.dnp3 import (
     FC_UNSOLICITED, IIN_NO_FUNC_SUPPORT, IIN_PARAM_ERROR,
 )
 from repro.plc.topology import plant_topology
-from repro.sim import Simulator
+from repro.api import Simulator
 
 
 @pytest.fixture

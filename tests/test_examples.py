@@ -9,7 +9,6 @@ scenarios with assertions).
 import importlib.util
 import io
 import os
-import sys
 from contextlib import redirect_stdout
 
 import pytest

@@ -6,7 +6,7 @@ executed was submitted by a client).
 
 import pytest
 
-from repro.sim import Simulator
+from repro.api import Simulator
 from tests.conftest import build_cluster
 
 SEEDS = [1001, 1002, 1003]

@@ -132,7 +132,7 @@ def test_kmeans_handles_multimodal_baseline():
 # ---------------------------------------------------------------------------
 def build_instance(extra_records=(), train_until=60.0):
     from repro.net.tap import Capture
-    from repro.sim import Simulator
+    from repro.api import Simulator
     sim = Simulator(seed=8)
     capture = Capture("test")
     for record in baseline_records(120.0):
@@ -193,7 +193,7 @@ def test_dos_flood_detected():
 
 def test_untrained_instance_refuses_evaluation():
     from repro.net.tap import Capture
-    from repro.sim import Simulator
+    from repro.api import Simulator
     instance = ManaInstance(Simulator(seed=1), "m", Capture("x"))
     with pytest.raises(RuntimeError):
         instance.evaluate_range(0, 10)

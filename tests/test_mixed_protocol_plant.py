@@ -3,8 +3,7 @@ units on DNP3 (the paper names both protocols)."""
 
 import pytest
 
-from repro.core import build_spire, plant_config
-from repro.sim import Simulator
+from repro.api import Simulator, build_spire, plant_config
 
 
 @pytest.fixture(scope="module")

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.net import Host, Lan, Link, locked_down_firewall, INBOUND, OUTBOUND
-from repro.sim import Simulator
+from repro.net import Host, Lan, locked_down_firewall, INBOUND, OUTBOUND
+from repro.api import Simulator
 
 
 @pytest.fixture

@@ -7,7 +7,7 @@ from repro.net import (
     ArpMessage, BROADCAST_MAC, ETHERTYPE_ARP, Frame, Host, IpPacket, Lan,
     ScanReport, TcpSegment, UdpDatagram, describe, udp_frame,
 )
-from repro.sim import Simulator
+from repro.api import Simulator
 
 
 @pytest.fixture

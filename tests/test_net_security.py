@@ -11,7 +11,7 @@ from repro.net import (
     ArpMessage, BROADCAST_MAC, Capture, ETHERTYPE_ARP, Frame, Host, Lan,
     PortScanner, locked_down_firewall, INBOUND,
 )
-from repro.sim import Simulator
+from repro.api import Simulator
 
 
 @pytest.fixture

@@ -11,7 +11,7 @@ from repro.plc import (
 from repro.plc.modbus import (
     EXC_ILLEGAL_ADDRESS, EXC_ILLEGAL_FUNCTION, ModbusRequest,
 )
-from repro.sim import Simulator
+from repro.api import Simulator
 
 
 # ---------------------------------------------------------------------------

@@ -1,12 +1,10 @@
 """Prime edge cases: equivocation, partitions, reconciliation, view
 evidence, and content fetching."""
 
-import pytest
 
-from repro.crypto.auth import digest, sign_payload
+from repro.crypto.auth import sign_payload
 from repro.prime import ClientUpdate
 from repro.prime.messages import PoRequestBatch
-from repro.prime.replica import _PoSlot
 
 
 def make_signed_update(cluster, client_id, seq, op):

@@ -81,7 +81,7 @@ def test_censoring_leader_detected_and_rotated(cluster):
     # Force introductions through the censored replica only: submit
     # directly to it rather than broadcasting.
     update_op = {"set": ("censored", 1)}
-    seq = client.submit(update_op)
+    client.submit(update_op)
     cluster.sim.run(until=8.0)
     # The update ultimately executes (other replicas also introduced it,
     # or the view change unblocked the column).

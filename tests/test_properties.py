@@ -1,7 +1,6 @@
 """Property-based tests (hypothesis) for core data structures and
 protocol invariants."""
 
-import string
 
 from hypothesis import given, settings, strategies as st
 
@@ -15,7 +14,7 @@ from repro.net.firewall import Firewall, FirewallRule, INBOUND, OUTBOUND
 from repro.net.tap import PacketRecord
 from repro.plc.topology import PowerTopology
 from repro.prime.config import PrimeConfig, replicas_required
-from repro.sim import Simulator
+from repro.api import Simulator
 
 
 # ---------------------------------------------------------------------------

@@ -7,11 +7,27 @@ import importlib
 import pytest
 
 PACKAGES = [
-    "repro", "repro.util", "repro.sim", "repro.crypto", "repro.net",
-    "repro.spines", "repro.prime", "repro.diversity", "repro.plc",
-    "repro.scada", "repro.mana", "repro.mana.models", "repro.redteam",
-    "repro.core", "repro.cli",
+    "repro", "repro.api", "repro.util", "repro.sim", "repro.crypto",
+    "repro.net", "repro.spines", "repro.prime", "repro.diversity",
+    "repro.plc", "repro.scada", "repro.mana", "repro.mana.models",
+    "repro.redteam", "repro.core", "repro.telemetry", "repro.cli",
 ]
+
+# The repro.api surface is a contract: additions are fine with a test
+# update, but removals/renames break downstream scripts.
+API_EXPORTS = {
+    # Simulation kernel
+    "Event", "PeriodicTimer", "Process", "SimulationError", "Simulator",
+    # Deployment configuration and builders
+    "SpireConfig", "plant_config", "redteam_config",
+    "PlcUnit", "SpireSystem", "build_spire",
+    "BreakerCycler", "EnterpriseChatter", "RedTeamTestbed",
+    "build_redteam_testbed",
+    # Measurement and telemetry
+    "MeasurementDevice", "ReactionSample",
+    "Counter", "Gauge", "Histogram", "Metric", "MetricsRegistry",
+    "Span", "TraceContext", "Tracer",
+}
 
 
 @pytest.mark.parametrize("package", PACKAGES)
@@ -57,11 +73,70 @@ def test_version_string():
 
 
 def test_headline_entry_points_exist():
-    from repro.core import build_spire, build_redteam_testbed, plant_config
-    from repro.sim import Simulator
+    from repro.api import (
+        build_redteam_testbed, build_spire, plant_config, redteam_config,
+    )
     assert callable(build_spire)
     assert callable(build_redteam_testbed)
     # And the two deployment presets encode the paper's parameters.
-    from repro.core import redteam_config
     assert plant_config().k == 1 and plant_config().n_hmis == 3
     assert redteam_config().k == 0
+
+
+def test_api_export_snapshot():
+    import repro.api
+    assert set(repro.api.__all__) == API_EXPORTS
+    for name in repro.api.__all__:
+        assert getattr(repro.api, name) is not None
+
+
+def test_api_never_warns():
+    import warnings
+
+    import repro.api
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        assert repro.api.Simulator is not None
+        assert repro.api.build_spire is not None
+
+
+@pytest.mark.parametrize("package,name", [
+    ("repro.core", "build_spire"),
+    ("repro.core", "plant_config"),
+    ("repro.core", "MeasurementDevice"),
+    ("repro.core", "build_redteam_testbed"),
+    ("repro.sim", "Simulator"),
+    ("repro.sim", "Process"),
+])
+def test_legacy_paths_warn_and_resolve(package, name):
+    """Old import paths keep working but deprecate toward repro.api."""
+    module = importlib.import_module(package)
+    with pytest.warns(DeprecationWarning, match=f"repro.api import {name}"):
+        legacy = getattr(module, name)
+    api = importlib.import_module("repro.api")
+    assert legacy is getattr(api, name)
+
+
+def test_legacy_star_surface_matches_shim_table():
+    """Every name the old packages exported is still reachable."""
+    import repro.core
+    import repro.sim
+    assert set(repro.sim.__all__) == {
+        "Event", "PeriodicTimer", "SimulationError", "Simulator", "Process"}
+    for name in repro.core.__all__:
+        assert name in API_EXPORTS
+
+
+def test_config_rejects_unknown_override():
+    from repro.api import plant_config
+    with pytest.raises(TypeError, match="unknown SpireConfig field"):
+        plant_config(n_hmi=1)          # typo for n_hmis
+
+
+def test_build_spire_single_argument_form():
+    from repro.api import build_spire, redteam_config
+    system = build_spire(redteam_config(
+        n_distribution_plcs=1, seed=11, telemetry=False))
+    system.sim.run(until=1.0)
+    assert system.sim.now == 1.0
+    assert system.sim.tracer.enabled is False

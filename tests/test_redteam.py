@@ -7,14 +7,13 @@ reported outcome for each stage.
 
 import pytest
 
-from repro.core.deployment import build_redteam_testbed
+from repro.api import Simulator, build_redteam_testbed
 from repro.redteam import Attacker
 from repro.redteam.scenarios import (
     check_commercial_health, check_spire_health,
     run_commercial_enterprise_pivot, run_commercial_ops_mitm,
     run_spire_enterprise_probe, run_spire_excursion, run_spire_ops_attacks,
 )
-from repro.sim import Simulator
 
 
 @pytest.fixture(scope="module")

@@ -4,7 +4,7 @@ import pytest
 
 from repro.net import Host, Lan
 from repro.net.router import Router
-from repro.sim import Simulator
+from repro.api import Simulator
 
 
 @pytest.fixture

@@ -2,10 +2,8 @@
 
 import pytest
 
-from repro.core import MeasurementDevice, build_spire, plant_config
+from repro.api import MeasurementDevice, Simulator, build_spire, plant_config
 from repro.scada.events import CommandDirective
-from repro.sim import Simulator
-from repro.spines.messages import IT_FLOOD
 
 
 @pytest.fixture
@@ -174,7 +172,7 @@ def test_proactive_recovery_cycle_preserves_operation(spire):
 
 def test_proactive_recovery_requires_k_at_least_one():
     sim = Simulator(seed=32)
-    from repro.core import redteam_config
+    from repro.api import redteam_config
     config = redteam_config(n_distribution_plcs=0)
     system = build_spire(sim, config)
     with pytest.raises(RuntimeError):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import SimulationError, Simulator, Process
+from repro.api import Process, SimulationError, Simulator
 
 
 def test_events_run_in_time_order():

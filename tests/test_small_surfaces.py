@@ -3,7 +3,7 @@ OS profiles, LAN helpers, scenario reports, measurement jitter."""
 
 import pytest
 
-from repro.sim import Simulator
+from repro.api import Simulator
 
 
 # ---------------------------------------------------------------------------
@@ -128,7 +128,7 @@ def test_scenario_report_render_and_lookup():
 # Measurement device jitter
 # ---------------------------------------------------------------------------
 def test_measurement_flips_are_jittered():
-    from repro.core import MeasurementDevice
+    from repro.api import MeasurementDevice
     from repro.plc import plant_topology
     sim = Simulator(seed=302)
     topo = plant_topology()

@@ -4,7 +4,7 @@ import pytest
 
 from repro.crypto import KeyStore
 from repro.net import Host, Lan, locked_down_firewall
-from repro.sim import Simulator
+from repro.api import Simulator
 from repro.spines import (
     BEST_EFFORT, IT_FLOOD, LinkEnvelope, OverlayMessage, RELIABLE,
     SpinesNetwork,

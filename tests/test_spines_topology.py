@@ -1,11 +1,10 @@
 """Spines overlay topology: sparse graphs, route recomputation, and
 resilience to daemon failures on constrained topologies."""
 
-import pytest
 
 from repro.crypto import KeyStore
 from repro.net import Host, Lan, locked_down_firewall
-from repro.sim import Simulator
+from repro.api import Simulator
 from repro.spines import IT_FLOOD, RELIABLE, SpinesNetwork
 
 

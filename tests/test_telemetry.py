@@ -1,0 +1,205 @@
+"""Telemetry unit tests: metrics semantics, quantiles, spans, and the
+registry's export surface."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    Counter, Gauge, Histogram, MetricsRegistry, Simulator, Tracer,
+)
+
+
+# ---------------------------------------------------------------------------
+# Counter / Gauge
+# ---------------------------------------------------------------------------
+def test_counter_increments_and_rejects_negative():
+    registry = MetricsRegistry()
+    counter = registry.counter("events", component="kernel")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_counter_get_or_create_returns_same_object():
+    registry = MetricsRegistry()
+    a = registry.counter("x", component="c1")
+    b = registry.counter("x", component="c1")
+    c = registry.counter("x", component="c2")
+    assert a is b
+    assert a is not c
+
+
+def test_kind_mismatch_raises():
+    registry = MetricsRegistry()
+    registry.counter("depth")
+    with pytest.raises(TypeError):
+        registry.gauge("depth")
+
+
+def test_gauge_tracks_extremes():
+    gauge = Gauge("queue")
+    gauge.set(5)
+    gauge.dec(3)
+    gauge.inc(10)
+    assert gauge.value == 12
+    assert gauge.min_seen == 2
+    assert gauge.max_seen == 12
+
+
+# ---------------------------------------------------------------------------
+# Histogram quantiles
+# ---------------------------------------------------------------------------
+def test_histogram_quantile_interpolates_even_length():
+    hist = Histogram("lat")
+    for value in [1.0, 2.0, 3.0, 4.0]:
+        hist.observe(value)
+    # Nearest-rank would say 3; the linear method interpolates.
+    assert hist.quantile(0.5) == pytest.approx(2.5)
+    assert hist.quantile(0.0) == 1.0
+    assert hist.quantile(1.0) == 4.0
+
+
+def test_histogram_quantile_odd_length_is_median():
+    hist = Histogram("lat")
+    for value in [5.0, 1.0, 3.0]:
+        hist.observe(value)
+    assert hist.quantile(0.5) == 3.0
+
+
+def test_histogram_summary_fields():
+    hist = Histogram("lat")
+    for value in range(1, 101):
+        hist.observe(float(value))
+    summary = hist.summary()
+    assert summary["samples"] == 100
+    assert summary["mean"] == pytest.approx(50.5)
+    assert summary["p50"] == pytest.approx(50.5)
+    assert summary["p90"] == pytest.approx(90.1)
+    assert summary["p99"] == pytest.approx(99.01)
+    assert hist.quantile(0.5) == summary["p50"]
+    with pytest.raises(ValueError):
+        hist.quantile(1.5)
+
+
+def test_histogram_sample_cap_keeps_exact_aggregates():
+    hist = Histogram("lat", max_samples=10)
+    for value in range(100):
+        hist.observe(float(value))
+    assert hist.count == 100           # aggregates stay exact
+    assert hist.max == 99.0
+    assert len(hist._values) == 10     # raw samples capped
+
+
+# ---------------------------------------------------------------------------
+# Registry queries and export
+# ---------------------------------------------------------------------------
+def test_find_prefix_respects_dotted_boundary():
+    registry = MetricsRegistry()
+    registry.counter("net.link.frames_sent", component="l1")
+    registry.counter("net.linkage", component="l1")
+    names = {m.name for m in registry.find(prefix="net.link")}
+    assert names == {"net.link.frames_sent"}
+
+
+def test_total_sums_across_components():
+    registry = MetricsRegistry()
+    registry.counter("polls", component="p1").inc(3)
+    registry.counter("polls", component="p2").inc(4)
+    assert registry.total("polls") == 7
+
+
+def test_merged_histogram_combines_components():
+    registry = MetricsRegistry()
+    registry.histogram("lat", component="a").observe(1.0)
+    registry.histogram("lat", component="b").observe(3.0)
+    merged = registry.merged_histogram("lat")
+    assert merged.count == 2
+    assert merged.quantile(0.5) == pytest.approx(2.0)
+
+
+def test_json_and_csv_export():
+    registry = MetricsRegistry()
+    registry.counter("c", component="x").inc()
+    registry.histogram("h", component="y").observe(2.0)
+    rows = json.loads(registry.to_json())
+    assert {row["kind"] for row in rows} == {"counter", "histogram"}
+    csv_text = registry.to_csv()
+    header, *lines = csv_text.strip().splitlines()
+    assert header.startswith("kind,name,component")
+    assert len(lines) == 2
+
+
+def test_registry_timestamps_use_simulated_clock():
+    sim = Simulator(seed=1)
+    counter = sim.metrics.counter("ticks", component="k")
+    sim.schedule(2.5, counter.inc)
+    sim.run()
+    assert counter.updated_at == 2.5
+
+
+# ---------------------------------------------------------------------------
+# Tracer
+# ---------------------------------------------------------------------------
+def test_span_parent_child_and_ids_deterministic():
+    tracer = Tracer()
+    root = tracer.start_span("root", component="a")
+    child = tracer.record("child", component="b", parent=root.context())
+    assert child.trace_id == root.trace_id
+    assert child.parent_id == root.span_id
+    assert root.trace_id == "t000001"      # counter-derived, reproducible
+    assert tracer.span_names(root.trace_id) == ["root", "child"]
+
+
+def test_retroactive_span_start():
+    clock = {"now": 10.0}
+    tracer = Tracer(clock=lambda: clock["now"])
+    span = tracer.record("hop", start=4.0)
+    assert span.start == 4.0
+    assert span.end == 10.0
+    assert span.duration == pytest.approx(6.0)
+
+
+def test_disabled_tracer_stores_nothing():
+    tracer = Tracer(enabled=False)
+    span = tracer.start_span("x")
+    assert span is not None            # call sites need no guard
+    assert len(tracer) == 0
+
+
+def test_hop_breakdown_collapses_replicated_hops():
+    tracer = Tracer(clock=lambda: 0.0)
+    root = tracer.start_span("cmd", start=0.0)
+    for replica in ("r1", "r2", "r3"):
+        span = tracer.start_span("order", component=replica,
+                                 parent=root.context(), start=1.0)
+        span.finish(2.0)
+    breakdown = tracer.hop_breakdown(root.trace_id)
+    hops = {hop["hop"]: hop for hop in breakdown}
+    assert hops["order"]["spans"] == 3
+    assert hops["order"]["offset"] == pytest.approx(1.0)
+    assert hops["order"]["duration"] == pytest.approx(1.0)
+    assert set(hops["order"]["components"]) == {"r1", "r2", "r3"}
+    assert "order" in tracer.format_trace(root.trace_id)
+
+
+def test_simulator_kernel_metrics():
+    sim = Simulator(seed=3)
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    event = sim.schedule(3.0, lambda: None)
+    event.cancel()
+    sim.run()
+    assert sim.metrics.counter("sim.events_executed",
+                               component="kernel").value == 2
+    assert sim.metrics.counter("sim.events_cancelled",
+                               component="kernel").value == 1
+
+
+def test_simulator_telemetry_flag_disables_tracer():
+    sim = Simulator(seed=3, telemetry=False)
+    assert sim.tracer.enabled is False
+    sim.tracer.record("x")
+    assert len(sim.tracer) == 0

@@ -3,9 +3,8 @@ k-of-n signature instead of counting matching directives."""
 
 import pytest
 
-from repro.core import build_spire, plant_config
+from repro.api import Simulator, build_spire, plant_config
 from repro.scada.events import CommandDirective
-from repro.sim import Simulator
 
 
 @pytest.fixture

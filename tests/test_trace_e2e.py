@@ -1,0 +1,91 @@
+"""End-to-end trace test: one HMI breaker command must produce a span
+for every hop of the paper's reaction path — HMI command → external
+Spines delivery → Prime ordering → master execution → proxy actuation →
+PLC re-poll → HMI display update — all sharing one trace id."""
+
+import pytest
+
+from repro.api import Simulator, build_spire, plant_config
+
+EXPECTED_HOPS = [
+    "hmi.command", "client.submit", "overlay.deliver", "prime.order",
+    "master.execute", "proxy.actuate", "plc.poll", "hmi.update",
+]
+
+
+@pytest.fixture(scope="module")
+def traced_system():
+    sim = Simulator(seed=7)
+    system = build_spire(sim, plant_config(
+        n_distribution_plcs=2, n_generation_plcs=0, n_hmis=1))
+    sim.run(until=6.0)
+    hmi = system.hmis[0]
+    unit = system.physical_plc
+    plc = unit.device.name
+    breaker = next(iter(unit.device.coil_map.values()))
+    state = hmi.breaker_state(plc, breaker)
+    hmi.command_breaker(plc, breaker, not state)
+    sim.run(until=10.0)
+    return sim, system, hmi
+
+
+def test_command_produces_every_hop(traced_system):
+    sim, _, hmi = traced_system
+    trace_id = hmi.last_trace_id()
+    assert trace_id is not None
+    names = set(sim.tracer.span_names(trace_id))
+    for hop in EXPECTED_HOPS:
+        assert hop in names, f"missing hop {hop}"
+
+
+def test_root_span_closes_at_display(traced_system):
+    sim, _, hmi = traced_system
+    trace_id = hmi.last_trace_id()
+    (root,) = sim.tracer.spans(trace_id, name="hmi.command")
+    assert root.finished
+    assert root.duration > 0
+    update_spans = sim.tracer.spans(trace_id, name="hmi.update")
+    assert update_spans
+    assert root.end == max(s.end for s in update_spans)
+    # The reaction latency lands in the HMI's registry histogram too.
+    reaction = sim.metrics.get("scada.command_reaction", component=hmi.name)
+    assert reaction is not None and reaction.count >= 1
+
+
+def test_hop_breakdown_is_ordered_and_complete(traced_system):
+    sim, _, hmi = traced_system
+    breakdown = sim.tracer.hop_breakdown(hmi.last_trace_id())
+    hops = [hop["hop"] for hop in breakdown]
+    assert hops == EXPECTED_HOPS
+    offsets = [hop["offset"] for hop in breakdown]
+    assert offsets == sorted(offsets)          # hops appear in causal order
+    assert all(hop["duration"] is not None for hop in breakdown)
+
+
+def test_ordering_spans_cover_quorum(traced_system):
+    sim, system, hmi = traced_system
+    order_spans = sim.tracer.spans(hmi.last_trace_id(), name="prime.order")
+    # Every correct replica that executed the update records a span.
+    assert len(order_spans) >= system.prime_config.quorum
+
+
+def test_subsystem_metrics_populated(traced_system):
+    sim, system, hmi = traced_system
+    metrics = sim.metrics
+    assert metrics.total("sim.events_executed") > 0
+    assert metrics.total("net.link.frames_sent") > 0
+    assert metrics.total("spines.delivered") > 0
+    assert metrics.merged_histogram("spines.delivery_latency").count > 0
+    assert metrics.total("prime.updates_executed") > 0
+    assert metrics.total("scada.polls") > 0
+    assert metrics.total("scada.commands_applied") >= 1
+    assert metrics.total("scada.displays") > 0
+    for replica in system.replicas.values():
+        executed = metrics.counter("prime.updates_executed",
+                                   component=replica.name)
+        assert executed.value == replica.updates_executed
+
+
+def test_traces_do_not_perturb_agreement(traced_system):
+    _, system, _ = traced_system
+    assert system.master_views_consistent()

@@ -1,6 +1,6 @@
 """Tests for utility modules: event log, id generation, RNG trees."""
 
-from repro.sim import Simulator
+from repro.api import Simulator
 from repro.util import DeterministicRng, EventLog, IdGenerator
 
 
@@ -16,6 +16,18 @@ def test_eventlog_filters_by_category_prefix():
     assert log.count(category="prime.execute") == 1
     assert log.count(category="net") == 1
     assert log.count() == 3
+
+
+def test_eventlog_category_prefix_respects_dotted_boundary():
+    """"prime" must not match "primex" — only exact or dotted children."""
+    log = EventLog()
+    log.log("a", "prime", "root")
+    log.log("a", "prime.execute", "child")
+    log.log("a", "primex", "lookalike")
+    assert log.count(category="prime") == 2
+    assert log.count(category="primex") == 1
+    assert {r.category for r in log.records(category="prime")} == {
+        "prime", "prime.execute"}
 
 
 def test_eventlog_filters_by_source_and_time():

@@ -57,8 +57,7 @@ import pytest
 
 @pytest.fixture(scope="module")
 def spire_pair():
-    from repro.core import build_spire, plant_config
-    from repro.sim import Simulator
+    from repro.api import Simulator, build_spire, plant_config
     sim = Simulator(seed=71)
     system = build_spire(sim, plant_config(n_distribution_plcs=0,
                                            n_generation_plcs=0, n_hmis=1))
