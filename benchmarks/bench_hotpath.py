@@ -1,0 +1,273 @@
+"""X3 (extension): hot-path crypto & kernel throughput, before/after.
+
+Measures the encode-once/verify-memoisation caches and the kernel fast
+path against the naive encode path (``set_cache_enabled(False)``), and
+proves the optimisation is invisible to simulation results: the same
+seed must yield the identical event count, final simulated time, and
+ordered-update digest with caching on and off.
+
+Writes ``BENCH_hotpath.json`` at the repository root — the committed
+perf trajectory that ``perf_guard.py`` (and the CI perf-smoke job)
+checks future changes against.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py [--quick] [--output PATH]
+
+or through pytest (quick mode) as ``bench_hotpath``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import time
+
+from repro.api import Simulator
+from repro.crypto import (
+    KeyStore, cache_stats, reset_cache_stats, set_cache_enabled,
+    sign_payload, verify_signature, publish_cache_metrics,
+)
+from repro.prime.messages import ClientUpdate, PoRequestBatch, SignedPrimeMessage
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tests"))
+from conftest import build_cluster  # noqa: E402
+
+from _support import Report, run_once
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_hotpath.json")
+
+N_REPLICAS = 6            # 3f+2k+1 with f=1, k=1: verifiers per broadcast
+LOAD_RATE = 100           # updates/s point of bench_prime_load
+LOAD_DURATION = 4.0
+QUICK_LOAD_DURATION = 1.5
+
+
+def _keyring():
+    store = KeyStore()
+    store.create_signing("replica1")
+    store.create_signing("client")
+    return store.ring_for(signing_principals=["replica1", "client"])
+
+
+def _make_envelope(i: int) -> SignedPrimeMessage:
+    updates = [ClientUpdate(client_id="client", client_seq=i * 4 + j,
+                            op={"set": (f"k{i}-{j}", j), "pad": "x" * 32})
+               for j in range(4)]
+    batch = PoRequestBatch(originator="replica1#0", start_seq=i * 4 + 1,
+                           updates=updates)
+    return SignedPrimeMessage(sender="replica1", body=batch)
+
+
+def _bench_sign_broadcast_verify(messages: int) -> float:
+    """One broadcast lifecycle: sign once, verify at N_REPLICAS peers.
+
+    Returns lifecycles/second.  The unit of work is the paper's hot
+    path: a replica signs a batch and every other replica of the
+    3f+2k+1 deployment verifies the same immutable envelope.
+    """
+    ring = _keyring()
+    envelopes = [_make_envelope(i) for i in range(messages)]
+    start = time.perf_counter()
+    for message in envelopes:
+        message.signature = sign_payload(ring, "replica1", message)
+        for _ in range(N_REPLICAS - 1):
+            assert verify_signature(ring, message.signature, message)
+    elapsed = time.perf_counter() - start
+    return messages / elapsed
+
+
+def _bench_sign(messages: int) -> float:
+    ring = _keyring()
+    envelopes = [_make_envelope(i) for i in range(messages)]
+    start = time.perf_counter()
+    for message in envelopes:
+        message.signature = sign_payload(ring, "replica1", message)
+    return messages / (time.perf_counter() - start)
+
+
+def _bench_verify(messages: int) -> float:
+    """Repeat verification of already-signed messages (the N-replica
+    pattern, measured in verifies/second)."""
+    ring = _keyring()
+    envelopes = [_make_envelope(i) for i in range(messages)]
+    for message in envelopes:
+        message.signature = sign_payload(ring, "replica1", message)
+    verifies = 0
+    start = time.perf_counter()
+    for message in envelopes:
+        for _ in range(N_REPLICAS - 1):
+            assert verify_signature(ring, message.signature, message)
+            verifies += 1
+    return verifies / (time.perf_counter() - start)
+
+
+def _bench_kernel_events(events: int) -> float:
+    """Raw kernel dispatch rate: events/second through the run loop."""
+    sim = Simulator(seed=7)
+    counter = [0]
+
+    def tick():
+        counter[0] += 1
+
+    for i in range(events):
+        sim.schedule(i * 1e-6, tick)
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    assert counter[0] == events
+    return events / elapsed
+
+
+def _run_prime_load(seed: int, duration: float):
+    """The bench_prime_load workload at the 100 updates/s point.
+
+    Returns (wall seconds, events executed, final sim time, ordered
+    digest) — the digest covers every correct replica's ordered oplog,
+    which is the determinism witness.
+    """
+    sim = Simulator(seed=seed)
+    cluster = build_cluster(sim, f=1, k=1)
+    client = cluster.add_client("load")
+    interval = 1.0 / LOAD_RATE
+    count = int(duration * LOAD_RATE)
+    for i in range(count):
+        sim.schedule(0.5 + i * interval, client.submit, {"set": (f"k{i}", i)})
+    start = time.perf_counter()
+    sim.run(until=0.5 + duration + 6.0)
+    wall = time.perf_counter() - start
+    witness = hashlib.sha256()
+    for app in cluster.correct_apps():
+        witness.update(repr(app.oplog).encode())
+    return wall, sim.events_executed, sim.now, witness.hexdigest()
+
+
+def _measure(quick: bool) -> dict:
+    messages = 400 if quick else 2000
+    events = 20_000 if quick else 100_000
+    duration = QUICK_LOAD_DURATION if quick else LOAD_DURATION
+
+    results: dict = {"quick": quick, "config": {
+        "messages": messages, "kernel_events": events,
+        "replicas_per_broadcast": N_REPLICAS,
+        "load_rate": LOAD_RATE, "load_duration": duration,
+    }}
+
+    # --- crypto microbenches: naive encode path vs encode-once caches
+    micro = {}
+    for label, enabled in (("before", False), ("after", True)):
+        set_cache_enabled(enabled)
+        micro.setdefault("sign_broadcast_verify", {})[f"{label}_ops_s"] = \
+            _bench_sign_broadcast_verify(messages)
+        micro.setdefault("sign", {})[f"{label}_ops_s"] = _bench_sign(messages)
+        micro.setdefault("verify", {})[f"{label}_ops_s"] = _bench_verify(messages)
+    for entry in micro.values():
+        entry["speedup"] = entry["after_ops_s"] / entry["before_ops_s"]
+    results["microbench"] = micro
+
+    # --- kernel dispatch rate (fast path active either way)
+    set_cache_enabled(True)
+    results["kernel"] = {"events_per_s": _bench_kernel_events(events)}
+
+    # --- full-stack: prime load at the 100 updates/s point + determinism
+    seed = 120 + LOAD_RATE
+    set_cache_enabled(False)
+    wall_b, events_b, now_b, digest_b = _run_prime_load(seed, duration)
+    set_cache_enabled(True)
+    reset_cache_stats()
+    wall_a, events_a, now_a, digest_a = _run_prime_load(seed, duration)
+    stats = cache_stats()
+    results["prime_load_100"] = {
+        "before_events_per_s": events_b / wall_b,
+        "after_events_per_s": events_a / wall_a,
+        "speedup": (events_a / wall_a) / (events_b / wall_b),
+    }
+    results["determinism"] = {
+        "match": (events_b == events_a and now_b == now_a
+                  and digest_b == digest_a),
+        "events_executed": {"before": events_b, "after": events_a},
+        "final_time": {"before": now_b, "after": now_a},
+        "ordered_digest": {"before": digest_b, "after": digest_a},
+    }
+
+    # --- cache effectiveness during the cached prime-load run
+    encode_total = stats["encode_hits"] + stats["encode_misses"]
+    verify_total = stats["verify_hits"] + stats["verify_misses"]
+    results["cache"] = {
+        **stats,
+        "encode_hit_rate": stats["encode_hits"] / encode_total if encode_total else 0.0,
+        "verify_hit_rate": stats["verify_hits"] / verify_total if verify_total else 0.0,
+    }
+    return results
+
+
+def run_hotpath_bench(quick: bool = False, output: str = DEFAULT_OUTPUT) -> dict:
+    try:
+        results = _measure(quick)
+    finally:
+        set_cache_enabled(True)
+
+    # Mirror the final cache counters into a registry so the counters
+    # are visible through the standard telemetry path too.
+    sim = Simulator(seed=0)
+    publish_cache_metrics(sim.metrics)
+
+    with open(output, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    report = Report("X3-hotpath", "Hot-path crypto & kernel throughput "
+                    "(encode-once caching, verification memoisation)")
+    micro = results["microbench"]
+    report.table(
+        ["microbench", "before ops/s", "after ops/s", "speedup"],
+        [[name, f"{entry['before_ops_s']:.0f}", f"{entry['after_ops_s']:.0f}",
+          f"{entry['speedup']:.2f}x"] for name, entry in sorted(micro.items())])
+    load = results["prime_load_100"]
+    report.table(
+        ["stage", "events/s"],
+        [["kernel dispatch", f"{results['kernel']['events_per_s']:.0f}"],
+         ["prime-load 100/s (naive)", f"{load['before_events_per_s']:.0f}"],
+         ["prime-load 100/s (cached)", f"{load['after_events_per_s']:.0f}"]])
+    cache = results["cache"]
+    report.line(f"encode cache hit rate {cache['encode_hit_rate']:.1%}, "
+                f"verify cache hit rate {cache['verify_hit_rate']:.1%}; "
+                f"determinism witness "
+                f"{'MATCHES' if results['determinism']['match'] else 'DIVERGES'} "
+                "between naive and cached runs.")
+    report.line(f"Machine-readable results: {os.path.relpath(output, REPO_ROOT)}")
+    report.save_and_print()
+    return results
+
+
+def bench_hotpath(benchmark):
+    """Pytest entry point (quick mode; does not overwrite the committed
+    baseline — perf_guard compares against BENCH_hotpath.json)."""
+    output = os.path.join(REPO_ROOT, "benchmarks", "results",
+                          "BENCH_hotpath.quick.json")
+    results = run_once(benchmark, lambda: run_hotpath_bench(
+        quick=True, output=output))
+    assert results["determinism"]["match"], "caching changed simulation results"
+    assert results["microbench"]["sign_broadcast_verify"]["speedup"] >= 2.0
+    assert results["prime_load_100"]["after_events_per_s"] > \
+        results["prime_load_100"]["before_events_per_s"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workloads (CI smoke mode)")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help=f"result path (default: {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+    results = run_hotpath_bench(quick=args.quick, output=args.output)
+    if not results["determinism"]["match"]:
+        print("FATAL: caching changed simulation results", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

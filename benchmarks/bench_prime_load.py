@@ -29,12 +29,13 @@ def measure(rate):
     for i in range(count):
         sim.schedule(0.5 + i * interval, client.submit, {"set": (f"k{i}", i)})
     sim.run(until=0.5 + DURATION + 6.0)
-    # Confirmation latency comes from the telemetry registry: the Prime
-    # client observes every f+1-confirmed update into this histogram.
+    # Confirmation counts and latency both come from the telemetry
+    # registry: the Prime client observes every f+1-confirmed update
+    # into this histogram, so ``hist.count`` is the confirmed total.
     hist = sim.metrics.get("prime.confirm_latency", component="load")
-    confirmed = len(cluster.clients["load"].confirm_latency)
     if hist is None or hist.count == 0:
-        return confirmed, count, None, None, None
+        return 0, count, None, None, None
+    confirmed = hist.count
     stats = hist.summary()
     return confirmed, count, stats["mean"], stats["p50"], stats["p99"]
 

@@ -1,0 +1,120 @@
+"""Perf-regression guard for the hot-path benchmark.
+
+Compares a fresh ``bench_hotpath.py`` run against the committed
+baseline (``BENCH_hotpath.json`` at the repo root) and fails when a
+guarded metric regresses by more than the threshold (default 30%).
+
+Guarded metrics are chosen to be machine-portable so the guard works on
+CI runners with different absolute speeds than the machine that
+produced the baseline:
+
+* cache *speedups* (cached vs naive throughput ratio on the same
+  machine, same run) for each microbench and the prime-load point;
+* cache hit rates (workload-determined, not machine-determined);
+* the determinism witness (must always hold).
+
+Absolute throughputs (ops/s, events/s) are reported for context and
+guarded only with ``--absolute``, for use on a stable dedicated runner.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --quick --output current.json
+    python benchmarks/perf_guard.py --current current.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_hotpath.json")
+
+# metric name -> path into the results document (higher is better).
+RELATIVE_METRICS = {
+    "sign_broadcast_verify.speedup": ("microbench", "sign_broadcast_verify", "speedup"),
+    # "sign.speedup" is reported but not guarded: fresh signs always
+    # miss the cache, so it hovers around 1.0x and is dominated by
+    # noise rather than by regressions.
+    "verify.speedup": ("microbench", "verify", "speedup"),
+    "prime_load_100.speedup": ("prime_load_100", "speedup"),
+    "cache.encode_hit_rate": ("cache", "encode_hit_rate"),
+    "cache.verify_hit_rate": ("cache", "verify_hit_rate"),
+}
+
+ABSOLUTE_METRICS = {
+    "sign_broadcast_verify.after_ops_s": ("microbench", "sign_broadcast_verify", "after_ops_s"),
+    "verify.after_ops_s": ("microbench", "verify", "after_ops_s"),
+    "kernel.events_per_s": ("kernel", "events_per_s"),
+    "prime_load_100.after_events_per_s": ("prime_load_100", "after_events_per_s"),
+}
+
+
+def _lookup(doc: dict, path) -> float:
+    value = doc
+    for key in path:
+        value = value[key]
+    return float(value)
+
+
+def check(baseline: dict, current: dict, threshold: float,
+          absolute: bool = False) -> list:
+    """Return a list of failure strings (empty == pass)."""
+    failures = []
+    if not current.get("determinism", {}).get("match", False):
+        failures.append("determinism witness diverged: caching changed "
+                        "simulation results")
+    metrics = dict(RELATIVE_METRICS)
+    if absolute:
+        metrics.update(ABSOLUTE_METRICS)
+    for name, path in metrics.items():
+        try:
+            base = _lookup(baseline, path)
+            cur = _lookup(current, path)
+        except (KeyError, TypeError):
+            failures.append(f"{name}: missing from baseline or current run")
+            continue
+        floor = base * (1.0 - threshold)
+        status = "ok" if cur >= floor else "REGRESSION"
+        print(f"  {name:40s} baseline={base:10.3f} current={cur:10.3f} "
+              f"floor={floor:10.3f} [{status}]")
+        if cur < floor:
+            failures.append(
+                f"{name} regressed: {cur:.3f} < {floor:.3f} "
+                f"(baseline {base:.3f}, threshold {threshold:.0%})")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help=f"committed baseline (default: {DEFAULT_BASELINE})")
+    parser.add_argument("--current", required=True,
+                        help="freshly generated BENCH_hotpath.json to check")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="allowed fractional regression (default 0.30)")
+    parser.add_argument("--absolute", action="store_true",
+                        help="also guard absolute throughputs (stable runners only)")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    with open(args.current) as handle:
+        current = json.load(handle)
+
+    print(f"perf_guard: current vs {os.path.relpath(args.baseline)} "
+          f"(threshold {args.threshold:.0%})")
+    failures = check(baseline, current, args.threshold, absolute=args.absolute)
+    if failures:
+        print("\nperf_guard FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("perf_guard: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,26 +6,56 @@ Signatures use the signer's per-principal key; any component can verify
 through the deployment's public registry (see
 :class:`~repro.crypto.keys.KeyRing`), which models standard PKI without
 implementing RSA.
+
+Hot-path memoisation
+--------------------
+In a 3f+2k+1 deployment the *same* signature over the *same* immutable
+message is verified by every replica (and, for flooded overlay traffic,
+by every daemon).  ``verify_signature`` therefore keeps a bounded LRU of
+``(signer, tag, payload_digest) -> bool`` verdicts per
+:class:`~repro.crypto.keys.KeyRing`.  The cache is partitioned per
+principal, so a compromised replica spamming garbage signatures can
+only churn its own partition — verdicts for correct principals are
+untouched, and a cached success can never leak to a tampered payload
+because the payload digest is part of the key.  Payloads whose digest
+is itself cached (``FrozenViewMixin`` messages) make a repeat
+verification a pure dict hit.
 """
 
 from __future__ import annotations
 
 import hmac
 import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Dict
 
 from repro.crypto.keys import KeyError_, KeyRing
-from repro.crypto.serialize import canonical_bytes
+from repro.crypto.serialize import (
+    cache_enabled, payload_bytes, payload_digest,
+)
+
+# Per-principal LRU bound.  SCADA-scale runs have a handful of in-flight
+# messages per principal; the bound only matters under red-team spam.
+VERIFY_CACHE_SIZE = 1024
+
+#: Process-wide verification-cache statistics (plain ints on the hot
+#: path; see ``repro.crypto.publish_cache_metrics``).
+VERIFY_STATS: Dict[str, int] = {"hits": 0, "misses": 0}
+
+
+def reset_verify_stats() -> None:
+    VERIFY_STATS["hits"] = 0
+    VERIFY_STATS["misses"] = 0
 
 
 def _tag(key: bytes, payload: Any) -> bytes:
-    return hmac.new(key, canonical_bytes(payload), hashlib.sha256).digest()
+    return hmac.new(key, payload_bytes(payload), hashlib.sha256).digest()
 
 
 def digest(payload: Any) -> bytes:
     """Collision-resistant digest of a payload (for checkpoints etc.)."""
-    return hashlib.sha256(canonical_bytes(payload)).digest()
+    return hashlib.sha256(payload_bytes(payload)).digest()
 
 
 @dataclass(frozen=True)
@@ -64,12 +94,33 @@ def sign_payload(ring: KeyRing, signer: str, payload: Any) -> Signature:
 
 
 def verify_signature(ring: KeyRing, signature: Signature, payload: Any) -> bool:
-    """Verify against the public registry; False for forgery/tampering."""
+    """Verify against the public registry; False for forgery/tampering.
+
+    Repeat verifications of the same (signer, tag, payload) triple on
+    the same ring are answered from a bounded per-principal LRU; see the
+    module docstring for why this cannot weaken detection.
+    """
     try:
         key = ring.verification_key(signature.signer)
     except KeyError_:
         return False
-    return hmac.compare_digest(_tag(key, payload), signature.tag)
+    if not cache_enabled():
+        return hmac.compare_digest(_tag(key, payload), signature.tag)
+    cache = ring._verify_cache.get(signature.signer)
+    if cache is None:
+        cache = ring._verify_cache[signature.signer] = OrderedDict()
+    cache_key = (signature.tag, payload_digest(payload))
+    verdict = cache.get(cache_key)
+    if verdict is not None:
+        cache.move_to_end(cache_key)
+        VERIFY_STATS["hits"] += 1
+        return verdict
+    VERIFY_STATS["misses"] += 1
+    verdict = hmac.compare_digest(_tag(key, payload), signature.tag)
+    cache[cache_key] = verdict
+    if len(cache) > VERIFY_CACHE_SIZE:
+        cache.popitem(last=False)
+    return verdict
 
 
 def forge_signature(signer: str) -> Signature:

@@ -97,13 +97,18 @@ class KeyRing:
         self._symmetric: Dict[str, bytes] = {}
         self._signing: Dict[str, bytes] = {}
         self._verifier = verifier
+        # Per-principal verification memo managed by repro.crypto.auth;
+        # any change to the ring's key material invalidates it.
+        self._verify_cache: Dict[str, object] = {}
 
     # -- contents -------------------------------------------------------
     def install_symmetric(self, key_id: str, material: bytes) -> None:
         self._symmetric[key_id] = material
+        self._verify_cache.clear()
 
     def install_signing(self, principal: str, material: bytes) -> None:
         self._signing[principal] = material
+        self._verify_cache.clear()
 
     def has_symmetric(self, key_id: str) -> bool:
         return key_id in self._symmetric
@@ -143,3 +148,4 @@ class KeyRing:
         self._signing.update(other._signing)
         if self._verifier is None:
             self._verifier = other._verifier
+        self._verify_cache.clear()

@@ -1,24 +1,78 @@
-"""Canonical serialization for authentication.
+"""Canonical serialization for authentication, with encode-once caching.
 
 MACs and signatures must be computed over a stable byte encoding of
 message contents.  ``canonical_bytes`` encodes the JSON-ish value space
 used by protocol messages (None, bool, int, float, str, bytes, and
 lists/tuples/dicts thereof, plus dataclasses) deterministically:
-dict keys are sorted, and every value is tagged with its type so that
-e.g. ``1`` and ``"1"`` encode differently.
+dict entries are sorted by the canonical encoding of their keys (type
+tag first, then encoded bytes), and every value is tagged with its type
+so that e.g. ``1`` and ``"1"`` encode differently *and* sort apart.
+
+Hot-path caching
+----------------
+Serialization is the dominant cost of the simulated crypto: a broadcast
+message is signed once but re-encoded for the digest and again at every
+one of the 3f+2k+1 verifying replicas.  Protocol messages follow a
+*sign-then-freeze* convention — the fields covered by a signature are
+never mutated after the message is built — so the canonical encoding of
+a given message object can be computed once and reused for its entire
+lifetime, keyed on object identity with no invalidation logic:
+
+* :func:`canonical_cached` memoises ``canonical_bytes`` on the value
+  object itself (objects that cannot hold attributes, e.g. plain dicts,
+  silently fall back to a fresh encoding);
+* :class:`FrozenViewMixin` gives protocol messages cached
+  ``view_bytes()`` / ``view_digest()`` over their ``signed_view()``.
+
+``set_cache_enabled(False)`` switches every cache off (the naive encode
+path), which the perf harness uses to prove the optimisation does not
+change simulation results.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import struct
-from typing import Any
+from typing import Any, Dict
+
+_PACK_U32 = struct.Struct(">I").pack
+_PACK_F64 = struct.Struct(">d").pack
 
 
 class UnserializableError(TypeError):
     """Raised when a value outside the canonical value space is encoded."""
 
 
+# ---------------------------------------------------------------------------
+# Cache switch + statistics
+# ---------------------------------------------------------------------------
+_cache_enabled = True
+
+#: Process-wide encode-cache statistics (plain ints: the hot path must
+#: not pay for metric-object indirection; see
+#: ``repro.crypto.publish_cache_metrics`` for the registry bridge).
+ENCODE_STATS: Dict[str, int] = {"hits": 0, "misses": 0}
+
+
+def set_cache_enabled(enabled: bool) -> None:
+    """Globally enable/disable encode-once caching (default: enabled)."""
+    global _cache_enabled
+    _cache_enabled = bool(enabled)
+
+
+def cache_enabled() -> bool:
+    return _cache_enabled
+
+
+def reset_encode_stats() -> None:
+    ENCODE_STATS["hits"] = 0
+    ENCODE_STATS["misses"] = 0
+
+
+# ---------------------------------------------------------------------------
+# Canonical encoding
+# ---------------------------------------------------------------------------
 def canonical_bytes(value: Any) -> bytes:
     """Return a deterministic byte encoding of ``value``."""
     out = bytearray()
@@ -35,27 +89,36 @@ def _encode(value: Any, out: bytearray) -> None:
         out += b"F"
     elif isinstance(value, int):
         data = str(value).encode()
-        out += b"i" + struct.pack(">I", len(data)) + data
+        out += b"i" + _PACK_U32(len(data)) + data
     elif isinstance(value, float):
-        out += b"f" + struct.pack(">d", value)
+        out += b"f" + _PACK_F64(value)
     elif isinstance(value, str):
         data = value.encode("utf-8")
-        out += b"s" + struct.pack(">I", len(data)) + data
+        out += b"s" + _PACK_U32(len(data)) + data
     elif isinstance(value, bytes):
-        out += b"b" + struct.pack(">I", len(value)) + value
+        out += b"b" + _PACK_U32(len(value)) + value
     elif isinstance(value, (list, tuple)):
-        out += b"l" + struct.pack(">I", len(value))
+        out += b"l" + _PACK_U32(len(value))
         for item in value:
             _encode(item, out)
     elif isinstance(value, dict):
-        items = sorted(value.items(), key=lambda kv: str(kv[0]))
-        out += b"d" + struct.pack(">I", len(items))
-        for key, item in items:
-            _encode(key, out)
+        # Sort by the canonical encoding of the key — the encoding leads
+        # with the type tag, so mixed-type keys (1 vs "1") order apart
+        # instead of colliding under str() and silently falling back to
+        # insertion order.
+        items = []
+        for key, item in value.items():
+            key_bytes = bytearray()
+            _encode(key, key_bytes)
+            items.append((bytes(key_bytes), item))
+        items.sort(key=lambda pair: pair[0])
+        out += b"d" + _PACK_U32(len(items))
+        for key_bytes, item in items:
+            out += key_bytes
             _encode(item, out)
     elif isinstance(value, frozenset):
         encoded = sorted(canonical_bytes(item) for item in value)
-        out += b"S" + struct.pack(">I", len(encoded))
+        out += b"S" + _PACK_U32(len(encoded))
         for item in encoded:
             out += item
     elif dataclasses.is_dataclass(value) and not isinstance(value, type):
@@ -66,3 +129,94 @@ def _encode(value: Any, out: bytearray) -> None:
     else:
         raise UnserializableError(
             f"cannot canonically serialize {type(value).__name__}: {value!r}")
+
+
+# ---------------------------------------------------------------------------
+# Encode-once caching
+# ---------------------------------------------------------------------------
+_CACHE_ATTR = "_canonical_cache"
+
+
+def canonical_cached(value: Any) -> bytes:
+    """``canonical_bytes`` memoised on the value object.
+
+    Safe only for values whose canonically-encoded fields are immutable
+    after the first call (the sign-then-freeze convention of protocol
+    messages).  Values that cannot hold attributes — plain dicts, lists,
+    builtins — silently fall back to a fresh encoding.
+    """
+    if not _cache_enabled:
+        return canonical_bytes(value)
+    cached = getattr(value, _CACHE_ATTR, None)
+    if cached is not None:
+        ENCODE_STATS["hits"] += 1
+        return cached
+    data = canonical_bytes(value)
+    try:
+        # object.__setattr__ so frozen dataclasses can hold the cache.
+        object.__setattr__(value, _CACHE_ATTR, data)
+        ENCODE_STATS["misses"] += 1
+    except (AttributeError, TypeError):
+        pass  # no attribute slot (builtin / __slots__ type): uncached
+    return data
+
+
+class FrozenViewMixin:
+    """Cached canonical bytes + digest of a message's ``signed_view()``.
+
+    Mixed into protocol message dataclasses whose authenticated fields
+    are frozen once the message is built (mutable bookkeeping fields
+    like ``hop_count`` or attached signatures are *excluded* from the
+    view, so they may change freely).  The first ``view_bytes()`` call
+    builds the view dict and encodes it; every later sign, digest, or
+    verification of the same object is a cached read.
+    """
+
+    def signed_view(self) -> dict:  # pragma: no cover - subclasses override
+        raise NotImplementedError
+
+    def view_bytes(self) -> bytes:
+        """Canonical bytes of ``signed_view()``, computed once."""
+        if not _cache_enabled:
+            return canonical_bytes(self.signed_view())
+        cached = self.__dict__.get("_view_bytes")
+        if cached is not None:
+            ENCODE_STATS["hits"] += 1
+            return cached
+        ENCODE_STATS["misses"] += 1
+        data = canonical_bytes(self.signed_view())
+        object.__setattr__(self, "_view_bytes", data)
+        return data
+
+    def view_digest(self) -> bytes:
+        """SHA-256 over :meth:`view_bytes`, computed once."""
+        if not _cache_enabled:
+            return hashlib.sha256(canonical_bytes(self.signed_view())).digest()
+        cached = self.__dict__.get("_view_digest")
+        if cached is not None:
+            return cached
+        data = hashlib.sha256(self.view_bytes()).digest()
+        object.__setattr__(self, "_view_digest", data)
+        return data
+
+
+def payload_bytes(payload: Any) -> bytes:
+    """The bytes a signature/MAC/digest covers for ``payload``.
+
+    Messages carrying a frozen view (:class:`FrozenViewMixin`) are
+    authenticated over their ``signed_view()`` — passing the message
+    object itself to ``sign_payload``/``verify_signature``/``digest``
+    is equivalent to passing ``message.signed_view()``, but hits the
+    encode-once cache.  Everything else encodes via
+    :func:`canonical_cached`.
+    """
+    if isinstance(payload, FrozenViewMixin):
+        return payload.view_bytes()
+    return canonical_cached(payload)
+
+
+def payload_digest(payload: Any) -> bytes:
+    """SHA-256 of :func:`payload_bytes` (cached for frozen views)."""
+    if isinstance(payload, FrozenViewMixin):
+        return payload.view_digest()
+    return hashlib.sha256(canonical_cached(payload)).digest()

@@ -26,7 +26,7 @@ import hmac
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional
 
-from repro.crypto.serialize import canonical_bytes
+from repro.crypto.serialize import payload_bytes
 from repro.util.rng import DeterministicRng
 
 
@@ -82,7 +82,7 @@ class ThresholdScheme:
         return ThresholdShare(self, holder, self._shares[holder])
 
     def _partial_tag(self, holder: str, payload: Any) -> bytes:
-        return hmac.new(self._shares[holder], canonical_bytes(payload),
+        return hmac.new(self._shares[holder], payload_bytes(payload),
                         hashlib.sha256).digest()
 
     # -- combination / verification ---------------------------------------
@@ -107,8 +107,8 @@ class ThresholdScheme:
 
     def _combined_tag(self, signers: tuple, payload: Any) -> bytes:
         return hmac.new(self._group_secret,
-                        canonical_bytes({"signers": list(signers),
-                                         "payload": canonical_bytes(payload)}),
+                        payload_bytes({"signers": list(signers),
+                                       "payload": payload_bytes(payload)}),
                         hashlib.sha256).digest()
 
     def verify(self, signature: ThresholdSignature, payload: Any) -> bool:
@@ -133,7 +133,7 @@ class ThresholdShare:
         self._material = material
 
     def sign_partial(self, payload: Any) -> PartialSignature:
-        tag = hmac.new(self._material, canonical_bytes(payload),
+        tag = hmac.new(self._material, payload_bytes(payload),
                        hashlib.sha256).digest()
         return PartialSignature(group=self._scheme.group,
                                 share_holder=self.holder, tag=tag)

@@ -78,7 +78,7 @@ class PrimeClient(Process):
             client_id=update.client_id, client_seq=update.client_seq,
             op=update.op, reply_to=update.reply_to,
             signature=sign_payload(self.daemon.host.key_ring, self.client_id,
-                                   update.signed_view()),
+                                   update),
             trace=trace)
         state = _PendingUpdate(update=update, submitted_at=self.now)
         if trace is not None:

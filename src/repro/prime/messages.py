@@ -4,6 +4,12 @@ All replica-to-replica messages are signed by the sending replica (the
 signature lives in the envelope produced by ``PrimeReplica._broadcast``;
 the structures here are the signed bodies).  Client updates carry their
 own client signature and are therefore self-certifying when relayed.
+
+Messages on the hot path (client updates, the signed envelope, leader
+proposals) mix in :class:`~repro.crypto.serialize.FrozenViewMixin`:
+their authenticated view is serialized and digested once per object —
+sign-then-freeze — instead of once per signing, digesting, and
+verifying replica.
 """
 
 from __future__ import annotations
@@ -12,13 +18,14 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.crypto.auth import Signature
+from repro.crypto.serialize import FrozenViewMixin, canonical_cached
 
 PRIME_INTERNAL_PORT = 7000
 PRIME_CLIENT_PORT = 7100
 
 
 @dataclass(frozen=True)
-class ClientUpdate:
+class ClientUpdate(FrozenViewMixin):
     """An update submitted by a SCADA client (proxy or HMI).
 
     ``op`` is opaque to Prime; the SCADA master interprets it.
@@ -72,7 +79,7 @@ class PoAckBatch:
 
 
 @dataclass
-class PrePrepare:
+class PrePrepare(FrozenViewMixin):
     """Leader proposal: a summary matrix of PO-ARU vectors."""
 
     view: int
@@ -81,6 +88,10 @@ class PrePrepare:
 
     def digest_view(self) -> dict:
         return {"view": self.view, "gseq": self.gseq, "matrix": self.matrix}
+
+    # The proposal digest every replica computes (pre-prepare handling,
+    # reconciliation claims) covers the same fields — cache it.
+    signed_view = digest_view
 
     def wire_size(self) -> int:
         return 16 + 12 * sum(len(v) for v in self.matrix.values())
@@ -217,7 +228,7 @@ class Reply:
 
 
 @dataclass
-class SignedPrimeMessage:
+class SignedPrimeMessage(FrozenViewMixin):
     """Envelope for replica-to-replica traffic: body + replica signature.
 
     The signature covers the canonical serialization of the body, so any
@@ -230,9 +241,9 @@ class SignedPrimeMessage:
     signature: Optional[Signature] = None
 
     def signed_view(self) -> dict:
-        from repro.crypto.serialize import UnserializableError, canonical_bytes
+        from repro.crypto.serialize import UnserializableError
         try:
-            body_bytes = canonical_bytes(self.body)
+            body_bytes = canonical_cached(self.body)
         except UnserializableError:
             body_bytes = repr(self.body).encode()
         return {"sender": self.sender, "body_type": type(self.body).__name__,

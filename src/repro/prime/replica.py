@@ -249,8 +249,10 @@ class PrimeReplica(Process):
 
     def _broadcast(self, body: Any) -> None:
         message = SignedPrimeMessage(sender=self.name, body=body)
-        message.signature = sign_payload(self.key_ring, self.name,
-                                         message.signed_view())
+        # Signing the message object (not a fresh signed_view() dict)
+        # covers the same bytes but populates the encode-once cache that
+        # every receiving replica's verification then hits.
+        message.signature = sign_payload(self.key_ring, self.name, message)
         self.internal_session.send(("*", PRIME_INTERNAL_PORT), message,
                                    service=IT_FLOOD)
 
@@ -267,7 +269,7 @@ class PrimeReplica(Process):
         if not self.running or self.state != STATE_NORMAL:
             return
         if update.signature is None or not verify_signature(
-                self.key_ring, update.signature, update.signed_view()):
+                self.key_ring, update.signature, update):
             self.log("prime.reject", "bad client signature",
                      client=update.client_id)
             return
@@ -317,7 +319,7 @@ class PrimeReplica(Process):
         if payload.sender not in self.config.replica_names:
             return
         if payload.signature is None or not verify_signature(
-                self.key_ring, payload.signature, payload.signed_view()):
+                self.key_ring, payload.signature, payload):
             self.log("prime.reject", "bad replica signature",
                      sender=payload.sender)
             return
@@ -354,11 +356,11 @@ class PrimeReplica(Process):
             return  # replicas may only introduce under their own id
         for offset, update in enumerate(batch.updates):
             if update.signature is None or not verify_signature(
-                    self.key_ring, update.signature, update.signed_view()):
+                    self.key_ring, update.signature, update):
                 continue
             slot_key = (batch.originator, batch.start_seq + offset)
             slot = self.po_slots.setdefault(slot_key, _PoSlot())
-            update_digest = digest(update.signed_view())
+            update_digest = update.view_digest()
             slot.updates.setdefault(update_digest, update)
             if slot.my_ack is None:
                 # Ack at most one digest per slot (first seen).
@@ -470,7 +472,7 @@ class PrimeReplica(Process):
             return
         slot.view = proposal.view
         slot.pre_prepare = proposal
-        slot.digest = digest(proposal.digest_view())
+        slot.digest = proposal.view_digest()
         slot.commit_sent = False
         slot.prepares = {r: d for r, d in slot.prepares.items()
                          if d == slot.digest}
@@ -631,11 +633,11 @@ class PrimeReplica(Process):
         progressed = False
         for incarnation, seq, update in response.items:
             if update.signature is None or not verify_signature(
-                    self.key_ring, update.signature, update.signed_view()):
+                    self.key_ring, update.signature, update):
                 continue
             slot_key = (incarnation, seq)
             slot = self.po_slots.setdefault(slot_key, _PoSlot())
-            update_digest = digest(update.signed_view())
+            update_digest = update.view_digest()
             slot.updates.setdefault(update_digest, update)
             if slot.certified == update_digest:
                 progressed = True
@@ -825,7 +827,7 @@ class PrimeReplica(Process):
             slot = self.slots.setdefault(gseq, _Slot())
             if slot.committed:
                 continue
-            claim_digest = digest(proposal.digest_view())
+            claim_digest = proposal.view_digest()
             claims = self._reconc_claims.setdefault(gseq, {})
             claims.setdefault(claim_digest, set()).add(response.replica)
             if len(claims[claim_digest]) >= self.config.vouch:

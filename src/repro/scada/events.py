@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.crypto.serialize import FrozenViewMixin
+
 
 def plc_status_op(plc: str, breakers: Dict[str, bool],
                   currents: Dict[str, int],
@@ -57,7 +59,7 @@ def register_hmi_op(feed_addr: Tuple[str, int]) -> dict:
 
 
 @dataclass
-class CommandDirective:
+class CommandDirective(FrozenViewMixin):
     """Masters → proxy: operate a breaker.
 
     The proxy acts only once f+1 replicas agree — either by counting

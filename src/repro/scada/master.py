@@ -147,8 +147,7 @@ class ScadaMaster:
             command_id=update.key(), plc=plc, breaker=breaker, close=close,
             replica=self.name, trace=trace)
         if self.threshold_share is not None:
-            directive.partial = self.threshold_share.sign_partial(
-                directive.signed_view())
+            directive.partial = self.threshold_share.sign_partial(directive)
         self._push(directive_addr, directive)
         return {"status": "commanded", "plc": plc, "breaker": breaker,
                 "close": close}

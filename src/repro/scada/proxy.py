@@ -252,11 +252,10 @@ class PlcProxy(Process):
         partials = buckets.setdefault(payload.matching_key(), [])
         partials.append(payload.partial)
         try:
-            signature = self.threshold_scheme.combine(
-                partials, payload.signed_view())
+            signature = self.threshold_scheme.combine(partials, payload)
         except ThresholdError:
             return
-        if not self.threshold_scheme.verify(signature, payload.signed_view()):
+        if not self.threshold_scheme.verify(signature, payload):
             return
         self._commands_done.add(command_id)
         self._command_partials.pop(command_id, None)

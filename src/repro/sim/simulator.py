@@ -32,7 +32,8 @@ class SimulationError(RuntimeError):
 class Event:
     """A scheduled callback.  Returned by scheduling calls for cancellation."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "periodic")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired",
+                 "periodic", "_sim")
 
     def __init__(self, time: float, seq: int, fn: Callable, args: Tuple):
         self.time = time
@@ -40,11 +41,20 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.fired = False
         self.periodic: Optional["PeriodicTimer"] = None
+        self._sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Prevent this event from firing (no-op if already fired)."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        # Keep the owning simulator's O(1) pending-event accounting
+        # exact: this event still occupies a heap slot but will never
+        # fire.
+        if self._sim is not None:
+            self._sim._cancelled_in_heap += 1
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -105,6 +115,12 @@ class Simulator:
         self._heap: List[Event] = []
         self._seq = itertools.count()
         self._events_executed = 0
+        self._events_cancelled = 0       # cancelled events reaped so far
+        self._cancelled_in_heap = 0      # cancelled but not yet reaped
+        # Kernel metrics are flushed from plain ints at run-loop exit
+        # (see run()); these track what has already been pushed.
+        self._flushed_executed = 0
+        self._flushed_cancelled = 0
         self.rng = DeterministicRng(seed)
         self.log = EventLog(clock=lambda: self._now)
         self.metrics = MetricsRegistry(clock=lambda: self._now)
@@ -128,7 +144,8 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Live (non-cancelled) scheduled events — O(1) maintained count."""
+        return len(self._heap) - self._cancelled_in_heap
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -145,6 +162,7 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self._now}")
         event = Event(time, next(self._seq), fn, args)
+        event._sim = self
         heapq.heappush(self._heap, event)
         return event
 
@@ -171,15 +189,34 @@ class Simulator:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
-                self._metric_cancelled.inc()
+                self._cancelled_in_heap -= 1
+                self._events_cancelled += 1
+                self._flush_kernel_metrics()
                 continue
+            event.fired = True
             self._now = event.time
             self._events_executed += 1
-            self._metric_executed.inc()
-            self._metric_heap.set(len(self._heap))
             event.fn(*event.args)
+            self._flush_kernel_metrics()
             return True
         return False
+
+    def _flush_kernel_metrics(self) -> None:
+        """Push the plain-int kernel counters into the registry.
+
+        The run loop counts events in local ints and flushes once at
+        exit — per-event counter/gauge object calls used to dominate
+        the kernel's own cost.
+        """
+        if self._events_executed > self._flushed_executed:
+            self._metric_executed.inc(self._events_executed
+                                      - self._flushed_executed)
+            self._flushed_executed = self._events_executed
+        if self._events_cancelled > self._flushed_cancelled:
+            self._metric_cancelled.inc(self._events_cancelled
+                                       - self._flushed_cancelled)
+            self._flushed_cancelled = self._events_cancelled
+        self._metric_heap.set(len(self._heap))
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run events until the heap empties, ``until`` is reached, or
@@ -188,22 +225,34 @@ class Simulator:
         When ``until`` is given, the clock is advanced to exactly
         ``until`` even if the last event fires earlier, so back-to-back
         ``run(until=...)`` calls behave like a continuous timeline.
+
+        The loop body is inlined (no step() call, no per-event metric
+        objects) — this is the hottest few lines of the whole simulator.
         """
         self._halted = False
+        heap = self._heap
+        pop = heapq.heappop
         executed = 0
-        while self._heap and not self._halted:
-            if max_events is not None and executed >= max_events:
-                break
-            head = self._heap[0]
-            if head.cancelled:
-                heapq.heappop(self._heap)
-                self._metric_cancelled.inc()
-                continue
-            if until is not None and head.time > until:
-                break
-            if not self.step():
-                break
-            executed += 1
+        try:
+            while heap and not self._halted:
+                head = heap[0]
+                if head.cancelled:
+                    pop(heap)
+                    self._cancelled_in_heap -= 1
+                    self._events_cancelled += 1
+                    continue
+                if until is not None and head.time > until:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                pop(heap)
+                head.fired = True
+                self._now = head.time
+                self._events_executed += 1
+                executed += 1
+                head.fn(*head.args)
+        finally:
+            self._flush_kernel_metrics()
         if until is not None and self._now < until:
             self._now = until
         return self._now

@@ -156,9 +156,11 @@ class SpinesDaemon(Process):
             seq=self._seq, src_daemon=self.name, sent_at=self.now,
         )
         if service == IT_FLOOD or (self.intrusion_tolerant and service == RELIABLE):
-            # In IT mode all client data is source-signed.
+            # In IT mode all client data is source-signed.  Signing the
+            # message object populates the encode-once cache every
+            # flooding daemon's verification then hits.
             message.signature = sign_payload(
-                self.host.key_ring, self.name, message.signed_view())
+                self.host.key_ring, self.name, message)
         if service == RELIABLE:
             state = _ReliableState(message=message)
             key = message.flood_key()
@@ -207,10 +209,12 @@ class SpinesDaemon(Process):
             self.stats_dropped_fairness += 1
             self._metric_dropped.inc()
             return
+        # One envelope (and one MAC) covers the whole fan-out: the MAC
+        # depends on (sender, kind, body) but not on the receiving
+        # neighbor, and the envelope is immutable once MACed.
+        envelope = LinkEnvelope(sender=self.name, kind="data", body=message)
         for neighbor in self.neighbors:
             if neighbor != arrived_from:
-                envelope = LinkEnvelope(sender=self.name, kind="data",
-                                        body=message)
                 self._send_envelope(neighbor, envelope)
 
     def _fairness_admit(self, src_daemon: str) -> bool:
@@ -229,8 +233,9 @@ class SpinesDaemon(Process):
         target = self.neighbors.get(neighbor)
         if target is None:
             return
-        envelope.mac = mac_payload(self.host.key_ring, self.network_key_id,
-                                   envelope.mac_view())
+        if envelope.mac is None:
+            envelope.mac = mac_payload(self.host.key_ring,
+                                       self.network_key_id, envelope)
         ip, port = target
         self.host.udp_send(ip, port, envelope, src_port=self.port)
         self.stats_forwarded += 1
@@ -247,7 +252,7 @@ class SpinesDaemon(Process):
             self._metric_dropped.inc()
             return
         if payload.mac is None or not verify_mac(
-                self.host.key_ring, payload.mac, payload.mac_view()):
+                self.host.key_ring, payload.mac, payload):
             # Unauthenticated daemon-to-daemon traffic: the modified
             # daemon without keys, or an injected/tampered frame.
             self.stats_dropped_auth += 1
@@ -267,7 +272,7 @@ class SpinesDaemon(Process):
         message.hop_count += 1
         if self.intrusion_tolerant:
             if message.signature is None or not verify_signature(
-                    self.host.key_ring, message.signature, message.signed_view()):
+                    self.host.key_ring, message.signature, message):
                 self.stats_dropped_sig += 1
                 self._metric_dropped.inc()
                 return
@@ -337,7 +342,7 @@ class SpinesDaemon(Process):
                 src_daemon=self.name,
                 )
             wrapper.signature = sign_payload(
-                self.host.key_ring, self.name, wrapper.signed_view())
+                self.host.key_ring, self.name, wrapper)
             self._flood(wrapper, arrived_from=None)
         else:
             hop = self.next_hop.get(message.src_daemon)

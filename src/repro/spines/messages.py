@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional, Tuple
 
 from repro.crypto.auth import Mac, Signature
+from repro.crypto.serialize import FrozenViewMixin, cache_enabled
 from repro.net.packet import payload_size
 
 BEST_EFFORT = "best-effort"
@@ -35,8 +36,14 @@ OverlayAddress = Tuple[str, int]
 
 
 @dataclass
-class OverlayMessage:
-    """One client message traveling through the overlay."""
+class OverlayMessage(FrozenViewMixin):
+    """One client message traveling through the overlay.
+
+    The source-signed fields (``signed_view``) are frozen at
+    origination; mutable transit bookkeeping (``hop_count``, the
+    attached signature) is excluded from the view, so the encode-once
+    cache stays valid while the message floods.
+    """
 
     src: OverlayAddress
     dst: OverlayAddress
@@ -49,7 +56,15 @@ class OverlayMessage:
     sent_at: float = 0.0           # origination time (telemetry only)
 
     def wire_size(self) -> int:
-        return OVERLAY_HEADER + payload_size(self.payload)
+        # The payload is frozen at origination, so its recursive size is
+        # computed once per message rather than per link transmission.
+        if not cache_enabled():
+            return OVERLAY_HEADER + payload_size(self.payload)
+        cached = self.__dict__.get("_wire_size")
+        if cached is None:
+            cached = OVERLAY_HEADER + payload_size(self.payload)
+            self.__dict__["_wire_size"] = cached
+        return cached
 
     def flood_key(self) -> Tuple[str, int]:
         return (self.src_daemon, self.seq)
@@ -64,11 +79,18 @@ class OverlayMessage:
 
 
 @dataclass
-class LinkEnvelope:
+class LinkEnvelope(FrozenViewMixin):
     """Hop-by-hop envelope: every daemon-to-daemon transmission is
     authenticated (and in deployment, encrypted) under the overlay
     network's symmetric key.  Frames without a valid MAC are dropped on
-    receipt — this is what shut out the red team's modified daemon."""
+    receipt — this is what shut out the red team's modified daemon.
+
+    The envelope is immutable once the MAC is attached, so the MAC view
+    is a frozen view: the sender encodes it once per fan-out (one
+    envelope is shared by every neighbor of a flood step) and each
+    receiver's ``verify_mac`` is a cached read of the same bytes.
+    Tampering replaces objects (changing ``payload_id``), which forces a
+    new envelope and therefore a fresh MAC that cannot validate."""
 
     sender: str
     kind: str                      # "data" | "ack"
@@ -76,13 +98,23 @@ class LinkEnvelope:
     mac: Optional[Mac] = None
 
     def wire_size(self) -> int:
-        return 8 + payload_size(self.body)
+        if not cache_enabled():
+            return 8 + payload_size(self.body)
+        cached = self.__dict__.get("_wire_size")
+        if cached is None:
+            cached = 8 + payload_size(self.body)
+            self.__dict__["_wire_size"] = cached
+        return cached
 
     def mac_view(self) -> dict:
         body = self.body
         return {"sender": self.sender, "kind": self.kind,
                 "body_size": payload_size(body),
                 "body_digest_fields": _digest_fields(body)}
+
+    # The MAC covers the mac_view, so the encode-once machinery
+    # (sign/verify via ``payload_bytes``) treats it as the signed view.
+    signed_view = mac_view
 
 
 def _digest_fields(body: Any) -> Any:

@@ -219,6 +219,20 @@ class MetricsRegistry:
     def histogram(self, name: str, component: str = "") -> Histogram:
         return self._get_or_create(Histogram, name, component)
 
+    def sync_counter(self, name: str, total: float,
+                     component: str = "") -> Counter:
+        """Raise a counter to an externally-maintained monotonic total.
+
+        Hot loops (the simulation kernel, the crypto caches) count in
+        plain ints and sync the registry at flush points instead of
+        paying a method call per event; values below the counter's
+        current total are ignored (counters never decrease).
+        """
+        counter = self.counter(name, component)
+        if total > counter.value:
+            counter.inc(total - counter.value)
+        return counter
+
     def _get_or_create(self, cls, name: str, component: str) -> Any:
         key = (name, component)
         metric = self._metrics.get(key)

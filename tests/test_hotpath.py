@@ -1,0 +1,233 @@
+"""Hot-path optimisation tests: encode-once caching, verification
+memoisation, and the naive/cached equivalence guarantees.
+
+The optimisations must be *invisible*: same bytes signed, same verdicts,
+same simulation trace — just fewer encodes.  These tests pin down the
+invariants the caches rely on and the ways they must not weaken
+detection (tampering, forgery, LRU bounds, key rotation).
+"""
+
+import hashlib
+
+import pytest
+
+from repro.api import Simulator
+from repro.crypto import (
+    KeyStore, cache_stats, canonical_bytes, forge_signature, mac_payload,
+    publish_cache_metrics, reset_cache_stats, set_cache_enabled,
+    sign_payload, verify_mac, verify_signature,
+)
+from repro.crypto.auth import VERIFY_CACHE_SIZE
+from repro.crypto.serialize import canonical_cached, payload_bytes
+from repro.prime.messages import ClientUpdate, PoRequestBatch, SignedPrimeMessage
+
+from tests.conftest import build_cluster
+
+
+@pytest.fixture(autouse=True)
+def _caches_on():
+    """Every test starts with caching enabled and zeroed counters, and
+    leaves the process-wide switch the way the rest of the suite
+    expects it."""
+    set_cache_enabled(True)
+    reset_cache_stats()
+    yield
+    set_cache_enabled(True)
+    reset_cache_stats()
+
+
+@pytest.fixture
+def ring():
+    store = KeyStore()
+    store.create_signing("replica1")
+    store.create_symmetric("spines.internal")
+    return store.ring_for(signing_principals=["replica1"],
+                          symmetric_ids=["spines.internal"])
+
+
+def _message(seq: int = 1) -> SignedPrimeMessage:
+    update = ClientUpdate(client_id="c", client_seq=seq, op={"set": ("k", seq)})
+    batch = PoRequestBatch(originator="replica1#0", start_seq=seq,
+                           updates=[update])
+    return SignedPrimeMessage(sender="replica1", body=batch)
+
+
+# ---------------------------------------------------------------------------
+# canonical serialization: mixed-type dict keys must not collide
+# ---------------------------------------------------------------------------
+def test_mixed_type_dict_keys_encode_apart():
+    # Sorting keys by str() used to make {1: ...} and {"1": ...}
+    # ambiguous; keys now sort by their type-tagged encoding.
+    assert canonical_bytes({1: "x"}) != canonical_bytes({"1": "x"})
+    assert canonical_bytes({1: "a", "1": "b"}) != \
+        canonical_bytes({1: "b", "1": "a"})
+    # and stays order-independent
+    assert canonical_bytes({1: "a", "1": "b", 2.0: "c"}) == \
+        canonical_bytes({2.0: "c", "1": "b", 1: "a"})
+
+
+# ---------------------------------------------------------------------------
+# encode-once caching
+# ---------------------------------------------------------------------------
+def test_frozen_view_bytes_match_naive_encoding():
+    """Signing the message object covers the same bytes as signing its
+    signed_view() dict — caching never changes what is authenticated."""
+    message = _message()
+    assert payload_bytes(message) == canonical_bytes(message.signed_view())
+    set_cache_enabled(False)
+    assert payload_bytes(message) == canonical_bytes(message.signed_view())
+
+
+def test_signature_interoperates_between_object_and_view(ring):
+    message = _message()
+    over_object = sign_payload(ring, "replica1", message)
+    assert verify_signature(ring, over_object, message.signed_view())
+    over_view = sign_payload(ring, "replica1", message.signed_view())
+    assert verify_signature(ring, over_view, message)
+
+
+def test_encode_cache_counters_reach_metrics_registry(ring):
+    message = _message()
+    sign_payload(ring, "replica1", message)      # miss: first encode
+    sign_payload(ring, "replica1", message)      # hit: cached bytes
+    stats = cache_stats()
+    assert stats["encode_misses"] >= 1
+    assert stats["encode_hits"] >= 1
+
+    sim = Simulator(seed=0)
+    publish_cache_metrics(sim.metrics)
+    hits = sim.metrics.get("crypto.encode_cache.hits", component="crypto")
+    misses = sim.metrics.get("crypto.encode_cache.misses", component="crypto")
+    assert hits.value == stats["encode_hits"]
+    assert misses.value == stats["encode_misses"]
+    # the bridge is monotonic: re-publishing never decreases counters
+    publish_cache_metrics(sim.metrics)
+    assert hits.value == stats["encode_hits"]
+
+
+def test_canonical_cached_disabled_path_identical():
+    value = _message()
+    cached = canonical_cached(value)
+    set_cache_enabled(False)
+    assert canonical_bytes(value) == cached
+
+
+# ---------------------------------------------------------------------------
+# verification memoisation
+# ---------------------------------------------------------------------------
+def test_verify_cache_hits_on_repeat_verification(ring):
+    message = _message()
+    signature = sign_payload(ring, "replica1", message)
+    assert verify_signature(ring, signature, message)
+    before = cache_stats()["verify_hits"]
+    for _ in range(5):
+        assert verify_signature(ring, signature, message)
+    assert cache_stats()["verify_hits"] == before + 5
+
+    sim = Simulator(seed=0)
+    publish_cache_metrics(sim.metrics)
+    assert sim.metrics.get("crypto.verify_cache.hits",
+                           component="crypto").value >= 5
+
+
+def test_tampered_payload_fails_after_cached_success(ring):
+    """A cached positive verdict must not leak to a different payload:
+    the cache key includes the payload digest."""
+    message = _message(seq=7)
+    signature = sign_payload(ring, "replica1", message)
+    assert verify_signature(ring, signature, message)          # cached True
+    tampered = _message(seq=8)                                 # same shape, new content
+    assert not verify_signature(ring, signature, tampered)
+    # and the genuine message still verifies from cache afterwards
+    assert verify_signature(ring, signature, message)
+
+
+def test_forged_signature_stays_rejected(ring):
+    message = _message()
+    sign_payload(ring, "replica1", message)
+    forged = forge_signature("replica1")
+    assert not verify_signature(ring, forged, message)
+    assert not verify_signature(ring, forged, message)  # cached False
+
+
+def test_verify_cache_is_bounded(ring):
+    """The per-principal LRU never exceeds VERIFY_CACHE_SIZE entries."""
+    payloads = [{"seq": i} for i in range(VERIFY_CACHE_SIZE + 64)]
+    signatures = [sign_payload(ring, "replica1", p) for p in payloads]
+    for signature, payload in zip(signatures, payloads):
+        assert verify_signature(ring, signature, payload)
+    cache = ring._verify_cache["replica1"]
+    assert len(cache) <= VERIFY_CACHE_SIZE
+    # evicted entries simply re-verify (correctly) on the slow path
+    assert verify_signature(ring, signatures[0], payloads[0])
+
+
+def test_key_rotation_invalidates_verify_cache(ring):
+    store = KeyStore()
+    store.create_signing("replica1")
+    fresh = store.ring_for(signing_principals=["replica1"])
+    message = _message()
+    signature = sign_payload(ring, "replica1", message)
+    assert verify_signature(ring, signature, message)
+    assert ring._verify_cache
+    # installing new key material must drop memoised verdicts
+    ring.merge(fresh)
+    assert not ring._verify_cache
+
+
+def test_mac_cache_respects_tamper_by_replacement(ring):
+    from repro.spines.messages import LinkEnvelope, OverlayMessage
+    message = OverlayMessage(src=("a", 1), dst=("b", 2), service="reliable",
+                             payload={"op": 1}, seq=1, src_daemon="a")
+    envelope = LinkEnvelope(sender="a", kind="data", body=message)
+    envelope.mac = mac_payload(ring, "spines.internal", envelope)
+    assert verify_mac(ring, envelope.mac, envelope)
+    # tampering replaces objects -> new envelope -> fresh (failing) MAC view
+    substitute = OverlayMessage(src=("a", 1), dst=("b", 2), service="reliable",
+                                payload={"op": 2}, seq=1, src_daemon="a")
+    resent = LinkEnvelope(sender="a", kind="data", body=substitute)
+    assert not verify_mac(ring, envelope.mac, resent)
+
+
+# ---------------------------------------------------------------------------
+# kernel accounting
+# ---------------------------------------------------------------------------
+def test_pending_events_tracks_cancellations():
+    sim = Simulator(seed=1)
+    events = [sim.schedule(0.1 * (i + 1), lambda: None) for i in range(10)]
+    assert sim.pending_events == 10
+    events[3].cancel()
+    events[7].cancel()
+    events[7].cancel()          # double-cancel must not double-count
+    assert sim.pending_events == 8
+    sim.run()
+    assert sim.pending_events == 0
+    assert sim.events_executed == 8
+    assert sim.metrics.get("sim.events_executed", component="kernel").value == 8
+    assert sim.metrics.get("sim.events_cancelled", component="kernel").value == 2
+
+
+# ---------------------------------------------------------------------------
+# naive/cached equivalence on a full Prime cluster
+# ---------------------------------------------------------------------------
+def _trace_prime_run(seed: int):
+    sim = Simulator(seed=seed)
+    cluster = build_cluster(sim, f=1, k=1)
+    client = cluster.add_client("load")
+    for i in range(20):
+        sim.schedule(0.5 + i * 0.05, client.submit, {"set": (f"k{i}", i)})
+    sim.run(until=4.0)
+    witness = hashlib.sha256()
+    for app in cluster.correct_apps():
+        witness.update(repr(app.oplog).encode())
+    return sim.events_executed, sim.now, witness.hexdigest()
+
+
+def test_same_seed_trace_equivalence_cached_vs_naive():
+    """Caching must not change one event of the simulation: identical
+    event counts, final time, and ordered-update digests."""
+    set_cache_enabled(False)
+    naive = _trace_prime_run(seed=42)
+    set_cache_enabled(True)
+    cached = _trace_prime_run(seed=42)
+    assert naive == cached
