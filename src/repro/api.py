@@ -25,6 +25,10 @@ from repro.core.deployment import (
 )
 from repro.core.measurement import MeasurementDevice, ReactionSample
 from repro.core.spire import PlcUnit, SpireSystem, build_spire
+from repro.faults import (
+    ChaosHarness, FaultPlan, MonitorSuite, Scenario, Violation, run_campaign,
+    run_scenario,
+)
 from repro.sim.process import Process
 from repro.sim.simulator import (
     Event, PeriodicTimer, SimulationError, Simulator,
@@ -46,4 +50,7 @@ __all__ = [
     "MeasurementDevice", "ReactionSample",
     "Counter", "Gauge", "Histogram", "Metric", "MetricsRegistry",
     "Span", "TraceContext", "Tracer",
+    # Fault injection and resilience campaigns
+    "ChaosHarness", "FaultPlan", "MonitorSuite", "Scenario", "Violation",
+    "run_campaign", "run_scenario",
 ]

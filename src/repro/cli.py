@@ -14,6 +14,8 @@ Installed as ``spire-sim`` (see pyproject) or runnable as
   rebuild-from-field-devices demonstration.
 * ``spire-sim metrics``    — run a short scenario and export the full
   metrics registry as JSON or CSV.
+* ``spire-sim chaos``      — sweep fault-injection scenarios × seeds
+  under invariant monitors and emit a JSON resilience report.
 
 Every command accepts ``--seed`` (deterministic replay) and prints a
 human-readable account to stdout.
@@ -179,6 +181,37 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.faults import (
+        BUILTIN_SCENARIOS, DEFAULT_SCENARIOS, report_to_json, run_campaign,
+    )
+
+    if args.list:
+        for name, scenario in sorted(BUILTIN_SCENARIOS.items()):
+            marker = "violation" if scenario.expect == "violation" else "clean"
+            print(f"{name:20s} [{marker:9s}] {scenario.description}")
+        return 0
+    names = ([name.strip() for name in args.scenarios.split(",") if name.strip()]
+             if args.scenarios else list(DEFAULT_SCENARIOS))
+    seeds = [args.seed + offset for offset in range(args.seeds)]
+    report = run_campaign(scenarios=names, seeds=seeds, f=args.f, k=args.k,
+                          duration=args.duration)
+    output = report_to_json(report)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(output + "\n")
+    else:
+        print(output)
+    for name, entry in report["scenarios"].items():
+        verdict = "pass" if entry["passed"] else "FAIL"
+        print(f"# {name}: {verdict} ({entry['expect']}, "
+              f"{entry['violations']} violation(s) across "
+              f"{len(entry['runs'])} run(s))", file=sys.stderr)
+    print(f"# campaign: {'PASS' if report['passed'] else 'FAIL'}",
+          file=sys.stderr)
+    return 0 if report["passed"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="spire-sim",
@@ -210,6 +243,26 @@ def build_parser() -> argparse.ArgumentParser:
                          help="simulated seconds to run before exporting")
     metrics.add_argument("--output", default=None,
                          help="write to a file instead of stdout")
+    chaos = sub.add_parser(
+        "chaos", parents=[seed],
+        help="run a fault-injection resilience campaign")
+    chaos.add_argument("--scenarios", default=None,
+                       help="comma-separated scenario names "
+                            "(default: the standard sweep)")
+    chaos.add_argument("--seeds", type=int, default=1,
+                       help="number of seeds per scenario, counting up "
+                            "from --seed")
+    chaos.add_argument("--f", type=int, default=1,
+                       help="tolerated intrusions (replicas = 3f+2k+1)")
+    chaos.add_argument("--k", type=int, default=1,
+                       help="tolerated simultaneous recoveries")
+    chaos.add_argument("--duration", type=float, default=None,
+                       help="simulated seconds per run (default: "
+                            "per-scenario)")
+    chaos.add_argument("--output", default=None,
+                       help="write the JSON report to a file")
+    chaos.add_argument("--list", action="store_true",
+                       help="list available scenarios and exit")
     return parser
 
 
@@ -217,7 +270,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {"quickstart": cmd_quickstart, "redteam": cmd_redteam,
                "plant": cmd_plant, "breach": cmd_breach,
-               "metrics": cmd_metrics}[args.command]
+               "metrics": cmd_metrics, "chaos": cmd_chaos}[args.command]
     return handler(args)
 
 

@@ -57,6 +57,10 @@ class ProactiveRecoveryScheduler(Process):
         self._in_progress: Dict[str, RecoveryTarget] = {}
         self.recoveries_completed = 0
         self.recoveries_skipped = 0
+        self._metric_completed = sim.metrics.counter(
+            "recovery.recoveries_completed", component=self.name)
+        self._metric_skipped = sim.metrics.counter(
+            "recovery.recoveries_skipped", component=self.name)
         for target in self.targets:
             if not target.variants:   # keep build-time variants if present
                 self.install_fresh_variants(target)
@@ -76,19 +80,24 @@ class ProactiveRecoveryScheduler(Process):
             target.variants[program] = self.compiler.compile(program)
 
     def _recover_next(self) -> None:
-        if len(self._in_progress) >= self.k:
-            # Never exceed k concurrent recoveries — doing so would
-            # break the 2f+k+1 availability math.
-            self.recoveries_skipped += 1
-            return
         if not self.targets:
             return
-        target = self.targets[self._next_index % len(self.targets)]
-        self._next_index += 1
-        if target.name in self._in_progress:
+        if len(self._in_progress) >= self.k:
+            # Never exceed k concurrent recoveries — doing so would
+            # break the 2f+k+1 availability math.  Leave _next_index
+            # where it is so the deferred target still goes first.
             self.recoveries_skipped += 1
+            self._metric_skipped.inc()
             return
-        self.begin_recovery(target)
+        for _ in range(len(self.targets)):
+            target = self.targets[self._next_index % len(self.targets)]
+            self._next_index += 1
+            if target.name in self._in_progress:
+                continue
+            self.begin_recovery(target)
+            return
+        self.recoveries_skipped += 1
+        self._metric_skipped.inc()
 
     def begin_recovery(self, target: RecoveryTarget) -> None:
         """Take the machine down and cleanse it."""
@@ -117,6 +126,7 @@ class ProactiveRecoveryScheduler(Process):
         target.replica.recover()
         target.recoveries += 1
         self.recoveries_completed += 1
+        self._metric_completed.inc()
         self._in_progress.pop(target.name, None)
         self.log("recovery.up", f"{target.name} rejoined with fresh variant",
                  target=target.name,

@@ -1,0 +1,47 @@
+"""First-class fault injection for the reproduction.
+
+Three layers, composable from tests, benchmarks, and the ``spire-sim
+chaos`` CLI:
+
+* :class:`FaultPlan` — a declarative, seed-deterministic schedule of
+  :mod:`~repro.faults.actions` (replica crash/byzantine, link
+  down/flap/degrade, overlay partitions, proxy/HMI kills, forced
+  proactive-recovery collisions) vetted by a ``f + k``
+  :class:`BudgetGuard`.
+* :class:`MonitorSuite` — machine-checked BFT invariants (agreement,
+  validity, bounded-delay liveness, recovery safety) running alongside
+  the simulation, with violations attributed to the faults active when
+  they fired.
+* :func:`run_campaign` — scenarios × seeds sweeps aggregated into a
+  JSON resilience report.
+
+See ``docs/robustness.md`` for the DSL reference and report format.
+"""
+
+from repro.faults.actions import (
+    BudgetGuard, CrashReplica, DegradeLink, FaultAction, FaultContext,
+    KillProcess, LinkDown, PartitionNetwork, RecoveryCollision, SetByzantine,
+)
+from repro.faults.campaign import (
+    BUILTIN_SCENARIOS, DEFAULT_SCENARIOS, Scenario, report_to_json,
+    run_campaign, run_scenario,
+)
+from repro.faults.harness import ChaosHarness, ReplayApp
+from repro.faults.monitors import (
+    AgreementMonitor, InvariantMonitor, LivenessMonitor, MonitorSuite,
+    RecordingApp, RecoveryBudgetMonitor, ValidityMonitor, Violation,
+)
+from repro.faults.plan import ArmedPlan, FaultPlan
+
+__all__ = [
+    # Actions and plans
+    "ArmedPlan", "BudgetGuard", "CrashReplica", "DegradeLink", "FaultAction",
+    "FaultContext", "FaultPlan", "KillProcess", "LinkDown",
+    "PartitionNetwork", "RecoveryCollision", "SetByzantine",
+    # Monitors
+    "AgreementMonitor", "InvariantMonitor", "LivenessMonitor", "MonitorSuite",
+    "RecordingApp", "RecoveryBudgetMonitor", "ValidityMonitor", "Violation",
+    # Harness and campaigns
+    "BUILTIN_SCENARIOS", "ChaosHarness", "DEFAULT_SCENARIOS", "ReplayApp",
+    "Scenario", "report_to_json", "run_campaign", "run_scenario",
+]

@@ -1,0 +1,210 @@
+"""Resilience campaign runner: scenarios × seeds → JSON report.
+
+A :class:`Scenario` names a fault-plan factory plus the harness options
+it needs and the outcome it asserts: ``expect="clean"`` scenarios stay
+within the ``f + k`` budget and must produce **zero** invariant
+violations; ``expect="violation"`` scenarios deliberately exceed the
+budget and must be **caught** by the monitors — a silent over-budget
+run means the monitors are not biting, and fails the campaign.
+
+:func:`run_campaign` sweeps scenarios across seeds, aggregates
+per-scenario pass/fail with confirmation-latency quantiles from the
+telemetry registry, and returns a JSON-serialisable report (also
+exposed as the ``spire-sim chaos`` CLI subcommand).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.faults.harness import ChaosHarness
+from repro.faults.monitors import MonitorSuite
+from repro.faults.plan import FaultPlan
+from repro.sim.simulator import Simulator
+
+EXPECT_CLEAN = "clean"
+EXPECT_VIOLATION = "violation"
+
+
+@dataclass
+class Scenario:
+    """A named fault schedule with its expected outcome."""
+
+    name: str
+    build: Callable[[int, int], FaultPlan]    # (f, k) -> plan
+    expect: str = EXPECT_CLEAN
+    duration: float = 18.0
+    harness: Dict[str, object] = field(default_factory=dict)
+    description: str = ""
+
+
+# ----------------------------------------------------------------------
+# Built-in scenarios
+# ----------------------------------------------------------------------
+def _baseline(f: int, k: int) -> FaultPlan:
+    return FaultPlan("baseline")
+
+
+def _crash_recover(f: int, k: int) -> FaultPlan:
+    plan = FaultPlan("crash-recover")
+    for index in range(3):
+        plan.crash(at=2.0 + index * 4.0, duration=1.5)
+    return plan
+
+
+def _partition(f: int, k: int) -> FaultPlan:
+    return (FaultPlan("partition")
+            .partition(at=3.0, duration=2.5, isolate=1, network="internal")
+            .partition(at=9.0, duration=2.0, isolate=1, network="external")
+            .crash(at=13.0, duration=1.0))
+
+
+def _flap_degrade(f: int, k: int) -> FaultPlan:
+    return (FaultPlan("flap-degrade")
+            .flap_link(at=2.0, flaps=3, down_for=0.3, up_for=0.7)
+            .degrade_link(at=6.0, duration=4.0, latency=0.01, loss=0.15)
+            .link_down(at=12.0, duration=0.8, network="external"))
+
+
+def _recovery_collision(f: int, k: int) -> FaultPlan:
+    return (FaultPlan("recovery-collision")
+            .recovery_collision(at=4.0, count=k)
+            .recovery_collision(at=11.0, count=k))
+
+
+def _byzantine_storm(f: int, k: int) -> FaultPlan:
+    """f + 1 byzantine replicas plus one crash: the ordering quorum is
+    gone, so bounded-delay liveness must (visibly) break."""
+    plan = FaultPlan("byzantine-storm", allow_over_budget=True)
+    for index in range(f + 1):
+        plan.byzantine(at=4.0 + index * 0.2, mode="crash")
+    plan.crash(at=4.6, duration=None)
+    return plan
+
+
+def _recovery_breach(f: int, k: int) -> FaultPlan:
+    return (FaultPlan("recovery-breach", allow_over_budget=True)
+            .recovery_collision(at=4.0, count=k + 1))
+
+
+BUILTIN_SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario for scenario in [
+        Scenario("baseline", _baseline,
+                 description="workload only, no faults"),
+        Scenario("crash-recover", _crash_recover,
+                 description="repeated in-budget crash/recover cycles"),
+        Scenario("partition", _partition,
+                 description="overlay partitions on both networks plus "
+                             "a crash, all within budget"),
+        Scenario("flap-degrade", _flap_degrade,
+                 description="link flaps, latency+loss degradation"),
+        Scenario("recovery-collision", _recovery_collision,
+                 harness={"with_recovery": True},
+                 description="forced k-way proactive-recovery collisions"),
+        Scenario("byzantine-storm", _byzantine_storm,
+                 expect=EXPECT_VIOLATION,
+                 description="f+1 byzantine replicas + a crash: over "
+                             "budget, monitors must flag it"),
+        Scenario("recovery-breach", _recovery_breach,
+                 expect=EXPECT_VIOLATION,
+                 harness={"with_recovery": True},
+                 description="k+1 concurrent proactive recoveries: "
+                             "recovery safety must flag it"),
+    ]
+}
+
+DEFAULT_SCENARIOS = ["baseline", "partition", "recovery-collision",
+                     "byzantine-storm"]
+
+
+# ----------------------------------------------------------------------
+# Running
+# ----------------------------------------------------------------------
+def run_scenario(scenario: Scenario, seed: int, f: int = 1, k: int = 1,
+                 duration: Optional[float] = None) -> dict:
+    """One scenario, one seed: build, fault, monitor, report."""
+    sim = Simulator(seed=seed)
+    harness = ChaosHarness(sim, f=f, k=k, **scenario.harness)
+    plan = scenario.build(f, k)
+    armed = plan.arm(sim, harness)
+    suite = MonitorSuite(sim, harness, armed=armed)
+    for client in harness.clients:
+        suite.watch_client(client)
+    suite.start()
+    run_for = duration if duration is not None else scenario.duration
+    workload_span = max(run_for - 4.0, 2.0)
+    updates = max(int(workload_span / 0.3), 8)
+    harness.start_workload(updates=updates, start=0.2, interval=0.3)
+    sim.run(until=run_for)
+
+    latency = sim.metrics.merged_histogram("prime.confirm_latency").summary()
+    violations = [v.snapshot() for v in suite.violations]
+    detected = bool(violations)
+    passed = detected if scenario.expect == EXPECT_VIOLATION else not detected
+    return {
+        "scenario": scenario.name,
+        "seed": seed,
+        "expect": scenario.expect,
+        "passed": passed,
+        "violations": violations,
+        "faults": armed.summary(),
+        "workload": {
+            "submitted": len(harness.submitted),
+            "confirmed": harness.confirmed_count(),
+        },
+        "confirm_latency": {
+            key: latency.get(key) for key in
+            ("samples", "mean", "p50", "p90", "p99")
+        },
+    }
+
+
+def run_campaign(scenarios: Optional[List[str]] = None,
+                 seeds: Optional[List[int]] = None, f: int = 1, k: int = 1,
+                 duration: Optional[float] = None,
+                 extra: Optional[Dict[str, Scenario]] = None) -> dict:
+    """Sweep scenarios × seeds into one resilience report.
+
+    Args:
+        scenarios: scenario names (default :data:`DEFAULT_SCENARIOS`).
+        seeds: seeds to replay each scenario under (default ``[1]``).
+        f, k: cluster sizing for every run.
+        duration: per-run simulated seconds (default per scenario).
+        extra: additional scenario registry entries (campaigns are a
+            library: tests and users register their own scenarios).
+    """
+    registry = dict(BUILTIN_SCENARIOS)
+    if extra:
+        registry.update(extra)
+    names = scenarios or list(DEFAULT_SCENARIOS)
+    seeds = seeds or [1]
+    unknown = [name for name in names if name not in registry]
+    if unknown:
+        raise KeyError(f"unknown scenario(s): {', '.join(unknown)}; "
+                       f"available: {', '.join(sorted(registry))}")
+    report: dict = {
+        "config": {"f": f, "k": k, "seeds": list(seeds),
+                   "scenarios": list(names)},
+        "scenarios": {},
+        "passed": True,
+    }
+    for name in names:
+        scenario = registry[name]
+        runs = [run_scenario(scenario, seed, f=f, k=k, duration=duration)
+                for seed in seeds]
+        entry = {
+            "expect": scenario.expect,
+            "description": scenario.description,
+            "runs": runs,
+            "passed": all(run["passed"] for run in runs),
+            "violations": sum(len(run["violations"]) for run in runs),
+        }
+        report["scenarios"][name] = entry
+        report["passed"] = report["passed"] and entry["passed"]
+    return report
+
+
+def report_to_json(report: dict, indent: int = 2) -> str:
+    return json.dumps(report, indent=indent, sort_keys=True)

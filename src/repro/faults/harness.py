@@ -1,0 +1,176 @@
+"""Self-contained system under test for resilience campaigns.
+
+Builds the Fig. 2 two-network layout — ``3f + 2k + 1`` replicas
+dual-homed on an isolated internal LAN (replication) and an external
+LAN (clients) — around a deterministic replicated key-value app, plus
+clients and a seeded workload generator.  This is the library twin of
+the test fixtures' cluster, shaped to satisfy
+:class:`~repro.faults.actions.FaultContext`: scenarios arm a
+:class:`~repro.faults.plan.FaultPlan` against it and a
+:class:`~repro.faults.monitors.MonitorSuite` watches the invariants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto.keys import KeyStore
+from repro.diversity.multicompiler import MultiCompiler
+from repro.diversity.recovery import ProactiveRecoveryScheduler, RecoveryTarget
+from repro.net.firewall import locked_down_firewall
+from repro.net.host import Host
+from repro.net.lan import Lan
+from repro.prime.client import PrimeClient
+from repro.prime.config import PrimeConfig, PrimeTiming, build_config
+from repro.prime.replica import PrimeReplica
+from repro.spines.overlay import SpinesNetwork
+
+
+class ReplayApp:
+    """Tiny deterministic replicated application (a stand-in SCADA
+    master): applies ``{"set": (key, value)}`` ops and keeps an ordered
+    oplog that travels with state transfer."""
+
+    def __init__(self):
+        self.store: Dict[str, object] = {}
+        self.oplog: List[tuple] = []
+        self.transfer_signals: List[str] = []
+
+    def execute_update(self, update):
+        op = update.op
+        self.oplog.append((update.client_id, update.client_seq, repr(op)))
+        if isinstance(op, dict) and "set" in op:
+            key, value = op["set"]
+            self.store[key] = value
+            return {"ok": True, "key": key}
+        return {"ok": True}
+
+    def snapshot(self):
+        return {"store": dict(self.store), "oplog": list(self.oplog)}
+
+    def restore(self, state):
+        self.store = dict(state["store"])
+        self.oplog = [tuple(entry) for entry in state["oplog"]]
+
+    def on_state_transfer(self, outcome):
+        self.transfer_signals.append(outcome)
+
+
+class ChaosHarness:
+    """A miniature Spire-style deployment for fault campaigns.
+
+    Args:
+        sim: simulation kernel.
+        f, k: Prime sizing (``3f + 2k + 1`` replicas).
+        n_clients: workload clients on the external network.
+        with_recovery: start a proactive-recovery scheduler (required
+            by recovery-collision scenarios).
+        recovery_period / recovery_downtime: scheduler pacing.
+        timing: optional Prime timing override.
+    """
+
+    def __init__(self, sim, f: int = 1, k: int = 1, n_clients: int = 2,
+                 with_recovery: bool = False, recovery_period: float = 6.0,
+                 recovery_downtime: float = 0.8,
+                 timing: Optional[PrimeTiming] = None):
+        self.sim = sim
+        self.config: PrimeConfig = build_config(f=f, k=k, timing=timing)
+        self.prime_config = self.config
+        self.keystore = KeyStore(sim.rng.child("chaos/keys"))
+        self.internal_lan = Lan(sim, "chaos-internal", "192.168.111.0/24")
+        self.external_lan = Lan(sim, "chaos-external", "192.168.112.0/24")
+        self.internal = SpinesNetwork(sim, "chaos.int", self.internal_lan,
+                                      self.keystore, port=8100)
+        self.external = SpinesNetwork(sim, "chaos.ext", self.external_lan,
+                                      self.keystore, port=8120)
+        self.replicas: Dict[str, PrimeReplica] = {}
+        self.apps: Dict[str, ReplayApp] = {}
+        self.replica_hosts: Dict[str, Host] = {}
+        self.clients: List[PrimeClient] = []
+        self.results: Dict[str, list] = {}
+        self.submitted: List[Tuple[str, int]] = []
+        self.recovery: Optional[ProactiveRecoveryScheduler] = None
+
+        for name in self.config.replica_names:
+            host = Host(sim, name, firewall=locked_down_firewall())
+            self.replica_hosts[name] = host
+            self.internal_lan.connect(host)
+            self.external_lan.connect(host)
+            internal_daemon = self.internal.add_daemon(host, f"int.{name}")
+            external_daemon = self.external.add_daemon(host, f"ext.{name}")
+            app = ReplayApp()
+            self.apps[name] = app
+            self.keystore.create_signing(name)
+            host.key_ring.install_signing(name, self.keystore.signing(name))
+            self.replicas[name] = PrimeReplica(
+                sim, name, self.config, internal_daemon, external_daemon, app)
+        self.internal.connect_full_mesh()
+
+        for index in range(n_clients):
+            self.add_client(f"chaos-client-{index + 1}", port=7601 + index)
+        self.external.connect_full_mesh()
+
+        if with_recovery:
+            self.start_recovery(period=recovery_period,
+                                downtime=recovery_downtime)
+
+    # ------------------------------------------------------------------
+    def add_client(self, client_id: str, port: int) -> PrimeClient:
+        host = Host(self.sim, f"{client_id}-host",
+                    firewall=locked_down_firewall())
+        self.external_lan.connect(host)
+        daemon = self.external.add_daemon(host, f"ext.{client_id}")
+        self.keystore.create_signing(client_id)
+        host.key_ring.install_signing(client_id,
+                                      self.keystore.signing(client_id))
+        results: list = []
+        client = PrimeClient(
+            self.sim, client_id, self.config, daemon, port,
+            on_result=lambda seq, res: results.append((seq, res)))
+        self.clients.append(client)
+        self.results[client_id] = results
+        return client
+
+    def start_recovery(self, period: float = 6.0,
+                       downtime: float = 0.8) -> ProactiveRecoveryScheduler:
+        compiler = MultiCompiler(self.sim.rng.child("chaos/mc"))
+        targets = []
+        for name, replica in self.replicas.items():
+            host = self.replica_hosts[name]
+            daemons = [self.internal.daemon_on(host),
+                       self.external.daemon_on(host)]
+            targets.append(RecoveryTarget(name=name, host=host,
+                                          replica=replica, daemons=daemons))
+        self.recovery = ProactiveRecoveryScheduler(
+            self.sim, compiler, targets, period=period, downtime=downtime,
+            k=self.config.k)
+        self.recovery.start()
+        return self.recovery
+
+    # ------------------------------------------------------------------
+    def start_workload(self, updates: int = 30, start: float = 0.2,
+                       interval: float = 0.3) -> None:
+        """Schedule a steady stream of ``set`` ops, round-robin across
+        clients — the continuous supervisory traffic the invariants are
+        checked against."""
+        for index in range(updates):
+            self.sim.schedule(start + index * interval,
+                              self._submit_one, index)
+
+    def _submit_one(self, index: int) -> None:
+        client = self.clients[index % len(self.clients)]
+        if not client.running:
+            return
+        seq = client.submit({"set": (f"k{index}", index)})
+        self.submitted.append((client.client_id, seq))
+
+    # ------------------------------------------------------------------
+    def confirmed_count(self) -> int:
+        return sum(len(client.confirmed) for client in self.clients)
+
+    def correct_oplogs(self) -> List[tuple]:
+        """Oplogs of running, non-byzantine, NORMAL replicas."""
+        return [tuple(self.apps[name].oplog)
+                for name, replica in self.replicas.items()
+                if replica.running and replica.state == "normal"
+                and replica.byzantine is None]

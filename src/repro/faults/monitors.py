@@ -1,0 +1,322 @@
+"""Machine-checked BFT invariants, running alongside the simulation.
+
+Four monitors cover the guarantees the paper claims Spire keeps under
+attack:
+
+* **Agreement** — the ordered-update digest logs of all correct,
+  currently-NORMAL replicas are prefixes of one another.  Divergence
+  means two correct replicas executed different histories: the one
+  thing ``3f + 2k + 1`` replication must never allow within budget.
+* **Validity** — every executed update was actually submitted by a
+  watched client; nothing materializes out of thin air.
+* **Bounded-delay liveness** — no watched client's update stays
+  unconfirmed longer than a ``suspect_timeout``-derived bound.  Within
+  the ``f + k`` budget this is Prime's performance guarantee; an
+  over-budget fault load that stalls confirmation is *supposed* to trip
+  this monitor.
+* **Recovery safety** — the proactive-recovery scheduler never has more
+  than ``k`` replicas down at once.
+
+Execution order is observed through :class:`RecordingApp`, a
+transparent ``PrimeApp`` wrapper whose digest log participates in
+snapshot/restore — so a replica that rejoins via state transfer
+inherits its donor's log and the prefix check stays meaningful across
+proactive recoveries.
+
+Each violation records the simulated time, a human-readable detail, and
+the fault ids active (or recently reverted) when it fired, so a broken
+invariant is attributed to the fault that triggered it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.prime.replica import STATE_NORMAL
+from repro.sim.process import Process
+
+# Liveness bound, as a multiple of the protocol's suspect timeout: one
+# timeout to detect a bad leader, one view change to rotate it out, and
+# headroom for retransmission backoff.
+LIVENESS_TIMEOUT_FACTOR = 4.0
+LIVENESS_FLOOR = 3.0
+
+
+@dataclass
+class Violation:
+    """One detected invariant breach."""
+
+    time: float
+    monitor: str
+    detail: str
+    active_faults: List[str] = field(default_factory=list)
+    over_budget: bool = False
+
+    def snapshot(self) -> dict:
+        return {"time": self.time, "monitor": self.monitor,
+                "detail": self.detail,
+                "active_faults": list(self.active_faults),
+                "over_budget": self.over_budget}
+
+
+class RecordingApp:
+    """Transparent PrimeApp wrapper recording execution order.
+
+    Appends ``(client_id, client_seq, digest)`` per executed update and
+    folds the log into snapshot/restore so state transfer carries it.
+    Attribute access falls through to the wrapped app, so existing code
+    (``app.oplog``, ``master.system_view()``...) keeps working.
+    """
+
+    def __init__(self, inner, record: List[Tuple[str, int, str]]):
+        self._inner = inner
+        self._record = record
+
+    def execute_update(self, update):
+        result = self._inner.execute_update(update)
+        self._record.append((update.client_id, update.client_seq,
+                             update.view_digest().hex()[:16]))
+        return result
+
+    def snapshot(self):
+        return {"app": self._inner.snapshot(),
+                "exec_log": list(self._record)}
+
+    def restore(self, state):
+        self._record[:] = [tuple(entry) for entry in state["exec_log"]]
+        self._inner.restore(state["app"])
+
+    def on_state_transfer(self, outcome):
+        self._inner.on_state_transfer(outcome)
+
+    def __getattr__(self, item):
+        return getattr(self._inner, item)
+
+
+class InvariantMonitor:
+    """Base: one named check, run by the suite every interval."""
+
+    name = "invariant"
+
+    def check(self, suite: "MonitorSuite") -> List[str]:
+        """Return a detail string per *new* violation found."""
+        raise NotImplementedError
+
+
+class AgreementMonitor(InvariantMonitor):
+    """Ordered-update digest prefix consistency across correct replicas."""
+
+    name = "agreement"
+
+    def __init__(self):
+        self._flagged = set()
+
+    def check(self, suite: "MonitorSuite") -> List[str]:
+        logs = [(name, suite.exec_logs[name])
+                for name, replica in suite.replicas.items()
+                if replica.running and replica.state == STATE_NORMAL
+                and replica.byzantine is None]
+        if len(logs) < 2:
+            return []
+        reference_name, reference = max(logs, key=lambda item: len(item[1]))
+        out = []
+        for name, log in logs:
+            if name in self._flagged or log is reference:
+                continue
+            if reference[:len(log)] != log:
+                self._flagged.add(name)
+                index = next(i for i, (a, b) in enumerate(zip(reference, log))
+                             if a != b)
+                out.append(f"{name} diverged from {reference_name} at "
+                           f"execution #{index + 1}: "
+                           f"{log[index]} != {reference[index]}")
+        return out
+
+
+class ValidityMonitor(InvariantMonitor):
+    """Every executed update was submitted by a watched client."""
+
+    name = "validity"
+
+    def __init__(self):
+        self._scanned: Dict[str, int] = {}
+        self._flagged = set()
+
+    def check(self, suite: "MonitorSuite") -> List[str]:
+        if not suite.watched:
+            return []
+        out = []
+        for name, log in suite.exec_logs.items():
+            start = self._scanned.get(name, 0)
+            for client_id, client_seq, _digest in log[start:]:
+                key = (client_id, client_seq)
+                if key in self._flagged:
+                    continue
+                client = suite.watched.get(client_id)
+                if client is None:
+                    self._flagged.add(key)
+                    out.append(f"{name} executed an update from unknown "
+                               f"client {client_id!r} (seq {client_seq})")
+                elif client_seq >= client.next_seq:
+                    self._flagged.add(key)
+                    out.append(f"{name} executed {client_id}/{client_seq} "
+                               f"which was never submitted "
+                               f"(client at seq {client.next_seq - 1})")
+            self._scanned[name] = len(log)
+        return out
+
+
+class LivenessMonitor(InvariantMonitor):
+    """Confirmed-update latency stays under the suspect-derived bound."""
+
+    name = "liveness"
+
+    def __init__(self, bound: Optional[float] = None):
+        self.bound = bound
+        self._flagged = set()
+
+    def check(self, suite: "MonitorSuite") -> List[str]:
+        bound = self.bound
+        if bound is None:
+            timeout = suite.prime_config.timing.suspect_timeout
+            bound = max(LIVENESS_FLOOR, timeout * LIVENESS_TIMEOUT_FACTOR)
+        now = suite.sim.now
+        out = []
+        for client_id, client in suite.watched.items():
+            if not client.running:
+                continue
+            for seq, state in client.pending.items():
+                key = (client_id, seq)
+                if state.delivered or key in self._flagged:
+                    continue
+                if now - state.submitted_at > bound:
+                    self._flagged.add(key)
+                    out.append(f"{client_id}/{seq} unconfirmed after "
+                               f"{now - state.submitted_at:.2f}s "
+                               f"(bound {bound:.2f}s)")
+        return out
+
+
+class RecoveryBudgetMonitor(InvariantMonitor):
+    """Never more than ``k`` replicas down for proactive recovery."""
+
+    name = "recovery-budget"
+
+    def __init__(self):
+        self._breached = False
+
+    def check(self, suite: "MonitorSuite") -> List[str]:
+        scheduler = getattr(suite.target, "recovery", None)
+        if scheduler is None:
+            return []
+        down = scheduler.currently_down()
+        k = suite.prime_config.k
+        if len(down) > k:
+            if not self._breached:
+                self._breached = True
+                return [f"{len(down)} concurrent proactive recoveries "
+                        f"({', '.join(down)}) exceed k={k}"]
+        else:
+            self._breached = False
+        return []
+
+
+class MonitorSuite(Process):
+    """Runs the invariant monitors against a live system.
+
+    Args:
+        sim: simulation kernel.
+        target: system under test (harness, cluster, or SpireSystem).
+        armed: optional :class:`~repro.faults.plan.ArmedPlan` for fault
+            attribution and budget awareness.
+        interval: check cadence in simulated seconds.
+        liveness_bound: override the derived confirmation bound.
+    """
+
+    def __init__(self, sim, target, armed=None, interval: float = 0.25,
+                 liveness_bound: Optional[float] = None):
+        super().__init__(sim, "fault-monitors")
+        self.target = target
+        self.armed = armed
+        self.interval = interval
+        self.exec_logs: Dict[str, List[Tuple[str, int, str]]] = {
+            name: [] for name in target.replicas}
+        self.watched: Dict[str, object] = {}
+        self.violations: List[Violation] = []
+        self.monitors: List[InvariantMonitor] = [
+            AgreementMonitor(), ValidityMonitor(),
+            LivenessMonitor(liveness_bound), RecoveryBudgetMonitor(),
+        ]
+        self._wrapped = False
+        self._timer = None
+
+    # ------------------------------------------------------------------
+    @property
+    def replicas(self):
+        return self.target.replicas
+
+    @property
+    def prime_config(self):
+        return (getattr(self.target, "prime_config", None)
+                or self.target.config)
+
+    def watch_client(self, client) -> None:
+        """Register a PrimeClient for validity/liveness checking."""
+        self.watched[client.client_id] = client
+
+    # ------------------------------------------------------------------
+    def start(self) -> "MonitorSuite":
+        """Wrap every replica app with a recorder and begin checking.
+
+        Must run before the workload so all recorders observe the full
+        execution history (state-transfer digests require every replica
+        to be wrapped identically).
+        """
+        if not self._wrapped:
+            for name, replica in self.replicas.items():
+                replica.app = RecordingApp(replica.app, self.exec_logs[name])
+            self._wrapped = True
+        self._timer = self.call_every(self.interval, self._check)
+        return self
+
+    def stop(self) -> None:
+        if self._wrapped:
+            for replica in self.replicas.values():
+                if isinstance(replica.app, RecordingApp):
+                    replica.app = replica.app._inner
+            self._wrapped = False
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    def _check(self) -> None:
+        for monitor in self.monitors:
+            for detail in monitor.check(self):
+                self._record_violation(monitor.name, detail)
+
+    def _record_violation(self, monitor: str, detail: str) -> None:
+        active = self.armed.active_faults() if self.armed else []
+        over = (self.armed.guard.currently_over()
+                or self.armed.guard.went_over_budget) if self.armed else False
+        violation = Violation(time=self.now, monitor=monitor, detail=detail,
+                              active_faults=active, over_budget=over)
+        self.violations.append(violation)
+        self.metrics.counter("faults.invariant_violations",
+                             component=monitor).inc()
+        self.log(f"faults.violation.{monitor}", detail, faults=active)
+        self.tracer.record("fault.violation", component=monitor,
+                           detail=detail, faults=",".join(active))
+
+    # ------------------------------------------------------------------
+    def violations_of(self, monitor: str) -> List[Violation]:
+        return [v for v in self.violations if v.monitor == monitor]
+
+    def passed(self) -> bool:
+        return not self.violations
+
+    def report(self) -> dict:
+        return {
+            "violations": [v.snapshot() for v in self.violations],
+            "checks": [m.name for m in self.monitors],
+            "watched_clients": sorted(self.watched),
+        }

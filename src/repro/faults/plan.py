@@ -1,0 +1,228 @@
+"""Declarative, seed-deterministic fault schedules.
+
+A :class:`FaultPlan` is a list of :class:`~repro.faults.actions`
+composed through sugar methods::
+
+    plan = (FaultPlan("partition-drill")
+            .crash(at=2.0, duration=1.5)
+            .partition(at=5.0, duration=2.0, isolate=1)
+            .flap_link(at=9.0, flaps=3))
+    armed = plan.arm(sim, cluster)
+    sim.run(until=20.0)
+    print(armed.summary())
+
+``arm`` binds the plan to a simulation and a system under test: every
+action is scheduled, target picks come from a child RNG stream named
+after the plan (same seed → same victims), and the ``f + k`` budget
+guard vets each injection.  Budget-denied actions are skipped and
+counted — unless the plan was created with ``allow_over_budget=True``,
+in which case the breach is taken deliberately and recorded for the
+monitors to flag.
+
+Fault events are emitted three ways so a violated invariant can be
+traced back to its trigger: ``faults.*`` telemetry counters, event-log
+entries under ``faults``, and one-shot tracer annotations named
+``fault.<kind>``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.faults.actions import (
+    BudgetGuard, CrashReplica, DegradeLink, FaultAction, FaultContext,
+    KillProcess, LinkDown, PartitionNetwork, RecoveryCollision, SetByzantine,
+)
+from repro.prime.replica import STATE_NORMAL
+
+# How long an armed plan keeps polling a recovered replica before
+# returning its budget slot (the slot is held until the replica is
+# healthy again, matching the paper's definition of "down").
+_HEALTH_POLL = 0.25
+_HEALTH_POLL_LIMIT = 120
+
+
+class FaultPlan:
+    """A named, composable schedule of fault actions."""
+
+    def __init__(self, name: str = "plan", allow_over_budget: bool = False):
+        self.name = name
+        self.allow_over_budget = allow_over_budget
+        self.actions: List[FaultAction] = []
+
+    # ------------------------------------------------------------------
+    # DSL
+    # ------------------------------------------------------------------
+    def add(self, action: FaultAction) -> "FaultPlan":
+        self.actions.append(action)
+        return self
+
+    def crash(self, at: float, duration: Optional[float] = 1.5,
+              replica: Optional[str] = None) -> "FaultPlan":
+        return self.add(CrashReplica(at=at, duration=duration,
+                                     replica=replica))
+
+    def byzantine(self, at: float, duration: Optional[float] = None,
+                  mode: str = "crash", replica: Optional[str] = None,
+                  **options) -> "FaultPlan":
+        return self.add(SetByzantine(at=at, duration=duration, mode=mode,
+                                     replica=replica, options=options))
+
+    def link_down(self, at: float, duration: Optional[float] = 0.5,
+                  replica: Optional[str] = None,
+                  network: str = "internal") -> "FaultPlan":
+        return self.add(LinkDown(at=at, duration=duration, replica=replica,
+                                 network=network))
+
+    def flap_link(self, at: float, flaps: int = 3, down_for: float = 0.3,
+                  up_for: float = 0.7, replica: Optional[str] = None,
+                  network: str = "internal") -> "FaultPlan":
+        """A burst of down/up cycles on one cable."""
+        for i in range(flaps):
+            self.link_down(at=at + i * (down_for + up_for),
+                           duration=down_for, replica=replica,
+                           network=network)
+        return self
+
+    def degrade_link(self, at: float, duration: Optional[float] = 2.0,
+                     replica: Optional[str] = None,
+                     network: str = "internal",
+                     latency: Optional[float] = None,
+                     loss: float = 0.0) -> "FaultPlan":
+        return self.add(DegradeLink(at=at, duration=duration,
+                                    replica=replica, network=network,
+                                    latency=latency, loss=loss))
+
+    def partition(self, at: float, duration: Optional[float] = 2.0,
+                  isolate=1, network: str = "internal") -> "FaultPlan":
+        return self.add(PartitionNetwork(at=at, duration=duration,
+                                         isolate=isolate, network=network))
+
+    def kill(self, at: float, component: str = "proxies",
+             index: int = 0) -> "FaultPlan":
+        return self.add(KillProcess(at=at, duration=None,
+                                    component=component, index=index))
+
+    def recovery_collision(self, at: float, count: int = 1) -> "FaultPlan":
+        return self.add(RecoveryCollision(at=at, duration=None, count=count))
+
+    # ------------------------------------------------------------------
+    def arm(self, sim, target) -> "ArmedPlan":
+        """Bind the plan to a simulation and schedule every action."""
+        return ArmedPlan(self, sim, target)
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def __repr__(self) -> str:
+        return (f"FaultPlan({self.name!r}, {len(self.actions)} actions, "
+                f"over_budget={'allowed' if self.allow_over_budget else 'denied'})")
+
+
+class ArmedPlan:
+    """A plan bound to a running simulation: schedules injections and
+    reverts, enforces the budget, and emits fault telemetry."""
+
+    def __init__(self, plan: FaultPlan, sim, target):
+        self.plan = plan
+        self.sim = sim
+        config = getattr(target, "prime_config", None) or target.config
+        self.guard = BudgetGuard(config.f, config.k,
+                                 enforce=not plan.allow_over_budget)
+        self.ctx = FaultContext(sim, target, self.guard,
+                                sim.rng.child(f"faults/{plan.name}"))
+        self.injected = 0
+        self.reverted = 0
+        for index, action in enumerate(plan.actions):
+            action.fault_id = f"{plan.name}:{index}:{action.kind}"
+            sim.schedule(max(0.0, action.at - sim.now), self._fire, action)
+
+    # ------------------------------------------------------------------
+    def _fire(self, action: FaultAction) -> None:
+        ctx = self.ctx
+        budget_names = action.resolve(ctx)
+        if not budget_names and not action.targets and action.kind not in (
+                "kill",):
+            # No viable target (e.g. every replica already impaired).
+            self._deny(action, reason="no-target")
+            return
+        if budget_names and not self.guard.acquire(
+                self.sim, budget_names, action.budget_kind):
+            self._deny(action, reason="budget")
+            return
+        if budget_names:
+            action.targets = budget_names
+        action.injected_at = self.sim.now
+        action.inject(ctx)
+        ctx.note_injected(action)
+        self.injected += 1
+        self.sim.metrics.counter("faults.injected",
+                                 component=action.kind).inc()
+        self.sim.log.log("faults", f"faults.{action.kind}",
+                         "fault injected", fault=action.fault_id,
+                         targets=action.targets)
+        self.sim.tracer.record(f"fault.{action.kind}", component="faults",
+                               fault=action.fault_id,
+                               targets=",".join(action.targets))
+        if action.duration is not None:
+            self.sim.schedule(action.duration, self._revert,
+                              action, budget_names)
+        elif action.kind == "recovery-collision":
+            # The scheduler brings the replicas back by itself; poll for
+            # health so the budget slots return when they rejoin.
+            self._release_when_healthy(action, budget_names, 0)
+
+    def _deny(self, action: FaultAction, reason: str) -> None:
+        action.denied = True
+        self.ctx.history.append(action)
+        self.sim.metrics.counter("faults.budget_denied",
+                                 component=action.kind).inc()
+        self.sim.log.log("faults", "faults.denied",
+                         f"fault skipped ({reason})", fault=action.fault_id)
+
+    def _revert(self, action: FaultAction, budget_names: List[str]) -> None:
+        action.revert(self.ctx)
+        action.reverted_at = self.sim.now
+        self.ctx.note_reverted(action)
+        self.reverted += 1
+        self.sim.metrics.counter("faults.reverted",
+                                 component=action.kind).inc()
+        self.sim.log.log("faults", f"faults.{action.kind}",
+                         "fault reverted", fault=action.fault_id)
+        if budget_names:
+            # Hold the slots until the replicas are healthy again — a
+            # recovering replica is still "down" for availability.
+            self._release_when_healthy(action, budget_names, 0)
+
+    def _release_when_healthy(self, action: FaultAction,
+                              budget_names: List[str], polls: int) -> None:
+        if not budget_names:
+            return
+        replicas = self.ctx.replicas
+        healthy = [name for name in budget_names
+                   if name not in replicas
+                   or (replicas[name].running
+                       and replicas[name].state == STATE_NORMAL)]
+        remaining = [name for name in budget_names if name not in healthy]
+        if healthy:
+            self.guard.release(self.sim, healthy, action.budget_kind)
+        if remaining and polls < _HEALTH_POLL_LIMIT:
+            self.sim.schedule(_HEALTH_POLL, self._release_when_healthy,
+                              action, remaining, polls + 1)
+        elif remaining:
+            self.guard.release(self.sim, remaining, action.budget_kind)
+
+    # ------------------------------------------------------------------
+    def active_faults(self, window: float = 2.0) -> List[str]:
+        return self.ctx.active_faults(window)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "plan": self.plan.name,
+            "actions": [action.describe() for action in self.ctx.history],
+            "injected": self.injected,
+            "reverted": self.reverted,
+            "denied": self.guard.denied,
+            "went_over_budget": self.guard.went_over_budget,
+            "budget": self.guard.snapshot(),
+        }

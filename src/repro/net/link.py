@@ -52,13 +52,21 @@ class Link:
         self._busy_until = [0.0, 0.0]
         self._queued_bytes = [0, 0]
         self.up = True
+        # Degraded-cable model (fault injection): fraction of frames lost
+        # at random, drawn from a deterministic stream so chaos runs
+        # replay bit-identically.  0.0 / None means a healthy cable.
+        self.loss = 0.0
+        self.loss_rng = None
         self.frames_sent = 0
         self.frames_dropped = 0
+        self.frames_lost = 0
         self._taps: List[Callable[[Frame, "Link", float], None]] = []
         self._metric_sent = sim.metrics.counter("net.link.frames_sent",
                                                 component=name)
         self._metric_dropped = sim.metrics.counter("net.link.frames_dropped",
                                                    component=name)
+        self._metric_lost = sim.metrics.counter("net.link.frames_lost",
+                                                component=name)
         self._metric_bytes = sim.metrics.counter("net.link.bytes",
                                                  component=name)
 
@@ -85,6 +93,26 @@ class Link:
         """Administratively enable/disable the cable."""
         self.up = up
 
+    def degrade(self, latency: Optional[float] = None,
+                loss: float = 0.0, rng=None) -> dict:
+        """Impair the cable in place: raise propagation latency and/or
+        lose a fraction of frames.  Returns the previous settings so a
+        fault injector can restore them.
+        """
+        previous = {"latency": self.latency, "loss": self.loss,
+                    "loss_rng": self.loss_rng}
+        if latency is not None:
+            self.latency = latency
+        self.loss = loss
+        self.loss_rng = rng
+        return previous
+
+    def restore(self, previous: dict) -> None:
+        """Undo a :meth:`degrade` using its returned settings."""
+        self.latency = previous["latency"]
+        self.loss = previous["loss"]
+        self.loss_rng = previous["loss_rng"]
+
     # ------------------------------------------------------------------
     def transmit(self, sender: LinkEndpoint, frame: Frame) -> bool:
         """Send a frame from ``sender`` toward the other end.
@@ -100,6 +128,11 @@ class Link:
         if receiver is None:
             self.frames_dropped += 1
             self._metric_dropped.inc()
+            return False
+        if self.loss and self.loss_rng is not None \
+                and self.loss_rng.random() < self.loss:
+            self.frames_lost += 1
+            self._metric_lost.inc()
             return False
 
         direction = 0 if self._ends[0] is sender else 1

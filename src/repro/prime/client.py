@@ -19,7 +19,9 @@ from repro.sim.process import Process
 from repro.spines.daemon import SpinesDaemon
 from repro.spines.messages import IT_FLOOD, OverlayAddress
 
-CLIENT_RETRY = 1.0
+CLIENT_RETRY = 1.0              # initial retransmission backoff
+CLIENT_RETRY_CAP = 8.0          # backoff ceiling
+CLIENT_RETRY_TICK = 0.25        # how often pending updates are examined
 CLIENT_MAX_RETRIES = 10
 
 
@@ -29,6 +31,7 @@ class _PendingUpdate:
     submitted_at: float
     replies: Dict[str, Any] = field(default_factory=dict)  # replica -> result
     retries: int = 0
+    next_retry: float = 0.0
     delivered: bool = False
     span: Any = None               # open client.submit span (traced ops)
 
@@ -60,7 +63,9 @@ class PrimeClient(Process):
         self.pending: Dict[int, _PendingUpdate] = {}
         self.confirmed: Dict[int, Any] = {}
         self.confirm_latency: Dict[int, float] = {}
-        self.call_every(CLIENT_RETRY, self._retry_tick)
+        self._metric_retries = sim.metrics.counter("prime.client.retries",
+                                                   component=client_id)
+        self.call_every(CLIENT_RETRY_TICK, self._retry_tick)
 
     # ------------------------------------------------------------------
     def submit(self, op: Any) -> int:
@@ -80,7 +85,8 @@ class PrimeClient(Process):
             signature=sign_payload(self.daemon.host.key_ring, self.client_id,
                                    update),
             trace=trace)
-        state = _PendingUpdate(update=update, submitted_at=self.now)
+        state = _PendingUpdate(update=update, submitted_at=self.now,
+                               next_retry=self.now + self._backoff(0))
         if trace is not None:
             state.span = self.tracer.start_span(
                 "client.submit", component=self.client_id, parent=trace,
@@ -125,6 +131,18 @@ class PrimeClient(Process):
                     self.on_result(payload.client_seq, result)
                 return
 
+    def _backoff(self, retries: int) -> float:
+        """Exponential backoff with seeded jitter.
+
+        Doubling from CLIENT_RETRY up to CLIENT_RETRY_CAP, scaled by a
+        ±20% jitter drawn from the client's deterministic RNG stream so
+        a crowd of clients retrying after the same outage does not
+        resynchronise into a thundering herd (and replays stay
+        reproducible).
+        """
+        base = min(CLIENT_RETRY * (2 ** retries), CLIENT_RETRY_CAP)
+        return base * self.rng.uniform(0.8, 1.2)
+
     def _retry_tick(self) -> None:
         for seq, state in list(self.pending.items()):
             if state.delivered:
@@ -133,6 +151,8 @@ class PrimeClient(Process):
                 self.pending.pop(seq, None)
                 self.log("client.giveup", "update never confirmed", seq=seq)
                 continue
-            if self.now - state.submitted_at > CLIENT_RETRY * (state.retries + 1):
+            if self.now >= state.next_retry:
                 state.retries += 1
+                state.next_retry = self.now + self._backoff(state.retries)
+                self._metric_retries.inc()
                 self._transmit(state.update)

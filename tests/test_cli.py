@@ -31,3 +31,28 @@ def test_breach_command():
     code, output = run_cli(["--seed", "3", "breach"])
     assert code == 0
     assert "rebuilt from field devices: True" in output
+
+
+def test_chaos_list_command():
+    code, output = run_cli(["chaos", "--list"])
+    assert code == 0
+    assert "baseline" in output
+    assert "byzantine-storm" in output
+
+
+def test_chaos_command_produces_report(tmp_path):
+    import json
+
+    report_path = tmp_path / "report.json"
+    code, _output = run_cli(["--seed", "1", "chaos",
+                             "--scenarios", "baseline,byzantine-storm",
+                             "--duration", "12.0",
+                             "--output", str(report_path)])
+    assert code == 0
+    report = json.loads(report_path.read_text())
+    assert report["passed"]
+    baseline = report["scenarios"]["baseline"]
+    assert baseline["violations"] == 0
+    storm = report["scenarios"]["byzantine-storm"]
+    assert storm["expect"] == "violation"
+    assert storm["violations"] > 0

@@ -150,3 +150,43 @@ def test_scheduler_never_exceeds_k():
     assert max_down["n"] <= 1
     assert scheduler.recoveries_completed >= 4
     assert scheduler.recoveries_skipped > 0
+    # The int attributes and the telemetry counters agree.
+    assert sim.metrics.total("recovery.recoveries_completed") == \
+        scheduler.recoveries_completed
+    assert sim.metrics.total("recovery.recoveries_skipped") == \
+        scheduler.recoveries_skipped
+
+
+def test_scheduler_round_robin_is_fair_under_pressure():
+    """With downtime > period every target still gets its turn: a tick
+    that lands while the next-in-line is mid-recovery moves on to the
+    following target instead of burning the whole period, and a
+    budget-full tick does not advance past a never-attempted target."""
+    from repro.diversity import ProactiveRecoveryScheduler, RecoveryTarget
+    from repro.api import Process, Simulator
+
+    sim = Simulator(seed=8)
+
+    class FakeReplica(Process):
+        def crash(self):
+            pass
+
+        def recover(self):
+            pass
+
+    class FakeHost:
+        def __init__(self, name):
+            self.name = name
+            self.compromised_level = None
+
+    compiler = MultiCompiler(sim.rng)
+    targets = [RecoveryTarget(name=f"r{i}", host=FakeHost(f"h{i}"),
+                              replica=FakeReplica(sim, f"rep{i}"))
+               for i in range(6)]
+    scheduler = ProactiveRecoveryScheduler(sim, compiler, targets,
+                                           period=1.0, downtime=1.5, k=2)
+    scheduler.start()
+    sim.run(until=30.0)
+    counts = [target.recoveries for target in targets]
+    assert min(counts) > 0, f"a target was starved: {counts}"
+    assert max(counts) - min(counts) <= 1, f"unfair rotation: {counts}"

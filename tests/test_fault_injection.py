@@ -1,18 +1,25 @@
-"""Randomized fault injection: seeded chaos schedules against the
-cluster, checking the two BFT invariants that must never break —
-agreement (no two correct replicas diverge) and validity (everything
-executed was submitted by a client).
+"""Seeded chaos schedules against the cluster, driven by the
+:mod:`repro.faults` DSL, checking the BFT invariants that must never
+break within the f + k budget — agreement (no two correct replicas
+diverge) and validity (everything executed was submitted by a client).
+
+The schedules mirror the original hand-rolled chaos loops (same seeds,
+same crash/flap cadence); the FaultPlan budget guard now enforces the
+f + k = 2 simultaneous-failure bound that the loops maintained by hand,
+and a MonitorSuite checks the invariants continuously instead of only
+at the end.
 """
 
 import pytest
 
 from repro.api import Simulator
+from repro.faults import FaultPlan, MonitorSuite
 from tests.conftest import build_cluster
 
 SEEDS = [1001, 1002, 1003]
 
 
-def chaos_run(seed):
+def chaos_run(seed, monitor=False):
     sim = Simulator(seed=seed)
     cluster = build_cluster(sim, f=1, k=1)
     rng = sim.rng.child("chaos")
@@ -26,50 +33,39 @@ def chaos_run(seed):
         submitted.append(op)
         client.submit(op)
 
-    # Continuous workload.
+    # Chaos: crash/recover cycles and link flaps on the original
+    # cadence.  Victims are picked at injection time from the plan's
+    # seeded stream; the guard denies anything that would push past
+    # the f + k = 2 budget.
+    plan = FaultPlan(f"chaos-{seed}")
+    for i in range(5):
+        plan.crash(at=1.0 + i * 2.1, duration=1.5)
+        plan.flap_link(at=2.0 + i * 1.7, flaps=1, down_for=0.5)
+    armed = plan.arm(sim, cluster)
+
+    suite = None
+    if monitor:
+        suite = MonitorSuite(sim, cluster, armed=armed)
+        suite.watch_client(client_a)
+        suite.watch_client(client_b)
+        suite.start()
+
+    # Continuous workload (after monitor start, so every execution is
+    # recorded from the beginning).
     for i in range(30):
         sim.schedule(0.2 + i * 0.3, submit)
 
-    # Chaos: random crash/recover and link flaps, never exceeding the
-    # f + k = 2 simultaneous-failure budget.
-    names = cluster.config.replica_names
-    down = set()
-
-    def crash_one():
-        if len(down) >= 2:
-            return
-        candidates = [n for n in names if n not in down]
-        victim = rng.choice(candidates)
-        down.add(victim)
-        cluster.replicas[victim].crash()
-        sim.schedule(rng.uniform(0.5, 2.0), recover_one, victim)
-
-    def recover_one(name):
-        cluster.replicas[name].recover()
-        sim.schedule(1.5, lambda: down.discard(name)
-                     if cluster.replicas[name].state == "normal"
-                     else sim.schedule(1.0, lambda: down.discard(name)))
-
-    def flap_link():
-        victim = rng.choice(names)
-        if victim in down:
-            return
-        link = cluster.internal_lan.link_of(
-            cluster.replicas[victim].internal_daemon.host)
-        link.set_up(False)
-        sim.schedule(rng.uniform(0.2, 0.8), link.set_up, True)
-
-    for i in range(5):
-        sim.schedule(1.0 + i * 2.1, crash_one)
-        sim.schedule(2.0 + i * 1.7, flap_link)
-
     sim.run(until=25.0)
-    return cluster, submitted
+    return cluster, submitted, armed, suite
 
 
 @pytest.mark.parametrize("seed", SEEDS)
 def test_chaos_preserves_agreement_and_validity(seed):
-    cluster, submitted = chaos_run(seed)
+    cluster, submitted, armed, suite = chaos_run(seed, monitor=True)
+    # The plan really fired, and the guard kept it within budget.
+    summary = armed.summary()
+    assert summary["injected"] > 0
+    assert not summary["went_over_budget"]
     # Agreement: all correct NORMAL replicas share one oplog prefix
     # relationship (the shorter log is a prefix of the longer).
     logs = []
@@ -87,12 +83,14 @@ def test_chaos_preserves_agreement_and_validity(seed):
             assert op_repr in submitted_reprs
     # Liveness (weak): the majority of updates executed despite chaos.
     assert len(longest) >= len(submitted) * 0.7
+    # The live monitors agree: an in-budget run produces no violations.
+    assert suite.passed(), [v.snapshot() for v in suite.violations]
 
 
 @pytest.mark.parametrize("seed", [2001])
 def test_chaos_then_quiesce_converges(seed):
     """After the chaos stops, every replica converges to the same log."""
-    cluster, submitted = chaos_run(seed)
+    cluster, submitted, armed, _suite = chaos_run(seed)
     sim = cluster.sim
     # Ensure everyone is up and give reconciliation time to finish.
     for name, rep in cluster.replicas.items():

@@ -1,0 +1,166 @@
+"""The invariant monitors themselves are under test here: each one
+must flag a seeded violation when its guarantee is deliberately broken,
+and stay silent on clean runs.  Agreement divergence cannot be produced
+through the replica's byzantine modes (they are all omission-style), so
+it is forged by executing a fabricated update on one replica's wrapped
+app directly.
+"""
+
+from repro.api import Simulator
+from repro.faults import ChaosHarness, FaultPlan, MonitorSuite
+from repro.prime.messages import ClientUpdate
+
+
+def make_suite(seed=11, with_recovery=False, run_to=2.0):
+    sim = Simulator(seed=seed)
+    harness = ChaosHarness(sim, f=1, k=1, with_recovery=with_recovery)
+    suite = MonitorSuite(sim, harness)
+    for client in harness.clients:
+        suite.watch_client(client)
+    suite.start()
+    sim.run(until=run_to)
+    return sim, harness, suite
+
+
+def test_clean_run_produces_no_violations():
+    sim, harness, suite = make_suite()
+    harness.start_workload(updates=15, start=2.2, interval=0.3)
+    sim.run(until=14.0)
+    assert harness.confirmed_count() == len(harness.submitted) > 0
+    assert suite.passed(), [v.snapshot() for v in suite.violations]
+
+
+def test_agreement_monitor_flags_forged_divergence():
+    sim, harness, suite = make_suite()
+    harness.start_workload(updates=8, start=2.2, interval=0.3)
+    sim.run(until=6.0)
+    # Forge: one replica executes a *different* op under a (client, seq)
+    # the client really submitted — validity stays quiet, but the digest
+    # log diverges from every other replica at that position.
+    client = harness.clients[0]
+    victim = harness.config.replica_names[0]
+    forged = ClientUpdate(client_id=client.client_id, client_seq=1,
+                          op={"set": ("forged", -1)},
+                          reply_to=client.session.address)
+    harness.replicas[victim].app.execute_update(forged)
+    sim.run(until=8.0)
+    violations = suite.violations_of("agreement")
+    assert violations, "forged divergence went undetected"
+    assert victim in violations[0].detail
+
+
+def test_validity_monitor_flags_unsubmitted_update():
+    sim, harness, suite = make_suite()
+    harness.start_workload(updates=5, start=2.2, interval=0.3)
+    sim.run(until=5.0)
+    victim = harness.config.replica_names[1]
+    ghost = ClientUpdate(client_id="nobody", client_seq=1,
+                         op={"set": ("ghost", 0)}, reply_to=None)
+    harness.replicas[victim].app.execute_update(ghost)
+    sim.run(until=6.0)
+    violations = suite.violations_of("validity")
+    assert violations
+    assert "nobody" in violations[0].detail
+
+
+def test_validity_monitor_flags_future_sequence():
+    sim, harness, suite = make_suite()
+    client = harness.clients[0]
+    victim = harness.config.replica_names[2]
+    premature = ClientUpdate(client_id=client.client_id, client_seq=999,
+                             op={"set": ("early", 1)},
+                             reply_to=client.session.address)
+    harness.replicas[victim].app.execute_update(premature)
+    sim.run(until=3.0)
+    violations = suite.violations_of("validity")
+    assert violations
+    assert "999" in violations[0].detail
+
+
+def test_liveness_monitor_flags_stalled_confirmation():
+    sim, harness, suite = make_suite()
+    # Take out enough replicas that the ordering quorum (2f+k+1 = 4 of
+    # 6) cannot form; the submitted update can never confirm.
+    for name in harness.config.replica_names[:3]:
+        harness.replicas[name].crash()
+    harness.clients[0].submit({"set": ("stuck", 1)})
+    sim.run(until=15.0)
+    violations = suite.violations_of("liveness")
+    assert violations
+    assert "unconfirmed" in violations[0].detail
+
+
+def test_liveness_monitor_silent_when_confirmations_flow():
+    sim, harness, suite = make_suite()
+    harness.start_workload(updates=10, start=2.2, interval=0.3)
+    sim.run(until=12.0)
+    assert not suite.violations_of("liveness")
+
+
+def test_recovery_budget_monitor_flags_collision():
+    sim, harness, suite = make_suite(with_recovery=False)
+    harness.start_recovery(period=30.0, downtime=1.0)
+    scheduler = harness.recovery
+    # Force k+1 = 2 simultaneous recoveries, bypassing the scheduler's
+    # own pacing.
+    scheduler.begin_recovery(scheduler.targets[0])
+    scheduler.begin_recovery(scheduler.targets[1])
+    sim.run(until=4.0)
+    violations = suite.violations_of("recovery-budget")
+    assert violations
+    assert "exceed k=1" in violations[0].detail
+
+
+def test_recovery_budget_monitor_silent_within_k():
+    sim, harness, suite = make_suite(with_recovery=True)
+    harness.start_workload(updates=10, start=2.2, interval=0.3)
+    sim.run(until=16.0)
+    assert harness.recovery.recoveries_completed > 0
+    assert not suite.violations_of("recovery-budget")
+
+
+def test_violations_carry_fault_attribution():
+    """A violation fired while a plan's faults are active names them."""
+    sim = Simulator(seed=23)
+    harness = ChaosHarness(sim, f=1, k=1)
+    plan = FaultPlan("storm", allow_over_budget=True)
+    for index in range(2):
+        plan.byzantine(at=3.0 + index * 0.2, mode="crash")
+    plan.crash(at=3.6, duration=None)
+    armed = plan.arm(sim, harness)
+    suite = MonitorSuite(sim, harness, armed=armed)
+    for client in harness.clients:
+        suite.watch_client(client)
+    suite.start()
+    harness.start_workload(updates=20, start=0.2, interval=0.3)
+    sim.run(until=15.0)
+    violations = suite.violations_of("liveness")
+    assert violations
+    first = violations[0]
+    assert first.over_budget
+    assert any(fid.startswith("storm:") for fid in first.active_faults)
+
+
+def test_recording_app_log_survives_state_transfer():
+    """A replica that rejoins via state transfer inherits its donor's
+    execution log, so the prefix check stays meaningful."""
+    sim, harness, suite = make_suite()
+    harness.start_workload(updates=10, start=2.2, interval=0.3)
+    victim = harness.config.replica_names[0]
+    sim.run(until=4.0)
+    harness.replicas[victim].crash()
+    sim.run(until=6.0)
+    harness.replicas[victim].recover()
+    sim.run(until=20.0)
+    assert suite.passed(), [v.snapshot() for v in suite.violations]
+    # The victim's log caught back up through transfer + execution.
+    longest = max(len(log) for log in suite.exec_logs.values())
+    assert len(suite.exec_logs[victim]) == longest > 0
+
+
+def test_monitor_suite_stop_unwraps_apps():
+    sim, harness, suite = make_suite()
+    suite.stop()
+    from repro.faults import RecordingApp
+    for replica in harness.replicas.values():
+        assert not isinstance(replica.app, RecordingApp)

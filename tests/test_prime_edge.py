@@ -135,14 +135,42 @@ def test_missing_update_content_fetched_before_execution(cluster):
 
 
 def test_client_gives_up_after_max_retries(cluster):
-    """With the whole system down, a client stops retrying eventually."""
+    """With the whole system down, a client stops retrying eventually.
+
+    The horizon covers the full capped exponential-backoff schedule:
+    1+2+4+8+8... seconds with up to +20% jitter across 10 retries.
+    """
     for i in range(6):
         cluster.replica(i).crash()
     client = cluster.add_client("hmi")
     client.submit({"set": ("void", 1)})
-    cluster.sim.run(until=60.0)
+    cluster.sim.run(until=100.0)
     assert client.pending == {}
     assert 1 not in client.confirmed
+
+
+def test_client_retries_back_off_exponentially(cluster):
+    """Retransmission gaps grow (doubling toward the cap, with ±20%
+    jitter) and every retry is counted in telemetry."""
+    from repro.prime.client import CLIENT_RETRY, CLIENT_RETRY_CAP
+
+    for i in range(6):
+        cluster.replica(i).crash()
+    client = cluster.add_client("hmi")
+    sent_at = []
+    original = client._transmit
+    client._transmit = lambda update: (sent_at.append(cluster.sim.now),
+                                       original(update))
+    client.submit({"set": ("void", 1)})
+    cluster.sim.run(until=25.0)
+    gaps = [b - a for a, b in zip(sent_at, sent_at[1:])]
+    assert len(gaps) >= 4
+    for i, gap in enumerate(gaps):
+        expected = min(CLIENT_RETRY * (2 ** i), CLIENT_RETRY_CAP)
+        # The 0.25s retry tick quantises the jittered deadline upward.
+        assert expected * 0.8 <= gap <= expected * 1.2 + 0.25, \
+            f"gap {i}: {gap}"
+    assert cluster.sim.metrics.total("prime.client.retries") == len(gaps)
 
 
 def test_replies_require_matching_results(cluster):

@@ -11,6 +11,7 @@ PACKAGES = [
     "repro.net", "repro.spines", "repro.prime", "repro.diversity",
     "repro.plc", "repro.scada", "repro.mana", "repro.mana.models",
     "repro.redteam", "repro.core", "repro.telemetry", "repro.cli",
+    "repro.faults",
 ]
 
 # The repro.api surface is a contract: additions are fine with a test
@@ -27,6 +28,9 @@ API_EXPORTS = {
     "MeasurementDevice", "ReactionSample",
     "Counter", "Gauge", "Histogram", "Metric", "MetricsRegistry",
     "Span", "TraceContext", "Tracer",
+    # Fault injection and resilience campaigns
+    "ChaosHarness", "FaultPlan", "MonitorSuite", "Scenario", "Violation",
+    "run_campaign", "run_scenario",
 }
 
 
@@ -62,7 +66,8 @@ def test_design_inventory_modules_exist():
         "repro.mana.alerts", "repro.redteam.attacks",
         "repro.redteam.commercial", "repro.redteam.scenarios",
         "repro.core.spire", "repro.core.deployment",
-        "repro.core.measurement",
+        "repro.core.measurement", "repro.faults.plan",
+        "repro.faults.monitors", "repro.faults.campaign",
     ]:
         importlib.import_module(module)
 
