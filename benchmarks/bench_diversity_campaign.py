@@ -48,3 +48,42 @@ def bench_diversity_exploit_campaign(benchmark):
     assert not scenario.achieved("reuse exploit on other replicas")
     assert not scenario.achieved("disrupt SCADA with one compromised replica")
     assert not scenario.achieved("exploit survives proactive recovery")
+
+
+def bench_diversity_campaign_seed_sweep(benchmark):
+    """The same campaign replayed across seeds on the parallel sweep
+    engine — diversity must win the race under *every* seed, and the
+    merged outcome table is identical at any ``--jobs`` count."""
+    import os
+
+    from repro.parallel import WorkerPool
+
+    seeds = [121, 122, 123]
+    jobs = int(os.environ.get("SWEEP_JOBS", "1")) or 1
+    report = Report("X1-diversity-campaign-sweep",
+                    "Exploit campaign across seeds (parallel sweep)")
+
+    def experiment():
+        pool = WorkerPool(jobs=jobs, name="diversity-sweep")
+        results = pool.map(
+            "repro.redteam.scenarios:diversity_campaign_cell",
+            [{"seed": seed} for seed in seeds])
+        return [result.unwrap() for result in results]
+
+    cells = run_once(benchmark, experiment)
+    report.table(
+        ["seed", "first exploit", "reuse blocked", "SCADA disrupted",
+         "survives recovery", "attacker-hours"],
+        [[c["seed"], c["first_exploit"], c["reuse_blocked"],
+          c["scada_disrupted"], c["survives_recovery"],
+          f"{c['attacker_hours']:.0f}"] for c in cells])
+    report.line("Every seed: one replica falls to its matching build, "
+                "reuse is blocked by diversity, operation continues, and "
+                "proactive recovery invalidates the exploit.")
+    report.save_and_print()
+    assert [c["seed"] for c in cells] == seeds
+    for cell in cells:
+        assert cell["first_exploit"]
+        assert cell["reuse_blocked"]
+        assert not cell["scada_disrupted"]
+        assert not cell["survives_recovery"]

@@ -10,91 +10,53 @@ on held-out clean traffic (which includes a traffic mode that occurs
 only occasionally — the thing short captures miss) plus detection of a
 DoS burst.  Expected shape: detection is easy at every size; the FP
 rate is what improves with longer training.
+
+Each capture-length × seed cell is an independent
+``repro.mana.sweep.fit_cell`` run, so the grid executes on the
+:mod:`repro.parallel` engine (``--jobs``); results merge in cell order
+and are identical at any job count.
 """
 
-import numpy as np
+import os
 
-from repro.mana import FeatureExtractor, ManaInstance, default_ensemble
-from repro.net.tap import Capture, PacketRecord
-from repro.api import Simulator
+from repro.parallel import WorkerPool, WorkUnit
 
 from _support import Report, run_once
 
 WINDOW = 5.0
 TRAIN_SIZES = [6, 12, 24, 60]     # windows of baseline (30s ... 5min here)
 HOLDOUT = 40                      # clean windows evaluated
+SEEDS = (1, 2, 3)
 
 
-def make_record(time, **kw):
-    defaults = dict(network="x", ethertype="ipv4",
-                    src_mac="02:00:00:00:00:01",
-                    dst_mac="02:00:00:00:00:02", size=120,
-                    src_ip="10.0.0.1", dst_ip="10.0.0.2", proto="udp",
-                    src_port=9999, dst_port=8120, tcp_flags=None,
-                    is_arp=False, arp_op=None)
-    defaults.update(kw)
-    return PacketRecord(time=time, **defaults)
-
-
-def traffic(duration, rng):
-    """Polling baseline plus a RARE mode: a maintenance transfer that
-    happens roughly every 90 s (short captures may never see one)."""
-    records = []
-    t = 0.0
-    while t < duration:
-        records.append(make_record(t, size=int(118 + rng.normal(0, 2))))
-        t += 0.1
-    t = rng.uniform(0, 90)
-    while t < duration:
-        for i in range(20):
-            records.append(make_record(t + i * 0.05, size=1400,
-                                        dst_port=5003))
-        t += rng.uniform(60, 120)
-    return sorted(records, key=lambda r: r.time)
-
-
-def evaluate(train_windows, rng_seed):
-    rng = np.random.default_rng(rng_seed)
-    total = (train_windows + HOLDOUT) * WINDOW + 40
-    records = traffic(total, rng)
-    capture = Capture("x")
-    capture.records = records
-    sim = Simulator(seed=rng_seed)
-    instance = ManaInstance(sim, "m", capture, window=WINDOW)
-    train_end = train_windows * WINDOW
-    instance.train(0.0, train_end)
-    clean_alerts = instance.evaluate_range(train_end,
-                                           train_end + HOLDOUT * WINDOW)
-    # DoS detection at the end.
-    dos_start = train_end + HOLDOUT * WINDOW + 5
-    for i in range(1500):
-        capture.records.append(make_record(dos_start + i * 0.002, size=900,
-                                           src_mac="02:00:00:00:00:99"))
-    capture.records.sort(key=lambda r: r.time)
-    dos_alerts = instance.evaluate_range(dos_start - 2, dos_start + 10)
-    return len(clean_alerts), len(dos_alerts) > 0
+def sweep_rows(jobs: int = 1):
+    """Run the size × seed grid on the pool; one table row per size."""
+    units = [WorkUnit(fn="repro.mana.sweep:fit_cell",
+                      kwargs={"model": None, "seed": seed,
+                              "train_windows": size,
+                              "holdout_windows": HOLDOUT,
+                              "window": WINDOW},
+                      uid=f"{size}:{seed}")
+             for size in TRAIN_SIZES for seed in SEEDS]
+    pool = WorkerPool(jobs=jobs, name="mana-training")
+    cells = [result.unwrap() for result in pool.run(units)]
+    rows = []
+    for i, size in enumerate(TRAIN_SIZES):
+        chunk = cells[i * len(SEEDS):(i + 1) * len(SEEDS)]
+        fps = sum(c["false_positives"] for c in chunk)
+        detected = sum(c["dos_detected"] for c in chunk)
+        rows.append([size, f"{size * WINDOW:.0f}s",
+                     f"{fps}/{len(SEEDS) * HOLDOUT}",
+                     f"{fps / (len(SEEDS) * HOLDOUT):.1%}",
+                     f"{detected}/{len(SEEDS)}"])
+    return rows
 
 
 def bench_mana_training_duration(benchmark):
     report = Report("X4-mana-training", "MANA: false positives vs "
                     "baseline-capture length")
-
-    def experiment():
-        rows = []
-        for size in TRAIN_SIZES:
-            fps = []
-            detected = []
-            for seed in (1, 2, 3):
-                fp, det = evaluate(size, seed)
-                fps.append(fp)
-                detected.append(det)
-            rows.append([size, f"{size * WINDOW:.0f}s",
-                         f"{sum(fps)}/{3 * HOLDOUT}",
-                         f"{sum(fps) / (3 * HOLDOUT):.1%}",
-                         f"{sum(detected)}/3"])
-        return rows
-
-    rows = run_once(benchmark, experiment)
+    jobs = int(os.environ.get("SWEEP_JOBS", "1")) or 1
+    rows = run_once(benchmark, lambda: sweep_rows(jobs=jobs))
     report.table(["training windows", "capture length",
                   "false positives (3 runs)", "FP rate", "DoS detected"],
                  rows)

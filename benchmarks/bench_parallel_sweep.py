@@ -1,0 +1,160 @@
+"""X5 (extension): parallel sweep engine — wall-clock scaling with a
+determinism witness.
+
+Runs the same 24-cell resilience campaign (4 in-budget scenarios × 6
+seeds) serially (``jobs=1``) and fanned out over worker processes
+(``jobs=4`` by default), and records:
+
+* wall-clock per job count and the speedup relative to ``jobs=1``;
+* the **determinism witness**: the SHA-256 digest of each report —
+  every job count must produce the byte-identical report, or the merge
+  is broken;
+* the pool's ``parallel.*`` telemetry (units completed/retried/failed,
+  workers spawned/crashed).
+
+Writes ``BENCH_parallel.json`` at the repository root — the committed
+evidence that ``perf_guard.py --parallel-current`` checks future runs
+against.  Speedup is hardware-bound: the guard's floor scales with
+``min(jobs, cpus)`` (a 4-core runner must show >= 3x; a 1-core box can
+only show parity), and the witness must hold everywhere.  Run
+standalone::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_sweep.py \
+        [--jobs 1,4] [--seeds 6] [--duration 6.0] [--output PATH]
+
+or through pytest (quick mode: fewer cells, determinism-only asserts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.faults import report_digest, run_campaign
+from repro.telemetry.metrics import MetricsRegistry
+
+from _support import Report, run_once
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_parallel.json")
+
+#: In-budget scenarios only: every cell must pass, so a scheduling or
+#: merge bug shows up as a failed campaign, not just a slow one.
+SCENARIOS = ["baseline", "crash-recover", "partition", "flap-degrade"]
+DEFAULT_SEEDS = 6
+DEFAULT_DURATION = 6.0
+
+
+def run_parallel_bench(jobs_list=(1, 4), seeds: int = DEFAULT_SEEDS,
+                       duration: float = DEFAULT_DURATION,
+                       output: str = DEFAULT_OUTPUT) -> dict:
+    seed_values = list(range(1, seeds + 1))
+    cells = len(SCENARIOS) * len(seed_values)
+    runs = {}
+    for jobs in jobs_list:
+        registry = MetricsRegistry()
+        began = time.perf_counter()
+        report = run_campaign(scenarios=SCENARIOS, seeds=seed_values,
+                              duration=duration, jobs=jobs,
+                              metrics=registry)
+        wall = time.perf_counter() - began
+        runs[jobs] = {
+            "wall_s": wall,
+            "cells_per_s": cells / wall,
+            "digest": report_digest(report),
+            "passed": report["passed"],
+            "telemetry": {
+                metric.name: metric.value
+                for metric in registry.find(prefix="parallel")
+                if hasattr(metric, "value")
+            },
+        }
+
+    base_jobs = jobs_list[0]
+    digests = {jobs: runs[jobs]["digest"] for jobs in jobs_list}
+    results = {
+        "cpus": os.cpu_count(),
+        "campaign": {"scenarios": SCENARIOS, "seeds": seed_values,
+                     "cells": cells, "duration": duration},
+        "jobs": {str(jobs): {key: value
+                             for key, value in runs[jobs].items()
+                             if key != "digest"}
+                 for jobs in jobs_list},
+        "speedup": {str(jobs): runs[base_jobs]["wall_s"] / runs[jobs]["wall_s"]
+                    for jobs in jobs_list if jobs != base_jobs},
+        "determinism": {
+            "digests": {str(jobs): digest for jobs, digest in digests.items()},
+            "match": len(set(digests.values())) == 1,
+        },
+        "all_passed": all(runs[jobs]["passed"] for jobs in jobs_list),
+    }
+
+    with open(output, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    report_doc = Report("X5-parallel-sweep",
+                        "Process-pool sweep engine: scaling + determinism")
+    report_doc.table(
+        ["jobs", "wall s", "cells/s", "speedup", "digest"],
+        [[jobs, f"{runs[jobs]['wall_s']:.2f}",
+          f"{runs[jobs]['cells_per_s']:.2f}",
+          f"{runs[base_jobs]['wall_s'] / runs[jobs]['wall_s']:.2f}x",
+          runs[jobs]["digest"][:16]] for jobs in jobs_list])
+    report_doc.line(
+        f"{cells}-cell campaign on a {os.cpu_count()}-core machine; "
+        f"reports are {'IDENTICAL' if results['determinism']['match'] else 'DIVERGENT'} "
+        "across job counts (ordered deterministic merge).")
+    report_doc.line(f"Machine-readable results: "
+                    f"{os.path.relpath(output, REPO_ROOT)}")
+    report_doc.save_and_print()
+    return results
+
+
+def bench_parallel_sweep(benchmark):
+    """Pytest entry point: small grid, determinism is the assertion
+    (wall-clock speedup is hardware-bound and guarded by perf_guard
+    with a core-aware floor instead)."""
+    output = os.path.join(REPO_ROOT, "benchmarks", "results",
+                          "BENCH_parallel.quick.json")
+    results = run_once(benchmark, lambda: run_parallel_bench(
+        jobs_list=(1, 2), seeds=2, duration=5.0, output=output))
+    assert results["determinism"]["match"], \
+        "parallel merge changed campaign results"
+    assert results["all_passed"]
+    telemetry = results["jobs"]["2"]["telemetry"]
+    assert telemetry["parallel.units_completed"] == results["campaign"]["cells"]
+    assert telemetry["parallel.units_failed"] == 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", default="1,4",
+                        help="comma-separated job counts; the first is "
+                             "the baseline (default: 1,4)")
+    parser.add_argument("--seeds", type=int, default=DEFAULT_SEEDS,
+                        help=f"seeds per scenario (default {DEFAULT_SEEDS}; "
+                             f"{len(SCENARIOS)} scenarios x seeds = cells)")
+    parser.add_argument("--duration", type=float, default=DEFAULT_DURATION,
+                        help="simulated seconds per cell")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help=f"result path (default: {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+    jobs_list = tuple(int(part) for part in args.jobs.split(","))
+    results = run_parallel_bench(jobs_list=jobs_list, seeds=args.seeds,
+                                 duration=args.duration, output=args.output)
+    if not results["determinism"]["match"]:
+        print("FATAL: parallel merge changed campaign results",
+              file=sys.stderr)
+        return 1
+    if not results["all_passed"]:
+        print("FATAL: campaign failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

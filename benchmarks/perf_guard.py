@@ -1,25 +1,40 @@
-"""Perf-regression guard for the hot-path benchmark.
+"""Perf-regression guard for the committed benchmark baselines.
 
-Compares a fresh ``bench_hotpath.py`` run against the committed
-baseline (``BENCH_hotpath.json`` at the repo root) and fails when a
-guarded metric regresses by more than the threshold (default 30%).
+Compares fresh benchmark runs against the committed baselines at the
+repo root and fails on regression:
 
-Guarded metrics are chosen to be machine-portable so the guard works on
-CI runners with different absolute speeds than the machine that
-produced the baseline:
+* ``BENCH_hotpath.json`` (``bench_hotpath.py``) — crypto/kernel hot
+  path.  Guarded metrics are machine-portable: cache *speedups* (cached
+  vs naive throughput on the same machine, same run), cache hit rates,
+  and the determinism witness.  Absolute throughputs are reported and
+  guarded only with ``--absolute`` (stable dedicated runners).
+* ``BENCH_parallel.json`` (``bench_parallel_sweep.py``, via
+  ``--parallel-current``) — the sweep engine.  The determinism witness
+  (jobs=1 vs jobs=N digests) must match on every machine; the speedup
+  floor scales with ``min(jobs, cpus)``, so a 4-core runner must show
+  >= 3x while a 1-core box is only held to parity.
 
-* cache *speedups* (cached vs naive throughput ratio on the same
-  machine, same run) for each microbench and the prime-load point;
-* cache hit rates (workload-determined, not machine-determined);
-* the determinism witness (must always hold).
+Per-metric tolerance bands
+--------------------------
+Each guarded metric carries its own tolerance instead of one blanket
+threshold, so noise on a noisy metric can't mask a loss on a stable
+one.  Two kinds:
 
-Absolute throughputs (ops/s, events/s) are reported for context and
-guarded only with ``--absolute``, for use on a stable dedicated runner.
+* ``tolerance`` — allowed fractional regression vs the committed
+  baseline value (``None`` = the ``--threshold`` default);
+* ``band`` — an absolute ``(low, high)`` parity band for metrics that
+  hover around 1.0x by construction.  ``sign.speedup`` is the case in
+  point: a *fresh* sign always misses the encode-once cache, so its
+  "speedup" is cache bookkeeping overhead ± noise (~0.95x in the
+  committed baseline).  Values inside the band are parity — neither a
+  win to brag about nor a loss to fail on; below the band the cache
+  write path got genuinely slower and the guard fails.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_hotpath.py --quick --output current.json
-    python benchmarks/perf_guard.py --current current.json
+    PYTHONPATH=src python benchmarks/bench_parallel_sweep.py --output par.json
+    python benchmarks/perf_guard.py --current current.json --parallel-current par.json
 """
 
 from __future__ import annotations
@@ -31,24 +46,63 @@ import sys
 
 REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
 DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_hotpath.json")
+DEFAULT_PARALLEL_BASELINE = os.path.join(REPO_ROOT, "BENCH_parallel.json")
 
-# metric name -> path into the results document (higher is better).
+# metric name -> guard spec (higher is better).
+#   path:      keys into the results document
+#   tolerance: allowed fractional regression vs baseline (None -> CLI
+#              --threshold default)
+#   band:      absolute (low, high) parity band; replaces the
+#              baseline-relative check entirely
 RELATIVE_METRICS = {
-    "sign_broadcast_verify.speedup": ("microbench", "sign_broadcast_verify", "speedup"),
-    # "sign.speedup" is reported but not guarded: fresh signs always
-    # miss the cache, so it hovers around 1.0x and is dominated by
-    # noise rather than by regressions.
-    "verify.speedup": ("microbench", "verify", "speedup"),
-    "prime_load_100.speedup": ("prime_load_100", "speedup"),
-    "cache.encode_hit_rate": ("cache", "encode_hit_rate"),
-    "cache.verify_hit_rate": ("cache", "verify_hit_rate"),
+    "sign_broadcast_verify.speedup": {
+        "path": ("microbench", "sign_broadcast_verify", "speedup"),
+        "tolerance": None,
+    },
+    # Fresh signs always miss the cache: this metric measures cache
+    # bookkeeping overhead, not a cache win.  Parity band instead of a
+    # baseline-relative floor (see module docstring).
+    "sign.speedup": {
+        "path": ("microbench", "sign", "speedup"),
+        "band": (0.85, 1.10),
+    },
+    "verify.speedup": {
+        "path": ("microbench", "verify", "speedup"),
+        "tolerance": None,
+    },
+    "prime_load_100.speedup": {
+        "path": ("prime_load_100", "speedup"),
+        "tolerance": None,
+    },
+    # Hit rates are workload-determined, not machine-determined — hold
+    # them tighter than the throughput ratios.
+    "cache.encode_hit_rate": {
+        "path": ("cache", "encode_hit_rate"),
+        "tolerance": 0.10,
+    },
+    "cache.verify_hit_rate": {
+        "path": ("cache", "verify_hit_rate"),
+        "tolerance": 0.10,
+    },
 }
 
 ABSOLUTE_METRICS = {
-    "sign_broadcast_verify.after_ops_s": ("microbench", "sign_broadcast_verify", "after_ops_s"),
-    "verify.after_ops_s": ("microbench", "verify", "after_ops_s"),
-    "kernel.events_per_s": ("kernel", "events_per_s"),
-    "prime_load_100.after_events_per_s": ("prime_load_100", "after_events_per_s"),
+    "sign_broadcast_verify.after_ops_s": {
+        "path": ("microbench", "sign_broadcast_verify", "after_ops_s"),
+        "tolerance": None,
+    },
+    "verify.after_ops_s": {
+        "path": ("microbench", "verify", "after_ops_s"),
+        "tolerance": None,
+    },
+    "kernel.events_per_s": {
+        "path": ("kernel", "events_per_s"),
+        "tolerance": None,
+    },
+    "prime_load_100.after_events_per_s": {
+        "path": ("prime_load_100", "after_events_per_s"),
+        "tolerance": None,
+    },
 }
 
 
@@ -69,21 +123,76 @@ def check(baseline: dict, current: dict, threshold: float,
     metrics = dict(RELATIVE_METRICS)
     if absolute:
         metrics.update(ABSOLUTE_METRICS)
-    for name, path in metrics.items():
+    for name, spec in metrics.items():
         try:
-            base = _lookup(baseline, path)
-            cur = _lookup(current, path)
+            cur = _lookup(current, spec["path"])
         except (KeyError, TypeError):
-            failures.append(f"{name}: missing from baseline or current run")
+            failures.append(f"{name}: missing from current run")
             continue
-        floor = base * (1.0 - threshold)
+        if "band" in spec:
+            low, high = spec["band"]
+            if cur < low:
+                status = "REGRESSION"
+                failures.append(
+                    f"{name} fell out of its parity band: {cur:.3f} < "
+                    f"{low:.3f} (band {low:.2f}..{high:.2f})")
+            else:
+                status = "parity" if cur <= high else "win"
+            print(f"  {name:40s} band=[{low:5.2f}, {high:5.2f}] "
+                  f"current={cur:10.3f} [{status}]")
+            continue
+        try:
+            base = _lookup(baseline, spec["path"])
+        except (KeyError, TypeError):
+            failures.append(f"{name}: missing from baseline")
+            continue
+        tolerance = spec["tolerance"] if spec["tolerance"] is not None \
+            else threshold
+        floor = base * (1.0 - tolerance)
         status = "ok" if cur >= floor else "REGRESSION"
         print(f"  {name:40s} baseline={base:10.3f} current={cur:10.3f} "
-              f"floor={floor:10.3f} [{status}]")
+              f"floor={floor:10.3f} (tol {tolerance:.0%}) [{status}]")
         if cur < floor:
             failures.append(
                 f"{name} regressed: {cur:.3f} < {floor:.3f} "
-                f"(baseline {base:.3f}, threshold {threshold:.0%})")
+                f"(baseline {base:.3f}, tolerance {tolerance:.0%})")
+    return failures
+
+
+# ----------------------------------------------------------------------
+# Parallel sweep guard
+# ----------------------------------------------------------------------
+def expected_speedup_floor(jobs: int, cpus: int) -> float:
+    """The wall-clock speedup a healthy pool must reach at ``jobs``
+    workers on ``cpus`` cores: 75% scaling efficiency on the cores that
+    actually exist (4 jobs on >= 4 cores -> 3.0x), parity-with-overhead
+    when there is nothing to parallelise onto (1 core -> 0.75x)."""
+    return 0.75 * max(1, min(jobs, cpus))
+
+
+def check_parallel(current: dict) -> list:
+    """Guard a fresh BENCH_parallel.json: determinism always, speedup
+    against the core-aware floor."""
+    failures = []
+    if not current.get("determinism", {}).get("match", False):
+        failures.append("parallel determinism witness diverged: jobs=1 vs "
+                        "jobs=N reports are not identical")
+    if not current.get("all_passed", False):
+        failures.append("parallel sweep campaign failed (scenario "
+                        "expectations unmet or cells crashed)")
+    cpus = int(current.get("cpus") or 1)
+    for jobs_text, speedup in sorted(current.get("speedup", {}).items(),
+                                     key=lambda item: int(item[0])):
+        jobs = int(jobs_text)
+        floor = expected_speedup_floor(jobs, cpus)
+        status = "ok" if speedup >= floor else "REGRESSION"
+        print(f"  parallel.speedup[jobs={jobs}]{'':14s} "
+              f"current={speedup:10.3f} floor={floor:10.3f} "
+              f"(cpus={cpus}) [{status}]")
+        if speedup < floor:
+            failures.append(
+                f"parallel speedup at jobs={jobs} regressed: "
+                f"{speedup:.2f}x < {floor:.2f}x floor on {cpus} core(s)")
     return failures
 
 
@@ -91,22 +200,38 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", default=DEFAULT_BASELINE,
                         help=f"committed baseline (default: {DEFAULT_BASELINE})")
-    parser.add_argument("--current", required=True,
+    parser.add_argument("--current", default=None,
                         help="freshly generated BENCH_hotpath.json to check")
+    parser.add_argument("--parallel-current", default=None,
+                        help="freshly generated BENCH_parallel.json to check")
     parser.add_argument("--threshold", type=float, default=0.30,
-                        help="allowed fractional regression (default 0.30)")
+                        help="default fractional regression for metrics "
+                             "without an explicit tolerance (default 0.30)")
     parser.add_argument("--absolute", action="store_true",
                         help="also guard absolute throughputs (stable runners only)")
     args = parser.parse_args(argv)
 
-    with open(args.baseline) as handle:
-        baseline = json.load(handle)
-    with open(args.current) as handle:
-        current = json.load(handle)
+    if not args.current and not args.parallel_current:
+        parser.error("nothing to check: pass --current and/or "
+                     "--parallel-current")
 
-    print(f"perf_guard: current vs {os.path.relpath(args.baseline)} "
-          f"(threshold {args.threshold:.0%})")
-    failures = check(baseline, current, args.threshold, absolute=args.absolute)
+    failures = []
+    if args.current:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        with open(args.current) as handle:
+            current = json.load(handle)
+        print(f"perf_guard: current vs {os.path.relpath(args.baseline)} "
+              f"(default tolerance {args.threshold:.0%})")
+        failures += check(baseline, current, args.threshold,
+                          absolute=args.absolute)
+    if args.parallel_current:
+        with open(args.parallel_current) as handle:
+            parallel_current = json.load(handle)
+        print("perf_guard: parallel sweep "
+              f"({os.path.relpath(args.parallel_current)})")
+        failures += check_parallel(parallel_current)
+
     if failures:
         print("\nperf_guard FAILED:", file=sys.stderr)
         for failure in failures:

@@ -26,9 +26,10 @@ from repro.core.deployment import (
 from repro.core.measurement import MeasurementDevice, ReactionSample
 from repro.core.spire import PlcUnit, SpireSystem, build_spire
 from repro.faults import (
-    ChaosHarness, FaultPlan, MonitorSuite, Scenario, Violation, run_campaign,
-    run_scenario,
+    ChaosHarness, FaultPlan, MonitorSuite, Scenario, Violation,
+    report_digest, run_campaign, run_scenario,
 )
+from repro.parallel import UnitResult, WorkerPool, WorkUnit
 from repro.sim.process import Process
 from repro.sim.simulator import (
     Event, PeriodicTimer, SimulationError, Simulator,
@@ -52,5 +53,7 @@ __all__ = [
     "Span", "TraceContext", "Tracer",
     # Fault injection and resilience campaigns
     "ChaosHarness", "FaultPlan", "MonitorSuite", "Scenario", "Violation",
-    "run_campaign", "run_scenario",
+    "report_digest", "run_campaign", "run_scenario",
+    # Parallel sweep engine
+    "UnitResult", "WorkerPool", "WorkUnit",
 ]

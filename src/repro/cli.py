@@ -195,7 +195,8 @@ def cmd_chaos(args) -> int:
              if args.scenarios else list(DEFAULT_SCENARIOS))
     seeds = [args.seed + offset for offset in range(args.seeds)]
     report = run_campaign(scenarios=names, seeds=seeds, f=args.f, k=args.k,
-                          duration=args.duration)
+                          duration=args.duration, jobs=args.jobs,
+                          timeout=args.timeout)
     output = report_to_json(report)
     if args.output:
         with open(args.output, "w") as handle:
@@ -259,6 +260,14 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--duration", type=float, default=None,
                        help="simulated seconds per run (default: "
                             "per-scenario)")
+    chaos.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the sweep (0 = all "
+                            "cores); the report is byte-identical for "
+                            "any --jobs value")
+    chaos.add_argument("--timeout", type=float, default=None,
+                       help="per-cell wall-clock limit in seconds "
+                            "(crashed/overdue cells are retried once, "
+                            "then reported failed; needs --jobs >= 2)")
     chaos.add_argument("--output", default=None,
                        help="write the JSON report to a file")
     chaos.add_argument("--list", action="store_true",

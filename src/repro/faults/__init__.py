@@ -23,8 +23,8 @@ from repro.faults.actions import (
     KillProcess, LinkDown, PartitionNetwork, RecoveryCollision, SetByzantine,
 )
 from repro.faults.campaign import (
-    BUILTIN_SCENARIOS, DEFAULT_SCENARIOS, Scenario, report_to_json,
-    run_campaign, run_scenario,
+    BUILTIN_SCENARIOS, DEFAULT_SCENARIOS, Scenario, report_digest,
+    report_to_json, run_campaign, run_scenario,
 )
 from repro.faults.harness import ChaosHarness, ReplayApp
 from repro.faults.monitors import (
@@ -43,5 +43,6 @@ __all__ = [
     "RecordingApp", "RecoveryBudgetMonitor", "ValidityMonitor", "Violation",
     # Harness and campaigns
     "BUILTIN_SCENARIOS", "ChaosHarness", "DEFAULT_SCENARIOS", "ReplayApp",
-    "Scenario", "report_to_json", "run_campaign", "run_scenario",
+    "Scenario", "report_digest", "report_to_json", "run_campaign",
+    "run_scenario",
 ]

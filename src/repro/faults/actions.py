@@ -270,8 +270,12 @@ class PartitionNetwork(FaultAction):
         overlay = ctx.overlay(self.network)
         island = {ctx.daemon_name(name, self.network)
                   for name in self.targets}
-        self._removed = [(a, b) for a, b in list(overlay.edges)
-                         if (a in island) != (b in island)]
+        # Sorted: set iteration order varies with the process hash seed,
+        # and the remove/re-add order determines neighbor (flood fan-out)
+        # order — unsorted, the same seed gives different jitter draws
+        # in different processes.
+        self._removed = sorted((a, b) for a, b in overlay.edges
+                               if (a in island) != (b in island))
         for a, b in self._removed:
             overlay.remove_edge(a, b)
 

@@ -11,18 +11,28 @@ run means the monitors are not biting, and fails the campaign.
 per-scenario pass/fail with confirmation-latency quantiles from the
 telemetry registry, and returns a JSON-serialisable report (also
 exposed as the ``spire-sim chaos`` CLI subcommand).
+
+Each scenario×seed cell is an independent, seed-deterministic unit, so
+the sweep runs on the :mod:`repro.parallel` engine: ``jobs=N`` fans
+cells out to worker processes and merges results (and per-run
+confirm-latency telemetry) back in cell order — the report is
+byte-identical to a ``jobs=1`` run (:func:`report_digest` is the
+witness the benchmark and CI compare).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.faults.harness import ChaosHarness
 from repro.faults.monitors import MonitorSuite
 from repro.faults.plan import FaultPlan
+from repro.parallel import WorkerPool, WorkUnit
 from repro.sim.simulator import Simulator
+from repro.telemetry.metrics import Histogram, MetricsRegistry
 
 EXPECT_CLEAN = "clean"
 EXPECT_VIOLATION = "violation"
@@ -123,8 +133,14 @@ DEFAULT_SCENARIOS = ["baseline", "partition", "recovery-collision",
 # Running
 # ----------------------------------------------------------------------
 def run_scenario(scenario: Scenario, seed: int, f: int = 1, k: int = 1,
-                 duration: Optional[float] = None) -> dict:
-    """One scenario, one seed: build, fault, monitor, report."""
+                 duration: Optional[float] = None,
+                 _with_state: bool = False):
+    """One scenario, one seed: build, fault, monitor, report.
+
+    With ``_with_state`` the run dict is returned together with the
+    raw confirm-latency histogram state, so a sweep can merge exact
+    pooled quantiles instead of averaging per-run summaries.
+    """
     sim = Simulator(seed=seed)
     harness = ChaosHarness(sim, f=f, k=k, **scenario.harness)
     plan = scenario.build(f, k)
@@ -139,11 +155,12 @@ def run_scenario(scenario: Scenario, seed: int, f: int = 1, k: int = 1,
     harness.start_workload(updates=updates, start=0.2, interval=0.3)
     sim.run(until=run_for)
 
-    latency = sim.metrics.merged_histogram("prime.confirm_latency").summary()
+    histogram = sim.metrics.merged_histogram("prime.confirm_latency")
+    latency = histogram.summary()
     violations = [v.snapshot() for v in suite.violations]
     detected = bool(violations)
     passed = detected if scenario.expect == EXPECT_VIOLATION else not detected
-    return {
+    run = {
         "scenario": scenario.name,
         "seed": seed,
         "expect": scenario.expect,
@@ -159,27 +176,73 @@ def run_scenario(scenario: Scenario, seed: int, f: int = 1, k: int = 1,
             ("samples", "mean", "p50", "p90", "p99")
         },
     }
+    if _with_state:
+        return run, histogram.state()
+    return run
+
+
+def _campaign_cell(name: Optional[str] = None,
+                   scenario: Optional[Scenario] = None, seed: int = 1,
+                   f: int = 1, k: int = 1,
+                   duration: Optional[float] = None) -> Tuple[dict, dict]:
+    """Parallel-sweep work unit: one scenario×seed cell.
+
+    Built-in scenarios travel by name (spawn-safe); user-registered
+    scenarios travel as pickled :class:`Scenario` objects.  Returns the
+    run dict plus the cell's confirm-latency histogram state for the
+    report-side telemetry merge.
+    """
+    if scenario is None:
+        scenario = BUILTIN_SCENARIOS[name]
+    return run_scenario(scenario, seed, f=f, k=k, duration=duration,
+                        _with_state=True)
+
+
+def _failed_cell_run(scenario: Scenario, seed: int, error: str) -> dict:
+    """Placeholder run for a cell that crashed/timed out in the sweep."""
+    return {
+        "scenario": scenario.name,
+        "seed": seed,
+        "expect": scenario.expect,
+        "passed": False,
+        "error": error,
+        "violations": [],
+        "faults": {},
+        "workload": {"submitted": 0, "confirmed": 0},
+        "confirm_latency": {"samples": 0},
+    }
 
 
 def run_campaign(scenarios: Optional[List[str]] = None,
                  seeds: Optional[List[int]] = None, f: int = 1, k: int = 1,
                  duration: Optional[float] = None,
-                 extra: Optional[Dict[str, Scenario]] = None) -> dict:
+                 extra: Optional[Dict[str, Scenario]] = None,
+                 jobs: int = 1, timeout: Optional[float] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> dict:
     """Sweep scenarios × seeds into one resilience report.
 
     Args:
         scenarios: scenario names (default :data:`DEFAULT_SCENARIOS`).
-        seeds: seeds to replay each scenario under (default ``[1]``).
+        seeds: seeds to replay each scenario under (default ``[1]``;
+            sorted and de-duplicated so reports are diff-stable).
         f, k: cluster sizing for every run.
         duration: per-run simulated seconds (default per scenario).
         extra: additional scenario registry entries (campaigns are a
             library: tests and users register their own scenarios).
+        jobs: worker processes for the sweep (``1`` = inline).  The
+            report is byte-identical for every ``jobs`` value — cells
+            are seed-deterministic and merged in cell order.
+        timeout: per-cell wall-clock limit (``jobs >= 2`` only); a cell
+            that crashes or times out is retried once, then recorded as
+            a failed run instead of stalling the sweep.
+        metrics: optional registry to receive the sweep's
+            ``parallel.*`` telemetry.
     """
     registry = dict(BUILTIN_SCENARIOS)
     if extra:
         registry.update(extra)
     names = scenarios or list(DEFAULT_SCENARIOS)
-    seeds = seeds or [1]
+    seeds = sorted(set(seeds or [1]))
     unknown = [name for name in names if name not in registry]
     if unknown:
         raise KeyError(f"unknown scenario(s): {', '.join(unknown)}; "
@@ -190,21 +253,62 @@ def run_campaign(scenarios: Optional[List[str]] = None,
         "scenarios": {},
         "passed": True,
     }
+
+    cells = [(name, seed) for name in names for seed in seeds]
+    units = []
+    for name, seed in cells:
+        kwargs: Dict[str, Any] = {"seed": seed, "f": f, "k": k,
+                                  "duration": duration}
+        if name in BUILTIN_SCENARIOS and registry[name] is BUILTIN_SCENARIOS[name]:
+            kwargs["name"] = name
+        else:
+            kwargs["scenario"] = registry[name]
+        units.append(WorkUnit(fn="repro.faults.campaign:_campaign_cell",
+                              kwargs=kwargs, uid=f"{name}:{seed}"))
+    pool = WorkerPool(jobs=(jobs if jobs and jobs > 0 else None),
+                      timeout=timeout, name="campaign", registry=metrics)
+    results = pool.run(units)
+
+    campaign_latency = Histogram("prime.confirm_latency", "*")
+    cursor = 0
     for name in names:
         scenario = registry[name]
-        runs = [run_scenario(scenario, seed, f=f, k=k, duration=duration)
-                for seed in seeds]
+        runs = []
+        scenario_latency = Histogram("prime.confirm_latency", name)
+        for seed in seeds:
+            result = results[cursor]
+            cursor += 1
+            if result.ok:
+                run, latency_state = result.value
+                scenario_latency.merge_state(latency_state)
+                campaign_latency.merge_state(latency_state)
+            else:
+                run = _failed_cell_run(scenario, seed, result.error)
+            runs.append(run)
         entry = {
             "expect": scenario.expect,
             "description": scenario.description,
             "runs": runs,
             "passed": all(run["passed"] for run in runs),
             "violations": sum(len(run["violations"]) for run in runs),
+            "confirm_latency": scenario_latency.summary(),
         }
         report["scenarios"][name] = entry
         report["passed"] = report["passed"] and entry["passed"]
+    # Pooled quantiles over every cell's raw samples (merged, not
+    # averaged) — identical whichever worker produced each shard.
+    report["confirm_latency"] = campaign_latency.summary()
     return report
 
 
 def report_to_json(report: dict, indent: int = 2) -> str:
+    """Diff-stable rendering: sorted keys at every level, fixed indent."""
     return json.dumps(report, indent=indent, sort_keys=True)
+
+
+def report_digest(report: dict) -> str:
+    """SHA-256 over the canonical JSON rendering of a campaign report —
+    the determinism witness compared between ``jobs=1`` and ``jobs=N``
+    sweeps (benchmarks, CI, tests)."""
+    canonical = json.dumps(report, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()

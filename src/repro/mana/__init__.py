@@ -9,10 +9,12 @@ from repro.mana.detector import ManaInstance, default_ensemble
 from repro.mana.models import (
     IsolationForestModel, KMeansModel, MahalanobisModel,
 )
+from repro.mana.sweep import fit_cell, run_training_sweep, sweep_digest
 
 __all__ = [
     "FEATURE_NAMES", "FeatureExtractor", "FeatureWindow",
     "Alert", "AlertCorrelator", "Incident", "SituationalAwarenessBoard",
     "ManaInstance", "default_ensemble",
     "IsolationForestModel", "KMeansModel", "MahalanobisModel",
+    "fit_cell", "run_training_sweep", "sweep_digest",
 ]

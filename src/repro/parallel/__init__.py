@@ -1,0 +1,27 @@
+"""Parallel sweep engine: process-pool execution with deterministic merge.
+
+* :class:`WorkerPool` — fan seed-deterministic work units out to ``N``
+  worker processes; results come back ordered by unit index, so
+  ``jobs=1`` and ``jobs=N`` sweeps are byte-identical.
+* :class:`WorkUnit` / :class:`UnitResult` — the portable unit format
+  (dotted-path callable + picklable kwargs) and its ordered outcome.
+* Telemetry merging lives on the registry itself:
+  ``MetricsRegistry.merge_snapshot`` / ``Histogram.merge`` collapse
+  per-worker registries into one report-side registry with pooled
+  quantiles (see ``repro.telemetry``).
+
+Consumers: ``repro.faults.campaign`` (``run_campaign(jobs=...)``,
+``spire-sim chaos --jobs``), ``repro.mana.sweep`` (model×seed training
+sweeps), and the benchmark harness
+(``benchmarks/bench_parallel_sweep.py``).  See
+``docs/performance.md`` § "The parallel sweep engine".
+"""
+
+from repro.parallel.pool import (
+    MAX_ATTEMPTS, UnitResult, WorkerPool, WorkUnit, resolve_callable,
+)
+
+__all__ = [
+    "MAX_ATTEMPTS", "UnitResult", "WorkerPool", "WorkUnit",
+    "resolve_callable",
+]

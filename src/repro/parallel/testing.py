@@ -1,0 +1,39 @@
+"""Module-level work-unit callables for exercising the sweep engine.
+
+Work units must be importable by dotted path inside worker processes,
+so the misbehaving units the test-suite needs (hard crashes, hangs,
+failures) live here rather than inline in test files.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+
+def echo_unit(value: int = 0, delay: float = 0.0) -> dict:
+    """A well-behaved unit: optionally sleep, then return its input."""
+    if delay:
+        time.sleep(delay)
+    return {"value": value, "pid": os.getpid()}
+
+
+def square_unit(value: int = 0) -> int:
+    return value * value
+
+
+def crash_unit(value: int = 0) -> int:
+    """Kill the hosting worker process outright (no Python cleanup) —
+    models a segfault/OOM-killed unit."""
+    os._exit(13)
+
+
+def failing_unit(value: int = 0) -> int:
+    """Raise a plain exception (the unit fails, the worker survives)."""
+    raise ValueError(f"unit {value} is poisoned")
+
+
+def hang_unit(value: int = 0, seconds: float = 3600.0) -> int:
+    """Sleep far past any sane per-unit timeout."""
+    time.sleep(seconds)
+    return value

@@ -469,3 +469,43 @@ def run_diversity_exploit_campaign(system, attacker: Attacker, developer,
                cleansed=system.replica_hosts[names[0]].compromised_level is None,
                replica_state=system.replicas[names[0]].state)
     return report
+
+
+def diversity_campaign_cell(seed: int) -> Dict[str, Any]:
+    """One seed of the X1 exploit-campaign sweep (a parallel work unit).
+
+    Builds a fresh diversified deployment, runs the full
+    :func:`run_diversity_exploit_campaign`, and returns a
+    JSON-serialisable outcome summary.  Deterministic per seed, so a
+    seed sweep over a :class:`repro.parallel.WorkerPool` merges into
+    identical reports at any job count.
+    """
+    from repro.core.config import plant_config
+    from repro.core.spire import build_spire
+    from repro.diversity import ExploitDeveloper
+    from repro.net import Host, ubuntu_desktop_2016
+    from repro.sim.simulator import Simulator
+
+    sim = Simulator(seed=seed)
+    system = build_spire(sim, plant_config(
+        n_distribution_plcs=0, n_generation_plcs=0, n_hmis=1,
+        proactive_recovery_period=30.0,
+        proactive_recovery_downtime=0.5))
+    sim.run(until=4.0)
+    staging = Host(sim, "rt-box", os_profile=ubuntu_desktop_2016())
+    system.external_lan.connect(staging)
+    attacker = Attacker(sim, "redteam", staging)
+    developer = ExploitDeveloper(clock=lambda: sim.now)
+    scenario = run_diversity_exploit_campaign(system, attacker, developer)
+    return {
+        "seed": seed,
+        "first_exploit": scenario.achieved(
+            "exploit first replica (matching build)"),
+        "reuse_blocked": not scenario.achieved(
+            "reuse exploit on other replicas"),
+        "scada_disrupted": scenario.achieved(
+            "disrupt SCADA with one compromised replica"),
+        "survives_recovery": scenario.achieved(
+            "exploit survives proactive recovery"),
+        "attacker_hours": developer.hours_spent,
+    }

@@ -136,7 +136,9 @@ class SpinesNetwork:
     # ------------------------------------------------------------------
     def _adjacency(self) -> Dict[str, List[str]]:
         adj: Dict[str, List[str]] = {name: [] for name in self.daemons}
-        for a, b in self.edges:
+        # Sorted: edge-set iteration order is hash-seed dependent, and
+        # neighbor order tie-breaks equal-cost routes.
+        for a, b in sorted(self.edges):
             if self.daemons[a].running and self.daemons[b].running:
                 adj[a].append(b)
                 adj[b].append(a)

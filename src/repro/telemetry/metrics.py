@@ -49,6 +49,18 @@ class Metric:
     def snapshot(self) -> Dict[str, Any]:
         raise NotImplementedError
 
+    def state(self) -> Dict[str, Any]:
+        """Full transportable state (superset of :meth:`snapshot`).
+
+        ``state()`` round-trips through JSON/pickle and is what the
+        parallel sweep engine ships from worker processes back to the
+        report-side registry; :meth:`merge_state` is its inverse.
+        """
+        return self.snapshot()
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
     def __repr__(self) -> str:
         return (f"{type(self).__name__}({self.name!r}, "
                 f"component={self.component!r})")
@@ -75,6 +87,11 @@ class Counter(Metric):
         return {"kind": self.kind, "name": self.name,
                 "component": self.component, "value": self.value,
                 "updated_at": self.updated_at}
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        """Fold another counter's state in: totals add, timestamps max."""
+        self.value += state["value"]
+        self.updated_at = max(self.updated_at, state["updated_at"])
 
 
 class Gauge(Metric):
@@ -106,6 +123,24 @@ class Gauge(Metric):
                 "component": self.component, "value": self.value,
                 "min": self.min_seen, "max": self.max_seen,
                 "updated_at": self.updated_at}
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        """Fold another gauge's state in.
+
+        ``min_seen``/``max_seen`` combine; the *level* is the most
+        recently updated one (ties go to the incoming state, so merging
+        worker snapshots in deterministic unit order yields a
+        deterministic result).
+        """
+        for bound, pick in (("min", min), ("max", max)):
+            other = state.get(bound)
+            if other is not None:
+                mine = getattr(self, f"{bound}_seen")
+                setattr(self, f"{bound}_seen",
+                        other if mine is None else pick(mine, other))
+        if state["updated_at"] >= self.updated_at:
+            self.value = state["value"]
+            self.updated_at = state["updated_at"]
 
 
 class Histogram(Metric):
@@ -187,6 +222,41 @@ class Histogram(Metric):
                "sum": self.sum, "updated_at": self.updated_at}
         out.update({k: v for k, v in self.summary().items() if k != "samples"})
         return out
+
+    def state(self) -> Dict[str, Any]:
+        """Snapshot plus the raw sample reservoir (for merging)."""
+        out = self.snapshot()
+        out["samples"] = list(self._values)
+        return out
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        """Fold another histogram's state in.
+
+        Aggregates (count/sum/min/max) combine exactly; the raw samples
+        are concatenated (up to ``max_samples``) and quantiles are
+        recomputed over the pooled reservoir — merged quantiles are the
+        quantiles of the union, **not** an average of per-shard
+        quantiles.
+        """
+        self.count += state["count"]
+        self.sum += state["sum"]
+        for bound, pick in (("min", min), ("max", max)):
+            other = state.get(bound)
+            if other is not None:
+                mine = getattr(self, bound)
+                setattr(self, bound,
+                        other if mine is None else pick(mine, other))
+        room = self.max_samples - len(self._values)
+        if room > 0:
+            self._values.extend(state.get("samples", ())[:room])
+            self._sorted = None
+        self.updated_at = max(self.updated_at, state["updated_at"])
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold another :class:`Histogram` into this one (in place);
+        returns ``self`` so merges chain."""
+        self.merge_state(other.state())
+        return self
 
 
 class MetricsRegistry:
@@ -290,6 +360,39 @@ class MetricsRegistry:
 
     def __iter__(self) -> Iterator[Metric]:
         return iter(sorted(self._metrics.values(), key=lambda m: m.key))
+
+    # ------------------------------------------------------------------
+    # Merging (the parallel-sweep telemetry protocol)
+    # ------------------------------------------------------------------
+    _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+    def state_snapshot(self) -> List[Dict[str, Any]]:
+        """Full transportable state of every metric (JSON/pickle safe).
+
+        Unlike :meth:`snapshot` this includes histogram sample
+        reservoirs, so a worker process can ship its registry to the
+        report side and :meth:`merge_snapshot` can reconstruct exact
+        pooled quantiles.
+        """
+        return [metric.state() for metric in self]
+
+    def merge_snapshot(self, states: List[Dict[str, Any]]) -> None:
+        """Fold a :meth:`state_snapshot` from another registry into this
+        one.
+
+        Counters add, gauges keep the latest level (combining observed
+        min/max), histograms pool their raw samples and recompute
+        quantiles.  Merging per-worker snapshots in a deterministic
+        order yields a deterministic merged registry.
+        """
+        for state in states:
+            cls = self._KINDS.get(state.get("kind"))
+            if cls is None:
+                raise ValueError(
+                    f"cannot merge metric state of kind {state.get('kind')!r}")
+            metric = self._get_or_create(cls, state["name"],
+                                         state.get("component", ""))
+            metric.merge_state(state)
 
     # ------------------------------------------------------------------
     # Export

@@ -1,0 +1,165 @@
+"""The parallel sweep engine: determinism, telemetry merging, and
+crashed/hung-worker containment."""
+
+import pytest
+
+from repro.faults import report_digest, report_to_json, run_campaign
+from repro.parallel import MAX_ATTEMPTS, UnitResult, WorkerPool, WorkUnit
+from repro.telemetry.metrics import Histogram, MetricsRegistry
+
+
+# ----------------------------------------------------------------------
+# Telemetry merge protocol
+# ----------------------------------------------------------------------
+def test_merged_histogram_quantiles_match_single_registry():
+    """Quantiles over merged shards == quantiles over the union in one
+    histogram (merge pools raw samples; it never averages quantiles)."""
+    samples = [0.001 * i for i in range(100)] + [1.5, 2.5, 9.0]
+    single = Histogram("latency")
+    shards = [Histogram("latency", f"w{i}") for i in range(3)]
+    for i, value in enumerate(samples):
+        single.observe(value)
+        shards[i % 3].observe(value)
+    merged = Histogram("latency", "*")
+    for shard in shards:
+        merged.merge(shard)
+    assert merged.count == single.count
+    assert merged.sum == pytest.approx(single.sum)
+    for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+        assert merged.quantile(q) == pytest.approx(single.quantile(q))
+    assert merged.summary() == pytest.approx(single.summary())
+
+
+def test_registry_merge_snapshot_counters_gauges_histograms():
+    ours = MetricsRegistry()
+    ours.counter("events", "a").inc(3)
+    ours.gauge("depth", "a").set(5.0)
+    ours.histogram("lat", "a").observe(1.0)
+
+    theirs = MetricsRegistry(clock=lambda: 2.0)
+    theirs.counter("events", "a").inc(4)
+    theirs.counter("events", "b").inc(1)
+    theirs.gauge("depth", "a").set(9.0)
+    theirs.histogram("lat", "a").observe(3.0)
+
+    ours.merge_snapshot(theirs.state_snapshot())
+    assert ours.counter("events", "a").value == 7
+    assert ours.counter("events", "b").value == 1
+    # The later-updated gauge level wins; min/max pool.
+    assert ours.gauge("depth", "a").value == 9.0
+    assert ours.gauge("depth", "a").min_seen == 5.0
+    assert ours.gauge("depth", "a").max_seen == 9.0
+    merged = ours.histogram("lat", "a")
+    assert merged.count == 2 and merged.max == 3.0
+
+
+def test_registry_merge_rejects_kind_conflicts():
+    ours = MetricsRegistry()
+    ours.counter("x")
+    with pytest.raises(TypeError):
+        ours.merge_snapshot([{"kind": "gauge", "name": "x", "component": "",
+                              "value": 1.0, "min": None, "max": None,
+                              "updated_at": 0.0}])
+    with pytest.raises(ValueError):
+        ours.merge_snapshot([{"kind": "span", "name": "y"}])
+
+
+# ----------------------------------------------------------------------
+# Pool semantics
+# ----------------------------------------------------------------------
+def test_results_ordered_by_unit_index_regardless_of_jobs():
+    cells = [{"value": i} for i in range(9, -1, -1)]
+    for jobs in (1, 3):
+        pool = WorkerPool(jobs=jobs)
+        results = pool.run([
+            WorkUnit("repro.parallel.testing:square_unit", cell, uid=str(i))
+            for i, cell in enumerate(cells)])
+        assert [r.index for r in results] == list(range(10))
+        assert [r.value for r in results] == [(9 - i) ** 2 for i in range(10)]
+        assert all(r.ok for r in results)
+
+
+def test_crashed_worker_unit_retried_once_then_failed_without_stall():
+    """A unit that hard-kills its worker is retried once on a fresh
+    worker, then reported failed; innocent units all complete."""
+    units = [WorkUnit("repro.parallel.testing:echo_unit", {"value": i},
+                      uid=f"ok{i}") for i in range(4)]
+    units.insert(1, WorkUnit("repro.parallel.testing:crash_unit", {},
+                             uid="poison"))
+    pool = WorkerPool(jobs=2, name="crashy")
+    results = pool.run(units)
+    assert len(results) == 5
+    poison = results[1]
+    assert not poison.ok
+    assert poison.attempts == MAX_ATTEMPTS
+    assert "exit" in poison.error
+    with pytest.raises(RuntimeError):
+        poison.unwrap()
+    survivors = [r for r in results if r.uid != "poison"]
+    assert all(r.ok for r in survivors)
+    metrics = pool.metrics
+    assert metrics.counter("parallel.units_failed", "crashy").value == 1
+    assert metrics.counter("parallel.units_completed", "crashy").value == 4
+    # The poisoned unit cost (at least) one respawned worker.
+    assert metrics.counter("parallel.workers_crashed", "crashy").value >= 2
+
+
+def test_hung_unit_times_out_retried_then_failed():
+    units = [WorkUnit("repro.parallel.testing:hang_unit",
+                      {"value": 0, "seconds": 60.0}, uid="hang"),
+             WorkUnit("repro.parallel.testing:echo_unit", {"value": 1},
+                      uid="ok")]
+    pool = WorkerPool(jobs=2, timeout=0.4, name="hangy")
+    results = pool.run(units)
+    assert not results[0].ok and "timed out" in results[0].error
+    assert results[0].attempts == MAX_ATTEMPTS
+    assert results[1].ok
+    assert pool.metrics.counter("parallel.units_timeout", "hangy").value >= 1
+
+
+def test_inline_jobs1_retries_exceptions_then_fails():
+    pool = WorkerPool(jobs=1, name="inline")
+    results = pool.map("repro.parallel.testing:failing_unit", [{"value": 3}])
+    assert results == [UnitResult(index=0, uid="", ok=False,
+                                  error="ValueError: unit 3 is poisoned",
+                                  attempts=MAX_ATTEMPTS)]
+    assert pool.metrics.counter("parallel.units_retried", "inline").value == 1
+
+
+def test_callable_units_work_under_fork():
+    from repro.parallel.testing import square_unit
+    pool = WorkerPool(jobs=2)
+    results = pool.run([WorkUnit(square_unit, {"value": 5})])
+    assert results[0].ok and results[0].value == 25
+
+
+# ----------------------------------------------------------------------
+# Campaign determinism (the consumer contract)
+# ----------------------------------------------------------------------
+def test_campaign_reports_byte_identical_jobs1_vs_jobs4():
+    kwargs = dict(scenarios=["baseline"], seeds=[4, 1, 2, 3],
+                  duration=5.0)
+    serial = run_campaign(jobs=1, **kwargs)
+    parallel = run_campaign(jobs=4, **kwargs)
+    assert report_to_json(serial) == report_to_json(parallel)
+    assert report_digest(serial) == report_digest(parallel)
+    assert serial["passed"]
+    # Seeds are sorted for diff-stability, and the merged campaign-level
+    # quantiles pool every cell's samples.
+    assert serial["config"]["seeds"] == [1, 2, 3, 4]
+    runs = serial["scenarios"]["baseline"]["runs"]
+    assert [run["seed"] for run in runs] == [1, 2, 3, 4]
+    total = sum(run["confirm_latency"]["samples"] for run in runs)
+    assert serial["confirm_latency"]["samples"] == total
+    assert serial["scenarios"]["baseline"]["confirm_latency"]["samples"] == total
+
+
+def test_campaign_parallel_telemetry_counters():
+    registry = MetricsRegistry()
+    run_campaign(scenarios=["baseline"], seeds=[1, 2], duration=5.0,
+                 jobs=2, metrics=registry)
+    assert registry.counter("parallel.units_dispatched", "campaign").value == 2
+    assert registry.counter("parallel.units_completed", "campaign").value == 2
+    assert registry.counter("parallel.units_failed", "campaign").value == 0
+    wall = registry.histogram("parallel.unit_wall_seconds", "campaign")
+    assert wall.count == 2 and wall.min > 0.0

@@ -30,7 +30,9 @@ API_EXPORTS = {
     "Span", "TraceContext", "Tracer",
     # Fault injection and resilience campaigns
     "ChaosHarness", "FaultPlan", "MonitorSuite", "Scenario", "Violation",
-    "run_campaign", "run_scenario",
+    "run_campaign", "run_scenario", "report_digest",
+    # Parallel sweep engine
+    "UnitResult", "WorkUnit", "WorkerPool",
 }
 
 
