@@ -13,6 +13,11 @@ repo root and fails on regression:
   (jobs=1 vs jobs=N digests) must match on every machine; the speedup
   floor scales with ``min(jobs, cpus)``, so a 4-core runner must show
   >= 3x while a 1-core box is only held to parity.
+* ``BENCH_obs.json`` (``bench_obs_overhead.py``, via ``--obs-current``)
+  — the observability layer.  The determinism witness (confirm-latency
+  samples with vs without the flight recorder + health board) must
+  match everywhere, and the throughput ratio must stay >= the
+  ``--obs-floor`` (default 0.95: recorder overhead <= ~5%).
 
 Per-metric tolerance bands
 --------------------------
@@ -196,6 +201,34 @@ def check_parallel(current: dict) -> list:
     return failures
 
 
+# ----------------------------------------------------------------------
+# Observability overhead guard
+# ----------------------------------------------------------------------
+def check_obs(current: dict, floor: float) -> list:
+    """Guard a fresh BENCH_obs.json: determinism always, recorder
+    overhead against the throughput-ratio floor."""
+    failures = []
+    if not current.get("determinism", {}).get("match", False):
+        failures.append("obs determinism witness diverged: attaching the "
+                        "flight recorder / health board changed the "
+                        "simulation")
+    try:
+        ratio = float(current["overhead"]["throughput_ratio"])
+    except (KeyError, TypeError):
+        failures.append("obs.throughput_ratio: missing from current run")
+        return failures
+    status = "ok" if ratio >= floor else "REGRESSION"
+    print(f"  obs.throughput_ratio{'':20s} current={ratio:10.3f} "
+          f"floor={floor:10.3f} [{status}]")
+    if ratio < floor:
+        overhead = (1.0 / ratio - 1.0) * 100.0
+        failures.append(
+            f"observability overhead regressed: throughput ratio "
+            f"{ratio:.3f} < {floor:.3f} floor (~{overhead:.1f}% wall-clock "
+            f"overhead with the recorder attached)")
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", default=DEFAULT_BASELINE,
@@ -204,6 +237,11 @@ def main(argv=None) -> int:
                         help="freshly generated BENCH_hotpath.json to check")
     parser.add_argument("--parallel-current", default=None,
                         help="freshly generated BENCH_parallel.json to check")
+    parser.add_argument("--obs-current", default=None,
+                        help="freshly generated BENCH_obs.json to check")
+    parser.add_argument("--obs-floor", type=float, default=0.95,
+                        help="minimum bare/observed throughput ratio "
+                             "(default 0.95 = <= ~5%% recorder overhead)")
     parser.add_argument("--threshold", type=float, default=0.30,
                         help="default fractional regression for metrics "
                              "without an explicit tolerance (default 0.30)")
@@ -211,9 +249,10 @@ def main(argv=None) -> int:
                         help="also guard absolute throughputs (stable runners only)")
     args = parser.parse_args(argv)
 
-    if not args.current and not args.parallel_current:
-        parser.error("nothing to check: pass --current and/or "
-                     "--parallel-current")
+    if not args.current and not args.parallel_current \
+            and not args.obs_current:
+        parser.error("nothing to check: pass --current, "
+                     "--parallel-current, and/or --obs-current")
 
     failures = []
     if args.current:
@@ -231,6 +270,12 @@ def main(argv=None) -> int:
         print("perf_guard: parallel sweep "
               f"({os.path.relpath(args.parallel_current)})")
         failures += check_parallel(parallel_current)
+    if args.obs_current:
+        with open(args.obs_current) as handle:
+            obs_current = json.load(handle)
+        print("perf_guard: observability overhead "
+              f"({os.path.relpath(args.obs_current)})")
+        failures += check_obs(obs_current, args.obs_floor)
 
     if failures:
         print("\nperf_guard FAILED:", file=sys.stderr)

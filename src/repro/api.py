@@ -29,6 +29,9 @@ from repro.faults import (
     ChaosHarness, FaultPlan, MonitorSuite, Scenario, Violation,
     report_digest, run_campaign, run_scenario,
 )
+from repro.obs import (
+    FlightRecorder, HealthBoard, build_deployment_report, render_report,
+)
 from repro.parallel import UnitResult, WorkerPool, WorkUnit
 from repro.sim.process import Process
 from repro.sim.simulator import (
@@ -54,6 +57,9 @@ __all__ = [
     # Fault injection and resilience campaigns
     "ChaosHarness", "FaultPlan", "MonitorSuite", "Scenario", "Violation",
     "report_digest", "run_campaign", "run_scenario",
+    # Observability: flight recorder, health board, deployment reports
+    "FlightRecorder", "HealthBoard", "build_deployment_report",
+    "render_report",
     # Parallel sweep engine
     "UnitResult", "WorkerPool", "WorkUnit",
 ]

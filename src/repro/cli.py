@@ -16,6 +16,10 @@ Installed as ``spire-sim`` (see pyproject) or runnable as
   metrics registry as JSON or CSV.
 * ``spire-sim chaos``      — sweep fault-injection scenarios × seeds
   under invariant monitors and emit a JSON resilience report.
+* ``spire-sim report``     — generate the full deployment report
+  (reaction-time quantiles, per-hop latency decomposition, replica
+  health timeline, black-box dumps) as JSON / Markdown / HTML; the
+  output is byte-identical for every ``--jobs`` value.
 
 Every command accepts ``--seed`` (deterministic replay) and prints a
 human-readable account to stdout.
@@ -196,13 +200,19 @@ def cmd_chaos(args) -> int:
     seeds = [args.seed + offset for offset in range(args.seeds)]
     report = run_campaign(scenarios=names, seeds=seeds, f=args.f, k=args.k,
                           duration=args.duration, jobs=args.jobs,
-                          timeout=args.timeout)
+                          timeout=args.timeout, report=args.report)
     output = report_to_json(report)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(output + "\n")
     else:
         print(output)
+    if args.report:
+        print(f"# deployment report: {args.report}", file=sys.stderr)
+    if args.dumps_dir:
+        written = _write_dumps(report, args.dumps_dir)
+        print(f"# black-box dumps: {written} file(s) in {args.dumps_dir}",
+              file=sys.stderr)
     for name, entry in report["scenarios"].items():
         verdict = "pass" if entry["passed"] else "FAIL"
         print(f"# {name}: {verdict} ({entry['expect']}, "
@@ -211,6 +221,94 @@ def cmd_chaos(args) -> int:
     print(f"# campaign: {'PASS' if report['passed'] else 'FAIL'}",
           file=sys.stderr)
     return 0 if report["passed"] else 1
+
+
+def _write_dumps(report: dict, directory: str) -> int:
+    """Write each black-box dump of a campaign report as one JSON file
+    (``<scenario>-seed<seed>-<index>.json``) for CI artifact upload."""
+    import json
+    import os
+
+    from repro.obs import collect_campaign_dumps
+
+    os.makedirs(directory, exist_ok=True)
+    dumps = collect_campaign_dumps(report)
+    for dump in dumps:
+        filename = (f"{dump['scenario']}-seed{dump['seed']}-"
+                    f"{dump['index']}.json")
+        with open(os.path.join(directory, filename), "w") as handle:
+            json.dump(dump, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return len(dumps)
+
+
+def cmd_report(args) -> int:
+    from repro.api import MeasurementDevice, Simulator, build_spire, \
+        plant_config
+    from repro.faults import DEFAULT_SCENARIOS, run_campaign
+    from repro.obs import (
+        FlightRecorder, HealthBoard, build_deployment_report,
+        build_plant_section, render_report,
+    )
+
+    # The meta section records only simulation inputs — never --jobs,
+    # wall-clock times, or hostnames — so every rendering is a
+    # determinism witness across worker counts and machines.
+    meta = {"generator": "spire-sim report", "seed": args.seed}
+
+    plant = None
+    if not args.skip_plant:
+        plant_until = max(args.plant_duration, 12.0)
+        sim = Simulator(seed=args.seed)
+        system = build_spire(sim, plant_config(
+            proactive_recovery_period=15.0))
+        recorder = FlightRecorder(sim, snapshot_interval=5.0,
+                                  window=plant_until)
+        board = HealthBoard(sim).watch_replicas(system.replicas)
+        sim.run(until=5.0)
+        system.start_proactive_recovery()
+        hmi = system.hmis[0]
+        MeasurementDevice(
+            sim, system.physical_plc.topology, "B57",
+            sensors={"spire": lambda: hmi.breaker_state("plc-physical",
+                                                        "B57")},
+            period=4.0)
+        # One traced supervisory command near the end feeds the per-hop
+        # latency decomposition without disturbing the measurement run.
+        sim.run(until=plant_until - 3.0)
+        state = hmi.breaker_state("plc-physical", "B57")
+        hmi.command_breaker("plc-physical", "B57", not state)
+        sim.run(until=plant_until)
+        recorder.flush_metrics()
+        plant = build_plant_section(sim, recorder=recorder, board=board)
+        meta["plant_duration"] = plant_until
+
+    campaign = None
+    if not args.skip_campaign:
+        names = ([name.strip() for name in args.scenarios.split(",")
+                  if name.strip()]
+                 if args.scenarios else list(DEFAULT_SCENARIOS))
+        seeds = [args.seed + offset for offset in range(args.seeds)]
+        campaign = run_campaign(scenarios=names, seeds=seeds, f=args.f,
+                                k=args.k, duration=args.duration,
+                                jobs=args.jobs, timeout=args.timeout)
+        meta["campaign"] = (f"{len(names)} scenario(s) x "
+                            f"{len(seeds)} seed(s)")
+
+    report = build_deployment_report(meta=meta, plant=plant,
+                                     campaign=campaign)
+    written = []
+    for path, fmt in ((args.output, "json"), (args.markdown, "markdown"),
+                      (args.html, "html")):
+        if path:
+            with open(path, "w") as handle:
+                handle.write(render_report(report, fmt))
+            written.append(path)
+    if written:
+        print(f"# wrote {', '.join(written)}", file=sys.stderr)
+    else:
+        print(render_report(report, "markdown"), end="")
+    return 0 if campaign is None or campaign["passed"] else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -270,8 +368,52 @@ def build_parser() -> argparse.ArgumentParser:
                             "then reported failed; needs --jobs >= 2)")
     chaos.add_argument("--output", default=None,
                        help="write the JSON report to a file")
+    chaos.add_argument("--report", default=None,
+                       help="also write a rendered deployment report "
+                            "(format from the extension: .json/.html/"
+                            "Markdown)")
+    chaos.add_argument("--dumps-dir", default=None,
+                       help="write each black-box dump as a JSON file "
+                            "into this directory")
     chaos.add_argument("--list", action="store_true",
                        help="list available scenarios and exit")
+    report = sub.add_parser(
+        "report", parents=[seed],
+        help="generate the deployment report (reaction quantiles, "
+             "per-hop latency, health timeline, black-box dumps)")
+    report.add_argument("--plant-duration", type=float, default=40.0,
+                        help="simulated seconds for the plant deployment "
+                             "section (min 12)")
+    report.add_argument("--skip-plant", action="store_true",
+                        help="omit the plant deployment section")
+    report.add_argument("--skip-campaign", action="store_true",
+                        help="omit the resilience campaign section")
+    report.add_argument("--scenarios", default=None,
+                        help="comma-separated campaign scenario names "
+                             "(default: the standard sweep)")
+    report.add_argument("--seeds", type=int, default=1,
+                        help="number of campaign seeds per scenario, "
+                             "counting up from --seed")
+    report.add_argument("--f", type=int, default=1,
+                        help="tolerated intrusions (replicas = 3f+2k+1)")
+    report.add_argument("--k", type=int, default=1,
+                        help="tolerated simultaneous recoveries")
+    report.add_argument("--duration", type=float, default=None,
+                        help="simulated seconds per campaign run "
+                             "(default: per-scenario)")
+    report.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the campaign sweep "
+                             "(0 = all cores); the report is "
+                             "byte-identical for any --jobs value")
+    report.add_argument("--timeout", type=float, default=None,
+                        help="per-cell wall-clock limit in seconds "
+                             "(needs --jobs >= 2)")
+    report.add_argument("--output", default=None,
+                        help="write the JSON report to a file")
+    report.add_argument("--markdown", default=None,
+                        help="write the Markdown rendering to a file")
+    report.add_argument("--html", default=None,
+                        help="write the HTML rendering to a file")
     return parser
 
 
@@ -279,7 +421,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {"quickstart": cmd_quickstart, "redteam": cmd_redteam,
                "plant": cmd_plant, "breach": cmd_breach,
-               "metrics": cmd_metrics, "chaos": cmd_chaos}[args.command]
+               "metrics": cmd_metrics, "chaos": cmd_chaos,
+               "report": cmd_report}[args.command]
     return handler(args)
 
 

@@ -24,7 +24,7 @@ from repro.faults.actions import (
 )
 from repro.faults.campaign import (
     BUILTIN_SCENARIOS, DEFAULT_SCENARIOS, Scenario, report_digest,
-    report_to_json, run_campaign, run_scenario,
+    report_to_json, run_campaign, run_scenario, write_campaign_report,
 )
 from repro.faults.harness import ChaosHarness, ReplayApp
 from repro.faults.monitors import (
@@ -44,5 +44,5 @@ __all__ = [
     # Harness and campaigns
     "BUILTIN_SCENARIOS", "ChaosHarness", "DEFAULT_SCENARIOS", "ReplayApp",
     "Scenario", "report_digest", "report_to_json", "run_campaign",
-    "run_scenario",
+    "run_scenario", "write_campaign_report",
 ]

@@ -71,6 +71,17 @@ class BudgetGuard:
                 self.denied += 1
                 return False
             self.went_over_budget = True
+            # A deliberate breach is a first-class event: log it so the
+            # flight recorder can capture the window around it.
+            sim.log.log("budget-guard", "faults.budget_breach",
+                        f"fault budget exceeded: +{len(names)} {kind} "
+                        f"(f={self.f}, k={self.k})",
+                        names=sorted(names), budget_kind=kind,
+                        byzantine=sorted(self.byzantine | names
+                                         if kind == "byzantine"
+                                         else self.byzantine),
+                        down=sorted(self.down | names if kind != "byzantine"
+                                    else self.down))
         (self.byzantine if kind == "byzantine" else self.down).update(names)
         self._track(sim)
         return True

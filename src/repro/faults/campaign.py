@@ -30,9 +30,17 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.faults.harness import ChaosHarness
 from repro.faults.monitors import MonitorSuite
 from repro.faults.plan import FaultPlan
+from repro.obs.recorder import FlightRecorder
 from repro.parallel import WorkerPool, WorkUnit
 from repro.sim.simulator import Simulator
 from repro.telemetry.metrics import Histogram, MetricsRegistry
+
+# Flight-recorder sizing for campaign cells: passive mode (no scheduled
+# events, so the cell replays bit-identically with or without it), a
+# ring deep enough for one scenario's notable events, and at most two
+# retained black-box captures per run to keep reports bounded.
+_CELL_RECORDER = {"capacity": 2048, "window": 8.0, "max_dumps": 2,
+                  "min_severity": "info", "snapshot_interval": None}
 
 EXPECT_CLEAN = "clean"
 EXPECT_VIOLATION = "violation"
@@ -142,6 +150,7 @@ def run_scenario(scenario: Scenario, seed: int, f: int = 1, k: int = 1,
     pooled quantiles instead of averaging per-run summaries.
     """
     sim = Simulator(seed=seed)
+    recorder = FlightRecorder(sim, name="chaos-recorder", **_CELL_RECORDER)
     harness = ChaosHarness(sim, f=f, k=k, **scenario.harness)
     plan = scenario.build(f, k)
     armed = plan.arm(sim, harness)
@@ -175,6 +184,7 @@ def run_scenario(scenario: Scenario, seed: int, f: int = 1, k: int = 1,
             key: latency.get(key) for key in
             ("samples", "mean", "p50", "p90", "p99")
         },
+        "dumps": list(recorder.dumps),
     }
     if _with_state:
         return run, histogram.state()
@@ -210,6 +220,7 @@ def _failed_cell_run(scenario: Scenario, seed: int, error: str) -> dict:
         "faults": {},
         "workload": {"submitted": 0, "confirmed": 0},
         "confirm_latency": {"samples": 0},
+        "dumps": [],
     }
 
 
@@ -218,7 +229,8 @@ def run_campaign(scenarios: Optional[List[str]] = None,
                  duration: Optional[float] = None,
                  extra: Optional[Dict[str, Scenario]] = None,
                  jobs: int = 1, timeout: Optional[float] = None,
-                 metrics: Optional[MetricsRegistry] = None) -> dict:
+                 metrics: Optional[MetricsRegistry] = None,
+                 report: Optional[str] = None) -> dict:
     """Sweep scenarios × seeds into one resilience report.
 
     Args:
@@ -237,7 +249,13 @@ def run_campaign(scenarios: Optional[List[str]] = None,
             a failed run instead of stalling the sweep.
         metrics: optional registry to receive the sweep's
             ``parallel.*`` telemetry.
+        report: optional path; when set, a rendered deployment report
+            (:mod:`repro.obs.report`) for this campaign is written there
+            (format from the extension: ``.json`` / ``.html`` /
+            Markdown otherwise).  The file is byte-identical for every
+            ``jobs`` value.
     """
+    report_destination = report
     registry = dict(BUILTIN_SCENARIOS)
     if extra:
         registry.update(extra)
@@ -298,7 +316,39 @@ def run_campaign(scenarios: Optional[List[str]] = None,
     # Pooled quantiles over every cell's raw samples (merged, not
     # averaged) — identical whichever worker produced each shard.
     report["confirm_latency"] = campaign_latency.summary()
+    if report_destination:
+        write_campaign_report(report, report_destination)
     return report
+
+
+def write_campaign_report(report: dict, path: str) -> str:
+    """Render a campaign report as a deployment report and write it.
+
+    The format follows the file extension (``.json`` / ``.html``,
+    Markdown otherwise).  Returns the rendered text.  The meta section
+    carries only the sweep configuration — never worker counts or
+    wall-clock times — so the file is a determinism witness across
+    ``jobs`` values.
+    """
+    from repro.obs.report import build_deployment_report, render_report
+
+    config = report.get("config", {})
+    document = build_deployment_report(
+        meta={"source": "chaos campaign", "f": config.get("f"),
+              "k": config.get("k"),
+              "scenarios": ", ".join(config.get("scenarios", [])),
+              "seeds": ", ".join(str(s) for s in config.get("seeds", []))},
+        campaign=report)
+    if path.endswith(".json"):
+        fmt = "json"
+    elif path.endswith((".html", ".htm")):
+        fmt = "html"
+    else:
+        fmt = "markdown"
+    rendered = render_report(document, fmt)
+    with open(path, "w") as handle:
+        handle.write(rendered)
+    return rendered
 
 
 def report_to_json(report: dict, indent: int = 2) -> str:

@@ -248,6 +248,9 @@ class MonitorSuite(Process):
             AgreementMonitor(), ValidityMonitor(),
             LivenessMonitor(liveness_bound), RecoveryBudgetMonitor(),
         ]
+        # Called with each new Violation (observers such as the flight
+        # recorder hook in here; the event-log record fires regardless).
+        self.on_violation: List = []
         self._wrapped = False
         self._timer = None
 
@@ -306,6 +309,8 @@ class MonitorSuite(Process):
         self.log(f"faults.violation.{monitor}", detail, faults=active)
         self.tracer.record("fault.violation", component=monitor,
                            detail=detail, faults=",".join(active))
+        for callback in self.on_violation:
+            callback(violation)
 
     # ------------------------------------------------------------------
     def violations_of(self, monitor: str) -> List[Violation]:

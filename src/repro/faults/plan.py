@@ -188,7 +188,8 @@ class ArmedPlan:
         self.sim.metrics.counter("faults.reverted",
                                  component=action.kind).inc()
         self.sim.log.log("faults", f"faults.{action.kind}",
-                         "fault reverted", fault=action.fault_id)
+                         "fault reverted", fault=action.fault_id,
+                         targets=action.targets)
         if budget_names:
             # Hold the slots until the replicas are healthy again — a
             # recovering replica is still "down" for availability.

@@ -1,0 +1,43 @@
+"""Deployment-style observability: flight recorder, health board,
+and the report generator.
+
+Three cooperating pieces, mirroring how the paper's team watched its
+six-day power-plant deployment and reconstructed the red-team
+excursion:
+
+* :class:`FlightRecorder` — a fixed-capacity, severity-tagged ring
+  buffer over the event log, finished trace spans, and periodic metric
+  snapshots; ``dump()`` produces a deterministic "black box" JSON
+  capture of the last N simulated seconds, and invariant violations /
+  fault-budget breaches trigger automatic dumps attributed to the
+  active fault ids.
+* :class:`HealthBoard` — a per-replica/per-component health state
+  machine (``healthy / recovering / degraded / suspect / down``)
+  derived from recorder streams, queryable at any simulated time and
+  exported as a timeline.
+* :func:`render_report` (with :func:`build_deployment_report`) — the
+  ``spire-sim report`` generator: reaction-time distributions, per-hop
+  latency decomposition, recovery/fault/health timelines, and black-box
+  dumps as self-contained JSON, Markdown, or HTML.
+
+See ``docs/observability.md`` for the dump schema and report format.
+"""
+
+from repro.obs.health import HEALTH_STATES, ComponentHealth, HealthBoard
+from repro.obs.recorder import SEVERITIES, FlightRecorder, severity_of
+from repro.obs.report import (
+    CANONICAL_HOPS, REPORT_FORMATS, build_deployment_report,
+    build_plant_section, collect_campaign_dumps, reaction_stats,
+    render_html, render_markdown, render_report, trace_hop_stats,
+)
+
+__all__ = [
+    # Flight recorder
+    "FlightRecorder", "SEVERITIES", "severity_of",
+    # Health board
+    "ComponentHealth", "HEALTH_STATES", "HealthBoard",
+    # Report generator
+    "CANONICAL_HOPS", "REPORT_FORMATS", "build_deployment_report",
+    "build_plant_section", "collect_campaign_dumps", "reaction_stats",
+    "render_html", "render_markdown", "render_report", "trace_hop_stats",
+]

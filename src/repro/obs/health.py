@@ -1,0 +1,294 @@
+"""Per-replica / per-component health state machine.
+
+The paper's deployment evidence came from watching six diverse Spire
+replicas around the clock for six days.  :class:`HealthBoard` is the
+in-sim analogue: every watched component carries one of five states —
+
+``healthy → degraded → suspect → recovering → down``
+
+derived from two input streams:
+
+* **events** — the shared :class:`~repro.util.eventlog.EventLog`
+  (replica lifecycle, proactive-recovery down/up, fault injections and
+  reverts, leader suspicions);
+* **counters** — a periodic sweep of the telemetry registry for
+  retransmission bursts (``prime.client.retries``), link-loss bursts
+  (``net.link.frames_lost``), and missed executions (a replica whose
+  ``prime.updates_executed`` stalls while its peers advance).
+
+Every transition is appended to a timeline, so the board is queryable
+at any simulated time (:meth:`state_at`) and exports the full
+six-day-style monitoring record (:meth:`timeline`).  Severities only
+escalate from signals; de-escalation goes through ``recovering`` on the
+periodic sweep once a component has been quiet for ``clear_after``
+simulated seconds (explicit recovery events jump straight there).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Dict, List, Optional
+
+from repro.sim.process import Process
+from repro.telemetry.metrics import Counter
+from repro.util.eventlog import LogRecord
+
+HEALTH_STATES = ("healthy", "recovering", "degraded", "suspect", "down")
+_RANK = {state: rank for rank, state in enumerate(HEALTH_STATES)}
+
+
+class ComponentHealth:
+    """Current health of one watched component."""
+
+    __slots__ = ("name", "kind", "state", "since", "reason", "last_signal")
+
+    def __init__(self, name: str, kind: str, now: float):
+        self.name = name
+        self.kind = kind
+        self.state = "healthy"
+        self.since = now
+        self.reason = "registered"
+        self.last_signal = now
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"name": self.name, "kind": self.kind, "state": self.state,
+                "since": self.since, "reason": self.reason}
+
+
+class HealthBoard(Process):
+    """Derives and records component health over simulated time.
+
+    Args:
+        sim: simulation kernel (the board subscribes to ``sim.log``).
+        interval: periodic counter-sweep cadence in simulated seconds;
+            ``None`` disables the sweep (event-driven transitions only,
+            and no simulator events are scheduled).
+        retry_burst: client retransmissions per sweep that mark the
+            client degraded.
+        loss_burst: injected frame losses per sweep that mark a link
+            degraded.
+        clear_after: quiet time before a degraded/suspect component
+            starts recovering (and one further sweep to healthy).
+    """
+
+    def __init__(self, sim, interval: Optional[float] = 0.5,
+                 retry_burst: int = 3, loss_burst: int = 5,
+                 clear_after: float = 2.0, name: str = "health-board"):
+        super().__init__(sim, name)
+        self.interval = interval
+        self.retry_burst = retry_burst
+        self.loss_burst = loss_burst
+        self.clear_after = clear_after
+        self.components: Dict[str, ComponentHealth] = {}
+        self.transitions = 0
+        self._timeline: List[Dict[str, Any]] = []
+        self._times: List[float] = []            # parallel to _timeline
+        self._counter_marks: Dict[Any, float] = {}
+        self._exec_marks: Dict[str, float] = {}
+        self._listener = self._on_log
+        sim.log.subscribe(self._listener)
+        if interval is not None:
+            self.call_every(interval, self._sweep)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def watch(self, name: str, kind: str = "replica") -> ComponentHealth:
+        """Track a component explicitly (auto-registration also happens
+        on the first signal naming it)."""
+        component = self.components.get(name)
+        if component is None:
+            component = ComponentHealth(name, kind, self.now)
+            self.components[name] = component
+        return component
+
+    def watch_replicas(self, replicas) -> "HealthBoard":
+        """Register every replica of a system/harness mapping."""
+        for name in replicas:
+            self.watch(name, kind="replica")
+        return self
+
+    # ------------------------------------------------------------------
+    # Signals
+    # ------------------------------------------------------------------
+    def signal(self, name: str, state: str, reason: str,
+               kind: str = "replica") -> None:
+        """Report a health observation for one component.
+
+        Escalations (rank increase) apply immediately; ``healthy`` and
+        ``recovering`` always apply (explicit recovery); equal-rank
+        refreshes only update the last-signal time.
+        """
+        if state not in _RANK:
+            raise ValueError(f"unknown health state {state!r}; choose from "
+                             f"{', '.join(HEALTH_STATES)}")
+        component = self.watch(name, kind=kind)
+        component.last_signal = self.now
+        if state == component.state:
+            return
+        if _RANK[state] > _RANK[component.state] or state in (
+                "healthy", "recovering"):
+            self._set(component, state, reason)
+
+    def _set(self, component: ComponentHealth, state: str,
+             reason: str) -> None:
+        self._timeline.append({
+            "time": self.now, "component": component.name,
+            "kind": component.kind, "from": component.state, "to": state,
+            "reason": reason,
+        })
+        self._times.append(self.now)
+        component.state = state
+        component.since = self.now
+        component.reason = reason
+        self.transitions += 1
+        self.metrics.counter("obs.health.transitions",
+                             component=component.name).inc()
+
+    # ------------------------------------------------------------------
+    # Event-log stream
+    # ------------------------------------------------------------------
+    def _on_log(self, record: LogRecord) -> None:
+        category, data = record.category, record.data
+        if category == "prime.lifecycle":
+            if "crashed" in record.message:
+                self.signal(record.source, "down", "replica crashed")
+            elif "recovering" in record.message or "reset" in record.message:
+                self.signal(record.source, "recovering",
+                            "state transfer in progress")
+            elif "complete" in record.message:
+                self.signal(record.source, "healthy",
+                            "state transfer complete")
+        elif category == "recovery.down":
+            self.signal(data.get("target", record.source), "down",
+                        "proactive recovery")
+        elif category == "recovery.up":
+            self.signal(data.get("target", record.source), "recovering",
+                        "rejoined with fresh variant")
+        elif category == "prime.suspect":
+            leader = data.get("leader")
+            if leader:
+                self.signal(leader, "suspect", "leader suspected")
+        elif category.startswith("faults."):
+            self._on_fault(category[len("faults."):], record)
+
+    _FAULT_STATES = {"crash": "down", "kill": "down", "byzantine": "suspect",
+                     "link-down": "degraded", "degrade-link": "degraded",
+                     "partition": "degraded"}
+
+    def _on_fault(self, kind: str, record: LogRecord) -> None:
+        state = self._FAULT_STATES.get(kind)
+        if state is None:
+            return
+        targets = record.data.get("targets") or []
+        reverted = "reverted" in record.message
+        for target in targets:
+            if reverted:
+                self.signal(target, "recovering", f"fault {kind} reverted")
+            else:
+                self.signal(target, state, f"fault injected: {kind}")
+
+    # ------------------------------------------------------------------
+    # Counter stream (periodic sweep)
+    # ------------------------------------------------------------------
+    def _sweep(self) -> None:
+        metrics = self.sim.metrics
+        self._burst(metrics.find(name="prime.client.retries"),
+                    self.retry_burst, "client", "retransmission burst")
+        self._burst(metrics.find(name="net.link.frames_lost"),
+                    self.loss_burst, "link", "link-loss burst")
+        self._missed_executions(metrics)
+        self._decay()
+
+    def _burst(self, counters, threshold: int, kind: str,
+               reason: str) -> None:
+        for counter in counters:
+            if not isinstance(counter, Counter):
+                continue
+            mark = self._counter_marks.get(counter.key, 0.0)
+            delta = counter.value - mark
+            self._counter_marks[counter.key] = counter.value
+            if delta >= threshold:
+                self.signal(counter.component, "degraded",
+                            f"{reason} ({int(delta)}/sweep)", kind=kind)
+
+    def _missed_executions(self, metrics) -> None:
+        """A replica whose execution counter stalls while the fastest
+        peer advances is suspect; it clears when it advances again."""
+        counters = [m for m in metrics.find(name="prime.updates_executed")
+                    if isinstance(m, Counter)
+                    and m.component in self.components]
+        if len(counters) < 2:
+            return
+        deltas = {}
+        for counter in counters:
+            mark = self._exec_marks.get(counter.component, 0.0)
+            deltas[counter.component] = counter.value - mark
+            self._exec_marks[counter.component] = counter.value
+        lead = max(deltas.values())
+        for name, delta in sorted(deltas.items()):
+            component = self.components[name]
+            if lead >= 2 and delta == 0:
+                self.signal(name, "suspect", "missed executions "
+                            f"(peers advanced {int(lead)})")
+            elif delta > 0 and component.state == "suspect" \
+                    and component.reason.startswith("missed executions"):
+                self.signal(name, "recovering", "executions resumed")
+
+    def _decay(self) -> None:
+        """Quiet components step down: degraded/suspect → recovering
+        after ``clear_after``; recovering → healthy one sweep later."""
+        now = self.now
+        for name in sorted(self.components):
+            component = self.components[name]
+            quiet = now - component.last_signal
+            if component.state in ("degraded", "suspect") \
+                    and quiet >= self.clear_after:
+                self._set(component, "recovering",
+                          f"quiet for {quiet:.2f}s")
+                component.last_signal = now
+            elif component.state == "recovering" \
+                    and quiet >= (self.interval or self.clear_after):
+                self._set(component, "healthy", "recovered")
+                component.last_signal = now
+
+    # ------------------------------------------------------------------
+    # Queries and export
+    # ------------------------------------------------------------------
+    def state_of(self, name: str) -> str:
+        component = self.components.get(name)
+        return component.state if component else "healthy"
+
+    def state_at(self, name: str, time: float) -> str:
+        """The component's state at an arbitrary simulated time."""
+        index = bisect_right(self._times, time) - 1
+        while index >= 0:
+            entry = self._timeline[index]
+            if entry["component"] == name:
+                return entry["to"]
+            index -= 1
+        return "healthy"
+
+    def timeline(self, component: Optional[str] = None) -> List[Dict[str, Any]]:
+        if component is None:
+            return [dict(entry) for entry in self._timeline]
+        return [dict(entry) for entry in self._timeline
+                if entry["component"] == component]
+
+    def summary(self) -> Dict[str, Any]:
+        """Current census plus per-state counts (the board headline)."""
+        counts = {state: 0 for state in HEALTH_STATES}
+        for component in self.components.values():
+            counts[component.state] += 1
+        return {
+            "components": {name: self.components[name].snapshot()
+                           for name in sorted(self.components)},
+            "counts": counts,
+            "transitions": self.transitions,
+            "unhealthy": sorted(name for name, c in self.components.items()
+                                if c.state != "healthy"),
+        }
+
+    def close(self) -> None:
+        self.sim.log.unsubscribe(self._listener)
+        self.shutdown()

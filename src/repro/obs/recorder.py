@@ -1,0 +1,274 @@
+"""Bounded-memory "black box" flight recorder.
+
+During the paper's six-day power-plant deployment the team kept a
+continuous record of every replica's behavior, and during the red-team
+exercise they had to reconstruct exactly what happened around a
+replica-compromise excursion.  :class:`FlightRecorder` is the in-sim
+analogue: a fixed-capacity, severity-tagged ring buffer that subscribes
+to the shared :class:`~repro.util.eventlog.EventLog`, optionally takes
+periodic :class:`~repro.telemetry.MetricsRegistry` snapshots, and on
+demand (or automatically, when an invariant violation or fault-budget
+breach is logged) produces a deterministic JSON capture of the last
+``window`` simulated seconds — entries, finished trace spans, the full
+metrics snapshot, and the fault ids active in the window.
+
+The recorder is passive on the hot path: the event-log subscription
+appends one ring entry per log record (simulation components do not log
+per-frame), periodic snapshots are opt-in (``snapshot_interval=None``
+schedules nothing, so a recording campaign cell replays bit-identically
+with or without the recorder), and auto-dumps fire synchronously from
+the log listener without scheduling simulator events.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+from repro.sim.process import Process
+from repro.util.eventlog import LogRecord
+
+SEVERITIES = ("debug", "info", "warning", "error", "critical")
+
+# First dotted-prefix match wins (most specific first).
+_SEVERITY_RULES = [
+    ("faults.violation", "critical"),
+    ("faults.budget_breach", "critical"),
+    ("faults.denied", "warning"),
+    ("faults", "warning"),
+    ("client.giveup", "error"),
+    ("net.compromise", "error"),
+    ("plc.config_upload", "error"),
+    ("prime.reject", "warning"),
+    ("prime.suspect", "warning"),
+    ("spire.reset", "warning"),
+    ("switch.port_security", "warning"),
+    ("router.blocked", "warning"),
+    ("recovery", "info"),
+    ("prime.lifecycle", "info"),
+]
+
+# Log categories that trigger an automatic black-box dump.
+_AUTO_DUMP_PREFIXES = ("faults.violation", "faults.budget_breach")
+
+# Cap on finished spans embedded per dump (newest kept).
+_MAX_DUMP_SPANS = 512
+
+
+def severity_of(category: str) -> str:
+    """Severity tag for an event-log category (dotted-prefix rules)."""
+    for prefix, severity in _SEVERITY_RULES:
+        if category == prefix or category.startswith(prefix + "."):
+            return severity
+    return "debug"
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively coerce a payload to JSON-stable primitives."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(key): _jsonable(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value, key=repr) if isinstance(value, (set, frozenset)) \
+            else value
+        return [_jsonable(item) for item in items]
+    return repr(value)
+
+
+class FlightRecorder(Process):
+    """Fixed-capacity, severity-tagged capture of recent activity.
+
+    Args:
+        sim: simulation kernel (the recorder subscribes to ``sim.log``).
+        capacity: ring size in entries; the oldest entries fall off.
+        window: default dump lookback in simulated seconds.
+        snapshot_interval: cadence of periodic metrics snapshots in
+            simulated seconds, or ``None`` (default) for none — the
+            passive mode schedules **zero** simulator events.
+        min_severity: entries below this severity are not recorded
+            (``"debug"`` keeps everything).
+        max_dumps: retained dump cap (oldest evicted).
+        auto_dump_cooldown: minimum simulated seconds between automatic
+            dumps, so a violation storm yields one capture, not one per
+            violation.
+    """
+
+    def __init__(self, sim, capacity: int = 4096, window: float = 10.0,
+                 snapshot_interval: Optional[float] = None,
+                 min_severity: str = "debug", max_dumps: int = 8,
+                 auto_dump_cooldown: float = 1.0,
+                 name: str = "flight-recorder"):
+        super().__init__(sim, name)
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if min_severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {min_severity!r}; "
+                             f"choose from {', '.join(SEVERITIES)}")
+        self.capacity = capacity
+        self.window = window
+        self.min_severity = min_severity
+        self.max_dumps = max_dumps
+        self.auto_dump_cooldown = auto_dump_cooldown
+        self._min_rank = SEVERITIES.index(min_severity)
+        self._ring: deque = deque(maxlen=capacity)
+        self.dumps: List[Dict[str, Any]] = []
+        self.dumps_total = 0
+        self.entries_total = 0
+        self.auto_dumps = 0
+        self._last_auto_dump: Optional[float] = None
+        self._snapshot_timer = None
+        self._listener = self._on_log
+        sim.log.subscribe(self._listener)
+        if snapshot_interval is not None:
+            self._snapshot_timer = self.call_every(
+                snapshot_interval, self._periodic_snapshot)
+
+    # ------------------------------------------------------------------
+    # Capture
+    # ------------------------------------------------------------------
+    @property
+    def dropped(self) -> int:
+        """Entries evicted from the ring so far."""
+        return self.entries_total - len(self._ring)
+
+    def _on_log(self, record: LogRecord) -> None:
+        severity = severity_of(record.category)
+        self._append(record.time, severity, "event", record.source,
+                     record.category, record.message, record.data)
+        for prefix in _AUTO_DUMP_PREFIXES:
+            if record.category == prefix or \
+                    record.category.startswith(prefix + "."):
+                self._auto_dump(record)
+                break
+
+    def record(self, severity: str, category: str, message: str,
+               source: str = "recorder", **data: Any) -> None:
+        """Append a manual note (same ring, same dump window)."""
+        if severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {severity!r}")
+        self._append(self.now, severity, "note", source, category,
+                     message, data)
+
+    def _append(self, time: float, severity: str, kind: str, source: str,
+                category: str, message: str, data: Dict[str, Any]) -> None:
+        if SEVERITIES.index(severity) < self._min_rank:
+            return
+        self._ring.append({"time": time, "severity": severity, "kind": kind,
+                           "source": source, "category": category,
+                           "message": message, "data": data})
+        self.entries_total += 1
+
+    def _periodic_snapshot(self) -> None:
+        """Record a compact registry digest into the ring and publish
+        the recorder's own counters."""
+        totals = {
+            "events_executed": self.sim.metrics.total("sim.events_executed"),
+            "updates_executed": self.sim.metrics.total(
+                "prime.updates_executed"),
+            "frames_lost": self.sim.metrics.total("net.link.frames_lost"),
+            "client_retries": self.sim.metrics.total("prime.client.retries"),
+            "violations": self.sim.metrics.total(
+                "faults.invariant_violations"),
+        }
+        self._append(self.now, "debug", "metrics", self.name,
+                     "obs.snapshot", "periodic metrics snapshot", totals)
+        self.flush_metrics()
+
+    def flush_metrics(self) -> None:
+        """Publish recorder counters through the standard registry."""
+        metrics = self.sim.metrics
+        metrics.sync_counter("obs.recorder.entries", self.entries_total,
+                             component=self.name)
+        metrics.sync_counter("obs.recorder.dropped", self.dropped,
+                             component=self.name)
+        metrics.sync_counter("obs.recorder.dumps", self.dumps_total,
+                             component=self.name)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def entries(self, since: float = float("-inf"),
+                min_severity: str = "debug") -> List[Dict[str, Any]]:
+        """Ring entries at or after ``since``, filtered by severity."""
+        rank = SEVERITIES.index(min_severity)
+        return [entry for entry in self._ring
+                if entry["time"] >= since
+                and SEVERITIES.index(entry["severity"]) >= rank]
+
+    # ------------------------------------------------------------------
+    # Dumps
+    # ------------------------------------------------------------------
+    def _auto_dump(self, record: LogRecord) -> None:
+        now = self.now
+        if (self._last_auto_dump is not None
+                and now - self._last_auto_dump < self.auto_dump_cooldown):
+            return
+        self._last_auto_dump = now
+        self.auto_dumps += 1
+        faults = record.data.get("faults") or []
+        fault = record.data.get("fault")
+        if fault:
+            faults = list(faults) + [fault]
+        self.dump(reason=record.category, fault_ids=faults,
+                  trigger={"source": record.source,
+                           "message": record.message})
+
+    def dump(self, reason: str = "manual", window: Optional[float] = None,
+             fault_ids: Optional[List[str]] = None,
+             trigger: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """Produce (and retain) a black-box capture of the recent window.
+
+        The capture is deterministic for a given seed: entries in ring
+        order, finished spans sorted by ``(start, span_id)``, the full
+        metrics snapshot in registry key order, and the union of fault
+        ids seen in the window (explicit ``fault_ids`` merged in).
+        """
+        now = self.now
+        lookback = self.window if window is None else window
+        since = now - lookback
+        entries = [
+            {**entry, "data": _jsonable(entry["data"])}
+            for entry in self._ring if entry["time"] >= since
+        ]
+        seen = set(fault_ids or [])
+        for entry in entries:
+            data = entry["data"]
+            if isinstance(data, dict):
+                if isinstance(data.get("fault"), str):
+                    seen.add(data["fault"])
+                if isinstance(data.get("faults"), list):
+                    seen.update(f for f in data["faults"]
+                                if isinstance(f, str))
+        spans = sorted(
+            (span for span in self.sim.tracer.spans()
+             if span.finished and span.end >= since),
+            key=lambda span: (span.start, span.span_id))[-_MAX_DUMP_SPANS:]
+        capture = {
+            "reason": reason,
+            "time": now,
+            "window": {"since": since, "until": now, "seconds": lookback},
+            "fault_ids": sorted(seen),
+            "trigger": _jsonable(trigger or {}),
+            "entries": entries,
+            "entries_dropped_before_window": self.dropped,
+            "spans": [span.snapshot() for span in spans],
+            "metrics": self.sim.metrics.snapshot(),
+        }
+        self.dumps.append(capture)
+        self.dumps_total += 1
+        if len(self.dumps) > self.max_dumps:
+            del self.dumps[0]
+        self.flush_metrics()
+        return capture
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Detach from the event log and stop periodic snapshots."""
+        self.sim.log.unsubscribe(self._listener)
+        self.shutdown()

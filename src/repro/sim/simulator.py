@@ -108,9 +108,13 @@ class Simulator:
 
     Args:
         seed: root seed for all randomness in the simulation.
+        telemetry: hand out inert trace spans when False.
+        trace_retention: bound on retained finished trace spans
+            (oldest-evicted; ``None`` retains everything).
     """
 
-    def __init__(self, seed: int = 0, *, telemetry: bool = True):
+    def __init__(self, seed: int = 0, *, telemetry: bool = True,
+                 trace_retention: Optional[int] = None):
         self._now = 0.0
         self._heap: List[Event] = []
         self._seq = itertools.count()
@@ -124,13 +128,15 @@ class Simulator:
         self.rng = DeterministicRng(seed)
         self.log = EventLog(clock=lambda: self._now)
         self.metrics = MetricsRegistry(clock=lambda: self._now)
-        self.tracer = Tracer(clock=lambda: self._now, enabled=telemetry)
+        self.tracer = Tracer(clock=lambda: self._now, enabled=telemetry,
+                             max_retained=trace_retention)
         self._metric_executed = self.metrics.counter("sim.events_executed",
                                                      component="kernel")
         self._metric_cancelled = self.metrics.counter("sim.events_cancelled",
                                                       component="kernel")
         self._metric_heap = self.metrics.gauge("sim.heap_depth",
                                                component="kernel")
+        self._flushed_spans_evicted = 0
         self._halted = False
 
     @property
@@ -216,6 +222,13 @@ class Simulator:
             self._metric_cancelled.inc(self._events_cancelled
                                        - self._flushed_cancelled)
             self._flushed_cancelled = self._events_cancelled
+        if self.tracer.spans_evicted > self._flushed_spans_evicted:
+            # Lazily registered: the row only appears once retention is
+            # actually evicting, so default-config snapshots are unchanged.
+            self.metrics.counter("telemetry.trace.spans_evicted",
+                                 component="tracer").inc(
+                self.tracer.spans_evicted - self._flushed_spans_evicted)
+            self._flushed_spans_evicted = self.tracer.spans_evicted
         self._metric_heap.set(len(self._heap))
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:

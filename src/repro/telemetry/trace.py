@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import itertools
 import json
+from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 Clock = Callable[[], float]
@@ -79,15 +80,29 @@ class Tracer:
 
     Disabled tracers (``enabled = False``) return inert spans and store
     nothing, so hot paths can call unconditionally.
+
+    ``max_retained`` bounds the retained span store for multi-hour
+    simulated deployments: once more than ``max_retained`` spans are
+    held, the oldest *finished* spans are evicted (open spans are never
+    dropped — they are still accumulating) and ``spans_evicted`` counts
+    them (surfaced as the ``telemetry.trace.spans_evicted`` metric by
+    the simulator).  The default (``None``) retains everything up to
+    the :data:`MAX_SPANS` safety valve, exactly as before.
     """
 
-    def __init__(self, clock: Optional[Clock] = None, enabled: bool = True):
+    def __init__(self, clock: Optional[Clock] = None, enabled: bool = True,
+                 max_retained: Optional[int] = None):
+        if max_retained is not None and max_retained <= 0:
+            raise ValueError(
+                f"max_retained must be positive, got {max_retained}")
         self._clock: Clock = clock or (lambda: 0.0)
         self.enabled = enabled
+        self.max_retained = max_retained
         self._ids = itertools.count(1)
-        self._spans: List[Span] = []
+        self._spans: deque = deque()
         self._by_trace: Dict[str, List[Span]] = {}
         self.spans_dropped = 0
+        self.spans_evicted = 0
 
     def bind_clock(self, clock: Clock) -> None:
         self._clock = clock
@@ -116,9 +131,31 @@ class Tracer:
         if self.enabled and len(self._spans) < MAX_SPANS:
             self._spans.append(span)
             self._by_trace.setdefault(trace_id, []).append(span)
+            if self.max_retained is not None \
+                    and len(self._spans) > self.max_retained:
+                self._evict_oldest_finished()
         elif self.enabled:
             self.spans_dropped += 1
         return span
+
+    def _evict_oldest_finished(self) -> None:
+        """Drop finished spans from the old end until back under the
+        retention cap (an open span at the old end blocks eviction —
+        it is still accumulating and must stay addressable)."""
+        spans = self._spans
+        while len(spans) > self.max_retained and spans[0].finished:
+            evicted = spans.popleft()
+            siblings = self._by_trace.get(evicted.trace_id)
+            if siblings:
+                # The globally oldest span is the first created in its
+                # trace, so it sits at the front of the trace list.
+                if siblings[0] is evicted:
+                    siblings.pop(0)
+                else:
+                    siblings.remove(evicted)
+                if not siblings:
+                    del self._by_trace[evicted.trace_id]
+            self.spans_evicted += 1
 
     def record(self, name: str, component: str = "",
                parent: Optional[Any] = None,

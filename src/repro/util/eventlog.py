@@ -7,6 +7,7 @@ scraping stdout; examples may print it for human consumption.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
@@ -31,10 +32,20 @@ class LogRecord:
 
 
 class EventLog:
-    """Append-only log of simulation events with simple query helpers."""
+    """Append-only log of simulation events with simple query helpers.
 
-    def __init__(self, clock: Optional[Callable[[], float]] = None):
-        self._records: List[LogRecord] = []
+    By default every record is retained for the life of the simulation.
+    For long campaigns (chaos sweeps, six-day-style deployments) pass
+    ``maxlen=`` (or call :meth:`set_maxlen` later) to switch the store
+    to a bounded ring: the oldest records fall off, ``dropped`` counts
+    them, and listeners still see every record as it is logged.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None,
+                 maxlen: Optional[int] = None):
+        self._records = deque(maxlen=maxlen) if maxlen else []
+        self.maxlen = maxlen
+        self.dropped = 0
         self._clock = clock or (lambda: 0.0)
         self._listeners: List[Callable[[LogRecord], None]] = []
 
@@ -46,11 +57,32 @@ class EventLog:
         """Invoke ``listener`` synchronously for every future record."""
         self._listeners.append(listener)
 
+    def unsubscribe(self, listener: Callable[[LogRecord], None]) -> None:
+        """Detach a listener (no-op if it was never subscribed)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def set_maxlen(self, maxlen: Optional[int]) -> None:
+        """Switch between unbounded and ring-buffer retention, keeping
+        the newest existing records that fit."""
+        if maxlen is None:
+            self._records = list(self._records)
+        else:
+            if maxlen <= 0:
+                raise ValueError(f"maxlen must be positive, got {maxlen}")
+            self.dropped += max(0, len(self._records) - maxlen)
+            self._records = deque(self._records, maxlen=maxlen)
+        self.maxlen = maxlen
+
     def log(self, source: str, category: str, message: str, **data: Any) -> LogRecord:
         record = LogRecord(
             time=self._clock(), source=source, category=category,
             message=message, data=data,
         )
+        if self.maxlen is not None and len(self._records) >= self.maxlen:
+            self.dropped += 1
         self._records.append(record)
         for listener in self._listeners:
             listener(record)

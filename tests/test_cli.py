@@ -56,3 +56,55 @@ def test_chaos_command_produces_report(tmp_path):
     storm = report["scenarios"]["byzantine-storm"]
     assert storm["expect"] == "violation"
     assert storm["violations"] > 0
+
+
+def test_chaos_command_writes_deployment_report_and_dumps(tmp_path):
+    import json
+
+    report_path = tmp_path / "deployment.md"
+    dumps_dir = tmp_path / "dumps"
+    code, _output = run_cli(["--seed", "3", "chaos",
+                             "--scenarios", "byzantine-storm",
+                             "--duration", "12.0",
+                             "--report", str(report_path),
+                             "--dumps-dir", str(dumps_dir)])
+    assert code == 0
+    markdown = report_path.read_text()
+    assert markdown.startswith("# Spire deployment report")
+    assert "byzantine-storm" in markdown
+    dump_paths = sorted(dumps_dir.glob("byzantine-storm-seed*.json"))
+    assert dump_paths, "no automatic black-box dumps written"
+    dump = json.loads(dump_paths[0].read_text())
+    assert dump["fault_ids"]
+    assert dump["reason"].startswith("faults.violation")
+
+
+def test_report_command_renders_all_formats(tmp_path):
+    import json
+
+    json_path = tmp_path / "report.json"
+    md_path = tmp_path / "report.md"
+    html_path = tmp_path / "report.html"
+    code, _output = run_cli(["--seed", "1", "report", "--skip-plant",
+                             "--scenarios", "byzantine-storm",
+                             "--seeds", "1", "--duration", "12.0",
+                             "--output", str(json_path),
+                             "--markdown", str(md_path),
+                             "--html", str(html_path)])
+    assert code == 0
+    document = json.loads(json_path.read_text())
+    assert document["meta"]["generator"] == "spire-sim report"
+    assert "jobs" not in document["meta"]          # determinism witness
+    campaign = document["campaign"]
+    assert campaign["scenarios"]["byzantine-storm"]["violations"] > 0
+    assert md_path.read_text().startswith("# Spire deployment report")
+    assert html_path.read_text().startswith("<!DOCTYPE html>")
+
+
+def test_report_command_plant_only_prints_markdown():
+    code, output = run_cli(["--seed", "1", "report", "--skip-campaign",
+                            "--plant-duration", "14"])
+    assert code == 0
+    assert output.startswith("# Spire deployment report")
+    assert "Reaction-time distributions" in output
+    assert "Per-hop latency" in output

@@ -1,0 +1,500 @@
+"""Observability layer: flight recorder, health board, deployment
+reports — plus the EventLog ring/unsubscribe and Tracer retention
+satellites that feed them."""
+
+import json
+
+import pytest
+
+from repro.api import Simulator
+from repro.obs import (
+    CANONICAL_HOPS, HEALTH_STATES, FlightRecorder, HealthBoard,
+    build_deployment_report, build_plant_section, collect_campaign_dumps,
+    render_report, severity_of, trace_hop_stats,
+)
+from repro.telemetry.trace import Tracer
+from repro.util.eventlog import EventLog
+
+
+# ----------------------------------------------------------------------
+# Flight recorder
+# ----------------------------------------------------------------------
+def test_severity_rules():
+    assert severity_of("faults.violation.liveness") == "critical"
+    assert severity_of("faults.budget_breach") == "critical"
+    assert severity_of("faults.crash") == "warning"
+    assert severity_of("client.giveup") == "error"
+    assert severity_of("recovery.down") == "info"
+    assert severity_of("prime.lifecycle") == "info"
+    assert severity_of("prime.execute") == "debug"
+    # Prefix match is on dotted boundaries, not raw startswith.
+    assert severity_of("recoveryx") == "debug"
+
+
+def test_ring_capacity_and_dropped():
+    sim = Simulator(seed=1)
+    recorder = FlightRecorder(sim, capacity=5)
+    for index in range(8):
+        sim.log.log("src", "test.event", f"message {index}")
+    assert len(recorder) == 5
+    assert recorder.entries_total == 8
+    assert recorder.dropped == 3
+    # The oldest three fell off the ring.
+    messages = [entry["message"] for entry in recorder.entries()]
+    assert messages == [f"message {index}" for index in range(3, 8)]
+
+
+def test_min_severity_filter_and_entry_queries():
+    sim = Simulator(seed=1)
+    recorder = FlightRecorder(sim, min_severity="warning")
+    sim.log.log("src", "prime.execute", "debug-level noise")
+    sim.log.log("src", "faults.crash", "fault injected")
+    sim.log.log("src", "client.giveup", "gave up")
+    assert len(recorder) == 2
+    assert [e["severity"] for e in recorder.entries()] == ["warning", "error"]
+    assert [e["category"] for e in recorder.entries(min_severity="error")] \
+        == ["client.giveup"]
+
+
+def test_manual_record_and_validation():
+    sim = Simulator(seed=1)
+    recorder = FlightRecorder(sim)
+    recorder.record("info", "obs.note", "operator annotation", shift="night")
+    entry = recorder.entries()[-1]
+    assert entry["kind"] == "note"
+    assert entry["data"]["shift"] == "night"
+    with pytest.raises(ValueError, match="unknown severity"):
+        recorder.record("loud", "obs.note", "nope")
+    with pytest.raises(ValueError, match="capacity"):
+        FlightRecorder(sim, capacity=0)
+    with pytest.raises(ValueError, match="unknown severity"):
+        FlightRecorder(sim, min_severity="chatty")
+
+
+def test_auto_dump_on_violation_with_cooldown():
+    sim = Simulator(seed=1)
+    recorder = FlightRecorder(sim, auto_dump_cooldown=1.0)
+    sim.log.log("monitors", "faults.violation.liveness", "stalled",
+                faults=["plan:0:crash"])
+    assert len(recorder.dumps) == 1
+    dump = recorder.dumps[0]
+    assert dump["reason"] == "faults.violation.liveness"
+    assert dump["fault_ids"] == ["plan:0:crash"]
+    assert dump["trigger"]["source"] == "monitors"
+    # A violation storm within the cooldown yields one capture...
+    sim.log.log("monitors", "faults.violation.liveness", "still stalled",
+                faults=["plan:0:crash"])
+    assert len(recorder.dumps) == 1
+    # ...and a later one (cooldown elapsed) captures again.
+    sim.schedule(2.0, lambda: sim.log.log(
+        "monitors", "faults.violation.agreement", "diverged", faults=[]))
+    sim.run(until=3.0)
+    assert len(recorder.dumps) == 2
+    assert recorder.auto_dumps == 2
+
+
+def test_auto_dump_on_budget_breach():
+    sim = Simulator(seed=1)
+    recorder = FlightRecorder(sim)
+    sim.log.log("budget-guard", "faults.budget_breach",
+                "fault budget exceeded: +2 byzantine (f=1, k=1)",
+                names=["replica1", "replica2"], budget_kind="byzantine")
+    assert len(recorder.dumps) == 1
+    assert recorder.dumps[0]["reason"] == "faults.budget_breach"
+
+
+def test_dump_window_fault_union_and_spans():
+    sim = Simulator(seed=1)
+    recorder = FlightRecorder(sim, window=4.0)
+    sim.log.log("faults", "faults.crash", "fault injected",
+                fault="plan:0:crash", targets=["replica1"])
+    sim.tracer.record("early.hop", component="a")
+    sim.schedule(10.0, lambda: sim.log.log(
+        "faults", "faults.byzantine", "fault injected",
+        fault="plan:1:byzantine", targets=["replica2"]))
+    sim.schedule(10.5, lambda: sim.tracer.record("late.hop", component="b"))
+    sim.run(until=11.0)
+    dump = recorder.dump(reason="manual-check")
+    # Only the in-window entry (t=10.0) and span (t=10.5) are captured;
+    # the t=0 fault is outside the 4 s lookback.
+    assert dump["fault_ids"] == ["plan:1:byzantine"]
+    assert [e["category"] for e in dump["entries"]] == ["faults.byzantine"]
+    assert [s["name"] for s in dump["spans"]] == ["late.hop"]
+    assert dump["window"]["seconds"] == 4.0
+    # Explicit fault ids merge into the union.
+    wide = recorder.dump(window=100.0, fault_ids=["manual:0:x"])
+    assert wide["fault_ids"] == \
+        ["manual:0:x", "plan:0:crash", "plan:1:byzantine"]
+
+
+def test_dump_retention_and_metrics():
+    sim = Simulator(seed=1)
+    recorder = FlightRecorder(sim, max_dumps=2)
+    for index in range(3):
+        recorder.dump(reason=f"dump-{index}")
+    assert [d["reason"] for d in recorder.dumps] == ["dump-1", "dump-2"]
+    assert recorder.dumps_total == 3
+    counter = sim.metrics.get("obs.recorder.dumps",
+                              component="flight-recorder")
+    assert counter is not None and counter.value == 3
+
+
+def test_dump_is_json_stable():
+    sim = Simulator(seed=1)
+    recorder = FlightRecorder(sim)
+    sim.log.log("src", "test.payload", "odd payload",
+                names={"b", "a"}, obj=object(), nested={"x": (1, 2)})
+    dump = recorder.dump()
+    text = json.dumps(dump, sort_keys=True)
+    data = dump["entries"][0]["data"]
+    assert data["names"] == ["a", "b"]          # sets sort deterministically
+    assert isinstance(data["obj"], str)          # repr fallback
+    assert data["nested"]["x"] == [1, 2]
+    assert json.loads(text)["reason"] == "manual"
+
+
+def test_periodic_snapshot_mode():
+    sim = Simulator(seed=1)
+    recorder = FlightRecorder(sim, snapshot_interval=1.0)
+    assert sim.pending_events == 1               # exactly the snapshot timer
+    sim.run(until=3.5)
+    snapshots = [e for e in recorder.entries() if e["kind"] == "metrics"]
+    assert len(snapshots) == 3
+    assert snapshots[0]["category"] == "obs.snapshot"
+    assert "events_executed" in snapshots[0]["data"]
+
+
+def test_passive_mode_schedules_nothing_and_close_unsubscribes():
+    sim = Simulator(seed=1)
+    recorder = FlightRecorder(sim)
+    assert sim.pending_events == 0
+    sim.log.log("src", "test.event", "one")
+    recorder.close()
+    sim.log.log("src", "test.event", "two")
+    assert [e["message"] for e in recorder.entries()] == ["one"]
+
+
+def test_byzantine_storm_run_captures_attributed_dump():
+    """Acceptance: the over-budget chaos scenario auto-dumps, and the
+    dump's event window contains the triggering fault ids."""
+    from repro.faults import BUILTIN_SCENARIOS, run_scenario
+
+    run = run_scenario(BUILTIN_SCENARIOS["byzantine-storm"], seed=3,
+                       duration=12.0)
+    assert run["passed"] and run["violations"]
+    assert run["dumps"], "no automatic black-box dump captured"
+    dump = run["dumps"][0]
+    assert dump["reason"].startswith("faults.violation")
+    injected = {action["fault_id"] for action in run["faults"]["actions"]
+                if action.get("injected_at") is not None}
+    assert injected and set(dump["fault_ids"]) <= injected
+    # The fault ids are visible in the captured event window itself.
+    window_faults = {e["data"].get("fault") for e in dump["entries"]
+                     if isinstance(e["data"], dict)}
+    assert set(dump["fault_ids"]) <= window_faults
+
+
+# ----------------------------------------------------------------------
+# Health board
+# ----------------------------------------------------------------------
+def test_lifecycle_and_recovery_transitions():
+    sim = Simulator(seed=1)
+    board = HealthBoard(sim, interval=None)
+    board.watch("replica1")
+    sim.log.log("replica1", "prime.lifecycle", "replica crashed")
+    assert board.state_of("replica1") == "down"
+    sim.log.log("replica1", "prime.lifecycle", "replica recovering")
+    assert board.state_of("replica1") == "recovering"
+    sim.log.log("replica1", "prime.lifecycle", "state transfer complete")
+    assert board.state_of("replica1") == "healthy"
+    sim.log.log("proactive-recovery", "recovery.down", "taking down",
+                target="replica2")
+    assert board.state_of("replica2") == "down"
+    sim.log.log("proactive-recovery", "recovery.up", "back up",
+                target="replica2")
+    assert board.state_of("replica2") == "recovering"
+
+
+def test_fault_injection_and_revert_signals():
+    sim = Simulator(seed=1)
+    board = HealthBoard(sim, interval=None)
+    sim.log.log("faults", "faults.byzantine", "fault injected",
+                fault="p:0:byzantine", targets=["replica3"])
+    assert board.state_of("replica3") == "suspect"
+    sim.log.log("faults", "faults.byzantine", "fault reverted",
+                fault="p:0:byzantine", targets=["replica3"])
+    assert board.state_of("replica3") == "recovering"
+    sim.log.log("faults", "faults.link-down", "fault injected",
+                fault="p:1:link-down", targets=["replica4"])
+    assert board.state_of("replica4") == "degraded"
+
+
+def test_escalation_only_state_machine():
+    sim = Simulator(seed=1)
+    board = HealthBoard(sim, interval=None)
+    board.signal("replica1", "suspect", "missed executions")
+    board.signal("replica1", "degraded", "late")     # de-escalation ignored
+    assert board.state_of("replica1") == "suspect"
+    board.signal("replica1", "down", "crashed")       # escalation applies
+    assert board.state_of("replica1") == "down"
+    board.signal("replica1", "healthy", "operator cleared")
+    assert board.state_of("replica1") == "healthy"
+    with pytest.raises(ValueError, match="unknown health state"):
+        board.signal("replica1", "great", "nope")
+
+
+def test_state_at_and_timeline():
+    sim = Simulator(seed=1)
+    board = HealthBoard(sim, interval=None)
+    board.watch("replica1")
+    sim.schedule(2.0, board.signal, "replica1", "down", "crashed")
+    sim.schedule(5.0, board.signal, "replica1", "recovering", "restarting")
+    sim.run(until=6.0)
+    assert board.state_at("replica1", 1.0) == "healthy"
+    assert board.state_at("replica1", 2.0) == "down"
+    assert board.state_at("replica1", 4.9) == "down"
+    assert board.state_at("replica1", 5.5) == "recovering"
+    timeline = board.timeline("replica1")
+    assert [(e["from"], e["to"]) for e in timeline] == \
+        [("healthy", "down"), ("down", "recovering")]
+    assert board.timeline() == timeline
+
+
+def test_decay_returns_quiet_components_to_healthy():
+    sim = Simulator(seed=1)
+    board = HealthBoard(sim, interval=0.5, clear_after=1.0)
+    board.signal("replica1", "degraded", "link flap")
+    sim.run(until=3.0)
+    assert board.state_of("replica1") == "healthy"
+    steps = [e["to"] for e in board.timeline("replica1")]
+    assert steps == ["degraded", "recovering", "healthy"]
+
+
+def test_retry_burst_marks_client_degraded():
+    sim = Simulator(seed=1)
+    board = HealthBoard(sim, interval=0.5, retry_burst=3)
+    counter = sim.metrics.counter("prime.client.retries", component="hmi1")
+    sim.schedule(0.3, counter.inc, 5)
+    sim.run(until=1.0)
+    assert board.state_of("hmi1") == "degraded"
+    assert board.components["hmi1"].kind == "client"
+
+
+def test_missed_executions_suspect_and_resume():
+    sim = Simulator(seed=1)
+    board = HealthBoard(sim, interval=0.5, clear_after=10.0)
+    for name in ("replica1", "replica2", "replica3"):
+        board.watch(name)
+        sim.metrics.counter("prime.updates_executed", component=name)
+    fast = [sim.metrics.counter("prime.updates_executed", component=name)
+            for name in ("replica1", "replica2")]
+    stalled = sim.metrics.counter("prime.updates_executed",
+                                  component="replica3")
+    sim.schedule(0.3, lambda: [c.inc(3) for c in fast])
+    sim.run(until=1.0)
+    assert board.state_of("replica3") == "suspect"
+    assert board.components["replica3"].reason.startswith("missed")
+    sim.schedule(0.1, stalled.inc, 3)        # fires at t=1.1
+    sim.schedule(0.1, lambda: [c.inc(3) for c in fast])
+    sim.run(until=1.6)                       # one sweep past the resume
+    assert board.state_of("replica3") == "recovering"
+    assert board.components["replica3"].reason == "executions resumed"
+
+
+def test_board_interval_none_schedules_nothing():
+    sim = Simulator(seed=1)
+    HealthBoard(sim, interval=None)
+    assert sim.pending_events == 0
+
+
+def test_summary_census():
+    sim = Simulator(seed=1)
+    board = HealthBoard(sim, interval=None)
+    board.watch_replicas({"replica1": None, "replica2": None})
+    board.signal("replica1", "down", "crashed")
+    summary = board.summary()
+    assert summary["counts"]["down"] == 1
+    assert summary["counts"]["healthy"] == 1
+    assert summary["unhealthy"] == ["replica1"]
+    assert summary["transitions"] == 1
+    assert set(summary["components"]) == {"replica1", "replica2"}
+    assert set(HEALTH_STATES) == set(summary["counts"])
+
+
+# ----------------------------------------------------------------------
+# Deployment report
+# ----------------------------------------------------------------------
+def test_trace_hop_stats_canonical_order():
+    sim = Simulator(seed=1)
+    sim.tracer.record("zz.custom", component="x")
+    sim.tracer.record("hmi.update", component="hmi1")
+    sim.tracer.record("overlay.deliver", component="daemon")
+    sim.tracer.start_span("open.hop", component="y")     # unfinished: excluded
+    hops = [row["hop"] for row in trace_hop_stats(sim.tracer)]
+    assert hops == ["overlay.deliver", "hmi.update", "zz.custom"]
+    assert set(hops) <= set(CANONICAL_HOPS) | {"zz.custom"}
+
+
+def test_plant_section_and_renderings():
+    sim = Simulator(seed=1)
+    recorder = FlightRecorder(sim)
+    board = HealthBoard(sim, interval=None)
+    sim.metrics.histogram("prime.confirm_latency",
+                          component="hmi1").observe(0.042)
+    sim.tracer.record("prime.order", component="replica1")
+    sim.log.log("replica1", "prime.lifecycle", "replica crashed")
+    recorder.dump(reason="manual")
+    section = build_plant_section(sim, recorder=recorder, board=board)
+    assert section["reaction"]["prime.confirm_latency"]["samples"] == 1
+    assert section["hops"][0]["hop"] == "prime.order"
+    assert section["health"]["summary"]["counts"]["down"] == 1
+    assert section["events"][0]["category"] == "prime.lifecycle"
+    assert len(section["dumps"]) == 1
+
+    report = build_deployment_report(meta={"seed": 1}, plant=section)
+    markdown = render_report(report, "markdown")
+    assert "# Spire deployment report" in markdown
+    assert "prime.confirm_latency" in markdown
+    assert "healthy → down" in markdown
+    html = render_report(report, "html")
+    assert html.startswith("<!DOCTYPE html>") and "&lt;" not in markdown
+    parsed = json.loads(render_report(report, "json"))
+    assert parsed["plant"]["counters"]["faults.invariant_violations"] == 0
+    with pytest.raises(ValueError, match="unknown report format"):
+        render_report(report, "pdf")
+    # Renderings are pure functions of the report dict.
+    assert render_report(report, "markdown") == markdown
+
+
+def test_campaign_report_is_byte_identical_across_jobs(tmp_path):
+    """Acceptance: the rendered deployment report for a campaign is the
+    same bytes whether the sweep ran serial or fanned out."""
+    from repro.faults import run_campaign
+
+    paths = {jobs: tmp_path / f"report-jobs{jobs}.md" for jobs in (1, 2)}
+    campaigns = {
+        jobs: run_campaign(scenarios=["byzantine-storm"], seeds=[3],
+                           duration=12.0, jobs=jobs, report=str(paths[jobs]))
+        for jobs in (1, 2)
+    }
+    assert paths[1].read_bytes() == paths[2].read_bytes()
+    dumps = collect_campaign_dumps(campaigns[1])
+    assert dumps and dumps[0]["scenario"] == "byzantine-storm"
+    assert dumps[0]["fault_ids"]
+    assert "Black-box dumps" in paths[1].read_text()
+
+
+def test_campaign_failed_cell_has_empty_dumps():
+    from repro.faults.campaign import BUILTIN_SCENARIOS, _failed_cell_run
+
+    run = _failed_cell_run(BUILTIN_SCENARIOS["baseline"], 1, "boom")
+    assert run["dumps"] == []
+    assert collect_campaign_dumps(
+        {"config": {"scenarios": ["baseline"]},
+         "scenarios": {"baseline": {"runs": [run]}}}) == []
+
+
+# ----------------------------------------------------------------------
+# EventLog satellites: unsubscribe + bounded ring
+# ----------------------------------------------------------------------
+def test_eventlog_unsubscribe():
+    log = EventLog()
+    seen = []
+    log.subscribe(seen.append)
+    log.log("src", "cat", "one")
+    log.unsubscribe(seen.append)
+    log.log("src", "cat", "two")
+    assert [r.message for r in seen] == ["one"]
+    log.unsubscribe(seen.append)                 # no-op, not an error
+
+
+def test_eventlog_ring_mode():
+    log = EventLog(maxlen=3)
+    for index in range(5):
+        log.log("src", "cat", f"m{index}")
+    assert len(log) == 3
+    assert log.dropped == 2
+    assert [r.message for r in log] == ["m2", "m3", "m4"]
+    # Listeners still see every record, including dropped ones.
+    seen = []
+    log.subscribe(seen.append)
+    log.log("src", "cat", "m5")
+    assert seen[0].message == "m5" and log.dropped == 3
+
+
+def test_eventlog_set_maxlen_conversions():
+    log = EventLog()
+    for index in range(5):
+        log.log("src", "cat", f"m{index}")
+    log.set_maxlen(2)                            # unbounded -> ring
+    assert [r.message for r in log] == ["m3", "m4"]
+    assert log.dropped == 3
+    log.set_maxlen(None)                         # ring -> unbounded
+    for index in range(5, 8):
+        log.log("src", "cat", f"m{index}")
+    assert len(log) == 5 and log.maxlen is None
+    with pytest.raises(ValueError, match="maxlen"):
+        log.set_maxlen(0)
+
+
+def test_eventlog_default_behavior_unchanged():
+    log = EventLog()
+    for index in range(10):
+        log.log("src", "cat", f"m{index}")
+    assert len(log) == 10 and log.dropped == 0 and log.maxlen is None
+
+
+# ----------------------------------------------------------------------
+# Tracer satellites: retention cap + eviction counter
+# ----------------------------------------------------------------------
+def test_tracer_retention_evicts_oldest_finished():
+    tracer = Tracer()
+    for index in range(8):
+        tracer.record(f"hop{index}")
+    assert len(tracer) == 8
+    capped = Tracer(max_retained=3)
+    for index in range(8):
+        capped.record(f"hop{index}")
+    assert len(capped) == 3
+    assert capped.spans_evicted == 5
+    assert [s.name for s in capped.spans()] == ["hop5", "hop6", "hop7"]
+    # Retained spans stay queryable through the trace index; evicted
+    # trace ids are gone from it entirely.
+    assert all(s.trace_id in capped.trace_ids() for s in capped.spans())
+    assert len(capped.trace_ids()) == 3
+
+
+def test_tracer_open_span_blocks_eviction():
+    tracer = Tracer(max_retained=2)
+    open_span = tracer.start_span("long.op")
+    for index in range(5):
+        tracer.record(f"hop{index}")
+    # The open span sits at the old end: nothing can be evicted past it.
+    assert len(tracer) == 6
+    assert tracer.spans_evicted == 0
+    open_span.finish(1.0)
+    tracer.record("tail")
+    assert len(tracer) == 2
+    assert tracer.spans_evicted == 5
+
+
+def test_tracer_retention_validation():
+    with pytest.raises(ValueError, match="max_retained"):
+        Tracer(max_retained=0)
+
+
+def test_simulator_surfaces_eviction_counter():
+    sim = Simulator(seed=1, trace_retention=2)
+    for index in range(5):
+        sim.tracer.record(f"hop{index}")
+    sim.schedule(0.1, lambda: None)
+    sim.run(until=0.2)
+    counter = sim.metrics.get("telemetry.trace.spans_evicted",
+                              component="tracer")
+    assert counter is not None and counter.value == 3
+    # Default-config simulations keep their metric surface unchanged.
+    plain = Simulator(seed=1)
+    plain.schedule(0.1, lambda: None)
+    plain.run(until=0.2)
+    assert plain.metrics.get("telemetry.trace.spans_evicted",
+                             component="tracer") is None

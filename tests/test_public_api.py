@@ -11,7 +11,7 @@ PACKAGES = [
     "repro.net", "repro.spines", "repro.prime", "repro.diversity",
     "repro.plc", "repro.scada", "repro.mana", "repro.mana.models",
     "repro.redteam", "repro.core", "repro.telemetry", "repro.cli",
-    "repro.faults",
+    "repro.faults", "repro.obs",
 ]
 
 # The repro.api surface is a contract: additions are fine with a test
@@ -31,6 +31,9 @@ API_EXPORTS = {
     # Fault injection and resilience campaigns
     "ChaosHarness", "FaultPlan", "MonitorSuite", "Scenario", "Violation",
     "run_campaign", "run_scenario", "report_digest",
+    # Observability: flight recorder, health board, deployment reports
+    "FlightRecorder", "HealthBoard", "build_deployment_report",
+    "render_report",
     # Parallel sweep engine
     "UnitResult", "WorkUnit", "WorkerPool",
 }
@@ -70,6 +73,7 @@ def test_design_inventory_modules_exist():
         "repro.core.spire", "repro.core.deployment",
         "repro.core.measurement", "repro.faults.plan",
         "repro.faults.monitors", "repro.faults.campaign",
+        "repro.obs.recorder", "repro.obs.health", "repro.obs.report",
     ]:
         importlib.import_module(module)
 

@@ -203,3 +203,86 @@ def test_simulator_telemetry_flag_disables_tracer():
     assert sim.tracer.enabled is False
     sim.tracer.record("x")
     assert len(sim.tracer) == 0
+
+
+# ---------------------------------------------------------------------------
+# Export round-trips and snapshot merging
+# ---------------------------------------------------------------------------
+def test_csv_round_trip_quotes_awkward_component_labels():
+    """Component labels with commas and quotes must survive a CSV
+    round-trip untouched (csv module quoting, not string joins)."""
+    import csv
+    import io
+
+    registry = MetricsRegistry()
+    registry.counter("plc.commands", component='plc "main", unit-1').inc(4)
+    registry.gauge("breaker.state", component="bay,7").set(1.0)
+    registry.histogram("latency", component='say "when"').observe(0.25)
+    rows = list(csv.DictReader(io.StringIO(registry.to_csv())))
+    assert {row["component"] for row in rows} == \
+        {'plc "main", unit-1', "bay,7", 'say "when"'}
+    by_name = {row["name"]: row for row in rows}
+    assert by_name["plc.commands"]["value"] == "4"
+    assert by_name["latency"]["count"] == "1"
+    assert by_name["latency"]["p50"] == "0.25"
+
+
+def test_csv_empty_histogram_has_blank_stat_columns():
+    import csv
+    import io
+
+    registry = MetricsRegistry()
+    registry.histogram("h.empty", component="quiet")
+    row = next(csv.DictReader(io.StringIO(registry.to_csv())))
+    assert row["kind"] == "histogram" and row["count"] == "0"
+    # No samples -> no mean/quantiles, and the columns stay blank
+    # rather than carrying 0.0 placeholders that would skew analysis.
+    assert all(row[field] == "" for field in
+               ("mean", "min", "max", "p50", "p90", "p99"))
+    assert registry.merged_histogram("h.empty").summary() == {"samples": 0}
+
+
+def test_json_round_trip_preserves_rows_and_sorts_keys():
+    registry = MetricsRegistry()
+    registry.counter("c", component="a,b").inc(2)
+    registry.histogram("h.empty", component='plc "main"')
+    rows = json.loads(registry.to_json())
+    assert rows == registry.snapshot()
+    empty = next(row for row in rows if row["kind"] == "histogram")
+    assert empty["component"] == 'plc "main"' and empty["count"] == 0
+    assert "p50" not in empty                   # empty: stats omitted
+    text = registry.to_json()
+    assert text.index('"component"') < text.index('"kind"')  # sorted keys
+
+
+def test_merge_snapshot_of_recorder_periodic_snapshots():
+    """The flight recorder's periodic metric snapshots ride on the same
+    state_snapshot/merge_snapshot machinery the sweep engine uses: a
+    fresh registry fed a worker's states reproduces exact pooled
+    quantiles, counters add, and empty histograms stay empty."""
+    from repro.obs import FlightRecorder
+
+    sim = Simulator(seed=5)
+    recorder = FlightRecorder(sim, snapshot_interval=1.0)
+    histogram = sim.metrics.histogram("prime.confirm_latency",
+                                      component="hmi1")
+    for index in range(7):
+        sim.schedule(0.3 * index, histogram.observe, 0.01 * (index + 1))
+    sim.metrics.histogram("h.empty", component="quiet")
+    sim.schedule(0.2, sim.metrics.counter("c", component="x").inc, 3)
+    sim.run(until=3.5)
+
+    merged = MetricsRegistry()
+    merged.merge_snapshot(sim.metrics.state_snapshot())
+    merged.merge_snapshot(sim.metrics.state_snapshot())  # second worker
+    assert merged.counter("c", component="x").value == 6
+    pooled = merged.merged_histogram("prime.confirm_latency")
+    assert pooled.count == 14
+    assert pooled.quantile(0.5) == \
+        sim.metrics.merged_histogram("prime.confirm_latency").quantile(0.5)
+    assert merged.merged_histogram("h.empty").summary() == {"samples": 0}
+    # And the recorder actually captured the periodic snapshots the
+    # report side replays.
+    snapshots = [entry for entry in recorder.entries()
+                 if entry["kind"] == "metrics"]
+    assert len(snapshots) == 3
