@@ -9,7 +9,7 @@ denial of service without even attempting attacks at the Spines or
 SCADA system levels."
 """
 
-from repro.api import Simulator, build_spire, redteam_config
+from repro.api import GridSpec, Simulator, build_spire
 from repro.net import PortScanner
 from repro.redteam import ArpMitm, Attacker
 
@@ -18,8 +18,8 @@ from _support import Report, run_once
 
 def build_system(harden: bool):
     sim = Simulator(seed=115)
-    config = redteam_config(n_distribution_plcs=0, n_hmis=1,
-                            harden_networks=harden)
+    config = GridSpec.single_site("redteam", n_distribution_plcs=0, n_hmis=1,
+                            harden_networks=harden).spire_config()
     system = build_spire(sim, config)
     if not harden:
         # The ablation removes the whole Section III-B posture, which

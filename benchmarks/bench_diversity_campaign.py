@@ -8,7 +8,7 @@ recovery reissues a fresh variant, invalidating the attacker's work —
 the race the paper's architecture is designed to win.
 """
 
-from repro.api import Simulator, build_spire, plant_config
+from repro.api import GridSpec, Simulator, build_spire
 from repro.diversity import ExploitDeveloper
 from repro.net import Host, ubuntu_desktop_2016
 from repro.redteam import Attacker
@@ -23,10 +23,10 @@ def bench_diversity_exploit_campaign(benchmark):
 
     def experiment():
         sim = Simulator(seed=121)
-        system = build_spire(sim, plant_config(
+        system = build_spire(sim, GridSpec.single_plant(
             n_distribution_plcs=0, n_generation_plcs=0, n_hmis=1,
             proactive_recovery_period=30.0,
-            proactive_recovery_downtime=0.5))
+            proactive_recovery_downtime=0.5).spire_config())
         sim.run(until=4.0)
         staging = Host(sim, "rt-box", os_profile=ubuntu_desktop_2016())
         system.external_lan.connect(staging)

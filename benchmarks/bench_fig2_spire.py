@@ -9,7 +9,7 @@ while the recovery scheduler takes another down, under a continuous
 breaker-cycling workload.
 """
 
-from repro.api import Simulator, build_spire, plant_config
+from repro.api import GridSpec, Simulator, build_spire
 
 from _support import Report, run_once
 
@@ -20,9 +20,9 @@ def bench_fig2_spire_architecture(benchmark):
 
     def experiment():
         sim = Simulator(seed=102)
-        config = plant_config(n_distribution_plcs=1, n_generation_plcs=0,
+        config = GridSpec.single_plant(n_distribution_plcs=1, n_generation_plcs=0,
                               n_hmis=1, proactive_recovery_period=6.0,
-                              proactive_recovery_downtime=1.0)
+                              proactive_recovery_downtime=1.0).spire_config()
         system = build_spire(sim, config)
         sim.run(until=3.0)
         hmi = system.hmis[0]

@@ -6,7 +6,7 @@ Regenerates the HMI view: breaker positions and which buildings are
 energized, at each cycle step, verified against the physical topology.
 """
 
-from repro.api import BreakerCycler, Simulator, build_spire, redteam_config
+from repro.api import BreakerCycler, GridSpec, Simulator, build_spire
 
 from _support import Report, run_once
 
@@ -17,7 +17,7 @@ def bench_fig4_power_topology(benchmark):
 
     def experiment():
         sim = Simulator(seed=105)
-        config = redteam_config(n_distribution_plcs=0, n_hmis=1)
+        config = GridSpec.single_site("redteam", n_distribution_plcs=0, n_hmis=1).spire_config()
         system = build_spire(sim, config)
         sim.run(until=3.0)
         hmi = system.hmis[0]

@@ -1,0 +1,177 @@
+"""X7 (extension): grid-scale sweep — substation-count scaling with a
+determinism witness.
+
+Builds generated towns of 1, 5, and 25 substations (the ISSUE's
+single-plant / town / small-city ladder), drives each through the same
+deterministic supervisory workload via ``repro.grid.world:_sweep_cell``
+on the parallel engine, and records:
+
+* events executed and wall-clock events/s per grid size (how the
+  federated deployment scales with substation count);
+* confirm-latency quantiles per size (the simulated SCADA system must
+  not degrade as the grid grows — latency retention is the guarded
+  relative metric);
+* the **determinism witness**: the SHA-256 digest of the full result
+  set at ``jobs=1`` vs ``jobs=2`` must match, or per-substation
+  construction ordering leaked into simulation results.
+
+Writes ``BENCH_grid.json`` at the repository root — the committed
+evidence that ``perf_guard.py --grid-current`` checks future runs
+against.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_grid_scale.py \
+        [--sizes 1,5,25] [--duration 8.0] [--output PATH]
+
+or through pytest (quick mode: sizes 1 and 2, determinism-only asserts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import time
+
+from repro.grid import make_town_spec
+from repro.parallel import WorkUnit, WorkerPool
+
+from _support import Report, run_once
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_grid.json")
+
+DEFAULT_SIZES = (1, 5, 25)
+DEFAULT_DURATION = 8.0
+SEED = 7
+
+
+def _digest(cells) -> str:
+    payload = json.dumps(cells, sort_keys=True).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _run_sweep(sizes, duration: float, jobs: int):
+    units = [WorkUnit(fn="repro.grid.world:_sweep_cell",
+                      kwargs={"grid": make_town_spec(
+                          size, name=f"bench-town-{size}",
+                          seed=0).to_dict(),
+                          "seed": SEED, "duration": duration},
+                      uid=f"town-{size}")
+             for size in sizes]
+    pool = WorkerPool(jobs=jobs, name="grid-scale")
+    began = time.perf_counter()
+    cells = [result.unwrap() for result in pool.run(units)]
+    wall = time.perf_counter() - began
+    return cells, wall
+
+
+def run_grid_bench(sizes=DEFAULT_SIZES, duration: float = DEFAULT_DURATION,
+                   output: str = DEFAULT_OUTPUT) -> dict:
+    # Serial pass: one timed cell per size (events/s undistorted by
+    # co-scheduled workers), then the same units through a 2-worker
+    # pool as the determinism witness.
+    from repro.grid.world import _sweep_cell
+
+    cells_serial, per_size = [], {}
+    for size in sizes:
+        grid = make_town_spec(size, name=f"bench-town-{size}",
+                              seed=0).to_dict()
+        began = time.perf_counter()
+        cell = _sweep_cell(grid=grid, seed=SEED, duration=duration)
+        cell_wall = time.perf_counter() - began
+        cells_serial.append(cell)
+        per_size[str(size)] = {
+            "events": cell["events"],
+            "events_per_s": cell["events"] / cell_wall,
+            "wall_s": cell_wall,
+            "confirm_latency": cell["confirm_latency"],
+            "frequency_excursions":
+                cell["grid"]["frequency_excursions"],
+            "client_commands": cell["grid"]["client_commands"],
+        }
+    cells_parallel, _ = _run_sweep(sizes, duration, jobs=2)
+    digests = {"1": _digest(cells_serial), "2": _digest(cells_parallel)}
+
+    smallest, largest = str(min(sizes)), str(max(sizes))
+    p50_small = per_size[smallest]["confirm_latency"]["p50"]
+    p50_large = per_size[largest]["confirm_latency"]["p50"]
+    results = {
+        "cpus": os.cpu_count(),
+        "sweep": {"sizes": list(sizes), "duration": duration,
+                  "seed": SEED},
+        "sizes": per_size,
+        # Simulated confirm latency must hold up as the grid grows:
+        # 1.0 = the largest grid confirms as fast as the smallest.
+        "latency_retention": (p50_small / p50_large
+                              if p50_large else None),
+        "determinism": {"digests": digests,
+                        "match": len(set(digests.values())) == 1},
+    }
+
+    with open(output, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    report_doc = Report("X7-grid-scale",
+                        "Federated grid deployments: substation-count "
+                        "scaling + determinism")
+    report_doc.table(
+        ["substations", "events", "events/s", "confirm p50 (ms)",
+         "samples"],
+        [[size, per_size[str(size)]["events"],
+          f"{per_size[str(size)]['events_per_s']:.0f}",
+          f"{(per_size[str(size)]['confirm_latency']['p50'] or 0) * 1e3:.1f}",
+          per_size[str(size)]["confirm_latency"]["samples"]]
+         for size in sizes])
+    report_doc.line(
+        f"{duration:.0f} simulated seconds per grid; jobs=1 vs jobs=2 "
+        f"result digests are "
+        f"{'IDENTICAL' if results['determinism']['match'] else 'DIVERGENT'}; "
+        f"confirm-latency retention {min(sizes)}->{max(sizes)} subs: "
+        f"{results['latency_retention']:.2f}x.")
+    report_doc.line(f"Machine-readable results: "
+                    f"{os.path.relpath(output, REPO_ROOT)}")
+    report_doc.save_and_print()
+    return results
+
+
+def bench_grid_scale(benchmark):
+    """Pytest entry point: two small grids, determinism and sanity are
+    the assertions (absolute throughput is hardware-bound and guarded
+    by perf_guard instead)."""
+    output = os.path.join(REPO_ROOT, "benchmarks", "results",
+                          "BENCH_grid.quick.json")
+    results = run_once(benchmark, lambda: run_grid_bench(
+        sizes=(1, 2), duration=5.0, output=output))
+    assert results["determinism"]["match"], \
+        "grid sweep results diverged across job counts"
+    for size, row in results["sizes"].items():
+        assert row["confirm_latency"]["samples"] > 0, \
+            f"{size}-substation grid confirmed no commands"
+        assert row["client_commands"] >= 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", default="1,5,25",
+                        help="comma-separated substation counts "
+                             "(default: 1,5,25)")
+    parser.add_argument("--duration", type=float, default=DEFAULT_DURATION,
+                        help="simulated seconds per grid")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help=f"result path (default: {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+    sizes = tuple(int(part) for part in args.sizes.split(","))
+    results = run_grid_bench(sizes=sizes, duration=args.duration,
+                             output=args.output)
+    if not results["determinism"]["match"]:
+        print("FATAL: grid sweep results diverged across job counts",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,7 @@ historian, whose data is genuinely historical, cannot recover its
 archive.  A generic BFT database has neither property.
 """
 
-from repro.api import Simulator, build_spire, plant_config
+from repro.api import GridSpec, Simulator, build_spire
 
 from _support import Report, run_once
 
@@ -19,9 +19,9 @@ def bench_ground_truth_recovery(benchmark):
 
     def experiment():
         sim = Simulator(seed=114)
-        system = build_spire(sim, plant_config(
+        system = build_spire(sim, GridSpec.single_plant(
             n_distribution_plcs=2, n_generation_plcs=0, n_hmis=1,
-            heartbeat_interval=1.5))
+            heartbeat_interval=1.5).spire_config())
         system.enable_auto_reset(check_interval=1.0, strikes=2)
         sim.run(until=5.0)
         # Put the field into a distinctive configuration first.

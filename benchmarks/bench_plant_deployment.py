@@ -9,7 +9,7 @@ rejuvenation cycle per replica, the property that matters) and checks
 continuous correct operation throughout.
 """
 
-from repro.api import Simulator, build_spire, plant_config
+from repro.api import GridSpec, Simulator, build_spire
 
 from _support import Report, run_once
 
@@ -22,9 +22,9 @@ def bench_plant_deployment(benchmark):
 
     def experiment():
         sim = Simulator(seed=109)
-        config = plant_config(proactive_recovery_period=10.0,
+        config = GridSpec.single_plant(proactive_recovery_period=10.0,
                               proactive_recovery_downtime=1.0,
-                              poll_interval=0.5, heartbeat_interval=4.0)
+                              poll_interval=0.5, heartbeat_interval=4.0).spire_config()
         system = build_spire(sim, config)
         sim.run(until=5.0)
         scheduler = system.start_proactive_recovery()
@@ -91,8 +91,8 @@ def bench_plant_historian_archive(benchmark):
 
     def experiment():
         sim = Simulator(seed=110)
-        config = plant_config(n_distribution_plcs=1, n_generation_plcs=1,
-                              n_hmis=1)
+        config = GridSpec.single_plant(n_distribution_plcs=1, n_generation_plcs=1,
+                              n_hmis=1).spire_config()
         system = build_spire(sim, config)
         sim.run(until=4.0)
         topo = system.physical_plc.topology

@@ -14,7 +14,7 @@ Absolute numbers are parameter choices (documented below), the ordering
 is the architecture.
 """
 
-from repro.api import MeasurementDevice, Simulator, build_spire, plant_config
+from repro.api import GridSpec, MeasurementDevice, Simulator, build_spire
 from repro.net import Host, Lan
 from repro.plc import PlcDevice
 from repro.redteam.commercial import CommercialHmi, CommercialScadaServer
@@ -37,9 +37,9 @@ def bench_reaction_time_spire_vs_commercial(benchmark):
 
     def experiment():
         sim = Simulator(seed=111)
-        system = build_spire(sim, plant_config(
+        system = build_spire(sim, GridSpec.single_plant(
             n_distribution_plcs=1, n_generation_plcs=0, n_hmis=1,
-            poll_interval=SPIRE_POLL))
+            poll_interval=SPIRE_POLL).spire_config())
         shared_topology = system.physical_plc.topology
 
         # The commercial system watches the same physical breakers via

@@ -18,6 +18,13 @@ repo root and fails on regression:
   samples with vs without the flight recorder + health board) must
   match everywhere, and the throughput ratio must stay >= the
   ``--obs-floor`` (default 0.95: recorder overhead <= ~5%).
+* ``BENCH_grid.json`` (``bench_grid_scale.py``, via ``--grid-current``)
+  — federated grid deployments.  The determinism witness (jobs=1 vs
+  jobs=2 sweep digests) must match on every machine, every grid size
+  must confirm commands, and the simulated confirm-latency retention
+  (p50 at the smallest grid / p50 at the largest) is guarded relative
+  to the committed baseline — growing the grid must not degrade the
+  SCADA path.  Absolute events/s only with ``--absolute``.
 
 Per-metric tolerance bands
 --------------------------
@@ -52,6 +59,7 @@ import sys
 REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
 DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_hotpath.json")
 DEFAULT_PARALLEL_BASELINE = os.path.join(REPO_ROOT, "BENCH_parallel.json")
+DEFAULT_GRID_BASELINE = os.path.join(REPO_ROOT, "BENCH_grid.json")
 
 # metric name -> guard spec (higher is better).
 #   path:      keys into the results document
@@ -229,6 +237,65 @@ def check_obs(current: dict, floor: float) -> list:
     return failures
 
 
+# ----------------------------------------------------------------------
+# Grid-scale guard
+# ----------------------------------------------------------------------
+def check_grid(baseline: dict, current: dict, threshold: float,
+               absolute: bool = False) -> list:
+    """Guard a fresh BENCH_grid.json: determinism always, per-size
+    sanity, latency retention against the committed baseline, and
+    (with ``absolute``) events/s per size."""
+    failures = []
+    if not current.get("determinism", {}).get("match", False):
+        failures.append("grid determinism witness diverged: jobs=1 vs "
+                        "jobs=2 sweep results are not identical")
+    for size, row in sorted(current.get("sizes", {}).items(),
+                            key=lambda item: int(item[0])):
+        samples = (row.get("confirm_latency") or {}).get("samples") or 0
+        status = "ok" if samples > 0 else "REGRESSION"
+        print(f"  grid.confirm_samples[{size:>2s} subs]{'':12s} "
+              f"current={samples:10d} floor={1:10d} [{status}]")
+        if samples <= 0:
+            failures.append(f"grid of {size} substation(s) confirmed no "
+                            "supervisory commands")
+    try:
+        cur = float(current["latency_retention"])
+        base = float(baseline["latency_retention"])
+    except (KeyError, TypeError):
+        failures.append("grid.latency_retention: missing from current "
+                        "or baseline run")
+    else:
+        floor = base * (1.0 - threshold)
+        status = "ok" if cur >= floor else "REGRESSION"
+        print(f"  grid.latency_retention{'':18s} baseline={base:10.3f} "
+              f"current={cur:10.3f} floor={floor:10.3f} [{status}]")
+        if cur < floor:
+            failures.append(
+                f"grid latency retention regressed: {cur:.3f} < "
+                f"{floor:.3f} (confirm p50 degrades faster with "
+                "substation count than the committed baseline)")
+    if absolute:
+        for size, row in sorted(current.get("sizes", {}).items(),
+                                key=lambda item: int(item[0])):
+            base_row = (baseline.get("sizes") or {}).get(size)
+            if not base_row:
+                failures.append(f"grid.events_per_s[{size}]: missing "
+                                "from baseline")
+                continue
+            cur = float(row["events_per_s"])
+            base = float(base_row["events_per_s"])
+            floor = base * (1.0 - threshold)
+            status = "ok" if cur >= floor else "REGRESSION"
+            print(f"  grid.events_per_s[{size:>2s} subs]{'':13s} "
+                  f"baseline={base:10.0f} current={cur:10.0f} "
+                  f"floor={floor:10.0f} [{status}]")
+            if cur < floor:
+                failures.append(
+                    f"grid events/s at {size} substation(s) regressed: "
+                    f"{cur:.0f} < {floor:.0f}")
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", default=DEFAULT_BASELINE,
@@ -239,6 +306,11 @@ def main(argv=None) -> int:
                         help="freshly generated BENCH_parallel.json to check")
     parser.add_argument("--obs-current", default=None,
                         help="freshly generated BENCH_obs.json to check")
+    parser.add_argument("--grid-current", default=None,
+                        help="freshly generated BENCH_grid.json to check")
+    parser.add_argument("--grid-baseline", default=DEFAULT_GRID_BASELINE,
+                        help="committed grid baseline "
+                             f"(default: {DEFAULT_GRID_BASELINE})")
     parser.add_argument("--obs-floor", type=float, default=0.95,
                         help="minimum bare/observed throughput ratio "
                              "(default 0.95 = <= ~5%% recorder overhead)")
@@ -250,9 +322,10 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if not args.current and not args.parallel_current \
-            and not args.obs_current:
+            and not args.obs_current and not args.grid_current:
         parser.error("nothing to check: pass --current, "
-                     "--parallel-current, and/or --obs-current")
+                     "--parallel-current, --obs-current, and/or "
+                     "--grid-current")
 
     failures = []
     if args.current:
@@ -276,6 +349,15 @@ def main(argv=None) -> int:
         print("perf_guard: observability overhead "
               f"({os.path.relpath(args.obs_current)})")
         failures += check_obs(obs_current, args.obs_floor)
+    if args.grid_current:
+        with open(args.grid_baseline) as handle:
+            grid_baseline = json.load(handle)
+        with open(args.grid_current) as handle:
+            grid_current = json.load(handle)
+        print(f"perf_guard: grid scale ({os.path.relpath(args.grid_current)}"
+              f" vs {os.path.relpath(args.grid_baseline)})")
+        failures += check_grid(grid_baseline, grid_current, args.threshold,
+                               absolute=args.absolute)
 
     if failures:
         print("\nperf_guard FAILED:", file=sys.stderr)

@@ -11,15 +11,15 @@ archive, which has no physical ground truth, stays lost.
 Run:  python examples/ground_truth_recovery.py
 """
 
-from repro.api import Simulator, build_spire, plant_config
+from repro.api import GridSpec, Simulator, build_spire
 from repro.scada import render_hmi
 
 
 def main() -> None:
     sim = Simulator(seed=13)
-    system = build_spire(sim, plant_config(
+    system = build_spire(sim, GridSpec.single_plant(
         n_distribution_plcs=1, n_generation_plcs=0, n_hmis=1,
-        heartbeat_interval=1.5))
+        heartbeat_interval=1.5).spire_config())
     system.enable_auto_reset(check_interval=1.0, strikes=2)
     sim.run(until=5.0)
 

@@ -11,7 +11,7 @@ Run:  python examples/power_plant.py
 """
 
 from repro.api import (
-    MeasurementDevice, Simulator, build_spire, plant_config,
+    GridSpec, MeasurementDevice, Simulator, build_spire,
 )
 from repro.net import Host, Lan
 from repro.plc import PlcDevice
@@ -21,8 +21,8 @@ from repro.redteam.commercial import CommercialHmi, CommercialScadaServer
 def main() -> None:
     sim = Simulator(seed=7)
     print("deploying Spire in the plant (6 replicas, 17 PLCs, 3 HMIs) ...")
-    system = build_spire(sim, plant_config(
-        proactive_recovery_period=15.0, poll_interval=0.25))
+    system = build_spire(sim, GridSpec.single_plant(
+        proactive_recovery_period=15.0, poll_interval=0.25).spire_config())
     sim.run(until=5.0)
     system.start_proactive_recovery()
 

@@ -9,13 +9,14 @@ changes.
 Run:  python examples/quickstart.py
 """
 
-from repro.api import Simulator, build_spire, plant_config
+from repro.api import GridSpec, Simulator, build_spire
 
 
 def main() -> None:
     sim = Simulator(seed=1)
-    config = plant_config(n_distribution_plcs=2, n_generation_plcs=1,
-                          n_hmis=1)
+    config = GridSpec.single_plant(
+        n_distribution_plcs=2, n_generation_plcs=1,
+        n_hmis=1).spire_config()
     system = build_spire(sim, config)
     print(f"built {config.name}: {system.prime_config.n} replicas "
           f"(f={config.f}, k={config.k}), {len(system.plcs)} PLCs, "

@@ -1,14 +1,20 @@
 """The single public entry point for the reproduction.
 
 Everything a script, notebook, benchmark, or test needs to stand up a
-Spire deployment and observe it lives here::
+deployment and observe it lives here.  Deployments are described
+declaratively by a :class:`GridSpec` — a single paper site or a
+federated multi-substation grid — and built with :func:`build_world`::
 
-    from repro.api import Simulator, build_spire, plant_config
+    from repro.api import GridSpec, build_world
 
-    sim = Simulator(seed=7)
-    system = build_spire(sim, plant_config(n_hmis=1))
-    sim.run(until=10.0)
-    print(sim.metrics.to_csv())
+    world = build_world(GridSpec.single_plant(seed=7))
+    world.run(until=10.0)
+    print(world.sim.metrics.to_csv())
+
+:class:`SpireConfig` remains the single-site special case
+(``GridSpec.single_plant().spire_config()`` resolves to one); the
+legacy hand-wired constructors ``plant_config()`` / ``redteam_config()``
+still work but emit :class:`DeprecationWarning` naming the replacement.
 
 Importing from the historical locations (``repro.core``, ``repro.sim``)
 still works but emits :class:`DeprecationWarning` naming the
@@ -20,6 +26,11 @@ not warn.
 from __future__ import annotations
 
 from repro.core.config import SpireConfig, plant_config, redteam_config
+from repro.grid import (
+    ClientPopulationSpec, GridPhysics, GridSpec, GridSpecError, GridWorld,
+    OverlayRegionSpec, PhysicsSpec, SubstationSpec, build_world,
+    load_grid_spec, make_town_spec,
+)
 from repro.core.deployment import (
     BreakerCycler, EnterpriseChatter, RedTeamTestbed, build_redteam_testbed,
 )
@@ -30,7 +41,8 @@ from repro.faults import (
     report_digest, run_campaign, run_scenario,
 )
 from repro.obs import (
-    FlightRecorder, HealthBoard, build_deployment_report, render_report,
+    FlightRecorder, HealthBoard, build_deployment_report,
+    build_grid_section, render_report,
 )
 from repro.parallel import UnitResult, WorkerPool, WorkUnit
 from repro.sim.process import Process
@@ -45,6 +57,10 @@ from repro.telemetry import (
 __all__ = [
     # Simulation kernel
     "Event", "PeriodicTimer", "Process", "SimulationError", "Simulator",
+    # Declarative grid deployments (the primary construction path)
+    "ClientPopulationSpec", "GridPhysics", "GridSpec", "GridSpecError",
+    "GridWorld", "OverlayRegionSpec", "PhysicsSpec", "SubstationSpec",
+    "build_world", "load_grid_spec", "make_town_spec",
     # Deployment configuration and builders
     "SpireConfig", "plant_config", "redteam_config",
     "PlcUnit", "SpireSystem", "build_spire",
@@ -59,7 +75,7 @@ __all__ = [
     "report_digest", "run_campaign", "run_scenario",
     # Observability: flight recorder, health board, deployment reports
     "FlightRecorder", "HealthBoard", "build_deployment_report",
-    "render_report",
+    "build_grid_section", "render_report",
     # Parallel sweep engine
     "UnitResult", "WorkerPool", "WorkUnit",
 ]

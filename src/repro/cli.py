@@ -15,11 +15,16 @@ Installed as ``spire-sim`` (see pyproject) or runnable as
 * ``spire-sim metrics``    — run a short scenario and export the full
   metrics registry as JSON or CSV.
 * ``spire-sim chaos``      — sweep fault-injection scenarios × seeds
-  under invariant monitors and emit a JSON resilience report.
+  under invariant monitors and emit a JSON resilience report; with
+  ``--grid spec.json`` every cell runs against that grid deployment.
 * ``spire-sim report``     — generate the full deployment report
   (reaction-time quantiles, per-hop latency decomposition, replica
   health timeline, black-box dumps) as JSON / Markdown / HTML; the
   output is byte-identical for every ``--jobs`` value.
+* ``spire-sim grid``       — build a declarative multi-substation grid
+  from a spec file, drive it through a field fault, run a chaos
+  campaign against it, and emit the deployment report with the
+  per-substation section (byte-identical for every ``--jobs`` value).
 
 Every command accepts ``--seed`` (deterministic replay) and prints a
 human-readable account to stdout.
@@ -33,12 +38,13 @@ from typing import List, Optional
 
 
 def cmd_quickstart(args) -> int:
-    from repro.api import Simulator, build_spire, plant_config
+    from repro.api import GridSpec, Simulator, build_spire
     from repro.scada import render_hmi
 
     sim = Simulator(seed=args.seed)
-    system = build_spire(sim, plant_config(
-        n_distribution_plcs=2, n_generation_plcs=1, n_hmis=1))
+    system = build_spire(sim, GridSpec.single_plant(
+        n_distribution_plcs=2, n_generation_plcs=1,
+        n_hmis=1).spire_config())
     sim.run(until=5.0)
     hmi = system.hmis[0]
     print(f"{system.config.name}: {system.prime_config.n} replicas, "
@@ -89,11 +95,11 @@ def cmd_redteam(args) -> int:
 
 
 def cmd_plant(args) -> int:
-    from repro.api import MeasurementDevice, Simulator, build_spire, \
-        plant_config
+    from repro.api import GridSpec, MeasurementDevice, Simulator, build_spire
 
     sim = Simulator(seed=args.seed)
-    system = build_spire(sim, plant_config(proactive_recovery_period=15.0))
+    system = build_spire(sim, GridSpec.single_plant(
+        proactive_recovery_period=15.0).spire_config())
     sim.run(until=5.0)
     system.start_proactive_recovery()
     sim.run(until=30.0)
@@ -133,12 +139,12 @@ def cmd_plant(args) -> int:
 
 
 def cmd_breach(args) -> int:
-    from repro.api import Simulator, build_spire, plant_config
+    from repro.api import GridSpec, Simulator, build_spire
 
     sim = Simulator(seed=args.seed)
-    system = build_spire(sim, plant_config(
+    system = build_spire(sim, GridSpec.single_plant(
         n_distribution_plcs=1, n_generation_plcs=0, n_hmis=1,
-        heartbeat_interval=1.5))
+        heartbeat_interval=1.5).spire_config())
     system.enable_auto_reset(check_interval=1.0, strikes=2)
     sim.run(until=5.0)
     system.physical_plc.topology.set_breaker("B56", False)
@@ -159,11 +165,12 @@ def cmd_breach(args) -> int:
 
 
 def cmd_metrics(args) -> int:
-    from repro.api import Simulator, build_spire, plant_config
+    from repro.api import GridSpec, Simulator, build_spire
 
     sim = Simulator(seed=args.seed)
-    system = build_spire(sim, plant_config(
-        n_distribution_plcs=2, n_generation_plcs=1, n_hmis=1))
+    system = build_spire(sim, GridSpec.single_plant(
+        n_distribution_plcs=2, n_generation_plcs=1,
+        n_hmis=1).spire_config())
     sim.run(until=5.0)
     hmi = system.hmis[0]
     state = hmi.breaker_state("plc-physical", "B57")
@@ -198,9 +205,14 @@ def cmd_chaos(args) -> int:
     names = ([name.strip() for name in args.scenarios.split(",") if name.strip()]
              if args.scenarios else list(DEFAULT_SCENARIOS))
     seeds = [args.seed + offset for offset in range(args.seeds)]
+    grid = None
+    if args.grid:
+        from repro.grid import load_grid_spec
+        grid = load_grid_spec(args.grid)
     report = run_campaign(scenarios=names, seeds=seeds, f=args.f, k=args.k,
                           duration=args.duration, jobs=args.jobs,
-                          timeout=args.timeout, report=args.report)
+                          timeout=args.timeout, report=args.report,
+                          grid=grid)
     output = report_to_json(report)
     if args.output:
         with open(args.output, "w") as handle:
@@ -243,8 +255,7 @@ def _write_dumps(report: dict, directory: str) -> int:
 
 
 def cmd_report(args) -> int:
-    from repro.api import MeasurementDevice, Simulator, build_spire, \
-        plant_config
+    from repro.api import GridSpec, MeasurementDevice, Simulator, build_spire
     from repro.faults import DEFAULT_SCENARIOS, run_campaign
     from repro.obs import (
         FlightRecorder, HealthBoard, build_deployment_report,
@@ -260,8 +271,8 @@ def cmd_report(args) -> int:
     if not args.skip_plant:
         plant_until = max(args.plant_duration, 12.0)
         sim = Simulator(seed=args.seed)
-        system = build_spire(sim, plant_config(
-            proactive_recovery_period=15.0))
+        system = build_spire(sim, GridSpec.single_plant(
+            proactive_recovery_period=15.0).spire_config())
         recorder = FlightRecorder(sim, snapshot_interval=5.0,
                                   window=plant_until)
         board = HealthBoard(sim).watch_replicas(system.replicas)
@@ -296,6 +307,86 @@ def cmd_report(args) -> int:
                             f"{len(seeds)} seed(s)")
 
     report = build_deployment_report(meta=meta, plant=plant,
+                                     campaign=campaign)
+    written = []
+    for path, fmt in ((args.output, "json"), (args.markdown, "markdown"),
+                      (args.html, "html")):
+        if path:
+            with open(path, "w") as handle:
+                handle.write(render_report(report, fmt))
+            written.append(path)
+    if written:
+        print(f"# wrote {', '.join(written)}", file=sys.stderr)
+    else:
+        print(render_report(report, "markdown"), end="")
+    return 0 if campaign is None or campaign["passed"] else 1
+
+
+def cmd_grid(args) -> int:
+    from repro.api import build_world, load_grid_spec, make_town_spec
+    from repro.faults import run_campaign
+    from repro.obs import (
+        build_deployment_report, build_grid_section, render_report,
+    )
+
+    spec = (load_grid_spec(args.spec) if args.spec
+            else make_town_spec(args.substations, seed=args.seed))
+
+    # Live run: steady supervisory workload, then a deterministic field
+    # fault — trip a generating substation mid-run, restore it later —
+    # so the per-substation section shows cross-substation physics.
+    duration = max(args.duration, 12.0)
+    world = build_world(spec, seed=args.seed)
+    world.start_workload(max(int((duration - 4.0) / 0.6), 6),
+                         start=0.3, interval=0.6)
+    names = sorted(world.substations)
+    generating = [name for name in names
+                  if world.substations[name].generation_mw > 0]
+    fault_sub = generating[0] if generating else names[0]
+    world.run(until=duration / 3.0)
+    opened = world.trip_substation(fault_sub)
+    world.run(until=2.0 * duration / 3.0)
+    world.restore_substation(fault_sub)
+    world.run(until=duration)
+    grid_section = build_grid_section(world)
+    summary = world.grid_summary()
+    print(f"# {spec.name}: {summary['substations']} substation(s), "
+          f"{len(world.replicas)} replicas, {len(world.hmis)} HMIs, "
+          f"{len(world.populations)} client population(s)", file=sys.stderr)
+    print(f"# field fault: tripped {fault_sub} ({opened} breaker(s)) at "
+          f"t={duration / 3.0:.1f}s, restored at "
+          f"t={2.0 * duration / 3.0:.1f}s", file=sys.stderr)
+    print(f"# frequency: {summary['frequency_hz']:.3f} Hz (min "
+          f"{summary['min_frequency_hz']:.3f}), "
+          f"{summary['frequency_excursions']} frequency / "
+          f"{summary['voltage_excursions']} voltage excursion(s)",
+          file=sys.stderr)
+
+    # The meta section records only simulation inputs — never --jobs or
+    # wall-clock data — so the report stays a determinism witness.
+    meta = {"generator": "spire-sim grid", "seed": args.seed,
+            "spec": spec.name, "duration": duration,
+            "fault_substation": fault_sub}
+    campaign = None
+    if not args.skip_campaign:
+        scenario_names = ([name.strip() for name in
+                           args.scenarios.split(",") if name.strip()]
+                          if args.scenarios else ["baseline", "partition"])
+        seeds = [args.seed + offset for offset in range(args.seeds)]
+        campaign = run_campaign(scenarios=scenario_names, seeds=seeds,
+                                duration=args.campaign_duration,
+                                jobs=args.jobs, timeout=args.timeout,
+                                grid=spec)
+        meta["campaign"] = (f"{len(scenario_names)} scenario(s) x "
+                            f"{len(seeds)} seed(s)")
+        for name, entry in campaign["scenarios"].items():
+            verdict = "pass" if entry["passed"] else "FAIL"
+            print(f"# {name}: {verdict} ({entry['violations']} "
+                  f"violation(s))", file=sys.stderr)
+        print(f"# campaign: {'PASS' if campaign['passed'] else 'FAIL'}",
+              file=sys.stderr)
+
+    report = build_deployment_report(meta=meta, grid=grid_section,
                                      campaign=campaign)
     written = []
     for path, fmt in ((args.output, "json"), (args.markdown, "markdown"),
@@ -377,6 +468,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "into this directory")
     chaos.add_argument("--list", action="store_true",
                        help="list available scenarios and exit")
+    chaos.add_argument("--grid", default=None, metavar="SPEC",
+                       help="run every cell against the grid deployment "
+                            "described by this GridSpec JSON file "
+                            "(overrides --f/--k with the spec's values)")
     report = sub.add_parser(
         "report", parents=[seed],
         help="generate the deployment report (reaction quantiles, "
@@ -414,6 +509,43 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the Markdown rendering to a file")
     report.add_argument("--html", default=None,
                         help="write the HTML rendering to a file")
+    grid = sub.add_parser(
+        "grid", parents=[seed],
+        help="build a declarative multi-substation grid, fault it, "
+             "campaign it, and emit the deployment report")
+    grid.add_argument("--spec", default=None,
+                      help="GridSpec JSON file (see examples/town5.json); "
+                           "default: a generated town of --substations")
+    grid.add_argument("--substations", type=int, default=5,
+                      help="size of the generated town when no --spec is "
+                           "given")
+    grid.add_argument("--duration", type=float, default=18.0,
+                      help="simulated seconds for the live grid run "
+                           "(min 12; the field fault hits at 1/3 and "
+                           "clears at 2/3)")
+    grid.add_argument("--skip-campaign", action="store_true",
+                      help="omit the chaos campaign section")
+    grid.add_argument("--scenarios", default=None,
+                      help="comma-separated campaign scenario names "
+                           "(default: baseline,partition)")
+    grid.add_argument("--seeds", type=int, default=1,
+                      help="number of campaign seeds per scenario, "
+                           "counting up from --seed")
+    grid.add_argument("--campaign-duration", type=float, default=12.0,
+                      help="simulated seconds per campaign run")
+    grid.add_argument("--jobs", type=int, default=1,
+                      help="worker processes for the campaign sweep "
+                           "(0 = all cores); the report is byte-identical "
+                           "for any --jobs value")
+    grid.add_argument("--timeout", type=float, default=None,
+                      help="per-cell wall-clock limit in seconds "
+                           "(needs --jobs >= 2)")
+    grid.add_argument("--output", default=None,
+                      help="write the JSON report to a file")
+    grid.add_argument("--markdown", default=None,
+                      help="write the Markdown rendering to a file")
+    grid.add_argument("--html", default=None,
+                      help="write the HTML rendering to a file")
     return parser
 
 
@@ -422,7 +554,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handler = {"quickstart": cmd_quickstart, "redteam": cmd_redteam,
                "plant": cmd_plant, "breach": cmd_breach,
                "metrics": cmd_metrics, "chaos": cmd_chaos,
-               "report": cmd_report}[args.command]
+               "report": cmd_report, "grid": cmd_grid}[args.command]
     return handler(args)
 
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.core.config import SpireConfig, redteam_config
+from repro.core.config import SpireConfig
 from repro.core.spire import SpireSystem, build_spire
 from repro.mana.detector import ManaInstance
 from repro.net.host import Host
@@ -197,7 +197,10 @@ def build_redteam_testbed(sim: Simulator,
                           commercial_poll_interval: float = 1.0,
                           ) -> RedTeamTestbed:
     """Construct the Fig. 3 experimental setup."""
-    spire_config = spire_config or redteam_config(n_distribution_plcs=3)
+    if spire_config is None:
+        from repro.grid import GridSpec
+        spire_config = GridSpec.single_site(
+            "redteam", n_distribution_plcs=3).spire_config()
 
     # --- Spire operations network (builds its own two LANs) -----------
     spire = build_spire(sim, spire_config)

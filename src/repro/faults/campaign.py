@@ -191,19 +191,84 @@ def run_scenario(scenario: Scenario, seed: int, f: int = 1, k: int = 1,
     return run
 
 
+def run_grid_scenario(grid: dict, scenario: Scenario, seed: int,
+                      duration: Optional[float] = None,
+                      _with_state: bool = False):
+    """One scenario, one seed, against a :class:`~repro.grid.GridSpec`
+    deployment instead of the chaos harness.
+
+    ``grid`` is the spec's dict form (``spec.to_dict()`` — picklable
+    for the sweep).  The run dict matches :func:`run_scenario` plus a
+    ``"grid"`` key with the physics/population summary, so grid
+    campaigns flow through the same merge, report, and digest paths.
+    """
+    from repro.grid import GridSpec, build_world
+
+    spec = GridSpec.from_dict(grid)
+    sim = Simulator(seed=seed, telemetry=spec.telemetry)
+    recorder = FlightRecorder(sim, name="chaos-recorder", **_CELL_RECORDER)
+    world = build_world(spec, sim=sim)
+    plan = scenario.build(spec.f, spec.k)
+    armed = plan.arm(sim, world)
+    suite = MonitorSuite(sim, world, armed=armed)
+    for client in world.clients:
+        suite.watch_client(client)
+    suite.start()
+    if scenario.harness.get("with_recovery"):
+        world.start_proactive_recovery(period=6.0, downtime=0.8)
+    run_for = duration if duration is not None else scenario.duration
+    commands = max(int((run_for - 4.0) / 0.6), 6)
+    world.start_workload(commands=commands, start=0.3, interval=0.6)
+    sim.run(until=run_for)
+
+    histogram = sim.metrics.merged_histogram("prime.confirm_latency")
+    latency = histogram.summary()
+    violations = [v.snapshot() for v in suite.violations]
+    detected = bool(violations)
+    passed = detected if scenario.expect == EXPECT_VIOLATION else not detected
+    run = {
+        "scenario": scenario.name,
+        "seed": seed,
+        "expect": scenario.expect,
+        "passed": passed,
+        "violations": violations,
+        "faults": armed.summary(),
+        "workload": {
+            "submitted": commands,
+            "confirmed": sum(len(hmi.client.confirmed)
+                             for hmi in world.hmis),
+        },
+        "confirm_latency": {
+            key: latency.get(key) for key in
+            ("samples", "mean", "p50", "p90", "p99")
+        },
+        "grid": world.grid_summary(),
+        "dumps": list(recorder.dumps),
+    }
+    if _with_state:
+        return run, histogram.state()
+    return run
+
+
 def _campaign_cell(name: Optional[str] = None,
                    scenario: Optional[Scenario] = None, seed: int = 1,
                    f: int = 1, k: int = 1,
-                   duration: Optional[float] = None) -> Tuple[dict, dict]:
+                   duration: Optional[float] = None,
+                   grid: Optional[dict] = None) -> Tuple[dict, dict]:
     """Parallel-sweep work unit: one scenario×seed cell.
 
     Built-in scenarios travel by name (spawn-safe); user-registered
-    scenarios travel as pickled :class:`Scenario` objects.  Returns the
-    run dict plus the cell's confirm-latency histogram state for the
+    scenarios travel as pickled :class:`Scenario` objects.  With
+    ``grid`` (a :class:`~repro.grid.GridSpec` dict) the cell runs
+    against that deployment instead of the harness.  Returns the run
+    dict plus the cell's confirm-latency histogram state for the
     report-side telemetry merge.
     """
     if scenario is None:
         scenario = BUILTIN_SCENARIOS[name]
+    if grid is not None:
+        return run_grid_scenario(grid, scenario, seed, duration=duration,
+                                 _with_state=True)
     return run_scenario(scenario, seed, f=f, k=k, duration=duration,
                         _with_state=True)
 
@@ -230,7 +295,8 @@ def run_campaign(scenarios: Optional[List[str]] = None,
                  extra: Optional[Dict[str, Scenario]] = None,
                  jobs: int = 1, timeout: Optional[float] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 report: Optional[str] = None) -> dict:
+                 report: Optional[str] = None,
+                 grid=None) -> dict:
     """Sweep scenarios × seeds into one resilience report.
 
     Args:
@@ -254,8 +320,18 @@ def run_campaign(scenarios: Optional[List[str]] = None,
             (format from the extension: ``.json`` / ``.html`` /
             Markdown otherwise).  The file is byte-identical for every
             ``jobs`` value.
+        grid: a :class:`~repro.grid.GridSpec` (or its dict form) to run
+            every cell against instead of the chaos harness; ``f``/``k``
+            then come from the spec and the report records the grid
+            topology in its config block.
     """
     report_destination = report
+    grid_dict = None
+    if grid is not None:
+        grid_dict = grid if isinstance(grid, dict) else grid.to_dict()
+        from repro.grid import GridSpec
+        grid_spec = GridSpec.from_dict(grid_dict)
+        f, k = grid_spec.f, grid_spec.k
     registry = dict(BUILTIN_SCENARIOS)
     if extra:
         registry.update(extra)
@@ -271,12 +347,20 @@ def run_campaign(scenarios: Optional[List[str]] = None,
         "scenarios": {},
         "passed": True,
     }
+    if grid_dict is not None:
+        report["config"]["grid"] = {
+            "name": grid_spec.name,
+            "substations": len(grid_spec.substations) or None,
+            "site": grid_spec.site,
+        }
 
     cells = [(name, seed) for name in names for seed in seeds]
     units = []
     for name, seed in cells:
         kwargs: Dict[str, Any] = {"seed": seed, "f": f, "k": k,
                                   "duration": duration}
+        if grid_dict is not None:
+            kwargs["grid"] = grid_dict
         if name in BUILTIN_SCENARIOS and registry[name] is BUILTIN_SCENARIOS[name]:
             kwargs["name"] = name
         else:
@@ -333,12 +417,16 @@ def write_campaign_report(report: dict, path: str) -> str:
     from repro.obs.report import build_deployment_report, render_report
 
     config = report.get("config", {})
-    document = build_deployment_report(
-        meta={"source": "chaos campaign", "f": config.get("f"),
-              "k": config.get("k"),
-              "scenarios": ", ".join(config.get("scenarios", [])),
-              "seeds": ", ".join(str(s) for s in config.get("seeds", []))},
-        campaign=report)
+    meta = {"source": "chaos campaign", "f": config.get("f"),
+            "k": config.get("k"),
+            "scenarios": ", ".join(config.get("scenarios", [])),
+            "seeds": ", ".join(str(s) for s in config.get("seeds", []))}
+    grid_info = config.get("grid")
+    if grid_info:
+        meta["grid"] = grid_info.get("site") or (
+            f"{grid_info.get('name')} "
+            f"({grid_info.get('substations')} substations)")
+    document = build_deployment_report(meta=meta, campaign=report)
     if path.endswith(".json"):
         fmt = "json"
     elif path.endswith((".html", ".htm")):

@@ -1,0 +1,35 @@
+"""Declarative grid deployments: spec → world → physics.
+
+``repro.grid`` turns a JSON-serialisable :class:`GridSpec` (substations,
+RTU populations, overlay regions, aggregate client populations, physics
+coupling) into a live simulation via :func:`build_world`.  Single-site
+specs reproduce the legacy hand-wired deployments exactly;
+multi-substation specs share one ``3f + 2k + 1`` replica core across a
+region-structured Spines overlay with deterministic cross-substation
+physics.
+"""
+
+from repro.grid.physics import GridPhysics
+from repro.grid.spec import (
+    ClientPopulationSpec, GridSpec, GridSpecError, OverlayRegionSpec,
+    PhysicsSpec, SubstationSpec, load_grid_spec, make_town_spec,
+)
+from repro.grid.world import (
+    ClientPopulation, GridWorld, Substation, build_world,
+)
+
+__all__ = [
+    "ClientPopulation",
+    "ClientPopulationSpec",
+    "GridPhysics",
+    "GridSpec",
+    "GridSpecError",
+    "GridWorld",
+    "OverlayRegionSpec",
+    "PhysicsSpec",
+    "Substation",
+    "SubstationSpec",
+    "build_world",
+    "load_grid_spec",
+    "make_town_spec",
+]

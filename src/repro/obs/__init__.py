@@ -27,8 +27,9 @@ from repro.obs.health import HEALTH_STATES, ComponentHealth, HealthBoard
 from repro.obs.recorder import SEVERITIES, FlightRecorder, severity_of
 from repro.obs.report import (
     CANONICAL_HOPS, REPORT_FORMATS, build_deployment_report,
-    build_plant_section, collect_campaign_dumps, reaction_stats,
-    render_html, render_markdown, render_report, trace_hop_stats,
+    build_grid_section, build_plant_section, collect_campaign_dumps,
+    reaction_stats, render_html, render_markdown, render_report,
+    trace_hop_stats,
 )
 
 __all__ = [
@@ -38,6 +39,7 @@ __all__ = [
     "ComponentHealth", "HEALTH_STATES", "HealthBoard",
     # Report generator
     "CANONICAL_HOPS", "REPORT_FORMATS", "build_deployment_report",
-    "build_plant_section", "collect_campaign_dumps", "reaction_stats",
-    "render_html", "render_markdown", "render_report", "trace_hop_stats",
+    "build_grid_section", "build_plant_section", "collect_campaign_dumps",
+    "reaction_stats", "render_html", "render_markdown", "render_report",
+    "trace_hop_stats",
 ]

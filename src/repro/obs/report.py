@@ -111,6 +111,86 @@ def build_plant_section(sim, recorder=None, board=None,
     return section
 
 
+def build_grid_section(world) -> Dict[str, Any]:
+    """Summarise a :class:`~repro.grid.GridWorld` run: physics state,
+    replica census, and a per-substation table (breaker/energization
+    census, proxy activity, voltage excursions, and end-to-end command
+    reaction quantiles attributed through ``hmi.command`` span attrs)."""
+    from repro.prime.replica import STATE_NORMAL
+
+    sim = world.sim
+    physics = world.physics.snapshot() if world.physics else {}
+    reaction_pools: Dict[str, Histogram] = {}
+    for span in sim.tracer.spans(name="hmi.command"):
+        if not span.finished:
+            continue
+        substation = world.plc_to_substation.get(span.attrs.get("plc"))
+        if substation is None:
+            continue
+        pool = reaction_pools.get(substation)
+        if pool is None:
+            pool = reaction_pools[substation] = Histogram("hmi.command",
+                                                          substation)
+        pool.observe(span.duration)
+
+    substations = []
+    for name in sorted(world.substations):
+        sub = world.substations[name]
+        closed = total = 0
+        for unit in sub.units.values():
+            states = unit.topology.breaker_states()
+            total += len(states)
+            closed += sum(1 for state in states.values() if state)
+        polls = sum(getattr(proxy, "polls", 0) for proxy in sub.proxies)
+        commands = sum(getattr(proxy, "commands_applied", 0)
+                       for proxy in sub.proxies)
+        state = physics.get("substations", {}).get(name, {})
+        reaction = reaction_pools.get(name)
+        summary = reaction.summary() if reaction else {"samples": 0}
+        substations.append({
+            "name": name,
+            "region": sub.region,
+            "plcs": len(sub.units),
+            "breakers_closed": closed,
+            "breakers": total,
+            "energized_fraction": state.get("energized_fraction"),
+            "voltage_kv": state.get("voltage_kv"),
+            "voltage_excursions": state.get("voltage_excursions", 0),
+            "proxy_polls": polls,
+            "commands_applied": commands,
+            "reaction": {key: summary.get(key)
+                         for key in ("samples", "mean", "p50", "p90",
+                                     "p99")},
+        })
+
+    replicas = list(world.replicas.values())
+    section: Dict[str, Any] = {
+        "name": world.spec.name,
+        "simulated_seconds": sim.now,
+        "events_executed": sim.events_executed,
+        "replicas": {
+            "total": len(replicas),
+            "normal": sum(1 for replica in replicas
+                          if replica.running
+                          and replica.state == STATE_NORMAL),
+        },
+        "frequency": {
+            "hz": physics.get("frequency_hz"),
+            "min_hz": physics.get("min_frequency_hz"),
+            "max_hz": physics.get("max_frequency_hz"),
+            "excursions": physics.get("frequency_excursions", 0),
+        },
+        "substations": substations,
+        "clients": [{
+            "name": population.spec.name,
+            "sessions": population.spec.sessions,
+            "reads_served": population.reads_served,
+            "commands_submitted": population.commands_submitted,
+        } for population in world.populations],
+    }
+    return section
+
+
 def collect_campaign_dumps(campaign: Dict[str, Any]) -> List[Dict[str, Any]]:
     """Flatten the black-box dumps embedded in a campaign report's runs,
     labelled with their scenario and seed (scenario order, then seed)."""
@@ -126,12 +206,15 @@ def collect_campaign_dumps(campaign: Dict[str, Any]) -> List[Dict[str, Any]]:
 
 def build_deployment_report(*, meta: Dict[str, Any],
                             plant: Optional[Dict[str, Any]] = None,
-                            campaign: Optional[Dict[str, Any]] = None
+                            campaign: Optional[Dict[str, Any]] = None,
+                            grid: Optional[Dict[str, Any]] = None
                             ) -> Dict[str, Any]:
     """Assemble the full report document from its sections."""
     report: Dict[str, Any] = {"meta": dict(meta)}
     if plant is not None:
         report["plant"] = plant
+    if grid is not None:
+        report["grid"] = grid
     if campaign is not None:
         report["campaign"] = campaign
         report["campaign_dumps"] = collect_campaign_dumps(campaign)
@@ -225,6 +308,56 @@ def render_markdown(report: Dict[str, Any]) -> str:
                   e["category"], e["message"]] for e in events])
             lines.append("")
         lines += _render_dumps(plant.get("dumps", []), "plant")
+
+    grid = report.get("grid")
+    if grid:
+        lines += [f"## Grid: {grid.get('name')}", "",
+                  f"Simulated {grid['simulated_seconds']:.1f} s, "
+                  f"{grid['events_executed']} kernel events; "
+                  f"{grid['replicas']['normal']}/{grid['replicas']['total']} "
+                  "replicas NORMAL.", ""]
+        frequency = grid.get("frequency", {})
+        if frequency.get("hz") is not None:
+            lines.append(
+                f"System frequency {frequency['hz']:.3f} Hz "
+                f"(min {frequency['min_hz']:.3f}, "
+                f"max {frequency['max_hz']:.3f}); "
+                f"{frequency.get('excursions', 0)} excursion(s).")
+            lines.append("")
+        lines += ["### Substations", ""]
+        rows = []
+        for sub in grid.get("substations", []):
+            fraction = sub.get("energized_fraction")
+            voltage = sub.get("voltage_kv")
+            reaction = sub.get("reaction", {})
+            rows.append([
+                sub["name"], sub["region"], str(sub["plcs"]),
+                f"{sub['breakers_closed']}/{sub['breakers']}",
+                "-" if fraction is None else f"{fraction:.2f}",
+                "-" if voltage is None else f"{voltage:.2f}",
+                str(sub.get("voltage_excursions", 0)),
+                str(sub.get("proxy_polls", 0)),
+                str(sub.get("commands_applied", 0)),
+                str(reaction.get("samples", 0)),
+                _ms(reaction.get("p50")), _ms(reaction.get("p90")),
+            ])
+        if rows:
+            lines += _table(
+                ["substation", "region", "PLCs", "breakers closed",
+                 "energized", "kV", "V excursions", "polls", "cmds applied",
+                 "reactions", "p50", "p90"], rows)
+            lines.append("")
+        clients = grid.get("clients", [])
+        if clients:
+            lines += ["### Client populations", ""]
+            lines += _table(
+                ["population", "sessions", "reads served",
+                 "commands submitted"],
+                [[client["name"], str(client["sessions"]),
+                  str(client["reads_served"]),
+                  str(client["commands_submitted"])]
+                 for client in clients])
+            lines.append("")
 
     campaign = report.get("campaign")
     if campaign:

@@ -480,17 +480,17 @@ def diversity_campaign_cell(seed: int) -> Dict[str, Any]:
     seed sweep over a :class:`repro.parallel.WorkerPool` merges into
     identical reports at any job count.
     """
-    from repro.core.config import plant_config
     from repro.core.spire import build_spire
+    from repro.grid import GridSpec
     from repro.diversity import ExploitDeveloper
     from repro.net import Host, ubuntu_desktop_2016
     from repro.sim.simulator import Simulator
 
     sim = Simulator(seed=seed)
-    system = build_spire(sim, plant_config(
+    system = build_spire(sim, GridSpec.single_plant(
         n_distribution_plcs=0, n_generation_plcs=0, n_hmis=1,
         proactive_recovery_period=30.0,
-        proactive_recovery_downtime=0.5))
+        proactive_recovery_downtime=0.5).spire_config())
     sim.run(until=4.0)
     staging = Host(sim, "rt-box", os_profile=ubuntu_desktop_2016())
     system.external_lan.connect(staging)

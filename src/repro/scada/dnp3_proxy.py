@@ -50,7 +50,6 @@ class Dnp3PlcProxy(Process):
 
     CLIENT_PORT_BASE = 7550
     DIRECTIVE_PORT_BASE = 7650
-    _port_counter = 0
 
     def __init__(self, sim, name: str, host: Host, daemon: SpinesDaemon,
                  config: PrimeConfig, poll_interval: float = 1.0,
@@ -61,8 +60,9 @@ class Dnp3PlcProxy(Process):
         self.config = config
         self.poll_interval = poll_interval
         self.heartbeat_interval = heartbeat_interval
-        index = Dnp3PlcProxy._port_counter
-        Dnp3PlcProxy._port_counter += 1
+        # Per-simulator sequence (not a class counter): two simulations
+        # built in one process must allocate identical ports.
+        index = sim.sequence("scada.dnp3_proxy.port")
         self.client = PrimeClient(sim, name, config, daemon,
                                   Dnp3PlcProxy.CLIENT_PORT_BASE + index)
         self.directive_port = Dnp3PlcProxy.DIRECTIVE_PORT_BASE + index

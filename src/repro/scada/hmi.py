@@ -37,7 +37,6 @@ class Hmi(Process):
 
     CLIENT_PORT_BASE = 7700
     FEED_PORT_BASE = 7800
-    _port_counter = 0
 
     def __init__(self, sim, name: str, host: Host, daemon: SpinesDaemon,
                  config: PrimeConfig):
@@ -45,8 +44,9 @@ class Hmi(Process):
         self.host = host
         self.daemon = daemon
         self.config = config
-        index = Hmi._port_counter
-        Hmi._port_counter += 1
+        # Per-simulator sequence (not a class counter): two simulations
+        # built in one process must allocate identical ports.
+        index = sim.sequence("scada.hmi.port")
         self.client = PrimeClient(sim, name, config, daemon,
                                   Hmi.CLIENT_PORT_BASE + index)
         self.feed_port = Hmi.FEED_PORT_BASE + index

@@ -89,7 +89,6 @@ class PlcProxy(Process):
 
     CLIENT_PORT_BASE = 7500
     DIRECTIVE_PORT_BASE = 7600
-    _port_counter = 0
 
     def __init__(self, sim, name: str, host: Host, daemon: SpinesDaemon,
                  config: PrimeConfig, poll_interval: float = 0.25,
@@ -100,8 +99,9 @@ class PlcProxy(Process):
         self.config = config
         self.poll_interval = poll_interval
         self.heartbeat_interval = heartbeat_interval
-        index = PlcProxy._port_counter
-        PlcProxy._port_counter += 1
+        # Per-simulator sequence (not a class counter): two simulations
+        # built in one process must allocate identical ports.
+        index = sim.sequence("scada.proxy.port")
         self.client = PrimeClient(sim, name, config, daemon,
                                   PlcProxy.CLIENT_PORT_BASE + index)
         self.directive_port = PlcProxy.DIRECTIVE_PORT_BASE + index

@@ -138,6 +138,20 @@ class Simulator:
                                                component="kernel")
         self._flushed_spans_evicted = 0
         self._halted = False
+        self._sequences: dict = {}
+
+    def sequence(self, name: str) -> int:
+        """Next value (0, 1, 2, ...) of a named per-simulator sequence.
+
+        Components that need unique small integers — port offsets,
+        instance indices — draw them here instead of from class-level
+        counters, so two simulations built in the same process allocate
+        identically: the stream depends only on construction order
+        inside *this* simulator, never on what ran before it.
+        """
+        value = self._sequences.get(name, 0)
+        self._sequences[name] = value + 1
+        return value
 
     @property
     def now(self) -> float:

@@ -3,7 +3,7 @@
 
 import pytest
 
-from repro.api import Simulator, build_spire, plant_config
+from repro.api import GridSpec, Simulator, build_spire
 from repro.diversity import ExploitDeveloper
 from repro.redteam import Attacker
 from repro.redteam.scenarios import (
@@ -14,9 +14,9 @@ from repro.redteam.scenarios import (
 @pytest.fixture
 def campaign():
     sim = Simulator(seed=91)
-    system = build_spire(sim, plant_config(
+    system = build_spire(sim, GridSpec.single_plant(
         n_distribution_plcs=0, n_generation_plcs=0, n_hmis=1,
-        proactive_recovery_period=30.0, proactive_recovery_downtime=0.5))
+        proactive_recovery_period=30.0, proactive_recovery_downtime=0.5).spire_config())
     sim.run(until=4.0)
     from repro.net import Host, ubuntu_desktop_2016
     staging = Host(sim, "rt-box", os_profile=ubuntu_desktop_2016())
@@ -56,9 +56,9 @@ def test_monoculture_system_falls_to_one_exploit():
     """With diversify=False (the ablation), one exploit owns the fleet
     and the f=1 assumption is violated: the system halts or worse."""
     sim = Simulator(seed=92)
-    system = build_spire(sim, plant_config(
+    system = build_spire(sim, GridSpec.single_plant(
         n_distribution_plcs=0, n_generation_plcs=0, n_hmis=1,
-        diversify=False))
+        diversify=False).spire_config())
     sim.run(until=4.0)
     from repro.net import Host
     staging = Host(sim, "rt-box")

@@ -1,0 +1,195 @@
+"""The declarative grid layer: spec validation and JSON round-trips,
+single-plant parity with the legacy hand-wired build, cross-substation
+physics coupling, campaign integration, and the per-substation report
+section."""
+
+import json
+import os
+
+import pytest
+
+from repro.api import (
+    GridSpec, GridSpecError, Simulator, build_grid_section,
+    build_deployment_report, build_spire, build_world, load_grid_spec,
+    make_town_spec, report_digest, run_campaign,
+)
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+# ----------------------------------------------------------------------
+# Spec validation
+# ----------------------------------------------------------------------
+def test_spec_requires_site_or_substations():
+    with pytest.raises(GridSpecError, match="either 'site'"):
+        GridSpec(name="empty")
+
+
+def test_spec_site_and_substations_are_exclusive():
+    from repro.grid import SubstationSpec
+    with pytest.raises(GridSpecError, match="mutually exclusive"):
+        GridSpec(name="both", site="plant",
+                 substations=[SubstationSpec(name="s1")])
+
+
+def test_spec_rejects_unknown_site():
+    with pytest.raises(GridSpecError, match="spec.site"):
+        GridSpec.single_site("nuclear")
+
+
+def test_spec_rejects_duplicate_substations():
+    from repro.grid import SubstationSpec
+    with pytest.raises(GridSpecError, match="duplicate substation"):
+        GridSpec(name="dup", substations=[SubstationSpec(name="s1"),
+                                          SubstationSpec(name="s1")])
+
+
+def test_spec_rejects_unknown_client_region():
+    from repro.grid import ClientPopulationSpec, SubstationSpec
+    with pytest.raises(GridSpecError, match="clients\\[0\\]"):
+        GridSpec(name="bad-region",
+                 substations=[SubstationSpec(name="s1", region="east")],
+                 clients=[ClientPopulationSpec(name="ops",
+                                               regions=("west",))])
+
+
+def test_from_dict_errors_carry_the_path():
+    data = make_town_spec(2).to_dict()
+    data["substations"][0]["protocl"] = "modbus"   # typo
+    with pytest.raises(GridSpecError, match="spec.substations\\[0\\]"):
+        GridSpec.from_dict(data)
+
+
+def test_spire_config_requires_single_site():
+    with pytest.raises(GridSpecError, match="single-site"):
+        make_town_spec(2).spire_config()
+
+
+# ----------------------------------------------------------------------
+# JSON round-trip and the committed example specs
+# ----------------------------------------------------------------------
+def test_json_round_trip_is_lossless():
+    for spec in (GridSpec.single_plant(n_hmis=1, seed=5),
+                 make_town_spec(4, name="rt-town", seed=3)):
+        assert GridSpec.from_json(spec.to_json()) == spec
+        assert json.loads(spec.to_json()) == spec.to_dict()
+
+
+@pytest.mark.parametrize("filename,substations", [
+    ("single_plant.json", 0), ("town5.json", 5), ("city25.json", 25),
+])
+def test_example_specs_load(filename, substations):
+    spec = load_grid_spec(os.path.join(EXAMPLES, filename))
+    assert len(spec.substations) == substations
+    if substations == 0:
+        assert spec.site == "plant"
+        assert spec.spire_config().n_hmis == 3
+    else:
+        assert spec.f >= 1 and spec.clients
+
+
+def test_load_grid_spec_wraps_errors_with_path():
+    with pytest.raises(GridSpecError, match="no-such-spec.json"):
+        load_grid_spec("no-such-spec.json")
+
+
+# ----------------------------------------------------------------------
+# Single-plant parity: the grid world is behavior-identical to the
+# legacy hand-wired build for the same seed.
+# ----------------------------------------------------------------------
+def _drive_commands(sim, hmis):
+    sim.run(until=5.0)
+    hmi = hmis[0]
+    for index in range(6):
+        hmi.command_breaker("plc-physical", "B57", index % 2 == 0)
+        sim.run(until=sim.now + 1.0)
+    sim.run(until=13.0)
+    return sim.metrics.merged_histogram("prime.confirm_latency").summary()
+
+
+def test_single_plant_world_matches_legacy_build():
+    overrides = dict(n_distribution_plcs=2, n_generation_plcs=0,
+                     n_hmis=1, seed=42)
+    sim = Simulator(seed=42)
+    system = build_spire(sim, GridSpec.single_plant(
+        **overrides).spire_config())
+    legacy = _drive_commands(sim, system.hmis)
+
+    world = build_world(GridSpec.single_plant(**overrides))
+    grid = _drive_commands(world.sim, world.hmis)
+
+    assert legacy["samples"] > 0
+    assert legacy == grid   # same seed -> same confirm-latency digest
+
+
+# ----------------------------------------------------------------------
+# Physics: a field fault in one substation perturbs the others
+# ----------------------------------------------------------------------
+def test_substation_trip_propagates_across_the_grid():
+    world = build_world(make_town_spec(5, seed=0), seed=9)
+    world.run(until=2.0)
+    baseline = world.physics.snapshot()
+    assert baseline["frequency_excursions"] == 0
+    assert baseline["substations"]["sub-01"]["voltage_pu"] >= 0.999
+
+    # sub-05 is the generating substation; losing it starves the grid.
+    assert world.trip_substation("sub-05") > 0
+    world.run(until=6.0)
+    faulted = world.physics.snapshot()
+    assert faulted["frequency_hz"] < 59.5
+    assert faulted["substations"]["sub-05"]["energized_fraction"] < 1.0
+    # Neighbours sag even though their own breakers never moved.
+    assert faulted["substations"]["sub-01"]["voltage_pu"] < 0.999
+
+    world.restore_substation("sub-05")
+    world.run(until=10.0)
+    recovered = world.physics.snapshot()
+    # Inertia makes the recovery gradual, but it must be under way.
+    assert recovered["frequency_hz"] > faulted["frequency_hz"] + 0.5
+    assert recovered["frequency_excursions"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Campaigns over a grid: monitors hold and reports are job-invariant
+# ----------------------------------------------------------------------
+def test_grid_campaign_passes_and_is_job_invariant():
+    spec = make_town_spec(2, name="campaign-town", seed=0)
+    reports = [run_campaign(scenarios=["baseline"], seeds=[1],
+                            duration=8.0, jobs=jobs, grid=spec)
+               for jobs in (1, 2)]
+    for report in reports:
+        assert report["passed"]
+        assert report["config"]["grid"]["name"] == "campaign-town"
+        runs = report["scenarios"]["baseline"]["runs"]
+        assert runs[0]["grid"]["substations"] == 2
+    assert report_digest(reports[0]) == report_digest(reports[1])
+
+
+# ----------------------------------------------------------------------
+# Report: the per-substation section
+# ----------------------------------------------------------------------
+def test_grid_section_and_markdown_rendering():
+    from repro.obs import render_markdown
+    world = build_world(make_town_spec(2, seed=0), seed=4)
+    world.start_workload(commands=4)
+    world.run(until=6.0)
+    section = build_grid_section(world)
+    assert section["replicas"]["total"] == 6
+    names = [row["name"] for row in section["substations"]]
+    assert names == ["sub-01", "sub-02"]
+    for row in section["substations"]:
+        assert row["breakers"] > 0 and row["proxy_polls"] > 0
+    assert section["frequency"]["excursions"] == 0
+
+    report = build_deployment_report(meta={"seed": 4}, grid=section)
+    rendered = render_markdown(report)
+    assert "## Grid:" in rendered and "sub-02" in rendered
+
+
+def test_cli_grid_subcommand_runs_live_report(capsys):
+    from repro.cli import main
+    rc = main(["grid", "--substations", "2", "--duration", "12",
+               "--skip-campaign", "--seed", "3"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "## Grid:" in out and "sub-01" in out

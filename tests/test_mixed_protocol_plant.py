@@ -3,15 +3,15 @@ units on DNP3 (the paper names both protocols)."""
 
 import pytest
 
-from repro.api import Simulator, build_spire, plant_config
+from repro.api import GridSpec, Simulator, build_spire
 
 
 @pytest.fixture(scope="module")
 def mixed():
     sim = Simulator(seed=88)
-    config = plant_config(n_distribution_plcs=1, n_generation_plcs=2,
+    config = GridSpec.single_plant(n_distribution_plcs=1, n_generation_plcs=2,
                           n_hmis=1, generation_protocol="dnp3",
-                          heartbeat_interval=1.5)
+                          heartbeat_interval=1.5).spire_config()
     system = build_spire(sim, config)
     sim.run(until=6.0)
     return sim, system

@@ -19,6 +19,10 @@ PACKAGES = [
 API_EXPORTS = {
     # Simulation kernel
     "Event", "PeriodicTimer", "Process", "SimulationError", "Simulator",
+    # Declarative grid deployments
+    "ClientPopulationSpec", "GridPhysics", "GridSpec", "GridSpecError",
+    "GridWorld", "OverlayRegionSpec", "PhysicsSpec", "SubstationSpec",
+    "build_world", "load_grid_spec", "make_town_spec",
     # Deployment configuration and builders
     "SpireConfig", "plant_config", "redteam_config",
     "PlcUnit", "SpireSystem", "build_spire",
@@ -33,7 +37,7 @@ API_EXPORTS = {
     "run_campaign", "run_scenario", "report_digest",
     # Observability: flight recorder, health board, deployment reports
     "FlightRecorder", "HealthBoard", "build_deployment_report",
-    "render_report",
+    "build_grid_section", "render_report",
     # Parallel sweep engine
     "UnitResult", "WorkUnit", "WorkerPool",
 }
@@ -85,13 +89,32 @@ def test_version_string():
 
 def test_headline_entry_points_exist():
     from repro.api import (
-        build_redteam_testbed, build_spire, plant_config, redteam_config,
+        GridSpec, build_redteam_testbed, build_spire, build_world,
     )
     assert callable(build_spire)
     assert callable(build_redteam_testbed)
+    assert callable(build_world)
     # And the two deployment presets encode the paper's parameters.
-    assert plant_config().k == 1 and plant_config().n_hmis == 3
-    assert redteam_config().k == 0
+    assert GridSpec.single_plant().spire_config().k == 1
+    assert GridSpec.single_plant().spire_config().n_hmis == 3
+    assert GridSpec.single_site("redteam").spire_config().k == 0
+
+
+def test_legacy_config_constructors_warn():
+    """``plant_config``/``redteam_config`` still work but deprecate
+    toward ``GridSpec.single_site(...)``."""
+    from repro.api import plant_config, redteam_config
+    with pytest.warns(DeprecationWarning, match="GridSpec.single_plant"):
+        config = plant_config()
+    assert config.k == 1 and config.n_hmis == 3
+    with pytest.warns(DeprecationWarning, match="GridSpec.single_site"):
+        config = redteam_config()
+    assert config.k == 0
+    # The deprecated constructor and the GridSpec path agree exactly.
+    from repro.api import GridSpec
+    with pytest.warns(DeprecationWarning):
+        legacy = plant_config(n_hmis=1, seed=9)
+    assert legacy == GridSpec.single_plant(n_hmis=1, seed=9).spire_config()
 
 
 def test_api_export_snapshot():
@@ -139,15 +162,20 @@ def test_legacy_star_surface_matches_shim_table():
 
 
 def test_config_rejects_unknown_override():
-    from repro.api import plant_config
+    from repro.api import GridSpec, plant_config
     with pytest.raises(TypeError, match="unknown SpireConfig field"):
-        plant_config(n_hmi=1)          # typo for n_hmis
+        with pytest.warns(DeprecationWarning):
+            plant_config(n_hmi=1)      # typo for n_hmis
+    from repro.api import GridSpecError
+    with pytest.raises(GridSpecError, match="unknown SpireConfig field"):
+        GridSpec.single_plant(n_hmi=1)
 
 
 def test_build_spire_single_argument_form():
-    from repro.api import build_spire, redteam_config
-    system = build_spire(redteam_config(
-        n_distribution_plcs=1, seed=11, telemetry=False))
+    from repro.api import GridSpec, build_spire
+    system = build_spire(GridSpec.single_site(
+        "redteam", n_distribution_plcs=1, seed=11,
+        telemetry=False).spire_config())
     system.sim.run(until=1.0)
     assert system.sim.now == 1.0
     assert system.sim.tracer.enabled is False

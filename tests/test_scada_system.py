@@ -2,15 +2,15 @@
 
 import pytest
 
-from repro.api import MeasurementDevice, Simulator, build_spire, plant_config
+from repro.api import GridSpec, MeasurementDevice, Simulator, build_spire
 from repro.scada.events import CommandDirective
 
 
 @pytest.fixture
 def spire():
     sim = Simulator(seed=31)
-    config = plant_config(n_distribution_plcs=1, n_generation_plcs=0,
-                          n_hmis=1, heartbeat_interval=1.0)
+    config = GridSpec.single_plant(n_distribution_plcs=1, n_generation_plcs=0,
+                          n_hmis=1, heartbeat_interval=1.0).spire_config()
     system = build_spire(sim, config)
     sim.run(until=4.0)   # registrations + first polls
     return sim, system
@@ -172,8 +172,8 @@ def test_proactive_recovery_cycle_preserves_operation(spire):
 
 def test_proactive_recovery_requires_k_at_least_one():
     sim = Simulator(seed=32)
-    from repro.api import redteam_config
-    config = redteam_config(n_distribution_plcs=0)
+    from repro.api import GridSpec
+    config = GridSpec.single_site("redteam", n_distribution_plcs=0).spire_config()
     system = build_spire(sim, config)
     with pytest.raises(RuntimeError):
         system.start_proactive_recovery()

@@ -3,15 +3,15 @@ k-of-n signature instead of counting matching directives."""
 
 import pytest
 
-from repro.api import Simulator, build_spire, plant_config
+from repro.api import GridSpec, Simulator, build_spire
 from repro.scada.events import CommandDirective
 
 
 @pytest.fixture
 def system():
     sim = Simulator(seed=97)
-    config = plant_config(n_distribution_plcs=0, n_generation_plcs=0,
-                          n_hmis=1, use_threshold_directives=True)
+    config = GridSpec.single_plant(n_distribution_plcs=0, n_generation_plcs=0,
+                          n_hmis=1, use_threshold_directives=True).spire_config()
     spire = build_spire(sim, config)
     sim.run(until=4.0)
     return sim, spire

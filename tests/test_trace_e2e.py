@@ -5,7 +5,7 @@ PLC re-poll → HMI display update — all sharing one trace id."""
 
 import pytest
 
-from repro.api import Simulator, build_spire, plant_config
+from repro.api import GridSpec, Simulator, build_spire
 
 EXPECTED_HOPS = [
     "hmi.command", "client.submit", "overlay.deliver", "prime.order",
@@ -16,8 +16,8 @@ EXPECTED_HOPS = [
 @pytest.fixture(scope="module")
 def traced_system():
     sim = Simulator(seed=7)
-    system = build_spire(sim, plant_config(
-        n_distribution_plcs=2, n_generation_plcs=0, n_hmis=1))
+    system = build_spire(sim, GridSpec.single_plant(
+        n_distribution_plcs=2, n_generation_plcs=0, n_hmis=1).spire_config())
     sim.run(until=6.0)
     hmi = system.hmis[0]
     unit = system.physical_plc

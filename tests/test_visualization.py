@@ -57,9 +57,9 @@ import pytest
 
 @pytest.fixture(scope="module")
 def spire_pair():
-    from repro.api import Simulator, build_spire, plant_config
+    from repro.api import GridSpec, Simulator, build_spire
     sim = Simulator(seed=71)
-    system = build_spire(sim, plant_config(n_distribution_plcs=0,
-                                           n_generation_plcs=0, n_hmis=1))
+    system = build_spire(sim, GridSpec.single_plant(n_distribution_plcs=0,
+                                           n_generation_plcs=0, n_hmis=1).spire_config())
     sim.run(until=4.0)
     return sim, system
