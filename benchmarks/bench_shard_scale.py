@@ -1,0 +1,200 @@
+"""X7 (extension): sharded grid execution — one world, many processes,
+identical results.
+
+Runs the ``spire-sim grid`` live arc (steady supervisory workload, a
+mid-run substation trip, restoration) on federated worlds of increasing
+size, once per shard count, and records:
+
+* wall-clock per shard count and the speedup relative to ``shards=1``
+  (the same kernel decomposition on one inline lane — so the measured
+  speedup isolates process fan-out, not decomposition overhead);
+* the **determinism witness**: the SHA-256 digest of the grid section
+  *and* the combined per-kernel event digest — every shard count must
+  produce byte-identical values, or the conservative barrier is broken;
+* the coordinator's ``shard.*`` telemetry (barrier rounds, cross-shard
+  envelopes, fraction samples, wall-clock idle wait).
+
+Writes ``BENCH_shard.json`` at the repository root — the committed
+evidence that ``perf_guard.py --shard-current`` checks future runs
+against.  Speedup is hardware-bound: the guard enforces the >1.0x
+floor only on multi-core runners and for the largest (25-substation)
+world, where per-round work dwarfs barrier cost; the witness must hold
+everywhere.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_shard_scale.py \
+        [--quick] [--shards 1,2] [--duration 6.0] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import time
+
+from repro.grid.spec import make_town_spec
+from repro.shard import ShardedGridWorld
+
+from _support import Report, run_once
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_shard.json")
+
+DEFAULT_SIZES = (5, 25)
+DEFAULT_SHARDS = (1, 2)
+DEFAULT_DURATION = 6.0
+DEFAULT_SEED = 3
+
+
+def _drive(size: int, shards: int, duration: float, seed: int) -> dict:
+    """One measured run of the cmd_grid live arc."""
+    spec = make_town_spec(size, seed=seed)
+    world = ShardedGridWorld(spec, shards=shards, seed=seed)
+    try:
+        began = time.perf_counter()
+        world.start_workload(max(int((duration - 2.0) / 0.6), 4),
+                             start=0.3, interval=0.6)
+        world.run(until=duration / 3.0)
+        world.trip_substation("sub-01")
+        world.run(until=2.0 * duration / 3.0)
+        world.restore_substation("sub-01")
+        world.run(until=duration)
+        section = world.grid_section()
+        wall = time.perf_counter() - began
+        witness = hashlib.sha256(
+            json.dumps(section, sort_keys=True).encode())
+        witness.update(world.event_digest().encode())
+        telemetry = {
+            metric.name: metric.value
+            for metric in world.metrics.find(prefix="shard")
+            if hasattr(metric, "value")}
+        return {
+            "wall_s": wall,
+            "events": section["events_executed"],
+            "events_per_s": section["events_executed"] / wall,
+            "digest": witness.hexdigest(),
+            "lanes": len(world._lanes),
+            "telemetry": telemetry,
+        }
+    finally:
+        world.close()
+
+
+def run_shard_bench(sizes=DEFAULT_SIZES, shard_counts=DEFAULT_SHARDS,
+                    duration: float = DEFAULT_DURATION,
+                    seed: int = DEFAULT_SEED,
+                    output: str = DEFAULT_OUTPUT) -> dict:
+    base = shard_counts[0]
+    size_rows = {}
+    all_match = True
+    for size in sizes:
+        runs = {shards: _drive(size, shards, duration, seed)
+                for shards in shard_counts}
+        digests = {shards: runs[shards]["digest"] for shards in shard_counts}
+        match = len(set(digests.values())) == 1
+        all_match = all_match and match
+        size_rows[str(size)] = {
+            "shards": {str(shards): {key: value
+                                     for key, value in runs[shards].items()
+                                     if key != "digest"}
+                       for shards in shard_counts},
+            "speedup": {str(shards):
+                        runs[base]["wall_s"] / runs[shards]["wall_s"]
+                        for shards in shard_counts if shards != base},
+            "digests": {str(shards): digest
+                        for shards, digest in digests.items()},
+            "digest_match": match,
+        }
+
+    results = {
+        "cpus": os.cpu_count(),
+        "config": {"sizes": list(sizes), "shards": list(shard_counts),
+                   "duration": duration, "seed": seed},
+        "lookahead": make_town_spec(sizes[0], seed=seed).resolved_regions()[0].latency,
+        "sizes": size_rows,
+        "determinism": {"match": all_match},
+    }
+
+    with open(output, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    report_doc = Report("X7-shard-scale",
+                        "Sharded grid execution: scaling + determinism")
+    rows = []
+    for size in sizes:
+        row = size_rows[str(size)]
+        for shards in shard_counts:
+            run = row["shards"][str(shards)]
+            speedup = (row["speedup"].get(str(shards), 1.0))
+            rows.append([size, shards, f"{run['wall_s']:.2f}",
+                         f"{run['events_per_s']:.0f}",
+                         f"{speedup:.2f}x",
+                         "yes" if row["digest_match"] else "NO"])
+    report_doc.table(
+        ["substations", "shards", "wall s", "events/s", "speedup",
+         "identical"], rows)
+    report_doc.line(
+        f"Live grid arc on a {os.cpu_count()}-core machine; sections and "
+        f"event digests are "
+        f"{'IDENTICAL' if all_match else 'DIVERGENT'} across shard counts "
+        "(conservative lookahead barrier).")
+    report_doc.line(f"Machine-readable results: "
+                    f"{os.path.relpath(output, REPO_ROOT)}")
+    report_doc.save_and_print()
+    return results
+
+
+def bench_shard_scale(benchmark):
+    """Pytest entry point: small world, determinism is the assertion
+    (wall-clock speedup is hardware-bound and guarded by perf_guard
+    with a core-aware skip on single-core boxes)."""
+    output = os.path.join(REPO_ROOT, "benchmarks", "results",
+                          "BENCH_shard.quick.json")
+    results = run_once(benchmark, lambda: run_shard_bench(
+        sizes=(5,), shard_counts=(1, 2), duration=4.0, output=output))
+    assert results["determinism"]["match"], \
+        "sharding changed grid results"
+    row = results["sizes"]["5"]
+    assert row["shards"]["2"]["lanes"] == 3
+    assert row["shards"]["2"]["telemetry"]["shard.cross_envelopes"] > 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small world, short run (CI smoke; writes "
+                             "to benchmarks/results/)")
+    parser.add_argument("--shards", default=None,
+                        help="comma-separated shard counts; the first is "
+                             "the baseline (default: 1,2)")
+    parser.add_argument("--duration", type=float, default=None,
+                        help=f"simulated seconds (default "
+                             f"{DEFAULT_DURATION}; quick: 4.0)")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--output", default=None,
+                        help=f"result path (default: {DEFAULT_OUTPUT}; "
+                             "quick: benchmarks/results/)")
+    args = parser.parse_args(argv)
+    sizes = (5,) if args.quick else DEFAULT_SIZES
+    duration = args.duration if args.duration is not None \
+        else (4.0 if args.quick else DEFAULT_DURATION)
+    output = args.output or (
+        os.path.join(REPO_ROOT, "benchmarks", "results",
+                     "BENCH_shard.quick.json") if args.quick
+        else DEFAULT_OUTPUT)
+    shard_counts = tuple(int(part) for part in args.shards.split(",")) \
+        if args.shards else DEFAULT_SHARDS
+    results = run_shard_bench(sizes=sizes, shard_counts=shard_counts,
+                              duration=duration, seed=args.seed,
+                              output=output)
+    if not results["determinism"]["match"]:
+        print("FATAL: sharding changed grid results", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,6 +45,7 @@ from repro.obs import (
     build_grid_section, render_report,
 )
 from repro.parallel import UnitResult, WorkerPool, WorkUnit
+from repro.shard import ShardConfigError, ShardedGridWorld
 from repro.sim.process import Process
 from repro.sim.simulator import (
     Event, PeriodicTimer, SimulationError, Simulator,
@@ -78,4 +79,6 @@ __all__ = [
     "build_grid_section", "render_report",
     # Parallel sweep engine
     "UnitResult", "WorkerPool", "WorkUnit",
+    # Sharded execution (one world, many processes, identical results)
+    "ShardConfigError", "ShardedGridWorld",
 ]

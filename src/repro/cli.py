@@ -336,7 +336,11 @@ def cmd_grid(args) -> int:
     # fault — trip a generating substation mid-run, restore it later —
     # so the per-substation section shows cross-substation physics.
     duration = max(args.duration, 12.0)
-    world = build_world(spec, seed=args.seed)
+    if args.shards is not None:
+        from repro.shard import ShardedGridWorld
+        world = ShardedGridWorld(spec, shards=args.shards, seed=args.seed)
+    else:
+        world = build_world(spec, seed=args.seed)
     world.start_workload(max(int((duration - 4.0) / 0.6), 6),
                          start=0.3, interval=0.6)
     names = sorted(world.substations)
@@ -350,6 +354,10 @@ def cmd_grid(args) -> int:
     world.run(until=duration)
     grid_section = build_grid_section(world)
     summary = world.grid_summary()
+    event_digest = None
+    if args.shards is not None:
+        event_digest = world.event_digest()
+        world.close()
     print(f"# {spec.name}: {summary['substations']} substation(s), "
           f"{len(world.replicas)} replicas, {len(world.hmis)} HMIs, "
           f"{len(world.populations)} client population(s)", file=sys.stderr)
@@ -367,6 +375,10 @@ def cmd_grid(args) -> int:
     meta = {"generator": "spire-sim grid", "seed": args.seed,
             "spec": spec.name, "duration": duration,
             "fault_substation": fault_sub}
+    if event_digest is not None:
+        # A witness, not a configuration record: --shards itself is
+        # deliberately absent so reports stay comparable across counts.
+        meta["event_digest"] = event_digest
     campaign = None
     if not args.skip_campaign:
         scenario_names = ([name.strip() for name in
@@ -523,6 +535,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="simulated seconds for the live grid run "
                            "(min 12; the field fault hits at 1/3 and "
                            "clears at 2/3)")
+    grid.add_argument("--shards", type=int, default=None, metavar="N",
+                      help="run the live grid as N lockstep shard "
+                           "processes (1 = sharded decomposition on one "
+                           "process); the report and its event digest "
+                           "are byte-identical for any --shards value")
     grid.add_argument("--skip-campaign", action="store_true",
                       help="omit the chaos campaign section")
     grid.add_argument("--scenarios", default=None,

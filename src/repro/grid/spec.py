@@ -85,20 +85,28 @@ class OverlayRegionSpec:
     Substations whose ``region`` names this region have their proxy
     daemons wired into a sparse ring-plus-chords mesh of roughly
     ``degree`` neighbors.  ``links`` adds explicit inter-region overlay
-    edges on top of the default region ring.
+    edges on top of the default region ring.  ``latency`` is the
+    one-way propagation delay of this region's overlay links in
+    seconds; the minimum across regions is the conservative lookahead
+    of the sharded executor (`repro.shard`), so it must be positive.
     """
 
     name: str
     degree: int = 4
     links: Tuple[str, ...] = ()
+    latency: float = 0.01
 
     def to_dict(self) -> dict:
         return {"name": self.name, "degree": self.degree,
-                "links": list(self.links)}
+                "links": list(self.links), "latency": self.latency}
 
     def _validate(self, path: str) -> None:
         _check_name(self.name, f"{path}.name")
         _check_int(self.degree, f"{path}.degree", minimum=2)
+        if not isinstance(self.latency, (int, float)) or self.latency < 0:
+            raise GridSpecError(
+                f"{path}.latency must be a non-negative number, "
+                f"got {self.latency!r}")
         for index, link in enumerate(self.links):
             _check_name(link, f"{path}.links[{index}]")
 

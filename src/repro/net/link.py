@@ -160,7 +160,7 @@ class Link:
         self.frames_sent += 1
         self._metric_sent.inc()
         self._metric_bytes.inc(size)
-        self.sim.at(deliver_at, self._deliver, receiver, frame, direction, size)
+        self.sim.post_at(deliver_at, self._deliver, receiver, frame, direction, size)
         return True
 
     def _deliver(self, receiver: LinkEndpoint, frame: Frame,

@@ -1,0 +1,29 @@
+"""Sharded execution of federated grid worlds.
+
+Partitions one :class:`~repro.grid.spec.GridSpec` deployment into
+per-process shard kernels (replica core + one kernel per substation)
+advanced in lockstep by a conservative time-sync barrier whose
+lookahead is the minimum overlay-region latency.  ``--shards N`` is a
+pure wall-clock knob: reports and event digests are byte-identical for
+every shard count.
+"""
+
+from repro.shard.errors import ShardConfigError
+from repro.shard.gateway import GatewayDaemon
+from repro.shard.partition import (
+    CORE_KERNEL, ShardKernel, daemon_owner_map, kernel_names,
+    spec_lookahead,
+)
+from repro.shard.runner import ShardedGridWorld, ShardRuntimeError
+
+__all__ = [
+    "CORE_KERNEL",
+    "GatewayDaemon",
+    "ShardConfigError",
+    "ShardKernel",
+    "ShardRuntimeError",
+    "ShardedGridWorld",
+    "daemon_owner_map",
+    "kernel_names",
+    "spec_lookahead",
+]

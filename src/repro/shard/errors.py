@@ -1,0 +1,14 @@
+"""Errors raised by the sharded executor."""
+
+from __future__ import annotations
+
+
+class ShardConfigError(ValueError):
+    """Raised when a spec/shard-count combination cannot execute.
+
+    The conservative barrier protocol is deadlock-free only with a
+    strictly positive lookahead (the minimum
+    :class:`~repro.grid.spec.OverlayRegionSpec` latency): a zero
+    lookahead would admit zero-width synchronization windows, so it is
+    rejected at construction time instead of hanging the barrier.
+    """

@@ -1,0 +1,488 @@
+"""Per-kernel builders: one federated GridSpec, many shard kernels.
+
+The decomposition is **fixed by the spec**, independent of the shard
+count: kernel ``"core"`` holds the replica group (internal overlay,
+SCADA masters), the HMIs, the aggregate client populations, and the
+physics solver; every substation becomes its own kernel holding the
+proxy, its PLC population with direct cables, and an energized-fraction
+probe feeding the core physics.  ``--shards N`` only multiplexes these
+kernels over OS processes — results are a function of the kernel set,
+never of placement — which is what makes ``--shards 1/2/4`` reports
+byte-identical.
+
+Cross-kernel traffic leaves through a :class:`~repro.shard.gateway.GatewayDaemon`
+on each kernel's external overlay and re-enters peer kernels one
+lookahead later (see :mod:`repro.shard.runner` for the barrier).  All
+key material comes from a derived :class:`~repro.crypto.keys.KeyStore`
+rooted in ``sha256("shard-keys:<name>:<seed>")`` so every kernel can
+verify every principal without exchanging keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.grid.spec import GridSpec, SubstationSpec
+from repro.shard.errors import ShardConfigError
+from repro.shard.gateway import GatewayDaemon
+
+CORE_KERNEL = "core"
+
+#: Registration instant shared with the monolithic builder.
+_REGISTER_AT = 0.05
+_POPULATION_START = 0.5
+
+
+def kernel_names(spec: GridSpec) -> List[str]:
+    """The fixed kernel decomposition, in canonical order."""
+    return [CORE_KERNEL] + [sub.name for sub in spec.substations]
+
+
+def spec_lookahead(spec: GridSpec) -> float:
+    """Conservative lookahead: the minimum overlay-region latency."""
+    latencies = [region.latency for region in spec.resolved_regions()]
+    return min(latencies) if latencies else 0.0
+
+
+def daemon_owner_map(spec: GridSpec) -> Dict[str, str]:
+    """Destination daemon name -> owning kernel, for targeted routing."""
+    from repro.prime.config import build_config
+
+    owners = {f"ext.{name}": CORE_KERNEL
+              for name in build_config(f=spec.f, k=spec.k).replica_names}
+    for index in range(1, spec.n_hmis + 1):
+        owners[f"ext.hmi-{index}"] = CORE_KERNEL
+    for population in spec.clients:
+        owners[f"ext.pop-{population.name}"] = CORE_KERNEL
+    for sub in spec.substations:
+        owners[f"ext.proxy.{sub.name}"] = sub.name
+    return owners
+
+
+def spec_breaker_pairs(sub: SubstationSpec) -> List[Tuple[str, str]]:
+    """(plc, feed-breaker) pairs of one substation, derived from the
+    spec alone — matches ``Substation.main_breakers()`` (lexically
+    sorted PLCs, ``<plc>-main`` from ``_feeder_topology``)."""
+    plcs = sorted(f"{sub.name}-r{index}" for index in range(1, sub.rtus + 1))
+    return [(plc, f"{plc}-main") for plc in plcs]
+
+
+def _derived_keystore(spec: GridSpec, seed: int):
+    from repro.crypto.keys import KeyStore
+
+    root = hashlib.sha256(
+        f"shard-keys:{spec.name}:{seed}".encode()).digest()
+    return KeyStore(root_secret=root)
+
+
+class ShardKernel:
+    """One partition of the simulated world, with its own Simulator.
+
+    Exports (overlay messages, fraction samples) are pickled at export
+    time and drained once per barrier round; imports are scheduled at
+    ``max(arrival, now)`` — the clamp is deterministic because every
+    kernel pauses on the same global boundaries regardless of shard
+    count.
+    """
+
+    def __init__(self, spec: GridSpec, name: str, seed: int):
+        from repro.sim.simulator import Simulator
+
+        self.spec = spec
+        self.name = name
+        self.sim = Simulator(seed=seed, telemetry=spec.telemetry)
+        self.keystore = _derived_keystore(spec, seed)
+        self.outbox: List[Tuple[int, float, str, Optional[str], bytes]] = []
+        self._export_seq = 0
+        self.gateway: Optional[GatewayDaemon] = None
+        # Core-kernel state
+        self.prime_config = None
+        self.replicas: Dict[str, object] = {}
+        self.masters: Dict[str, object] = {}
+        self.hmis: List[object] = []
+        self.populations: List[object] = []
+        self.physics = None
+        self._fractions: Dict[str, float] = {}
+        # Substation-kernel state
+        self.substation = None
+        self.proxy = None
+        if name == CORE_KERNEL:
+            _build_core_kernel(self)
+        else:
+            sub = next((s for s in spec.substations if s.name == name), None)
+            if sub is None:
+                raise ShardConfigError(
+                    f"{spec.name}: unknown substation kernel {name!r}")
+            _build_substation_kernel(self, sub)
+
+    # -- barrier plumbing ----------------------------------------------
+    def export(self, kind: str, obj: Any, hint: Optional[str] = None) -> None:
+        self.outbox.append((self._export_seq, self.sim.now, kind, hint,
+                            pickle.dumps(obj, pickle.HIGHEST_PROTOCOL)))
+        self._export_seq += 1
+
+    def drain(self) -> List[Tuple[int, float, str, Optional[str], bytes]]:
+        out, self.outbox = self.outbox, []
+        return out
+
+    def inject(self, arrival: float, kind: str, blob: bytes) -> None:
+        now = self.sim.now
+        self.sim.at(arrival if arrival >= now else now,
+                    self._apply_import, kind, blob)
+
+    def _apply_import(self, kind: str, blob: bytes) -> None:
+        obj = pickle.loads(blob)
+        if kind == "overlay":
+            self.gateway.import_message(obj)
+        elif kind == "fraction":
+            name, fraction = obj
+            self._fractions[name] = fraction
+
+    def run_to(self, t_end: float) -> None:
+        self.sim.run(until=t_end)
+
+    # -- control operations (applied while globally paused) -------------
+    def trip(self) -> int:
+        opened = 0
+        for plc_name, breaker in self.substation.main_breakers():
+            unit = self.substation.units[plc_name]
+            if unit.topology.set_breaker(breaker, False):
+                opened += 1
+        return opened
+
+    def restore(self) -> int:
+        closed = 0
+        for unit in self.substation.units.values():
+            for breaker in unit.topology.breaker_names():
+                if unit.topology.set_breaker(breaker, True):
+                    closed += 1
+        return closed
+
+    def start_workload(self, commands: int, start: float,
+                       interval: float) -> None:
+        targets = [pair for sub in self.spec.substations
+                   for pair in spec_breaker_pairs(sub)]
+        if not targets or not self.hmis:
+            return
+        for index in range(commands):
+            self.sim.at(start + index * interval, self._workload_command,
+                        index, targets)
+
+    def _workload_command(self, index: int, targets) -> None:
+        hmi = self.hmis[index % len(self.hmis)]
+        if not hmi.client.running:
+            return
+        plc, breaker = targets[index % len(targets)]
+        hmi.command_breaker(plc, breaker, True)
+
+    # -- summaries ------------------------------------------------------
+    def event_digest(self) -> str:
+        witness = hashlib.sha256()
+        for record in self.sim.log.records():
+            witness.update(repr((record.time, record.source,
+                                 record.category, record.message)).encode())
+        witness.update(repr((self.sim.events_executed,
+                             self.sim.now)).encode())
+        return witness.hexdigest()
+
+    def metrics_snapshot(self) -> list:
+        return self.sim.metrics.state_snapshot()
+
+    def fragment(self, include_metrics: bool = False) -> dict:
+        """Everything the coordinator needs for reports, in one dict."""
+        out: Dict[str, Any] = {
+            "kernel": self.name,
+            "events_executed": self.sim.events_executed,
+            "now": self.sim.now,
+            "digest": self.event_digest(),
+        }
+        if self.name == CORE_KERNEL:
+            from repro.prime.replica import STATE_NORMAL
+
+            out["physics"] = self.physics.snapshot()
+            replicas = list(self.replicas.values())
+            out["replicas"] = {
+                "total": len(replicas),
+                "normal": sum(1 for replica in replicas
+                              if replica.running
+                              and replica.state == STATE_NORMAL),
+            }
+            out["populations"] = [{
+                "name": population.spec.name,
+                "sessions": population.spec.sessions,
+                "reads_served": population.reads_served,
+                "commands_submitted": population.commands_submitted,
+            } for population in self.populations]
+            out["reaction"] = self._reaction_summaries()
+        else:
+            closed = total = 0
+            for unit in self.substation.units.values():
+                states = unit.topology.breaker_states()
+                total += len(states)
+                closed += sum(1 for state in states.values() if state)
+            out.update({
+                "region": self.substation.region,
+                "plcs": len(self.substation.units),
+                "breakers_closed": closed,
+                "breakers": total,
+                "proxy_polls": getattr(self.proxy, "polls", 0),
+                "commands_applied": getattr(self.proxy,
+                                            "commands_applied", 0),
+            })
+        if include_metrics:
+            out["metrics"] = self.sim.metrics.state_snapshot()
+        return out
+
+    def _reaction_summaries(self) -> Dict[str, dict]:
+        """Per-substation ``hmi.command`` reaction quantiles — the same
+        pooling ``build_grid_section`` performs on a monolithic world."""
+        from repro.telemetry.metrics import Histogram
+
+        plc_to_substation = {plc: sub.name for sub in self.spec.substations
+                             for plc, _ in spec_breaker_pairs(sub)}
+        pools: Dict[str, Histogram] = {}
+        for span in self.sim.tracer.spans(name="hmi.command"):
+            if not span.finished:
+                continue
+            substation = plc_to_substation.get(span.attrs.get("plc"))
+            if substation is None:
+                continue
+            pool = pools.get(substation)
+            if pool is None:
+                pool = pools[substation] = Histogram("hmi.command",
+                                                     substation)
+            pool.observe(span.duration)
+        return {name: pool.summary() for name, pool in pools.items()}
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+def _gateway_factory(kernel: ShardKernel):
+    def make(sim, name, host, port, key_id, intrusion_tolerant=True):
+        return GatewayDaemon(sim, name, host, port, key_id,
+                             intrusion_tolerant=intrusion_tolerant,
+                             export=kernel.export)
+    return make
+
+
+def _build_core_kernel(kernel: ShardKernel) -> None:
+    from repro.grid.physics import GridPhysics
+    from repro.grid.world import ClientPopulation, _connect_group
+    from repro.net.firewall import locked_down_firewall
+    from repro.net.host import Host
+    from repro.net.lan import Lan
+    from repro.net.osprofile import centos_minimal_latest
+    from repro.prime.client import PrimeClient
+    from repro.prime.config import build_config
+    from repro.prime.replica import PrimeReplica
+    from repro.scada.hmi import Hmi
+    from repro.scada.master import ScadaMaster
+    from repro.spines.overlay import SpinesNetwork
+
+    sim, spec = kernel.sim, kernel.spec
+    prime_config = build_config(f=spec.f, k=spec.k)
+    kernel.prime_config = prime_config
+
+    ports_needed = (prime_config.n + spec.n_hmis + len(spec.clients) + 9)
+    internal_lan = Lan(sim, f"{spec.name}-internal", "192.168.121.0/24",
+                       ports=prime_config.n + 2)
+    external_lan = Lan(sim, f"{spec.name}-external", "192.168.122.0/24",
+                       ports=ports_needed)
+    internal = SpinesNetwork(sim, f"{spec.name}.int", internal_lan,
+                             kernel.keystore, port=8100)
+    external = SpinesNetwork(sim, f"{spec.name}.ext", external_lan,
+                             kernel.keystore, port=8120)
+
+    for name in prime_config.replica_names:
+        host = Host(sim, f"{spec.name}.{name}",
+                    os_profile=centos_minimal_latest(),
+                    firewall=locked_down_firewall())
+        internal_lan.connect(host)
+        external_lan.connect(host)
+        internal_daemon = internal.add_daemon(host, f"int.{name}")
+        external.add_daemon(host, f"ext.{name}")
+        kernel.keystore.create_signing(name)
+        host.key_ring.install_signing(name, kernel.keystore.signing(name))
+        master = ScadaMaster(name)
+        replica = PrimeReplica(sim, name, prime_config, internal_daemon,
+                               external.daemon_on(host), master)
+        master.bind(replica)
+        kernel.masters[name] = master
+        kernel.replicas[name] = replica
+    internal.connect_full_mesh()
+
+    core_daemons = [f"ext.{name}" for name in prime_config.replica_names]
+    for index in range(1, spec.n_hmis + 1):
+        hmi_name = f"hmi-{index}"
+        hmi_host = Host(sim, f"{spec.name}.{hmi_name}",
+                        os_profile=centos_minimal_latest(),
+                        firewall=locked_down_firewall())
+        external_lan.connect(hmi_host)
+        hmi_daemon = external.add_daemon(hmi_host, f"ext.{hmi_name}")
+        core_daemons.append(hmi_daemon.name)
+        kernel.keystore.create_signing(hmi_name)
+        hmi_host.key_ring.install_signing(
+            hmi_name, kernel.keystore.signing(hmi_name))
+        kernel.hmis.append(Hmi(sim, hmi_name, hmi_host, hmi_daemon,
+                               prime_config))
+
+    for population_spec in spec.clients:
+        pop_name = f"pop-{population_spec.name}"
+        pop_host = Host(sim, f"{spec.name}.{pop_name}",
+                        os_profile=centos_minimal_latest(),
+                        firewall=locked_down_firewall())
+        external_lan.connect(pop_host)
+        pop_daemon = external.add_daemon(pop_host, f"ext.{pop_name}")
+        core_daemons.append(pop_daemon.name)
+        kernel.keystore.create_signing(pop_name)
+        pop_host.key_ring.install_signing(
+            pop_name, kernel.keystore.signing(pop_name))
+        client = PrimeClient(sim, pop_name, prime_config, pop_daemon,
+                             7900 + sim.sequence("grid.population.port"))
+        eligible = [sub for sub in spec.substations
+                    if not population_spec.regions
+                    or sub.region in population_spec.regions]
+        targets = [pair for sub in eligible
+                   for pair in spec_breaker_pairs(sub)]
+        kernel.populations.append(
+            ClientPopulation(sim, population_spec, client, targets))
+
+    _connect_group(external, core_daemons,
+                   degree=max(4, len(core_daemons)))
+    gateway_host = Host(sim, f"{spec.name}.gw.core",
+                        os_profile=centos_minimal_latest(),
+                        firewall=locked_down_firewall())
+    external_lan.connect(gateway_host)
+    gateway = external.add_daemon(gateway_host, "ext.gw.core",
+                                  factory=_gateway_factory(kernel))
+    external.add_edge(sorted(core_daemons)[0], gateway.name)
+    gateway.set_local_sources(set(external.daemons) - {gateway.name})
+    kernel.gateway = gateway
+
+    internal_lan.harden()
+    external_lan.harden()
+
+    # Physics lives here; remote substations feed lagged energized
+    # fractions through the barrier (initially fully energized).
+    kernel._fractions = {sub.name: 1.0 for sub in spec.substations}
+    sources = {sub.name: (lambda name=sub.name: kernel._fractions[name])
+               for sub in spec.substations}
+    kernel.physics = GridPhysics(sim, spec, {}, fraction_sources=sources)
+
+    def register_all():
+        for hmi in kernel.hmis:
+            hmi.subscribe()
+
+    sim.schedule(_REGISTER_AT, register_all)
+    for population in kernel.populations:
+        population.start(at=_POPULATION_START)
+
+
+def _build_substation_kernel(kernel: ShardKernel,
+                             sub: SubstationSpec) -> None:
+    from repro.core.spire import PlcUnit
+    from repro.grid.world import Substation, _feeder_topology
+    from repro.net.firewall import INBOUND, OUTBOUND, locked_down_firewall
+    from repro.net.host import Host
+    from repro.net.lan import Lan
+    from repro.net.osprofile import centos_minimal_latest
+    from repro.plc.device import PlcDevice
+    from repro.prime.config import build_config
+    from repro.scada.proxy import PlcProxy, wire_direct
+    from repro.spines.overlay import SpinesNetwork
+
+    sim, spec = kernel.sim, kernel.spec
+    prime_config = build_config(f=spec.f, k=spec.k)
+    kernel.prime_config = prime_config
+
+    external_lan = Lan(sim, f"{spec.name}-external", "192.168.122.0/24",
+                       ports=10)
+    external = SpinesNetwork(sim, f"{spec.name}.ext", external_lan,
+                             kernel.keystore, port=8120)
+
+    proxy_host = Host(sim, f"{spec.name}.proxy.{sub.name}",
+                      os_profile=centos_minimal_latest(),
+                      firewall=locked_down_firewall())
+    external_lan.connect(proxy_host)
+    proxy_daemon = external.add_daemon(proxy_host, f"ext.proxy.{sub.name}")
+    proxy_name = f"proxy-{sub.name}"
+    kernel.keystore.create_signing(proxy_name)
+    proxy_host.key_ring.install_signing(
+        proxy_name, kernel.keystore.signing(proxy_name))
+    if sub.protocol == "dnp3":
+        from repro.scada.dnp3_proxy import Dnp3PlcProxy
+        proxy = Dnp3PlcProxy(
+            sim, proxy_name, proxy_host, proxy_daemon, prime_config,
+            poll_interval=max(sub.poll_interval, 1.0),
+            heartbeat_interval=sub.heartbeat_interval)
+    else:
+        proxy = PlcProxy(sim, proxy_name, proxy_host, proxy_daemon,
+                         prime_config, poll_interval=sub.poll_interval,
+                         heartbeat_interval=sub.heartbeat_interval)
+    kernel.proxy = proxy
+
+    # Cable subnets keep their *global* indices (a pure function of the
+    # spec) so kernel contents never depend on shard placement.
+    cable_index = 0
+    for other in spec.substations:
+        if other.name == sub.name:
+            break
+        cable_index += other.rtus
+
+    units: Dict[str, PlcUnit] = {}
+    for rtu_index in range(1, sub.rtus + 1):
+        plc_name = f"{sub.name}-r{rtu_index}"
+        topology = _feeder_topology(sub, plc_name)
+        plc_host = Host(sim, f"{spec.name}.{plc_name}")
+        wire_direct(sim, proxy_host, plc_host, f"10.77.{cable_index}.0/30")
+        cable_index += 1
+        if sub.protocol == "dnp3":
+            from repro.plc.dnp3 import Dnp3Outstation
+            device = Dnp3Outstation(sim, plc_name, plc_host, topology)
+        else:
+            device = PlcDevice(sim, plc_name, plc_host, topology)
+        plc_ip = plc_host.interfaces[-1].ip
+        proxy_host.firewall.allow(OUTBOUND, "tcp", remote_ip=plc_ip,
+                                  remote_port=device.port)
+        proxy_host.firewall.allow(INBOUND, "tcp", remote_ip=plc_ip,
+                                  remote_port=device.port)
+        if sub.protocol == "dnp3":
+            proxy.attach_outstation(device, plc_ip)
+        else:
+            proxy.attach_plc(device, plc_ip)
+        units[plc_name] = PlcUnit(device=device, host=plc_host,
+                                  topology=topology, proxy=proxy)
+    kernel.substation = Substation(
+        name=sub.name, region=sub.region, proxies=[proxy], units=units,
+        load_mw=sub.load_mw, generation_mw=sub.generation_mw)
+
+    gateway_host = Host(sim, f"{spec.name}.gw.{sub.name}",
+                        os_profile=centos_minimal_latest(),
+                        firewall=locked_down_firewall())
+    external_lan.connect(gateway_host)
+    gateway = external.add_daemon(gateway_host, f"ext.gw.{sub.name}",
+                                  factory=_gateway_factory(kernel))
+    external.add_edge(proxy_daemon.name, gateway.name)
+    gateway.set_local_sources(set(external.daemons) - {gateway.name})
+    kernel.gateway = gateway
+
+    external_lan.harden()
+
+    # Energized-fraction probe: sampled on the physics step cadence and
+    # exported to the core kernel, where it lands one lookahead later —
+    # the same one-step-lagged view at every shard count.
+    def sample_fraction():
+        total = served = 0
+        for unit in units.values():
+            total += len(unit.topology.loads)
+            served += sum(1 for on in
+                          unit.topology.energized_loads().values() if on)
+        fraction = (served / total) if total else 1.0
+        kernel.export("fraction", (sub.name, fraction), hint=CORE_KERNEL)
+
+    sim.every(spec.physics.step_interval, sample_fraction)
+
+    sim.schedule(_REGISTER_AT, proxy.register_with_masters)

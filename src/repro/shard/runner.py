@@ -1,0 +1,442 @@
+"""Conservative-barrier coordinator for sharded grid worlds.
+
+:class:`ShardedGridWorld` runs one federated :class:`~repro.grid.spec.GridSpec`
+as a set of per-kernel simulations (see :mod:`repro.shard.partition`)
+advanced in lockstep windows of width ``L`` — the *lookahead*, the
+minimum :class:`~repro.grid.spec.OverlayRegionSpec` latency.  The
+classic Chandy–Misra argument makes the barrier safe: a message a
+kernel exports at local time ``t`` cannot affect any peer before
+``t + L``, so every kernel may run the window ``(t_k, t_k + L]`` to
+completion before seeing what its peers produced during it; exports are
+exchanged between windows and injected into the round that covers their
+arrival time.
+
+Determinism across shard counts falls out of three invariants:
+
+* the kernel decomposition and every window boundary are pure functions
+  of the spec and the ``run()`` call sequence — never of the process
+  placement;
+* exports are pickled at export time and delivered in a canonical sort
+  order ``(arrival, source-kernel index, export seq)``, so the events
+  they schedule get identical sequence numbers everywhere;
+* ``--shards 1`` runs the *same* kernels on one inline lane — not the
+  monolithic builder — so adding processes changes wall-clock only.
+
+The coordinator's own telemetry (``shard.*``: barrier rounds, cross
+envelopes, fraction samples, wall-clock idle wait) lives on a parent
+registry that is deliberately excluded from reports — wall time must
+never leak into a determinism witness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.grid.spec import GridSpec
+from repro.shard.errors import ShardConfigError
+from repro.shard.partition import (
+    CORE_KERNEL, ShardKernel, daemon_owner_map, kernel_names,
+    spec_lookahead,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+
+class ShardRuntimeError(RuntimeError):
+    """A shard worker raised while executing a round or control call."""
+
+
+# ----------------------------------------------------------------------
+# Worker side (shared by fork lanes and the inline lane)
+# ----------------------------------------------------------------------
+class _ShardWorker:
+    """Holds the live kernels of one lane and executes lane messages."""
+
+    def __init__(self, spec: GridSpec, names: Sequence[str], seed: int):
+        self.kernels = {name: ShardKernel(spec, name, seed)
+                        for name in names}
+
+    def handle(self, message: Tuple) -> Tuple:
+        kind = message[0]
+        if kind == "round":
+            _, t_end, inboxes = message
+            exports: List[Tuple] = []
+            for name, kernel in self.kernels.items():
+                for arrival, item_kind, blob in inboxes.get(name, ()):
+                    kernel.inject(arrival, item_kind, blob)
+                kernel.run_to(t_end)
+                exports.extend((name,) + item for item in kernel.drain())
+            return ("exports", exports)
+        if kind == "control":
+            _, name, method, args = message
+            return ("result", getattr(self.kernels[name], method)(*args))
+        raise ShardRuntimeError(f"unknown lane message {kind!r}")
+
+
+def _shard_worker_main(conn, spec_dict: dict, names: Sequence[str],
+                       seed: int, sys_paths: Sequence[str]) -> None:
+    for path in sys_paths:
+        if path not in sys.path:
+            sys.path.append(path)
+    worker = _ShardWorker(GridSpec.from_dict(spec_dict), names, seed)
+    while True:
+        message = conn.recv()
+        if message[0] == "close":
+            return
+        try:
+            conn.send(worker.handle(message))
+        except BaseException as exc:  # noqa: BLE001 - report, don't die silent
+            import traceback
+            conn.send(("error", f"{type(exc).__name__}: {exc}\n"
+                                f"{traceback.format_exc()}"))
+
+
+class _InlineLane:
+    """Lane API over an in-process worker (``--shards 1``; no fork)."""
+
+    def __init__(self, worker: _ShardWorker, name: str):
+        self.name = name
+        self._worker = worker
+        self._reply: Any = None
+
+    def send(self, message: Tuple) -> None:
+        try:
+            self._reply = self._worker.handle(message)
+        except ShardRuntimeError:
+            raise
+        except BaseException as exc:  # noqa: BLE001 - mirror fork framing
+            import traceback
+            self._reply = ("error", f"{type(exc).__name__}: {exc}\n"
+                                    f"{traceback.format_exc()}")
+
+    def recv(self) -> Any:
+        reply, self._reply = self._reply, None
+        return reply
+
+    def request(self, message: Tuple) -> Any:
+        self.send(message)
+        return self.recv()
+
+    def close(self) -> None:
+        pass
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+class ShardedGridWorld:
+    """A federated grid run as lockstep shard kernels.
+
+    Drives the same arc :class:`~repro.grid.world.GridWorld` does
+    (``start_workload`` / ``run`` / ``trip_substation`` /
+    ``restore_substation`` / ``grid_summary``) plus the shard-mode
+    report surface (:meth:`grid_section`, :meth:`event_digest`,
+    :meth:`merged_metrics`).  Control calls are only legal while the
+    world is paused at a barrier — which is the only time the caller
+    has the thread.
+
+    Args:
+        spec: a *federated* spec (site specs have no decomposition).
+        shards: process count; ``1`` = all kernels inline, ``>= 2`` =
+            the core kernel on lane 0 and substations round-robin on
+            the rest.  Results are independent of this value.
+        seed: simulator seed for every kernel (default ``spec.seed``).
+    """
+
+    def __init__(self, spec: GridSpec, shards: int = 1,
+                 seed: Optional[int] = None):
+        from repro.grid.world import MAX_CABLES
+        from repro.prime.config import build_config
+
+        if spec.site is not None:
+            raise ShardConfigError(
+                f"{spec.name}: single-site specs have no substation "
+                "decomposition to shard — use build_world")
+        if shards < 1:
+            raise ShardConfigError(f"shards must be >= 1, got {shards}")
+        total_rtus = sum(sub.rtus for sub in spec.substations)
+        if total_rtus > MAX_CABLES:
+            raise ShardConfigError(
+                f"{spec.name}: {total_rtus} RTUs exceed the {MAX_CABLES} "
+                "direct-cable limit")
+        lookahead = spec_lookahead(spec)
+        if lookahead <= 0.0:
+            raise ShardConfigError(
+                f"{spec.name}: conservative sync needs a strictly positive "
+                f"lookahead, but the minimum overlay-region latency is "
+                f"{lookahead} — set OverlayRegionSpec.latency > 0 on every "
+                "region (or run unsharded via build_world)")
+
+        self.spec = spec
+        self.shards = shards
+        self.seed = spec.seed if seed is None else seed
+        self.lookahead = lookahead
+        self._kernels = kernel_names(spec)
+        self._kernel_index = {name: index
+                              for index, name in enumerate(self._kernels)}
+        self._owners = daemon_owner_map(spec)
+        self._pending: Dict[str, List[Tuple]] = {name: []
+                                                 for name in self._kernels}
+        self._now = 0.0
+        self._window_index = 0
+        self._closed = False
+        self.prime_config = build_config(f=spec.f, k=spec.k)
+
+        self.metrics = MetricsRegistry()
+        self._metric_rounds = self.metrics.counter("shard.barrier_rounds",
+                                                   component=spec.name)
+        self._metric_cross = self.metrics.counter("shard.cross_envelopes",
+                                                  component=spec.name)
+        self._metric_fractions = self.metrics.counter(
+            "shard.fraction_samples", component=spec.name)
+        self._metric_idle = self.metrics.gauge("shard.idle_wait_seconds",
+                                               component=spec.name)
+        self._idle_wait = 0.0
+
+        if shards == 1:
+            lane_sets = [list(self._kernels)]
+        else:
+            lane_sets = [[CORE_KERNEL]] + [[] for _ in range(shards - 1)]
+            for index, sub in enumerate(spec.substations):
+                lane_sets[1 + index % (shards - 1)].append(sub.name)
+            lane_sets = [names for names in lane_sets if names]
+        self._lane_kernels = lane_sets
+        self._lane_of: Dict[str, Any] = {}
+        self._lanes: List[Any] = []
+        if shards == 1:
+            worker = _ShardWorker(spec, lane_sets[0], self.seed)
+            self._lanes = [_InlineLane(worker, f"{spec.name}-shard-0")]
+        else:
+            from repro.parallel.pool import ShardLane
+            sys_paths = [path for path in sys.path if path]
+            spec_dict = spec.to_dict()
+            for index, names in enumerate(lane_sets):
+                self._lanes.append(ShardLane(
+                    _shard_worker_main,
+                    args=(spec_dict, names, self.seed, sys_paths),
+                    name=f"{spec.name}-shard-{index}"))
+        for lane, names in zip(self._lanes, self._lane_kernels):
+            for name in names:
+                self._lane_of[name] = lane
+
+    # -- compatibility surface (what cmd_grid and tests read) -----------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def substations(self) -> Dict[str, Any]:
+        return {sub.name: sub for sub in self.spec.substations}
+
+    @property
+    def replicas(self) -> Tuple[str, ...]:
+        return tuple(self.prime_config.replica_names)
+
+    @property
+    def hmis(self) -> Tuple[str, ...]:
+        return tuple(f"hmi-{index}"
+                     for index in range(1, self.spec.n_hmis + 1))
+
+    @property
+    def populations(self) -> Tuple[str, ...]:
+        return tuple(population.name for population in self.spec.clients)
+
+    # ------------------------------------------------------------------
+    # Barrier execution
+    # ------------------------------------------------------------------
+    def run(self, until: float) -> float:
+        """Advance every kernel to ``until`` in lookahead windows."""
+        window = self.lookahead
+        while self._now < until - 1e-12:
+            boundary = (self._window_index + 1) * window
+            if boundary <= self._now:
+                self._window_index += 1
+                continue
+            t_end = min(boundary, until)
+            self._round(t_end)
+            if t_end == boundary:
+                self._window_index += 1
+            self._now = t_end
+        return self._now
+
+    def _round(self, t_end: float) -> None:
+        inboxes: Dict[str, List[Tuple]] = {}
+        for name in self._kernels:
+            due = [item for item in self._pending[name] if item[0] <= t_end]
+            if due:
+                self._pending[name] = [item for item in self._pending[name]
+                                       if item[0] > t_end]
+                due.sort()
+                inboxes[name] = [(arrival, kind, blob)
+                                 for arrival, _src, _seq, kind, blob in due]
+        for lane, names in zip(self._lanes, self._lane_kernels):
+            lane.send(("round", t_end,
+                       {name: inboxes[name] for name in names
+                        if name in inboxes}))
+        began = time.perf_counter()
+        replies = [lane.recv() for lane in self._lanes]
+        self._idle_wait += time.perf_counter() - began
+        self._metric_idle.set(self._idle_wait)
+        for reply in replies:
+            if reply[0] == "error":
+                raise ShardRuntimeError(reply[1])
+            for source, seq, etime, kind, hint, blob in reply[1]:
+                self._route(source, seq, etime, kind, hint, blob)
+        self._metric_rounds.inc()
+
+    def _route(self, source: str, seq: int, etime: float, kind: str,
+               hint: Optional[str], blob: bytes) -> None:
+        """Queue one export for its receiving kernel(s).
+
+        Overlay messages with a targeted destination go only to the
+        kernel owning that daemon; ``"*"`` destinations (and unknown
+        hints, conservatively) broadcast to every other kernel.
+        Fraction samples go to the physics solver in the core kernel.
+        Routing consults only the spec-derived owner map, never the
+        lane placement.
+        """
+        arrival = etime + self.lookahead
+        src_index = self._kernel_index[source]
+        if kind == "fraction":
+            self._metric_fractions.inc()
+            receivers = [CORE_KERNEL] if source != CORE_KERNEL else []
+        else:
+            owner = self._owners.get(hint)
+            if hint == "*" or owner is None:
+                receivers = [name for name in self._kernels
+                             if name != source]
+            elif owner != source:
+                receivers = [owner]
+            else:
+                receivers = []
+        for receiver in receivers:
+            self._pending[receiver].append(
+                (arrival, src_index, seq, kind, blob))
+            self._metric_cross.inc()
+
+    def _control(self, kernel: str, method: str, *args: Any) -> Any:
+        reply = self._lane_of[kernel].request(("control", kernel, method,
+                                               args))
+        if reply[0] == "error":
+            raise ShardRuntimeError(reply[1])
+        return reply[1]
+
+    # ------------------------------------------------------------------
+    # World operations (GridWorld-compatible)
+    # ------------------------------------------------------------------
+    def start_workload(self, commands: int, start: float = 0.3,
+                       interval: float = 0.6) -> None:
+        self._control(CORE_KERNEL, "start_workload", commands, start,
+                      interval)
+
+    def trip_substation(self, name: str) -> int:
+        return self._control(name, "trip")
+
+    def restore_substation(self, name: str) -> int:
+        return self._control(name, "restore")
+
+    # ------------------------------------------------------------------
+    # Reports
+    # ------------------------------------------------------------------
+    def _fragments(self) -> Dict[str, dict]:
+        return {name: self._control(name, "fragment")
+                for name in self._kernels}
+
+    def grid_section(self) -> dict:
+        """The :func:`~repro.obs.report.build_grid_section` shape,
+        assembled from kernel fragments."""
+        fragments = self._fragments()
+        core = fragments[CORE_KERNEL]
+        physics = core["physics"]
+        substations = []
+        for name in sorted(self._kernels):
+            if name == CORE_KERNEL:
+                continue
+            fragment = fragments[name]
+            state = physics.get("substations", {}).get(name, {})
+            summary = core["reaction"].get(name, {"samples": 0})
+            substations.append({
+                "name": name,
+                "region": fragment["region"],
+                "plcs": fragment["plcs"],
+                "breakers_closed": fragment["breakers_closed"],
+                "breakers": fragment["breakers"],
+                "energized_fraction": state.get("energized_fraction"),
+                "voltage_kv": state.get("voltage_kv"),
+                "voltage_excursions": state.get("voltage_excursions", 0),
+                "proxy_polls": fragment["proxy_polls"],
+                "commands_applied": fragment["commands_applied"],
+                "reaction": {key: summary.get(key)
+                             for key in ("samples", "mean", "p50", "p90",
+                                         "p99")},
+            })
+        return {
+            "name": self.spec.name,
+            "simulated_seconds": self._now,
+            "events_executed": sum(fragment["events_executed"]
+                                   for fragment in fragments.values()),
+            "replicas": core["replicas"],
+            "frequency": {
+                "hz": physics.get("frequency_hz"),
+                "min_hz": physics.get("min_frequency_hz"),
+                "max_hz": physics.get("max_frequency_hz"),
+                "excursions": physics.get("frequency_excursions", 0),
+            },
+            "substations": substations,
+            "clients": [{
+                "name": population["name"],
+                "sessions": population["sessions"],
+                "reads_served": population["reads_served"],
+                "commands_submitted": population["commands_submitted"],
+            } for population in core["populations"]],
+        }
+
+    def grid_summary(self) -> dict:
+        fragments = self._fragments()
+        core = fragments[CORE_KERNEL]
+        physics = core["physics"]
+        return {
+            "frequency_hz": physics.get("frequency_hz"),
+            "min_frequency_hz": physics.get("min_frequency_hz"),
+            "frequency_excursions": physics.get("frequency_excursions", 0),
+            "voltage_excursions": sum(
+                state["voltage_excursions"]
+                for state in physics.get("substations", {}).values()),
+            "substations": len(self.spec.substations),
+            "client_commands": sum(population["commands_submitted"]
+                                   for population in core["populations"]),
+        }
+
+    def event_digest(self) -> str:
+        """One hash over every kernel's event-log digest, in canonical
+        kernel order — the cheap byte-identity witness across shard
+        counts."""
+        witness = hashlib.sha256()
+        for name in self._kernels:
+            digest = self._control(name, "event_digest")
+            witness.update(f"{name}:{digest}\n".encode())
+        return witness.hexdigest()
+
+    def merged_metrics(self) -> MetricsRegistry:
+        """Kernel registries folded together via the telemetry merge
+        protocol (counters add, histograms pool), in kernel order."""
+        merged = MetricsRegistry()
+        for name in self._kernels:
+            merged.merge_snapshot(self._control(name, "metrics_snapshot"))
+        return merged
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for lane in self._lanes:
+            lane.close()
+
+    def __enter__(self) -> "ShardedGridWorld":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

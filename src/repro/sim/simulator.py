@@ -29,11 +29,20 @@ class SimulationError(RuntimeError):
     """Raised for kernel misuse (scheduling in the past, etc.)."""
 
 
+#: Free-list bound: recycled Event objects kept per simulator.
+_FREE_LIST_CAP = 4096
+
+#: Lazy-cancellation sweep threshold: once more than this many cancelled
+#: events sit in the heap *and* they outnumber live entries, the heap is
+#: compacted in place instead of waiting for the run loop to reach them.
+_SWEEP_MIN_CANCELLED = 64
+
+
 class Event:
     """A scheduled callback.  Returned by scheduling calls for cancellation."""
 
     __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired",
-                 "periodic", "_sim")
+                 "periodic", "recyclable", "_sim")
 
     def __init__(self, time: float, seq: int, fn: Callable, args: Tuple):
         self.time = time
@@ -43,6 +52,10 @@ class Event:
         self.cancelled = False
         self.fired = False
         self.periodic: Optional["PeriodicTimer"] = None
+        # Only events created by Simulator.post()/post_at() are
+        # recyclable: no handle escapes, so nothing can cancel (or hold)
+        # them after they fire and the object may be reused safely.
+        self.recyclable = False
         self._sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
@@ -53,8 +66,12 @@ class Event:
         # Keep the owning simulator's O(1) pending-event accounting
         # exact: this event still occupies a heap slot but will never
         # fire.
-        if self._sim is not None:
-            self._sim._cancelled_in_heap += 1
+        sim = self._sim
+        if sim is not None:
+            sim._cancelled_in_heap += 1
+            if (sim._cancelled_in_heap > _SWEEP_MIN_CANCELLED
+                    and sim._cancelled_in_heap * 2 > len(sim._heap)):
+                sim._sweep_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -139,6 +156,7 @@ class Simulator:
         self._flushed_spans_evicted = 0
         self._halted = False
         self._sequences: dict = {}
+        self._free: List[Event] = []
 
     def sequence(self, name: str) -> int:
         """Next value (0, 1, 2, ...) of a named per-simulator sequence.
@@ -186,6 +204,38 @@ class Simulator:
         heapq.heappush(self._heap, event)
         return event
 
+    def post(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no handle, no cancellation.
+
+        Hot paths (frame delivery, per-hop processing delays) schedule
+        millions of events that are never cancelled.  ``post`` recycles
+        Event objects through a bounded free-list instead of allocating
+        a fresh one per call, and returns ``None`` — callers that may
+        need to cancel must use :meth:`schedule` / :meth:`at`.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self.post_at(self._now + delay, fn, *args)
+
+    def post_at(self, time: float, fn: Callable, *args: Any) -> None:
+        """Fire-and-forget :meth:`at` (see :meth:`post`)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}")
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.seq = next(self._seq)
+            event.fn = fn
+            event.args = args
+            event.cancelled = False
+            event.fired = False
+        else:
+            event = Event(time, next(self._seq), fn, args)
+            event.recyclable = True
+        heapq.heappush(self._heap, event)
+
     def every(self, period: float, fn: Callable, *args: Any,
               start_after: Optional[float] = None) -> PeriodicTimer:
         """Run ``fn(*args)`` every ``period`` seconds.
@@ -217,9 +267,31 @@ class Simulator:
             self._now = event.time
             self._events_executed += 1
             event.fn(*event.args)
+            if event.recyclable and len(self._free) < _FREE_LIST_CAP:
+                event.fn = None
+                event.args = ()
+                self._free.append(event)
             self._flush_kernel_metrics()
             return True
         return False
+
+    def _sweep_cancelled(self) -> None:
+        """Compact the heap in place, reaping cancelled events eagerly.
+
+        Triggered from :meth:`Event.cancel` once cancelled entries
+        dominate the heap (mass shutdowns, fault-plan churn), so the run
+        loop does not carry thousands of dead slots to their timestamps.
+        The list object is mutated in place: the run loop's local heap
+        alias stays valid.
+        """
+        heap = self._heap
+        live = [e for e in heap if not e.cancelled]
+        removed = len(heap) - len(live)
+        if removed:
+            heap[:] = live
+            heapq.heapify(heap)
+            self._events_cancelled += removed
+        self._cancelled_in_heap = 0
 
     def _flush_kernel_metrics(self) -> None:
         """Push the plain-int kernel counters into the registry.
@@ -255,30 +327,60 @@ class Simulator:
 
         The loop body is inlined (no step() call, no per-event metric
         objects) — this is the hottest few lines of the whole simulator.
+        Events sharing a timestamp are dispatched as one batch: the
+        until/cancelled guards run once per timestamp, not once per
+        event, and fired ``post`` events are recycled onto the free-list.
         """
         self._halted = False
         heap = self._heap
         pop = heapq.heappop
+        free = self._free
         executed = 0
         try:
-            while heap and not self._halted:
-                head = heap[0]
+            head = heap[0] if heap else None
+            while head is not None and not self._halted:
                 if head.cancelled:
                     pop(heap)
                     self._cancelled_in_heap -= 1
                     self._events_cancelled += 1
+                    head = heap[0] if heap else None
                     continue
                 if until is not None and head.time > until:
                     break
                 if max_events is not None and executed >= max_events:
                     break
-                pop(heap)
-                head.fired = True
-                self._now = head.time
-                self._events_executed += 1
-                executed += 1
-                head.fn(*head.args)
+                # Batched same-timestamp dispatch.  Every event in the
+                # batch shares head.time <= until, so only halt /
+                # max_events / cancellation need re-checking; heap[0] is
+                # re-read after each callback so zero-delay schedules
+                # made by the callback join the current batch in order,
+                # and the head that ends a batch is carried back to the
+                # outer checks without a second heap read.
+                now = head.time
+                self._now = now
+                while True:
+                    pop(heap)
+                    head.fired = True
+                    executed += 1
+                    head.fn(*head.args)
+                    if head.recyclable and len(free) < _FREE_LIST_CAP:
+                        head.fn = None
+                        head.args = ()
+                        free.append(head)
+                    if not heap or self._halted:
+                        head = None
+                        break
+                    head = heap[0]
+                    if head.time != now or head.cancelled:
+                        break
+                    if max_events is not None and executed >= max_events:
+                        break
         finally:
+            # The executed count is accumulated in a local and folded in
+            # once: nothing reads sim.events_executed mid-run (reports
+            # and summaries consult it between runs) and the registry
+            # counter was already flush-at-exit only.
+            self._events_executed += executed
             self._flush_kernel_metrics()
         if until is not None and self._now < until:
             self._now = until

@@ -260,7 +260,14 @@ class SpinesDaemon(Process):
             self.log("spines.auth", "dropped unauthenticated envelope",
                      from_ip=src_ip)
             return
-        self.call_later(PROCESSING_DELAY, self._envelope_in, payload)
+        self.sim.post(PROCESSING_DELAY, self._envelope_in_deferred, payload)
+
+    def _envelope_in_deferred(self, envelope: LinkEnvelope) -> None:
+        # post() fast path: a fire-time liveness guard replaces
+        # call_later's per-event cancellation tracking (one envelope per
+        # received packet — the hottest schedule site after frames).
+        if self._running:
+            self._envelope_in(envelope)
 
     def _envelope_in(self, envelope: LinkEnvelope) -> None:
         if envelope.kind == "ack" and isinstance(envelope.body, AckBody):

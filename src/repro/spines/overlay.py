@@ -57,13 +57,18 @@ class SpinesNetwork:
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
-    def add_daemon(self, host: Host, daemon_name: Optional[str] = None) -> SpinesDaemon:
+    def add_daemon(self, host: Host, daemon_name: Optional[str] = None,
+                   factory=None) -> SpinesDaemon:
         """Create a daemon on ``host`` and provision its keys.
 
         The daemon's signing key (for IT-mode source signatures) and the
         network symmetric key are installed into the *host* key ring —
         compromising the host therefore leaks them, as in a real
         deployment.
+
+        ``factory`` substitutes the daemon constructor (same signature
+        as :class:`SpinesDaemon`) — the sharded executor uses it to
+        place gateway daemons with identical key/firewall provisioning.
         """
         daemon_name = daemon_name or f"{self.name}.{host.name}"
         if daemon_name in self.daemons:
@@ -76,9 +81,10 @@ class SpinesNetwork:
             daemon_name, self.keystore.signing(daemon_name))
         if host.key_ring._verifier is None:
             host.key_ring._verifier = self.keystore
-        daemon = SpinesDaemon(self.sim, daemon_name, host, self.port,
-                              self.key_id,
-                              intrusion_tolerant=self.intrusion_tolerant)
+        make = factory or SpinesDaemon
+        daemon = make(self.sim, daemon_name, host, self.port,
+                      self.key_id,
+                      intrusion_tolerant=self.intrusion_tolerant)
         self.daemons[daemon_name] = daemon
         # Firewall allowance: daemons accept overlay traffic on their port.
         host.firewall.allow(INBOUND, "udp", local_port=self.port)

@@ -40,6 +40,8 @@ API_EXPORTS = {
     "build_grid_section", "render_report",
     # Parallel sweep engine
     "UnitResult", "WorkUnit", "WorkerPool",
+    # Sharded execution (one world, many processes, identical results)
+    "ShardConfigError", "ShardedGridWorld",
 }
 
 

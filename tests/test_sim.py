@@ -167,3 +167,104 @@ def test_process_guarded_call_later_after_shutdown():
     ticker.shutdown()
     sim.run(until=10.0)
     assert fired == []
+
+
+# ----------------------------------------------------------------------
+# Batched same-timestamp dispatch, post() free-list, lazy-cancel sweep
+# ----------------------------------------------------------------------
+def test_batched_dispatch_preserves_schedule_order_with_zero_delay():
+    # Events scheduled *during* a same-timestamp batch at that same
+    # timestamp must still run, after the already-queued ones.
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(0.0, order.append, "nested")
+
+    sim.schedule(1.0, first)
+    sim.schedule(1.0, order.append, "second")
+    sim.run()
+    assert order == ["first", "second", "nested"]
+    assert sim.now == 1.0
+
+
+def test_batched_dispatch_respects_halt_mid_batch():
+    sim = Simulator()
+    order = []
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule(1.0, sim.halt)
+    sim.schedule(1.0, order.append, "b")
+    sim.run()
+    assert order == ["a"]
+    sim.run()
+    assert order == ["a", "b"]
+
+
+def test_batched_dispatch_respects_max_events_mid_batch():
+    sim = Simulator()
+    seen = []
+    for i in range(6):
+        sim.schedule(1.0, seen.append, i)
+    sim.run(max_events=3)
+    assert seen == [0, 1, 2]
+    sim.run()
+    assert seen == [0, 1, 2, 3, 4, 5]
+
+
+def test_post_runs_like_schedule_but_returns_no_handle():
+    sim = Simulator()
+    order = []
+    assert sim.post(2.0, order.append, "b") is None
+    sim.post(1.0, order.append, "a")
+    sim.post_at(3.0, order.append, "c")
+    with pytest.raises(SimulationError):
+        sim.post(-1.0, order.append, "x")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.events_executed == 3
+
+
+def test_post_recycles_event_objects():
+    sim = Simulator()
+    fired = []
+    sim.post(1.0, fired.append, 1)
+    sim.run()
+    recycled = sim._free[-1]
+    # Recycled events are scrubbed (no callback/arg retention) ...
+    assert recycled.fn is None and recycled.args == ()
+    # ... and reused by the next post() instead of a fresh allocation.
+    sim.post(1.0, fired.append, 2)
+    assert sim._heap[0] is recycled
+    sim.run()
+    assert fired == [1, 2]
+
+
+def test_schedule_events_are_never_recycled():
+    # Handle-holding callers may cancel after unrelated posts fired;
+    # a recycled handle would cancel someone else's event.
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(2.0, fired.append, "scheduled")
+    sim.post(1.0, fired.append, "posted")
+    sim.run(until=1.0)
+    assert handle not in sim._free
+    handle.cancel()
+    sim.run()
+    assert fired == ["posted"]
+
+
+def test_mass_cancellation_sweeps_heap():
+    sim = Simulator()
+    keep = sim.schedule(500.0, lambda: None)
+    handles = [sim.schedule(float(i + 1), lambda: None)
+               for i in range(400)]
+    for handle in handles:
+        handle.cancel()
+    # The sweep fired during cancellation: the heap is back below the
+    # sweep threshold instead of holding 400 cancelled carcasses.
+    assert len(sim._heap) <= 65
+    assert sim.pending_events == 1
+    sim.run()
+    assert sim.now == 500.0
+    assert keep.fired
