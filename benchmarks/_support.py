@@ -50,21 +50,25 @@ class Report:
         """Also emit each table as CSV so downstream tooling (plots,
         diffing against future runs) has machine-readable artifacts."""
         import csv
+        import io
+
+        from repro.util.atomicio import write_text
         self._table_count += 1
         os.makedirs(RESULTS_DIR, exist_ok=True)
         path = os.path.join(RESULTS_DIR,
                             f"{self.exp_id}.table{self._table_count}.csv")
-        with open(path, "w", newline="") as handle:
-            writer = csv.writer(handle)
-            writer.writerow(headers)
-            writer.writerows(rows)
+        buffer = io.StringIO(newline="")
+        writer = csv.writer(buffer)
+        writer.writerow(headers)
+        writer.writerows(rows)
+        write_text(path, buffer.getvalue())
 
     def save_and_print(self) -> str:
+        from repro.util.atomicio import write_text
         text = "\n".join(self.lines)
         os.makedirs(RESULTS_DIR, exist_ok=True)
         path = os.path.join(RESULTS_DIR, f"{self.exp_id}.txt")
-        with open(path, "w") as handle:
-            handle.write(text + "\n")
+        write_text(path, text + "\n")
         print("\n" + text)
         return text
 

@@ -1,0 +1,181 @@
+"""X8 (extension): checkpoint/restore — snapshot cost and the
+restore-determinism witness.
+
+For federated grid worlds of increasing size, runs the same seeded
+workload twice:
+
+* **straight** — one uninterrupted run to ``T``, recording the event
+  digest (the reference);
+* **interrupted** — run to ``T/2``, ``save_world`` to disk (timed),
+  ``restore_world`` from disk (timed), run the restored world to ``T``.
+
+The **determinism witness** is the pair of event digests: the restored
+run must be byte-identical to the straight run at every size, or
+checkpointing perturbs the simulation and the whole persistence layer
+is lying.  Alongside the witness, the bench records save/restore
+wall-clock latency and the on-disk snapshot size — the cost curve of
+crash tolerance.  Size grows with both world size and elapsed
+simulated time (the kernel's event-digest log rides along), which is
+why every row snapshots at the same simulated instant (``T/2``).
+
+Writes ``BENCH_snapshot.json`` at the repository root — the committed
+evidence that ``perf_guard.py --snapshot-current`` checks future runs
+against: the witness must hold everywhere; snapshot size is guarded
+with a generous band (it tracks world size, and a silent 2x growth is
+a bug); latencies only under ``--absolute`` (stable runners).  Run
+standalone::
+
+    PYTHONPATH=src python benchmarks/bench_snapshot.py \
+        [--quick] [--duration 6.0] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+from repro.grid.spec import make_town_spec
+from repro.grid.world import build_world
+from repro.snapshot import restore_world, save_world
+
+from _support import Report, run_once
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_snapshot.json")
+
+DEFAULT_SIZES = (1, 5, 25)
+DEFAULT_DURATION = 6.0
+DEFAULT_SEED = 3
+WORKLOAD = 8           # fixed command count: never derived from duration
+
+
+def _build(size: int, seed: int):
+    spec = make_town_spec(size, seed=seed)
+    world = build_world(spec, seed=seed)
+    world.start_workload(WORKLOAD, start=0.3, interval=0.6)
+    return world
+
+
+def _drive(size: int, duration: float, seed: int) -> dict:
+    """One size: straight run vs save-at-T/2 + restore + run-to-T."""
+    straight = _build(size, seed)
+    straight.run(until=duration)
+    reference = straight.sim.event_digest()
+
+    world = _build(size, seed)
+    world.run(until=duration / 2.0)
+    with tempfile.TemporaryDirectory() as scratch:
+        path = os.path.join(scratch, f"town-{size}.snap")
+        began = time.perf_counter()
+        save_world(path, world)
+        save_s = time.perf_counter() - began
+        snapshot_bytes = os.path.getsize(path)
+        began = time.perf_counter()
+        restored = restore_world(path)
+        restore_s = time.perf_counter() - began
+    restored.run(until=duration)
+    digest = restored.sim.event_digest()
+
+    return {
+        "events": restored.sim.events_executed,
+        "save_s": save_s,
+        "restore_s": restore_s,
+        "snapshot_bytes": snapshot_bytes,
+        "digest_match": digest == reference,
+        "digest": digest,
+    }
+
+
+def run_snapshot_bench(sizes=DEFAULT_SIZES, duration: float = DEFAULT_DURATION,
+                       seed: int = DEFAULT_SEED,
+                       output: str = DEFAULT_OUTPUT) -> dict:
+    size_rows = {}
+    all_match = True
+    for size in sizes:
+        row = _drive(size, duration, seed)
+        all_match = all_match and row["digest_match"]
+        size_rows[str(size)] = {key: value for key, value in row.items()
+                                if key != "digest"}
+
+    results = {
+        "cpus": os.cpu_count(),
+        "config": {"sizes": list(sizes), "duration": duration, "seed": seed,
+                   "workload": WORKLOAD},
+        "sizes": size_rows,
+        "determinism": {"match": all_match},
+    }
+
+    from repro.util.atomicio import write_text
+    write_text(output, json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+    report_doc = Report("X8-snapshot",
+                        "Checkpoint/restore: cost + restore determinism")
+    rows = []
+    for size in sizes:
+        row = size_rows[str(size)]
+        rows.append([size, f"{row['save_s'] * 1000:.0f}",
+                     f"{row['restore_s'] * 1000:.0f}",
+                     f"{row['snapshot_bytes'] / 1024:.0f}",
+                     row["events"],
+                     "yes" if row["digest_match"] else "NO"])
+    report_doc.table(
+        ["substations", "save ms", "restore ms", "size KiB", "events",
+         "identical"], rows)
+    report_doc.line(
+        f"Save at T/2, restore, run to T={duration:g}s; restored event "
+        f"digests are {'IDENTICAL' if all_match else 'DIVERGENT'} vs the "
+        "uninterrupted reference runs.")
+    report_doc.line(f"Machine-readable results: "
+                    f"{os.path.relpath(output, REPO_ROOT)}")
+    report_doc.save_and_print()
+    return results
+
+
+def bench_snapshot(benchmark):
+    """Pytest entry point: small worlds, determinism is the assertion
+    (latency and size are guarded by perf_guard against the committed
+    baseline)."""
+    output = os.path.join(REPO_ROOT, "benchmarks", "results",
+                          "BENCH_snapshot.quick.json")
+    results = run_once(benchmark, lambda: run_snapshot_bench(
+        sizes=(1, 5), duration=4.0, output=output))
+    assert results["determinism"]["match"], \
+        "restore-then-run diverged from the uninterrupted run"
+    assert results["sizes"]["5"]["snapshot_bytes"] > 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small worlds, short run (CI smoke; writes "
+                             "to benchmarks/results/)")
+    parser.add_argument("--duration", type=float, default=None,
+                        help=f"simulated seconds (default "
+                             f"{DEFAULT_DURATION}; quick: 4.0)")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--output", default=None,
+                        help=f"result path (default: {DEFAULT_OUTPUT}; "
+                             "quick: benchmarks/results/)")
+    args = parser.parse_args(argv)
+    sizes = (1, 5) if args.quick else DEFAULT_SIZES
+    duration = args.duration if args.duration is not None \
+        else (4.0 if args.quick else DEFAULT_DURATION)
+    output = args.output or (
+        os.path.join(REPO_ROOT, "benchmarks", "results",
+                     "BENCH_snapshot.quick.json") if args.quick
+        else DEFAULT_OUTPUT)
+    results = run_snapshot_bench(sizes=sizes, duration=duration,
+                                 seed=args.seed, output=output)
+    if not results["determinism"]["match"]:
+        print("FATAL: restore-then-run diverged from the uninterrupted "
+              "run", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,6 +60,7 @@ REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
 DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_hotpath.json")
 DEFAULT_PARALLEL_BASELINE = os.path.join(REPO_ROOT, "BENCH_parallel.json")
 DEFAULT_GRID_BASELINE = os.path.join(REPO_ROOT, "BENCH_grid.json")
+DEFAULT_SNAPSHOT_BASELINE = os.path.join(REPO_ROOT, "BENCH_snapshot.json")
 
 # metric name -> guard spec (higher is better).
 #   path:      keys into the results document
@@ -346,6 +347,67 @@ def check_shard(current: dict) -> list:
     return failures
 
 
+# ----------------------------------------------------------------------
+# Snapshot (checkpoint/restore) guard
+# ----------------------------------------------------------------------
+def check_snapshot(baseline: dict, current: dict, threshold: float,
+                   absolute: bool = False) -> list:
+    """Guard a fresh BENCH_snapshot.json: the restore-determinism
+    witness always (restored event digests identical to uninterrupted
+    runs at every size); snapshot size against the committed baseline
+    with a generous band (it tracks world size — silent 2x growth is a
+    leak); save/restore latency only with ``absolute`` (these are pure
+    wall-clock and vary wildly across runners).  Unlike the other
+    guards these metrics are lower-is-better."""
+    failures = []
+    if not current.get("determinism", {}).get("match", False):
+        failures.append("snapshot determinism witness diverged: "
+                        "restore-then-run is not byte-identical to the "
+                        "uninterrupted run")
+    size_tolerance = max(threshold, 0.50)
+    for size, row in sorted(current.get("sizes", {}).items(),
+                            key=lambda item: int(item[0])):
+        status = "ok" if row.get("digest_match") else "REGRESSION"
+        print(f"  snapshot.digest_match[{size:>2s} subs]{'':11s} "
+              f"current={str(bool(row.get('digest_match'))):>10s} "
+              f"[{status}]")
+        if not row.get("digest_match"):
+            failures.append(f"restored run diverged at {size} "
+                            "substation(s)")
+        base_row = (baseline.get("sizes") or {}).get(size)
+        if not base_row:
+            failures.append(f"snapshot.sizes[{size}]: missing from "
+                            "baseline")
+            continue
+        cur = float(row["snapshot_bytes"])
+        base = float(base_row["snapshot_bytes"])
+        ceiling = base * (1.0 + size_tolerance)
+        status = "ok" if cur <= ceiling else "REGRESSION"
+        print(f"  snapshot.bytes[{size:>2s} subs]{'':17s} "
+              f"baseline={base:10.0f} current={cur:10.0f} "
+              f"ceiling={ceiling:10.0f} (tol {size_tolerance:.0%}) "
+              f"[{status}]")
+        if cur > ceiling:
+            failures.append(
+                f"snapshot size at {size} substation(s) grew: "
+                f"{cur:.0f} > {ceiling:.0f} bytes "
+                f"(baseline {base:.0f}, tolerance {size_tolerance:.0%})")
+        if absolute:
+            for metric in ("save_s", "restore_s"):
+                cur = float(row[metric])
+                base = float(base_row[metric])
+                ceiling = base * (1.0 + threshold)
+                status = "ok" if cur <= ceiling else "REGRESSION"
+                print(f"  snapshot.{metric}[{size:>2s} subs]{'':14s} "
+                      f"baseline={base:10.3f} current={cur:10.3f} "
+                      f"ceiling={ceiling:10.3f} [{status}]")
+                if cur > ceiling:
+                    failures.append(
+                        f"snapshot {metric} at {size} substation(s) "
+                        f"slowed: {cur:.3f}s > {ceiling:.3f}s")
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", default=DEFAULT_BASELINE,
@@ -360,9 +422,16 @@ def main(argv=None) -> int:
                         help="freshly generated BENCH_grid.json to check")
     parser.add_argument("--shard-current", default=None,
                         help="freshly generated BENCH_shard.json to check")
+    parser.add_argument("--snapshot-current", default=None,
+                        help="freshly generated BENCH_snapshot.json to "
+                             "check")
     parser.add_argument("--grid-baseline", default=DEFAULT_GRID_BASELINE,
                         help="committed grid baseline "
                              f"(default: {DEFAULT_GRID_BASELINE})")
+    parser.add_argument("--snapshot-baseline",
+                        default=DEFAULT_SNAPSHOT_BASELINE,
+                        help="committed snapshot baseline "
+                             f"(default: {DEFAULT_SNAPSHOT_BASELINE})")
     parser.add_argument("--obs-floor", type=float, default=0.95,
                         help="minimum bare/observed throughput ratio "
                              "(default 0.95 = <= ~5%% recorder overhead)")
@@ -375,10 +444,11 @@ def main(argv=None) -> int:
 
     if not args.current and not args.parallel_current \
             and not args.obs_current and not args.grid_current \
-            and not args.shard_current:
+            and not args.shard_current and not args.snapshot_current:
         parser.error("nothing to check: pass --current, "
                      "--parallel-current, --obs-current, "
-                     "--grid-current, and/or --shard-current")
+                     "--grid-current, --shard-current, and/or "
+                     "--snapshot-current")
 
     failures = []
     if args.current:
@@ -417,6 +487,17 @@ def main(argv=None) -> int:
         print("perf_guard: sharded execution "
               f"({os.path.relpath(args.shard_current)})")
         failures += check_shard(shard_current)
+    if args.snapshot_current:
+        with open(args.snapshot_baseline) as handle:
+            snapshot_baseline = json.load(handle)
+        with open(args.snapshot_current) as handle:
+            snapshot_current = json.load(handle)
+        print("perf_guard: checkpoint/restore "
+              f"({os.path.relpath(args.snapshot_current)} vs "
+              f"{os.path.relpath(args.snapshot_baseline)})")
+        failures += check_snapshot(snapshot_baseline, snapshot_current,
+                                   args.threshold,
+                                   absolute=args.absolute)
 
     if failures:
         print("\nperf_guard FAILED:", file=sys.stderr)

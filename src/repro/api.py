@@ -46,6 +46,10 @@ from repro.obs import (
 )
 from repro.parallel import UnitResult, WorkerPool, WorkUnit
 from repro.shard import ShardConfigError, ShardedGridWorld
+from repro.snapshot import (
+    SnapshotError, nearest_snapshot, read_header, replay_dump,
+    restore_world, run_with_checkpoints, save_world,
+)
 from repro.sim.process import Process
 from repro.sim.simulator import (
     Event, PeriodicTimer, SimulationError, Simulator,
@@ -81,4 +85,7 @@ __all__ = [
     "UnitResult", "WorkerPool", "WorkUnit",
     # Sharded execution (one world, many processes, identical results)
     "ShardConfigError", "ShardedGridWorld",
+    # Checkpoint/restore and time-travel replay
+    "SnapshotError", "nearest_snapshot", "read_header", "replay_dump",
+    "restore_world", "run_with_checkpoints", "save_world",
 ]

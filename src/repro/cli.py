@@ -25,14 +25,22 @@ Installed as ``spire-sim`` (see pyproject) or runnable as
   from a spec file, drive it through a field fault, run a chaos
   campaign against it, and emit the deployment report with the
   per-substation section (byte-identical for every ``--jobs`` value).
+* ``spire-sim snapshot``   — save/inspect/restore versioned world
+  snapshots (``save`` / ``info`` / ``restore``) and time-travel replay
+  a FlightRecorder dump window from the nearest checkpoint
+  (``replay``); restore-then-run is byte-identical to an uninterrupted
+  run (see docs/persistence.md).
 
 Every command accepts ``--seed`` (deterministic replay) and prints a
-human-readable account to stdout.
+human-readable account to stdout.  An interrupted run (Ctrl-C) exits
+130 after flushing what it can; ``chaos --checkpoint`` runs print the
+exact ``--resume`` command line to pick up where they stopped.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -183,8 +191,8 @@ def cmd_metrics(args) -> int:
     else:
         output = sim.metrics.to_json()
     if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(output)
+        from repro.util.atomicio import write_text
+        write_text(args.output, output)
         print(f"wrote {len(output)} bytes ({len(sim.metrics)} metrics, "
               f"{len(sim.tracer)} spans) to {args.output}")
     else:
@@ -212,11 +220,12 @@ def cmd_chaos(args) -> int:
     report = run_campaign(scenarios=names, seeds=seeds, f=args.f, k=args.k,
                           duration=args.duration, jobs=args.jobs,
                           timeout=args.timeout, report=args.report,
-                          grid=grid)
+                          grid=grid, checkpoint=args.checkpoint,
+                          resume=args.resume)
     output = report_to_json(report)
     if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(output + "\n")
+        from repro.util.atomicio import write_text
+        write_text(args.output, output + "\n")
     else:
         print(output)
     if args.report:
@@ -239,18 +248,17 @@ def _write_dumps(report: dict, directory: str) -> int:
     """Write each black-box dump of a campaign report as one JSON file
     (``<scenario>-seed<seed>-<index>.json``) for CI artifact upload."""
     import json
-    import os
 
     from repro.obs import collect_campaign_dumps
+    from repro.util.atomicio import write_text
 
     os.makedirs(directory, exist_ok=True)
     dumps = collect_campaign_dumps(report)
     for dump in dumps:
         filename = (f"{dump['scenario']}-seed{dump['seed']}-"
                     f"{dump['index']}.json")
-        with open(os.path.join(directory, filename), "w") as handle:
-            json.dump(dump, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        write_text(os.path.join(directory, filename),
+                   json.dumps(dump, indent=2, sort_keys=True) + "\n")
     return len(dumps)
 
 
@@ -312,8 +320,8 @@ def cmd_report(args) -> int:
     for path, fmt in ((args.output, "json"), (args.markdown, "markdown"),
                       (args.html, "html")):
         if path:
-            with open(path, "w") as handle:
-                handle.write(render_report(report, fmt))
+            from repro.util.atomicio import write_text
+            write_text(path, render_report(report, fmt))
             written.append(path)
     if written:
         print(f"# wrote {', '.join(written)}", file=sys.stderr)
@@ -404,14 +412,132 @@ def cmd_grid(args) -> int:
     for path, fmt in ((args.output, "json"), (args.markdown, "markdown"),
                       (args.html, "html")):
         if path:
-            with open(path, "w") as handle:
-                handle.write(render_report(report, fmt))
+            from repro.util.atomicio import write_text
+            write_text(path, render_report(report, fmt))
             written.append(path)
     if written:
         print(f"# wrote {', '.join(written)}", file=sys.stderr)
     else:
         print(render_report(report, "markdown"), end="")
     return 0 if campaign is None or campaign["passed"] else 1
+
+
+def _snapshot_build_world(args):
+    """Grid world for ``snapshot save``: spec file or generated town,
+    monolithic or sharded, with the standard supervisory workload (the
+    same shape as ``spire-sim grid``) so snapshots capture a live
+    system, not an idle one."""
+    from repro.api import build_world, load_grid_spec, make_town_spec
+
+    spec = (load_grid_spec(args.spec) if args.spec
+            else make_town_spec(args.substations, seed=args.seed))
+    if args.shards is not None:
+        from repro.shard import ShardedGridWorld
+        world = ShardedGridWorld(spec, shards=args.shards, seed=args.seed)
+    else:
+        world = build_world(spec, seed=args.seed)
+    # Workload size is fixed (never derived from --until): a snapshot
+    # saved at T/2 must restore into *exactly* the world a straight run
+    # to T inhabits, whatever T each invocation used.
+    world.start_workload(args.commands, start=0.3, interval=0.6)
+    return spec, world
+
+
+def cmd_snapshot(args) -> int:
+    import json
+
+    from repro.snapshot import (
+        nearest_snapshot, read_header, replay_dump, restore_world,
+        run_with_checkpoints, save_world,
+    )
+
+    if args.action == "info":
+        header = read_header(args.path)
+        print(json.dumps(header, indent=2, sort_keys=True))
+        return 0
+
+    if args.action == "save":
+        spec, world = _snapshot_build_world(args)
+        sharded = args.shards is not None
+        written = []
+        if args.every:
+            if sharded:
+                world.enable_checkpoints(args.dir, args.every,
+                                         prefix=spec.name)
+                world.run(until=args.until)
+            else:
+                written = run_with_checkpoints(world, args.until, args.dir,
+                                               args.every, prefix=spec.name)
+        else:
+            world.run(until=args.until)
+        if args.output:
+            if sharded:
+                world.save(args.output)
+            else:
+                save_world(args.output, world)
+            written.append(args.output)
+        digest = world.event_digest() if sharded else world.sim.event_digest()
+        if sharded:
+            world.close()
+        print(f"# {spec.name} seed {args.seed}: ran to t={args.until:g}, "
+              f"event digest {digest}", file=sys.stderr)
+        for path in written:
+            print(path)
+        return 0
+
+    if args.action == "restore":
+        header = read_header(args.path)
+        if header["kind"] == "sharded":
+            from repro.shard import ShardedGridWorld
+            world = ShardedGridWorld.restore(args.path,
+                                             shards=args.shards or 1)
+            if args.until is not None:
+                world.run(until=args.until)
+            digest = world.event_digest()
+            now = world.now
+            world.close()
+        else:
+            world = restore_world(args.path)
+            if args.until is not None:
+                world.run(until=args.until)
+            digest = world.sim.event_digest()
+            now = world.sim.now
+        print(f"# restored {args.path} "
+              f"(saved at t={header['meta'].get('now', 0.0):g}), "
+              f"ran to t={now:g}", file=sys.stderr)
+        print(f"event digest {digest}")
+        return 0
+
+    if args.action == "replay":
+        with open(args.dump) as handle:
+            dump_doc = json.load(handle)
+        window = dump_doc.get("window") or {}
+        since = window.get("since")
+        if since is None:
+            print(f"# {args.dump}: no replay window in dump",
+                  file=sys.stderr)
+            return 2
+        found = nearest_snapshot(args.dir, since)
+        if found is None:
+            print(f"# no snapshots in {args.dir}", file=sys.stderr)
+            return 2
+        snapshot, header = found
+        print(f"# replaying window [{since:g}, {window.get('until'):g}] "
+              f"from {snapshot} (t={header['meta'].get('now', 0.0):g})",
+              file=sys.stderr)
+        replayed = replay_dump(dump_doc, snapshot, capacity=args.capacity)
+        output = json.dumps(replayed, indent=2, sort_keys=True) + "\n"
+        if args.output:
+            from repro.util.atomicio import write_text
+            write_text(args.output, output)
+            print(f"# wrote {args.output} "
+                  f"({len(replayed.get('entries', []))} entries)",
+                  file=sys.stderr)
+        else:
+            print(output, end="")
+        return 0
+
+    raise ValueError(f"unknown snapshot action {args.action!r}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -484,6 +610,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run every cell against the grid deployment "
                             "described by this GridSpec JSON file "
                             "(overrides --f/--k with the spec's values)")
+    chaos.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="flush every completed cell to this file "
+                            "(atomically), so a crashed or interrupted "
+                            "sweep loses at most the cells in flight")
+    chaos.add_argument("--resume", action="store_true",
+                       help="with --checkpoint: load completed cells "
+                            "and dispatch only the remainder; the final "
+                            "report is byte-identical to an "
+                            "uninterrupted run")
     report = sub.add_parser(
         "report", parents=[seed],
         help="generate the deployment report (reaction quantiles, "
@@ -563,16 +698,105 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write the Markdown rendering to a file")
     grid.add_argument("--html", default=None,
                       help="write the HTML rendering to a file")
+    snap = sub.add_parser(
+        "snapshot", parents=[seed],
+        help="save/inspect/restore world snapshots and time-travel "
+             "replay a recorder dump window (see docs/persistence.md)")
+    snap_sub = snap.add_subparsers(dest="action", required=True)
+    snap_save = snap_sub.add_parser(
+        "save", parents=[seed],
+        help="run a grid world and snapshot it (optionally periodically)")
+    snap_save.add_argument("--spec", default=None,
+                           help="GridSpec JSON file (default: a generated "
+                                "town of --substations)")
+    snap_save.add_argument("--substations", type=int, default=3,
+                           help="size of the generated town when no "
+                                "--spec is given")
+    snap_save.add_argument("--until", type=float, default=6.0,
+                           help="simulated seconds to run before the "
+                                "final snapshot")
+    snap_save.add_argument("--commands", type=int, default=10,
+                           help="supervisory workload size; fixed rather "
+                                "than derived from --until, so runs of "
+                                "the same spec/seed stay byte-comparable "
+                                "across different --until values")
+    snap_save.add_argument("--shards", type=int, default=None, metavar="N",
+                           help="run (and snapshot) as N lockstep shard "
+                                "processes; the snapshot restores under "
+                                "any shard count")
+    snap_save.add_argument("--output", default=None,
+                           help="write the final snapshot here")
+    snap_save.add_argument("--every", type=float, default=None,
+                           help="also checkpoint every EVERY simulated "
+                                "seconds into --dir (time-travel replay "
+                                "needs such a directory)")
+    snap_save.add_argument("--dir", default="snapshots",
+                           help="checkpoint directory for --every "
+                                "(default: snapshots/)")
+    snap_info = snap_sub.add_parser(
+        "info", help="print a snapshot's header without loading it")
+    snap_info.add_argument("path", help="snapshot file")
+    snap_restore = snap_sub.add_parser(
+        "restore", parents=[seed],
+        help="restore a snapshot, optionally run it further, and print "
+             "the event digest (the determinism witness)")
+    snap_restore.add_argument("path", help="snapshot file")
+    snap_restore.add_argument("--until", type=float, default=None,
+                              help="run the restored world to this "
+                                   "simulated time first")
+    snap_restore.add_argument("--shards", type=int, default=None,
+                              metavar="N",
+                              help="shard-process count for sharded "
+                                   "snapshots (default 1; any value "
+                                   "gives identical results)")
+    snap_replay = snap_sub.add_parser(
+        "replay", parents=[seed],
+        help="re-run a FlightRecorder dump's window from the nearest "
+             "checkpoint with full debug-severity capture")
+    snap_replay.add_argument("--dump", required=True,
+                             help="dump JSON file (e.g. from "
+                                  "chaos --dumps-dir or a recorder dump)")
+    snap_replay.add_argument("--dir", required=True,
+                             help="checkpoint directory written by "
+                                  "'snapshot save --every' for the same "
+                                  "spec and seed")
+    snap_replay.add_argument("--capacity", type=int, default=65536,
+                             help="replay recorder ring capacity")
+    snap_replay.add_argument("--output", default=None,
+                             help="write the replay dump JSON here "
+                                  "instead of stdout")
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(argv) if argv is not None else sys.argv[1:]
     args = build_parser().parse_args(argv)
     handler = {"quickstart": cmd_quickstart, "redteam": cmd_redteam,
                "plant": cmd_plant, "breach": cmd_breach,
                "metrics": cmd_metrics, "chaos": cmd_chaos,
-               "report": cmd_report, "grid": cmd_grid}[args.command]
-    return handler(args)
+               "report": cmd_report, "grid": cmd_grid,
+               "snapshot": cmd_snapshot}[args.command]
+    try:
+        return handler(args)
+    except BrokenPipeError:
+        # Downstream closed early (`spire-sim ... | head`): not an error.
+        # Detach stdout so the interpreter's shutdown flush stays quiet.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    except KeyboardInterrupt:
+        # No traceback on Ctrl-C: completed campaign cells are already
+        # on disk (the checkpoint is rewritten atomically per cell), so
+        # all the user needs is the command line that picks them up.
+        print("\n# interrupted", file=sys.stderr)
+        if getattr(args, "checkpoint", None):
+            resume_argv = list(argv)
+            if "--resume" not in resume_argv:
+                resume_argv.append("--resume")
+            print(f"# completed cells saved in {args.checkpoint}; "
+                  f"resume with:", file=sys.stderr)
+            print(f"#   spire-sim {' '.join(resume_argv)}", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -36,6 +36,10 @@ from repro.sim.process import Process
 from repro.sim.simulator import Simulator
 
 
+def _discard_datagram(*args) -> None:
+    """UDP sink for background-traffic binds (picklable, unlike a lambda)."""
+
+
 class EnterpriseChatter(Process):
     """Background business traffic so the enterprise baseline is not
     empty: workstations talking to the historian and to each other."""
@@ -46,7 +50,7 @@ class EnterpriseChatter(Process):
         self.hosts = hosts
         self.historian_ip = historian_ip
         for host in hosts:
-            host.udp_bind(6100, lambda *args: None)
+            host.udp_bind(6100, _discard_datagram)
         self.call_every(interval, self._chatter)
 
     def _chatter(self) -> None:
@@ -143,22 +147,23 @@ class RedTeamTestbed:
     spire_cycler: Optional[BreakerCycler] = None
     commercial_cycler: Optional[BreakerCycler] = None
 
+    def _spire_command(self, breaker: str, close: bool) -> None:
+        self.spire.hmis[0].command_breaker(
+            self.spire.physical_plc.device.name, breaker, close)
+
+    def _commercial_command(self, breaker: str, close: bool) -> None:
+        self.commercial.hmi.command_breaker(breaker, close)
+
     def start_cyclers(self, interval: float = 2.0) -> None:
         """Start the predetermined breaker cycles on both systems."""
-        spire_hmi = self.spire.hmis[0]
-        physical = self.spire.physical_plc
         self.spire_cycler = BreakerCycler(
             self.sim, "spire-cycler",
-            physical.topology.breaker_names(),
-            lambda breaker, close: spire_hmi.command_breaker(
-                physical.device.name, breaker, close),
-            interval=interval)
+            self.spire.physical_plc.topology.breaker_names(),
+            self._spire_command, interval=interval)
         self.commercial_cycler = BreakerCycler(
             self.sim, "commercial-cycler",
             self.commercial.topology.breaker_names(),
-            lambda breaker, close: self.commercial.hmi.command_breaker(
-                breaker, close),
-            interval=interval)
+            self._commercial_command, interval=interval)
 
     def train_mana(self, start: float, end: float) -> Dict[str, int]:
         """Train all three MANA instances on the baseline capture window
@@ -210,7 +215,7 @@ def build_redteam_testbed(sim: Simulator,
     historian_host = Host(sim, "pi-server",
                           os_profile=ubuntu_desktop_2016())
     enterprise_lan.connect(historian_host)
-    historian_host.udp_bind(HISTORIAN_FEED_PORT, lambda *args: None)
+    historian_host.udp_bind(HISTORIAN_FEED_PORT, _discard_datagram)
     workstations = []
     for index in range(1, 4):
         workstation = Host(sim, f"workstation-{index}",

@@ -289,6 +289,24 @@ def _failed_cell_run(scenario: Scenario, seed: int, error: str) -> dict:
     }
 
 
+def _campaign_config_key(names: List[str], seeds: List[int], f: int, k: int,
+                         duration: Optional[float],
+                         grid_dict: Optional[dict]) -> str:
+    """Digest of everything that determines a campaign's cell results.
+
+    A checkpoint written under one configuration must never seed a
+    resume under another — cached cells would silently disagree with
+    freshly computed ones.  Scenarios registered via ``extra`` are
+    keyed by name only: their code is not hashable, so swapping a
+    same-named scenario between runs is the caller's responsibility.
+    """
+    canonical = json.dumps(
+        {"scenarios": list(names), "seeds": list(seeds), "f": f, "k": k,
+         "duration": duration, "grid": grid_dict},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
 def run_campaign(scenarios: Optional[List[str]] = None,
                  seeds: Optional[List[int]] = None, f: int = 1, k: int = 1,
                  duration: Optional[float] = None,
@@ -296,7 +314,8 @@ def run_campaign(scenarios: Optional[List[str]] = None,
                  jobs: int = 1, timeout: Optional[float] = None,
                  metrics: Optional[MetricsRegistry] = None,
                  report: Optional[str] = None,
-                 grid=None) -> dict:
+                 grid=None, checkpoint: Optional[str] = None,
+                 resume: bool = False) -> dict:
     """Sweep scenarios × seeds into one resilience report.
 
     Args:
@@ -324,6 +343,17 @@ def run_campaign(scenarios: Optional[List[str]] = None,
             every cell against instead of the chaos harness; ``f``/``k``
             then come from the spec and the report records the grid
             topology in its config block.
+        checkpoint: optional path; when set, every completed cell is
+            flushed there atomically (``repro.snapshot`` container,
+            kind ``campaign-checkpoint``), so a crash or SIGKILL loses
+            at most the cells in flight.
+        resume: with ``checkpoint``, load previously completed cells
+            from it and dispatch only the remainder; the final report
+            is byte-identical to an uninterrupted run (cells are
+            seed-deterministic and merged in cell order).  A missing
+            checkpoint file starts fresh; a checkpoint written under a
+            different configuration raises
+            :class:`~repro.snapshot.SnapshotError`.
     """
     report_destination = report
     grid_dict = None
@@ -355,8 +385,42 @@ def run_campaign(scenarios: Optional[List[str]] = None,
         }
 
     cells = [(name, seed) for name in names for seed in seeds]
+
+    # Crash-resumable sweeps: previously completed cells come from the
+    # checkpoint; only the remainder is dispatched.  Failed cells are
+    # never cached — a resume retries them.
+    config_key = _campaign_config_key(names, seeds, f, k, duration, grid_dict)
+    cached: Dict[str, Any] = {}
+    on_result = None
+    if checkpoint:
+        import os
+
+        from repro.snapshot.format import SnapshotError, dump, load
+
+        if resume and os.path.exists(checkpoint):
+            _, payload = load(checkpoint, expect_kind="campaign-checkpoint")
+            if payload.get("config_key") != config_key:
+                raise SnapshotError(
+                    f"checkpoint {checkpoint!r} was written for a different "
+                    f"campaign configuration; refusing to mix cells")
+            cached = dict(payload.get("results", {}))
+            known = {f"{name}:{seed}" for name, seed in cells}
+            cached = {uid: value for uid, value in cached.items()
+                      if uid in known}
+
+        def on_result(result) -> None:
+            if not result.ok:
+                return
+            cached[result.uid] = result.value
+            dump(checkpoint, "campaign-checkpoint",
+                 {"config_key": config_key, "results": cached},
+                 meta={"completed": len(cached), "total": len(cells),
+                       "f": f, "k": k})
+
     units = []
     for name, seed in cells:
+        if f"{name}:{seed}" in cached:
+            continue
         kwargs: Dict[str, Any] = {"seed": seed, "f": f, "k": k,
                                   "duration": duration}
         if grid_dict is not None:
@@ -369,19 +433,20 @@ def run_campaign(scenarios: Optional[List[str]] = None,
                               kwargs=kwargs, uid=f"{name}:{seed}"))
     pool = WorkerPool(jobs=(jobs if jobs and jobs > 0 else None),
                       timeout=timeout, name="campaign", registry=metrics)
-    results = pool.run(units)
+    results = pool.run(units, on_result=on_result)
+    by_uid = {result.uid: result for result in results}
 
     campaign_latency = Histogram("prime.confirm_latency", "*")
-    cursor = 0
     for name in names:
         scenario = registry[name]
         runs = []
         scenario_latency = Histogram("prime.confirm_latency", name)
         for seed in seeds:
-            result = results[cursor]
-            cursor += 1
-            if result.ok:
-                run, latency_state = result.value
+            uid = f"{name}:{seed}"
+            result = by_uid.get(uid)
+            if result is None or result.ok:
+                run, latency_state = (cached[uid] if result is None
+                                      else result.value)
                 scenario_latency.merge_state(latency_state)
                 campaign_latency.merge_state(latency_state)
             else:
@@ -434,8 +499,8 @@ def write_campaign_report(report: dict, path: str) -> str:
     else:
         fmt = "markdown"
     rendered = render_report(document, fmt)
-    with open(path, "w") as handle:
-        handle.write(rendered)
+    from repro.util.atomicio import write_text
+    write_text(path, rendered)
     return rendered
 
 

@@ -26,6 +26,18 @@ from repro.prime.replica import PrimeReplica
 from repro.spines.overlay import SpinesNetwork
 
 
+class _ResultsSink:
+    """Picklable ``on_result`` sink: appends ``(seq, result)`` pairs to
+    the harness's per-client results list (a lambda here would make the
+    whole world unsnapshottable)."""
+
+    def __init__(self, results: List[tuple]):
+        self._results = results
+
+    def __call__(self, seq, res) -> None:
+        self._results.append((seq, res))
+
+
 class ReplayApp:
     """Tiny deterministic replicated application (a stand-in SCADA
     master): applies ``{"set": (key, value)}`` ops and keeps an ordered
@@ -124,11 +136,11 @@ class ChaosHarness:
         host.key_ring.install_signing(client_id,
                                       self.keystore.signing(client_id))
         results: list = []
+        self.results[client_id] = results
         client = PrimeClient(
             self.sim, client_id, self.config, daemon, port,
-            on_result=lambda seq, res: results.append((seq, res)))
+            on_result=_ResultsSink(results))
         self.clients.append(client)
-        self.results[client_id] = results
         return client
 
     def start_recovery(self, period: float = 6.0,

@@ -506,16 +506,19 @@ def _build_federated_world(sim, spec: GridSpec) -> GridWorld:
         name: [unit.topology for unit in sub.units.values()]
         for name, sub in world.substations.items()})
 
-    def register_all():
-        for proxy in world.proxies:
-            proxy.register_with_masters()
-        for hmi in world.hmis:
-            hmi.subscribe()
-
-    sim.schedule(0.05, register_all)
+    sim.schedule(0.05, _register_world, world)
     for population in world.populations:
         population.start(at=0.5)
     return world
+
+
+def _register_world(world: "GridWorld") -> None:
+    """Deferred proxy/HMI registration (module-level so the pending
+    event stays picklable for snapshots taken before it fires)."""
+    for proxy in world.proxies:
+        proxy.register_with_masters()
+    for hmi in world.hmis:
+        hmi.subscribe()
 
 
 def _feeder_topology(sub: SubstationSpec, plc_name: str) -> "PowerTopology":

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import ipaddress
-from typing import Iterator
 
 BROADCAST_MAC = "ff:ff:ff:ff:ff:ff"
 
@@ -34,14 +33,30 @@ class Subnet:
 
     def __init__(self, cidr: str):
         self.network = ipaddress.ip_network(cidr)
-        self._hosts: Iterator = self.network.hosts()
+        # Plain index cursor (not a hosts() generator): generators are
+        # unpicklable and would block repro.snapshot.  Allocation order
+        # is identical — first usable host address upward.
+        self._next_index = 1
 
     @property
     def cidr(self) -> str:
         return str(self.network)
 
     def allocate(self) -> str:
-        return str(next(self._hosts))
+        offset = self._next_index
+        if self.network.prefixlen >= 31:
+            # /31 and /32 have no reserved network address.
+            offset -= 1
+        address = self.network.network_address + offset
+        # Same exhaustion contract as iterating hosts(): stop at the
+        # last usable host (the broadcast address is never handed out).
+        last = self.network.broadcast_address
+        if self.network.prefixlen < 31:
+            last -= 1
+        if address > last:
+            raise StopIteration(f"subnet {self.network} exhausted")
+        self._next_index += 1
+        return str(address)
 
     def contains(self, ip: str) -> bool:
         return ipaddress.ip_address(ip) in self.network

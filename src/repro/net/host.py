@@ -35,6 +35,10 @@ PROBE_TIMEOUT = 0.5
 UdpHandler = Callable[[str, int, Any], None]
 
 
+def _discard_data(conn: Any, payload: Any) -> None:
+    """Data sink for OS-service connections (picklable, unlike a lambda)."""
+
+
 class Interface:
     """A NIC bound to one link, with its own IP and ARP table."""
 
@@ -173,7 +177,7 @@ class Host(Process):
 
     def _service_accept(self, conn: TcpConnection) -> None:
         # OS services accept connections but run no application logic.
-        conn.on_data = lambda c, payload: None
+        conn.on_data = _discard_data
 
     # ------------------------------------------------------------------
     # Configuration

@@ -274,16 +274,27 @@ class WorkerPool:
                                self.name).observe(wall)
 
     # ------------------------------------------------------------------
-    def run(self, units: Sequence[WorkUnit]) -> List[UnitResult]:
-        """Execute every unit; return results ordered by unit index."""
+    def run(self, units: Sequence[WorkUnit],
+            on_result: Optional[Callable[[UnitResult], None]] = None,
+            ) -> List[UnitResult]:
+        """Execute every unit; return results ordered by unit index.
+
+        ``on_result`` is invoked in the parent once per unit with its
+        *final* :class:`UnitResult` (success or exhausted-retries
+        failure), in **completion order** — not submission order.  It
+        exists for incremental persistence (campaign checkpoints flush
+        each finished cell to disk so a crash loses at most the cells
+        in flight); key any state it writes by ``uid``, never by
+        arrival position.
+        """
         units = list(units)
         self._count("units_dispatched", len(units))
         if not units:
             return []
         jobs = min(self.jobs, len(units))
         if jobs <= 1:
-            return self._run_inline(units)
-        return self._run_pool(units, jobs)
+            return self._run_inline(units, on_result)
+        return self._run_pool(units, jobs, on_result)
 
     def map(self, fn: Union[str, Callable[..., Any]],
             cells: Sequence[Dict[str, Any]]) -> List[UnitResult]:
@@ -293,7 +304,9 @@ class WorkerPool:
     # ------------------------------------------------------------------
     # Inline execution (jobs=1): identical semantics, zero processes
     # ------------------------------------------------------------------
-    def _run_inline(self, units: Sequence[WorkUnit]) -> List[UnitResult]:
+    def _run_inline(self, units: Sequence[WorkUnit],
+                    on_result: Optional[Callable[[UnitResult], None]] = None,
+                    ) -> List[UnitResult]:
         results = []
         for index, unit in enumerate(units):
             func = resolve_callable(unit.fn)
@@ -319,12 +332,16 @@ class WorkerPool:
                         attempts=attempts))
                     self._count("units_failed")
                     break
+            if on_result is not None:
+                on_result(results[-1])
         return results
 
     # ------------------------------------------------------------------
     # Pooled execution
     # ------------------------------------------------------------------
-    def _run_pool(self, units: Sequence[WorkUnit], jobs: int) -> List[UnitResult]:
+    def _run_pool(self, units: Sequence[WorkUnit], jobs: int,
+                  on_result: Optional[Callable[[UnitResult], None]] = None,
+                  ) -> List[UnitResult]:
         ctx = self._context
         task_queue = ctx.Queue()
         result_queue = ctx.Queue()
@@ -368,6 +385,8 @@ class WorkerPool:
                                      attempts=attempts[index])
             pending.discard(index)
             self._count("units_failed")
+            if on_result is not None:
+                on_result(done[index])
 
         def requeue_or_fail(index: int, error: str,
                             penalise: bool = True) -> None:
@@ -439,6 +458,8 @@ class WorkerPool:
                         pending.discard(index)
                         self._count("units_completed")
                         self._observe_wall(wall)
+                        if on_result is not None:
+                            on_result(done[index])
                     elif attempts[index] >= MAX_ATTEMPTS:
                         record_failure(index, error)
                     else:

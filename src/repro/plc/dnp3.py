@@ -124,8 +124,11 @@ class Dnp3Outstation(Process):
     def _accept(self, conn: TcpConnection) -> None:
         self._masters.append(conn)
         conn.on_data = self._request_in
-        conn.on_closed = lambda c: self._masters.remove(c) \
-            if c in self._masters else None
+        conn.on_closed = self._master_closed
+
+    def _master_closed(self, conn: TcpConnection) -> None:
+        if conn in self._masters:
+            self._masters.remove(conn)
 
     def _request_in(self, conn: TcpConnection, payload: Any) -> None:
         if not self.running or not isinstance(payload, Dnp3Request):

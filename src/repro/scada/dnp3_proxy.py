@@ -12,6 +12,7 @@ select-before-operate CROBs for commands.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Dict, Optional, Set, Tuple
 
 from repro.net.host import Host, TcpConnection
@@ -27,6 +28,10 @@ from repro.scada.events import (
 from repro.sim.process import Process
 from repro.spines.daemon import SpinesDaemon
 from repro.spines.messages import OverlayAddress
+
+
+def _ignore_failure(reason: str) -> None:
+    """Failure sink for retried connects (picklable, unlike a lambda)."""
 
 
 @dataclass
@@ -104,14 +109,21 @@ class Dnp3PlcProxy(Process):
         line.conn.send(Dnp3Request(seq=line.seq, function=FC_READ))
 
     def _connect(self, line: _OutstationLine) -> None:
-        def established(conn):
-            line.conn = conn
-            self._poll(line)
-
+        # Picklable partials of bound methods (not closures): in-flight
+        # connects survive a snapshot save/restore.
         self.host.tcp_connect(
-            line.ip, line.outstation.port, established,
-            on_data=lambda c, p: self._response_in(line, p),
-            on_failure=lambda reason: None)
+            line.ip, line.outstation.port,
+            partial(self._outstation_established, line),
+            on_data=partial(self._outstation_data, line),
+            on_failure=_ignore_failure)
+
+    def _outstation_established(self, line: _OutstationLine, conn: Any) -> None:
+        line.conn = conn
+        self._poll(line)
+
+    def _outstation_data(self, line: _OutstationLine, conn: Any,
+                         payload: Any) -> None:
+        self._response_in(line, payload)
 
     def _response_in(self, line: _OutstationLine, payload: Any) -> None:
         if not self.running or not isinstance(payload, Dnp3Response):

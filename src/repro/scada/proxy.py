@@ -18,6 +18,7 @@ of the system.  The proxy:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Dict, Optional, Set, Tuple
 
 from repro.net.host import Host, TcpConnection
@@ -160,17 +161,23 @@ class PlcProxy(Process):
         line.conn.send(read_input_registers(line.tid, 0, count))
 
     def _connect(self, line: _PlcLine) -> None:
-        def established(conn):
-            line.conn = conn
-            self._poll(line)
+        # Picklable partials of bound methods (not closures): in-flight
+        # connects survive a snapshot save/restore.
+        self.host.tcp_connect(line.ip, line.plc.port,
+                              partial(self._plc_established, line),
+                              on_data=partial(self._plc_data, line),
+                              on_failure=partial(self._plc_failed, line))
 
-        def failed(reason):
-            self.log("proxy.plc", "PLC connection failed", reason=reason,
-                     plc=line.plc.name)
+    def _plc_established(self, line: _PlcLine, conn: Any) -> None:
+        line.conn = conn
+        self._poll(line)
 
-        self.host.tcp_connect(line.ip, line.plc.port, established,
-                              on_data=lambda c, p: self._modbus_in(line, p),
-                              on_failure=failed)
+    def _plc_failed(self, line: _PlcLine, reason: str) -> None:
+        self.log("proxy.plc", "PLC connection failed", reason=reason,
+                 plc=line.plc.name)
+
+    def _plc_data(self, line: _PlcLine, conn: Any, payload: Any) -> None:
+        self._modbus_in(line, payload)
 
     def _modbus_in(self, line: _PlcLine, payload: Any) -> None:
         if not self.running or not isinstance(payload, ModbusResponse):

@@ -177,15 +177,29 @@ class ShardKernel:
         plc, breaker = targets[index % len(targets)]
         hmi.command_breaker(plc, breaker, True)
 
+    # -- snapshot plumbing ---------------------------------------------
+    def state_blob(self) -> bytes:
+        """The kernel's complete state, pickled.
+
+        Everything hangs off the kernel object — simulator (heap, RNG
+        streams, telemetry), overlays, replicas, physics, outbox — so
+        one pickle is the whole partition.  Returned as bytes so fork
+        lanes ship it through their pipe unmodified.
+        """
+        return pickle.dumps(self, pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def from_blob(cls, blob: bytes) -> "ShardKernel":
+        kernel = pickle.loads(blob)
+        if not isinstance(kernel, cls):
+            raise ShardConfigError(
+                f"state blob holds {type(kernel).__name__}, "
+                "not a ShardKernel")
+        return kernel
+
     # -- summaries ------------------------------------------------------
     def event_digest(self) -> str:
-        witness = hashlib.sha256()
-        for record in self.sim.log.records():
-            witness.update(repr((record.time, record.source,
-                                 record.category, record.message)).encode())
-        witness.update(repr((self.sim.events_executed,
-                             self.sim.now)).encode())
-        return witness.hexdigest()
+        return self.sim.event_digest()
 
     def metrics_snapshot(self) -> list:
         return self.sim.metrics.state_snapshot()
@@ -260,6 +274,50 @@ class ShardKernel:
 # ----------------------------------------------------------------------
 # Builders
 # ----------------------------------------------------------------------
+class _FractionProbe:
+    """Periodic energized-fraction sampler on a substation kernel.
+
+    A callable class rather than a closure so the kernel's periodic
+    timers pickle for snapshots.
+    """
+
+    def __init__(self, kernel: ShardKernel):
+        self._kernel = kernel
+
+    def __call__(self) -> None:
+        kernel = self._kernel
+        total = served = 0
+        for unit in kernel.substation.units.values():
+            total += len(unit.topology.loads)
+            served += sum(1 for on in
+                          unit.topology.energized_loads().values() if on)
+        fraction = (served / total) if total else 1.0
+        kernel.export("fraction", (kernel.substation.name, fraction),
+                      hint=CORE_KERNEL)
+
+
+class _FractionSource:
+    """Lagged energized-fraction feed for one remote substation.
+
+    A callable class rather than a closure so a core kernel carrying
+    these sources in its :class:`GridPhysics` pickles for snapshots.
+    """
+
+    def __init__(self, kernel: ShardKernel, name: str):
+        self._kernel = kernel
+        self._name = name
+
+    def __call__(self) -> float:
+        return self._kernel._fractions[self._name]
+
+
+def _register_core_hmis(kernel: ShardKernel) -> None:
+    """Deferred HMI registration (module-level so the pending event
+    stays picklable for snapshots taken before it fires)."""
+    for hmi in kernel.hmis:
+        hmi.subscribe()
+
+
 def _gateway_factory(kernel: ShardKernel):
     def make(sim, name, host, port, key_id, intrusion_tolerant=True):
         return GatewayDaemon(sim, name, host, port, key_id,
@@ -368,15 +426,11 @@ def _build_core_kernel(kernel: ShardKernel) -> None:
     # Physics lives here; remote substations feed lagged energized
     # fractions through the barrier (initially fully energized).
     kernel._fractions = {sub.name: 1.0 for sub in spec.substations}
-    sources = {sub.name: (lambda name=sub.name: kernel._fractions[name])
+    sources = {sub.name: _FractionSource(kernel, sub.name)
                for sub in spec.substations}
     kernel.physics = GridPhysics(sim, spec, {}, fraction_sources=sources)
 
-    def register_all():
-        for hmi in kernel.hmis:
-            hmi.subscribe()
-
-    sim.schedule(_REGISTER_AT, register_all)
+    sim.schedule(_REGISTER_AT, _register_core_hmis, kernel)
     for population in kernel.populations:
         population.start(at=_POPULATION_START)
 
@@ -474,15 +528,6 @@ def _build_substation_kernel(kernel: ShardKernel,
     # Energized-fraction probe: sampled on the physics step cadence and
     # exported to the core kernel, where it lands one lookahead later —
     # the same one-step-lagged view at every shard count.
-    def sample_fraction():
-        total = served = 0
-        for unit in units.values():
-            total += len(unit.topology.loads)
-            served += sum(1 for on in
-                          unit.topology.energized_loads().values() if on)
-        fraction = (served / total) if total else 1.0
-        kernel.export("fraction", (sub.name, fraction), hint=CORE_KERNEL)
-
-    sim.every(spec.physics.step_interval, sample_fraction)
+    sim.every(spec.physics.step_interval, _FractionProbe(kernel))
 
     sim.schedule(_REGISTER_AT, proxy.register_with_masters)

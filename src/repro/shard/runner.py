@@ -52,11 +52,21 @@ class ShardRuntimeError(RuntimeError):
 # Worker side (shared by fork lanes and the inline lane)
 # ----------------------------------------------------------------------
 class _ShardWorker:
-    """Holds the live kernels of one lane and executes lane messages."""
+    """Holds the live kernels of one lane and executes lane messages.
 
-    def __init__(self, spec: GridSpec, names: Sequence[str], seed: int):
-        self.kernels = {name: ShardKernel(spec, name, seed)
-                        for name in names}
+    With ``blobs`` the lane restores its kernels from pickled snapshot
+    state instead of building them fresh — the restore path of
+    :meth:`ShardedGridWorld.restore`.
+    """
+
+    def __init__(self, spec: GridSpec, names: Sequence[str], seed: int,
+                 blobs: Optional[Dict[str, bytes]] = None):
+        if blobs is None:
+            self.kernels = {name: ShardKernel(spec, name, seed)
+                            for name in names}
+        else:
+            self.kernels = {name: ShardKernel.from_blob(blobs[name])
+                            for name in names}
 
     def handle(self, message: Tuple) -> Tuple:
         kind = message[0]
@@ -76,11 +86,12 @@ class _ShardWorker:
 
 
 def _shard_worker_main(conn, spec_dict: dict, names: Sequence[str],
-                       seed: int, sys_paths: Sequence[str]) -> None:
+                       seed: int, sys_paths: Sequence[str],
+                       blobs: Optional[Dict[str, bytes]] = None) -> None:
     for path in sys_paths:
         if path not in sys.path:
             sys.path.append(path)
-    worker = _ShardWorker(GridSpec.from_dict(spec_dict), names, seed)
+    worker = _ShardWorker(GridSpec.from_dict(spec_dict), names, seed, blobs)
     while True:
         message = conn.recv()
         if message[0] == "close":
@@ -146,7 +157,8 @@ class ShardedGridWorld:
     """
 
     def __init__(self, spec: GridSpec, shards: int = 1,
-                 seed: Optional[int] = None):
+                 seed: Optional[int] = None,
+                 _kernel_blobs: Optional[Dict[str, bytes]] = None):
         from repro.grid.world import MAX_CABLES
         from repro.prime.config import build_config
 
@@ -182,6 +194,10 @@ class ShardedGridWorld:
         self._now = 0.0
         self._window_index = 0
         self._closed = False
+        self._checkpoint_dir: Optional[str] = None
+        self._checkpoint_every = 0.0
+        self._checkpoint_prefix = spec.name
+        self._last_checkpoint = 0.0
         self.prime_config = build_config(f=spec.f, k=spec.k)
 
         self.metrics = MetricsRegistry()
@@ -206,16 +222,20 @@ class ShardedGridWorld:
         self._lane_of: Dict[str, Any] = {}
         self._lanes: List[Any] = []
         if shards == 1:
-            worker = _ShardWorker(spec, lane_sets[0], self.seed)
+            worker = _ShardWorker(spec, lane_sets[0], self.seed,
+                                  _kernel_blobs)
             self._lanes = [_InlineLane(worker, f"{spec.name}-shard-0")]
         else:
             from repro.parallel.pool import ShardLane
             sys_paths = [path for path in sys.path if path]
             spec_dict = spec.to_dict()
             for index, names in enumerate(lane_sets):
+                blobs = None
+                if _kernel_blobs is not None:
+                    blobs = {name: _kernel_blobs[name] for name in names}
                 self._lanes.append(ShardLane(
                     _shard_worker_main,
-                    args=(spec_dict, names, self.seed, sys_paths),
+                    args=(spec_dict, names, self.seed, sys_paths, blobs),
                     name=f"{spec.name}-shard-{index}"))
         for lane, names in zip(self._lanes, self._lane_kernels):
             for name in names:
@@ -259,7 +279,87 @@ class ShardedGridWorld:
             if t_end == boundary:
                 self._window_index += 1
             self._now = t_end
+            self._maybe_checkpoint()
         return self._now
+
+    # ------------------------------------------------------------------
+    # Snapshots (repro.snapshot)
+    # ------------------------------------------------------------------
+    def enable_checkpoints(self, directory: str, every: float,
+                           prefix: Optional[str] = None) -> None:
+        """Auto-save a snapshot at the first barrier boundary at or past
+        every multiple of ``every`` simulated seconds."""
+        import os
+
+        if every <= 0:
+            raise ShardConfigError(f"checkpoint interval must be > 0, "
+                                   f"got {every}")
+        os.makedirs(directory, exist_ok=True)
+        self._checkpoint_dir = directory
+        self._checkpoint_every = every
+        if prefix is not None:
+            self._checkpoint_prefix = prefix
+        self._last_checkpoint = self._now
+
+    def _maybe_checkpoint(self) -> None:
+        if self._checkpoint_dir is None:
+            return
+        from repro.snapshot.core import checkpoint_path
+
+        while self._now >= self._last_checkpoint + self._checkpoint_every:
+            self._last_checkpoint += self._checkpoint_every
+            self.save(checkpoint_path(self._checkpoint_dir,
+                                      self._checkpoint_prefix, self._now))
+
+    def save(self, path: str) -> dict:
+        """Snapshot every kernel plus the barrier state to ``path``.
+
+        Legal whenever control calls are — i.e. while paused at a
+        barrier, which includes the auto-checkpoint hook in :meth:`run`.
+        The shard count is *not* part of the state: a snapshot saved
+        from ``--shards 4`` restores under any shard count.
+        """
+        from repro.snapshot.format import dump
+
+        blobs = {name: self._control(name, "state_blob")
+                 for name in self._kernels}
+        payload = {
+            "spec": self.spec.to_dict(),
+            "seed": self.seed,
+            "now": self._now,
+            "window_index": self._window_index,
+            "pending": {name: list(items)
+                        for name, items in self._pending.items()},
+            "kernels": blobs,
+        }
+        meta = {
+            "spec_name": self.spec.name,
+            "seed": self.seed,
+            "now": self._now,
+            "events_executed": sum(
+                fragment["events_executed"]
+                for fragment in self._fragments().values()),
+        }
+        return dump(path, "sharded", payload, meta)
+
+    @classmethod
+    def restore(cls, path: str, shards: int = 1) -> "ShardedGridWorld":
+        """Rebuild a :class:`ShardedGridWorld` from a snapshot.
+
+        ``shards`` chooses the process placement for the restored run
+        and may differ from the saving run's — results do not depend
+        on it.
+        """
+        from repro.snapshot.format import load
+
+        _header, payload = load(path, expect_kind="sharded")
+        world = cls(GridSpec.from_dict(payload["spec"]), shards=shards,
+                    seed=payload["seed"], _kernel_blobs=payload["kernels"])
+        world._now = payload["now"]
+        world._window_index = payload["window_index"]
+        world._pending = {name: [tuple(item) for item in items]
+                          for name, items in payload["pending"].items()}
+        return world
 
     def _round(self, t_end: float) -> None:
         inboxes: Dict[str, List[Tuple]] = {}

@@ -32,6 +32,16 @@ class SimulationError(RuntimeError):
 #: Free-list bound: recycled Event objects kept per simulator.
 _FREE_LIST_CAP = 4096
 
+def _count_value(counter: "itertools.count") -> int:
+    """Next value of an ``itertools.count`` without consuming it.
+
+    ``repr(count(7))`` is ``"count(7)"`` — parsing it is the only way to
+    read the cursor without the side effect of ``next()``.
+    """
+    text = repr(counter)
+    return int(text[text.index("(") + 1:-1].split(",")[0])
+
+
 #: Lazy-cancellation sweep threshold: once more than this many cancelled
 #: events sit in the heap *and* they outnumber live entries, the heap is
 #: compacted in place instead of waiting for the run loop to reach them.
@@ -143,9 +153,11 @@ class Simulator:
         self._flushed_executed = 0
         self._flushed_cancelled = 0
         self.rng = DeterministicRng(seed)
-        self.log = EventLog(clock=lambda: self._now)
-        self.metrics = MetricsRegistry(clock=lambda: self._now)
-        self.tracer = Tracer(clock=lambda: self._now, enabled=telemetry,
+        # The clock is a bound method (not a lambda) so the whole
+        # simulator object graph stays picklable for repro.snapshot.
+        self.log = EventLog(clock=self._clock_now)
+        self.metrics = MetricsRegistry(clock=self._clock_now)
+        self.tracer = Tracer(clock=self._clock_now, enabled=telemetry,
                              max_retained=trace_retention)
         self._metric_executed = self.metrics.counter("sim.events_executed",
                                                      component="kernel")
@@ -157,6 +169,81 @@ class Simulator:
         self._halted = False
         self._sequences: dict = {}
         self._free: List[Event] = []
+
+    def _clock_now(self) -> float:
+        """Clock callable handed to the log/metrics/tracer.
+
+        A bound method rather than a closure: bound methods pickle by
+        reference, so a snapshot restores with the clocks still wired
+        to this simulator.
+        """
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Snapshot support (repro.snapshot)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Picklable state: ``itertools.count`` carries no pickle support,
+        so ``_seq`` is flattened to its next value.
+
+        The value is recovered from ``repr(count)`` instead of calling
+        ``next()`` — saving a snapshot must never mutate the live
+        simulator (auto-checkpoints save mid-run and keep going).
+        """
+        state = self.__dict__.copy()
+        state["_seq"] = _count_value(state["_seq"])
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        state["_seq"] = itertools.count(state["_seq"])
+        self.__dict__.update(state)
+
+    def event_digest(self) -> str:
+        """Hash of the full executed-event record for byte-identity checks.
+
+        Covers every log record (time, source, category, message) plus
+        the executed-event count and clock, mirroring the shard
+        executor's identity witness so monolithic and restored runs can
+        be compared directly.
+        """
+        import hashlib
+
+        hasher = hashlib.sha256()
+        for record in self.log:
+            hasher.update(repr((record.time, record.source, record.category,
+                                record.message)).encode())
+        hasher.update(repr((self._events_executed, self._now)).encode())
+        return hasher.hexdigest()
+
+    def save(self, path: str, meta: Optional[dict] = None) -> dict:
+        """Snapshot this simulator (and everything scheduled on it) to
+        ``path`` in the :mod:`repro.snapshot.format` container.
+
+        Side-effect free: the live simulator continues identically.
+        Most callers snapshot a whole world instead
+        (:func:`repro.snapshot.save_world`); this hook serves components
+        built directly on a bare simulator.
+        """
+        from repro.snapshot.format import dump
+
+        header_meta = {"now": self._now,
+                       "events_executed": self._events_executed,
+                       "event_digest": self.event_digest()}
+        if meta:
+            header_meta.update(meta)
+        return dump(path, "simulator", self, header_meta)
+
+    @classmethod
+    def restore(cls, path: str) -> "Simulator":
+        """Load a simulator saved with :meth:`save`."""
+        from repro.snapshot.format import load
+
+        _header, sim = load(path, expect_kind="simulator")
+        if not isinstance(sim, cls):
+            from repro.snapshot.format import SnapshotError
+            raise SnapshotError(
+                f"{path}: payload is {type(sim).__name__}, not a Simulator")
+        return sim
 
     def sequence(self, name: str) -> int:
         """Next value (0, 1, 2, ...) of a named per-simulator sequence.

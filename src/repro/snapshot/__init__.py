@@ -1,0 +1,46 @@
+"""Versioned checkpoint/restore of complete simulator state.
+
+``repro.snapshot`` turns any deterministic run into a resumable one:
+
+* :func:`save_world` / :func:`restore_world` — one-call snapshot of a
+  monolithic world (grid worlds, Spire systems) into a self-describing
+  container with a schema version and integrity digest;
+* :meth:`ShardedGridWorld.save/restore <repro.shard.runner.ShardedGridWorld>`
+  — the same contract for sharded worlds, shard-count independent;
+* :func:`run_with_checkpoints` and
+  ``ShardedGridWorld.enable_checkpoints`` — periodic auto-checkpoints
+  that provably do not perturb the event stream;
+* :func:`nearest_snapshot` + :func:`replay_dump` — time-travel
+  debugging: restore the checkpoint nearest a FlightRecorder violation
+  dump and re-run its window under a fresh recorder;
+* campaign checkpoints (see :func:`repro.faults.campaign.run_campaign`)
+  — crash/SIGINT-interrupted chaos sweeps resume from completed cells
+  with a byte-identical final report.
+
+The invariant everything here is built on: **restore + run to T is
+byte-identical to an uninterrupted run to T** (event digest and report
+digest), for monolithic and sharded worlds alike.
+"""
+
+from repro.snapshot.core import (
+    checkpoint_path, nearest_snapshot, replay_dump, restore_world,
+    run_with_checkpoints, save_world,
+)
+from repro.snapshot.format import (
+    SCHEMA_VERSION, SnapshotError, dump, load, read_header, scan_dir,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SnapshotError",
+    "checkpoint_path",
+    "dump",
+    "load",
+    "nearest_snapshot",
+    "read_header",
+    "replay_dump",
+    "restore_world",
+    "run_with_checkpoints",
+    "save_world",
+    "scan_dir",
+]

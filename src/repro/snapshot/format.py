@@ -1,0 +1,135 @@
+"""The on-disk snapshot container.
+
+A snapshot file is self-describing::
+
+    SPIRESNAP\\n                      magic line
+    <header JSON>\\n                  one line, sorted keys
+    <payload bytes>                   pickled state
+
+The header carries the schema version, a ``kind`` discriminator
+(``"world"``, ``"sharded"``, ``"campaign-checkpoint"``), caller metadata
+(spec, seed, simulated time, ...), and the payload's length and SHA-256
+digest.  :func:`read_header` inspects a snapshot without unpickling it
+— that is what lets the replay tooling scan a directory of checkpoints
+for the one nearest a FlightRecorder dump cheaply — and :func:`load`
+verifies the digest before handing bytes to pickle, so a corrupt or
+truncated file fails loudly instead of unpickling garbage.
+
+Writes go through :mod:`repro.util.atomicio`, so an interrupted save
+never leaves a partial snapshot behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from typing import Any, Dict, Optional, Tuple
+
+from repro.util.atomicio import write_bytes
+
+MAGIC = b"SPIRESNAP"
+
+#: Bump on any incompatible change to header fields or payload layout.
+SCHEMA_VERSION = 1
+
+
+class SnapshotError(RuntimeError):
+    """Raised for unreadable, corrupt, or incompatible snapshot files."""
+
+
+def dump(path: str, kind: str, payload: Any,
+         meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Pickle ``payload`` and write a snapshot container atomically.
+
+    Returns the header that was written (handy for logging sizes).
+    """
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    header = {
+        "schema": SCHEMA_VERSION,
+        "kind": kind,
+        "meta": meta or {},
+        "payload_bytes": len(blob),
+        "payload_sha256": hashlib.sha256(blob).hexdigest(),
+    }
+    header_line = json.dumps(header, sort_keys=True,
+                             separators=(",", ":")).encode()
+    write_bytes(path, MAGIC + b"\n" + header_line + b"\n" + blob)
+    return header
+
+
+def read_header(path: str) -> Dict[str, Any]:
+    """Read and validate only the header (no unpickling, O(header))."""
+    try:
+        with open(path, "rb") as handle:
+            magic = handle.readline().rstrip(b"\n")
+            if magic != MAGIC:
+                raise SnapshotError(f"{path}: not a snapshot file "
+                                    f"(bad magic {magic[:16]!r})")
+            try:
+                header = json.loads(handle.readline())
+            except ValueError as exc:
+                raise SnapshotError(f"{path}: corrupt header: {exc}") from exc
+    except OSError as exc:
+        raise SnapshotError(f"{path}: cannot read snapshot: {exc}") from exc
+    schema = header.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise SnapshotError(
+            f"{path}: snapshot schema {schema} is not supported "
+            f"(this build reads schema {SCHEMA_VERSION})")
+    return header
+
+
+def load(path: str, expect_kind: Optional[str] = None,
+         ) -> Tuple[Dict[str, Any], Any]:
+    """Read, integrity-check, and unpickle a snapshot.
+
+    Returns ``(header, payload)``.  Raises :class:`SnapshotError` on a
+    bad magic, unsupported schema, kind mismatch, truncated payload, or
+    digest mismatch.
+    """
+    header = read_header(path)
+    if expect_kind is not None and header.get("kind") != expect_kind:
+        raise SnapshotError(
+            f"{path}: expected a {expect_kind!r} snapshot, "
+            f"found {header.get('kind')!r}")
+    with open(path, "rb") as handle:
+        handle.readline()
+        handle.readline()
+        blob = handle.read()
+    if len(blob) != header["payload_bytes"]:
+        raise SnapshotError(
+            f"{path}: truncated payload ({len(blob)} of "
+            f"{header['payload_bytes']} bytes)")
+    digest = hashlib.sha256(blob).hexdigest()
+    if digest != header["payload_sha256"]:
+        raise SnapshotError(f"{path}: payload digest mismatch "
+                            f"(file is corrupt)")
+    return header, pickle.loads(blob)
+
+
+def scan_dir(directory: str, kind: Optional[str] = None) -> list:
+    """Headers of every readable snapshot in ``directory``.
+
+    Returns ``[(path, header), ...]`` sorted by path; unreadable or
+    foreign files are skipped silently so a dumps/checkpoints directory
+    may hold other artifacts.
+    """
+    out = []
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        return out
+    for name in names:
+        path = os.path.join(directory, name)
+        if not os.path.isfile(path):
+            continue
+        try:
+            header = read_header(path)
+        except SnapshotError:
+            continue
+        if kind is not None and header.get("kind") != kind:
+            continue
+        out.append((path, header))
+    return out

@@ -25,6 +25,11 @@ Clock = Callable[[], float]
 DEFAULT_MAX_SAMPLES = 100_000
 
 
+def _zero_clock() -> float:
+    """Default clock (module-level so unbound metrics stay picklable)."""
+    return 0.0
+
+
 class Metric:
     """Base: a named, component-scoped, simulated-time-stamped metric."""
 
@@ -34,7 +39,7 @@ class Metric:
                  clock: Optional[Clock] = None):
         self.name = name
         self.component = component
-        clock = clock or (lambda: 0.0)
+        clock = clock or _zero_clock
         self._clock = clock
         self.created_at = clock()
         self.updated_at = self.created_at
@@ -268,7 +273,7 @@ class MetricsRegistry:
     """
 
     def __init__(self, clock: Optional[Clock] = None):
-        self._clock: Clock = clock or (lambda: 0.0)
+        self._clock: Clock = clock or _zero_clock
         self._metrics: Dict[Tuple[str, str], Metric] = {}
 
     def bind_clock(self, clock: Clock) -> None:

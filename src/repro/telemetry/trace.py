@@ -28,6 +28,11 @@ TraceContext = Dict[str, str]
 MAX_SPANS = 200_000
 
 
+def _zero_clock() -> float:
+    """Default clock (module-level so unbound tracers stay picklable)."""
+    return 0.0
+
+
 class Span:
     """One timed hop of a traced operation."""
 
@@ -95,7 +100,7 @@ class Tracer:
         if max_retained is not None and max_retained <= 0:
             raise ValueError(
                 f"max_retained must be positive, got {max_retained}")
-        self._clock: Clock = clock or (lambda: 0.0)
+        self._clock: Clock = clock or _zero_clock
         self.enabled = enabled
         self.max_retained = max_retained
         self._ids = itertools.count(1)
@@ -103,6 +108,21 @@ class Tracer:
         self._by_trace: Dict[str, List[Span]] = {}
         self.spans_dropped = 0
         self.spans_evicted = 0
+
+    def __getstate__(self) -> dict:
+        """``itertools.count`` is unpicklable; flatten the id cursor.
+
+        The value is read from ``repr`` (never ``next()``) so snapshot
+        saves leave the live tracer untouched.
+        """
+        state = self.__dict__.copy()
+        text = repr(state["_ids"])
+        state["_ids"] = int(text[text.index("(") + 1:-1].split(",")[0])
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        state["_ids"] = itertools.count(state["_ids"])
+        self.__dict__.update(state)
 
     def bind_clock(self, clock: Clock) -> None:
         self._clock = clock

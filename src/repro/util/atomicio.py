@@ -1,0 +1,38 @@
+"""Atomic file writes: ``tmp + os.replace``.
+
+Reports, snapshots, and campaign checkpoints are written through these
+helpers so an interrupted run (SIGKILL mid-write, full disk) never
+leaves a truncated JSON or snapshot on disk — readers see either the
+old complete file or the new complete file, nothing in between.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def write_bytes(path: PathLike, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (same-directory tmp file,
+    fsync, then ``os.replace``)."""
+    path = os.fspath(path)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def write_text(path: PathLike, text: str, encoding: str = "utf-8") -> None:
+    """Atomic :func:`write_bytes` for text content."""
+    write_bytes(path, text.encode(encoding))

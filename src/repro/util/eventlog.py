@@ -12,6 +12,11 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
 
+def _zero_clock() -> float:
+    """Default clock (module-level so unbound logs stay picklable)."""
+    return 0.0
+
+
 @dataclass(frozen=True)
 class LogRecord:
     """One logged event.
@@ -46,7 +51,7 @@ class EventLog:
         self._records = deque(maxlen=maxlen) if maxlen else []
         self.maxlen = maxlen
         self.dropped = 0
-        self._clock = clock or (lambda: 0.0)
+        self._clock = clock or _zero_clock
         self._listeners: List[Callable[[LogRecord], None]] = []
 
     def bind_clock(self, clock: Callable[[], float]) -> None:

@@ -16,6 +16,21 @@ class IdGenerator:
         self._prefix = prefix
         self._counter = itertools.count(1)
 
+    def __getstate__(self) -> dict:
+        """``itertools.count`` is unpicklable; flatten the cursor.
+
+        Read from ``repr`` (not ``next()``) so pickling a live generator
+        for a snapshot is side-effect free.
+        """
+        state = self.__dict__.copy()
+        text = repr(state["_counter"])
+        state["_counter"] = int(text[text.index("(") + 1:-1].split(",")[0])
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        state["_counter"] = itertools.count(state["_counter"])
+        self.__dict__.update(state)
+
     def next_int(self) -> int:
         return next(self._counter)
 

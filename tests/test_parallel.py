@@ -133,6 +133,23 @@ def test_callable_units_work_under_fork():
     assert results[0].ok and results[0].value == 25
 
 
+def test_on_result_fires_once_per_unit_inline_and_pooled():
+    """The completion callback (the campaign-checkpoint hook) sees every
+    final result exactly once — successes and exhausted-retry failures —
+    whatever the jobs count."""
+    units = [WorkUnit("repro.parallel.testing:square_unit", {"value": i},
+                      uid=f"u{i}") for i in range(6)]
+    units.append(WorkUnit("repro.parallel.testing:failing_unit",
+                          {"value": 9}, uid="bad"))
+    for jobs in (1, 3):
+        seen = []
+        results = WorkerPool(jobs=jobs).run(units,
+                                            on_result=seen.append)
+        assert sorted(r.uid for r in seen) == sorted(u.uid for u in units)
+        assert {r.uid: r.ok for r in seen} == {r.uid: r.ok for r in results}
+        assert not dict((r.uid, r.ok) for r in seen)["bad"]
+
+
 # ----------------------------------------------------------------------
 # Campaign determinism (the consumer contract)
 # ----------------------------------------------------------------------

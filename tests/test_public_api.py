@@ -42,6 +42,9 @@ API_EXPORTS = {
     "UnitResult", "WorkUnit", "WorkerPool",
     # Sharded execution (one world, many processes, identical results)
     "ShardConfigError", "ShardedGridWorld",
+    # Checkpoint/restore and time-travel replay
+    "SnapshotError", "nearest_snapshot", "read_header", "replay_dump",
+    "restore_world", "run_with_checkpoints", "save_world",
 }
 
 

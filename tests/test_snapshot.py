@@ -1,0 +1,330 @@
+"""Tests for the checkpoint/restore layer (:mod:`repro.snapshot`).
+
+The load-bearing property everything else leans on: **restoring a
+snapshot taken at T/2 and running to T is byte-identical to an
+uninterrupted run to T** — the event digest (every executed event) and
+the campaign report digest are the witnesses.  Holds for monolithic and
+sharded worlds, across seeds and shard counts, and for crash-resumed
+campaigns.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.faults.campaign import report_digest, run_campaign
+from repro.grid.spec import GridSpec, make_town_spec
+from repro.grid.world import build_world
+from repro.snapshot import (
+    SnapshotError, nearest_snapshot, read_header, replay_dump,
+    restore_world, run_with_checkpoints, save_world,
+)
+from repro.snapshot import format as snapshot_format
+from repro.util.atomicio import write_bytes, write_text
+
+T_FULL = 3.0
+T_HALF = 1.5
+
+
+def _build(spec, seed):
+    world = build_world(spec, seed=seed)
+    world.start_workload(6, start=0.3, interval=0.6)
+    return world
+
+
+def _specs():
+    return {
+        "single-plant": GridSpec.single_plant(),
+        "town5": make_town_spec(5, seed=3),
+    }
+
+
+# ----------------------------------------------------------------------
+# Container format
+# ----------------------------------------------------------------------
+class TestFormat:
+    def test_round_trip_and_header(self, tmp_path):
+        path = str(tmp_path / "x.snap")
+        payload = {"hello": [1, 2, 3], "nested": {"a": (4, 5)}}
+        header = snapshot_format.dump(path, "world", payload,
+                                      {"now": 1.25})
+        assert header["schema"] == snapshot_format.SCHEMA_VERSION
+        assert header["kind"] == "world"
+        # The header is readable without unpickling anything.
+        assert read_header(path)["meta"]["now"] == 1.25
+        loaded_header, loaded = snapshot_format.load(path)
+        assert loaded == payload
+        assert loaded_header == header
+
+    def test_kind_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "x.snap")
+        snapshot_format.dump(path, "world", {}, {})
+        with pytest.raises(SnapshotError, match="expected"):
+            snapshot_format.load(path, expect_kind="campaign-checkpoint")
+
+    def test_corruption_detected(self, tmp_path):
+        path = str(tmp_path / "x.snap")
+        snapshot_format.dump(path, "world", {"key": "value"}, {})
+        blob = bytearray(open(path, "rb").read())
+        blob[-1] ^= 0xFF
+        write_bytes(path, bytes(blob))
+        with pytest.raises(SnapshotError, match="digest"):
+            snapshot_format.load(path)
+
+    def test_truncation_detected(self, tmp_path):
+        path = str(tmp_path / "x.snap")
+        snapshot_format.dump(path, "world", {"key": "value"}, {})
+        blob = open(path, "rb").read()
+        write_bytes(path, blob[:-4])
+        with pytest.raises(SnapshotError):
+            snapshot_format.load(path)
+
+    def test_not_a_snapshot_rejected(self, tmp_path):
+        path = str(tmp_path / "x.snap")
+        write_text(path, "just some text\n")
+        with pytest.raises(SnapshotError, match="magic|not a"):
+            read_header(path)
+
+    def test_future_schema_rejected(self, tmp_path):
+        path = str(tmp_path / "x.snap")
+        snapshot_format.dump(path, "world", {}, {})
+        magic, header_line, rest = open(path, "rb").read().split(b"\n", 2)
+        header = json.loads(header_line)
+        header["schema"] = snapshot_format.SCHEMA_VERSION + 1
+        write_bytes(path, b"\n".join([
+            magic, json.dumps(header, sort_keys=True).encode(), rest]))
+        with pytest.raises(SnapshotError, match="schema"):
+            read_header(path)
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        path = str(tmp_path / "x.snap")
+        snapshot_format.dump(path, "world", {"key": "value"}, {})
+        assert sorted(os.listdir(tmp_path)) == ["x.snap"]
+
+
+# ----------------------------------------------------------------------
+# Monolithic worlds: restore + run == uninterrupted run
+# ----------------------------------------------------------------------
+class TestWorldRestoreDeterminism:
+    @pytest.mark.parametrize("spec_name", ["single-plant", "town5"])
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_restore_then_run_is_byte_identical(self, tmp_path, spec_name,
+                                                seed):
+        spec = _specs()[spec_name]
+        straight = _build(spec, seed)
+        straight.run(until=T_FULL)
+        reference = straight.sim.event_digest()
+
+        world = _build(spec, seed)
+        world.run(until=T_HALF)
+        path = str(tmp_path / "half.snap")
+        save_world(path, world)
+        # Saving is side-effect free: the saver continues identically.
+        world.run(until=T_FULL)
+        assert world.sim.event_digest() == reference
+
+        restored = restore_world(path)
+        assert restored.sim.now == pytest.approx(T_HALF)
+        restored.run(until=T_FULL)
+        assert restored.sim.event_digest() == reference
+
+    def test_save_meta_describes_the_world(self, tmp_path):
+        spec = make_town_spec(5, seed=3)
+        world = _build(spec, 3)
+        world.run(until=1.0)
+        path = str(tmp_path / "w.snap")
+        save_world(path, world)
+        meta = read_header(path)["meta"]
+        assert meta["spec_name"] == spec.name
+        assert meta["now"] == pytest.approx(1.0)
+        assert meta["events_executed"] == world.sim.events_executed
+        assert meta["event_digest"] == world.sim.event_digest()
+
+    def test_worldless_object_rejected(self, tmp_path):
+        with pytest.raises(SnapshotError, match="no .sim"):
+            save_world(str(tmp_path / "x.snap"), object())
+
+
+# ----------------------------------------------------------------------
+# Periodic checkpointing + time travel
+# ----------------------------------------------------------------------
+class TestCheckpointsAndReplay:
+    def test_checkpointed_run_equals_straight_run(self, tmp_path):
+        spec = make_town_spec(3, seed=11)
+        straight = _build(spec, 11)
+        straight.run(until=T_FULL)
+        reference = straight.sim.event_digest()
+
+        world = _build(spec, 11)
+        paths = run_with_checkpoints(world, T_FULL, str(tmp_path),
+                                     every=1.0)
+        assert world.sim.event_digest() == reference
+        assert len(paths) == 3
+        times = [read_header(p)["meta"]["now"] for p in paths]
+        assert times == pytest.approx([1.0, 2.0, 3.0])
+
+    def test_nearest_snapshot_picks_latest_at_or_before(self, tmp_path):
+        spec = make_town_spec(3, seed=11)
+        world = _build(spec, 11)
+        run_with_checkpoints(world, T_FULL, str(tmp_path), every=1.0)
+        path, header = nearest_snapshot(str(tmp_path), 2.7)
+        assert header["meta"]["now"] == pytest.approx(2.0)
+        # Before the first checkpoint: fall back to the earliest.
+        path, header = nearest_snapshot(str(tmp_path), 0.2)
+        assert header["meta"]["now"] == pytest.approx(1.0)
+        assert nearest_snapshot(str(tmp_path / "empty"), 1.0) is None
+
+    def test_replay_dump_reproduces_a_window(self, tmp_path):
+        spec = make_town_spec(3, seed=11)
+        world = _build(spec, 11)
+        run_with_checkpoints(world, T_FULL, str(tmp_path), every=1.0)
+        dump_doc = {"window": {"since": 1.4, "until": 2.6},
+                    "reason": "violation: test", "fault_ids": []}
+        snapshot, _ = nearest_snapshot(str(tmp_path),
+                                       dump_doc["window"]["since"])
+        replayed = replay_dump(dump_doc, snapshot)
+        assert replayed["reason"] == "replay"
+        assert replayed["trigger"]["snapshot"] == snapshot
+        assert replayed["trigger"]["original_reason"] == "violation: test"
+        assert replayed["window"]["until"] == pytest.approx(2.6)
+
+    def test_replay_rejects_snapshot_inside_window(self, tmp_path):
+        spec = make_town_spec(3, seed=11)
+        world = _build(spec, 11)
+        paths = run_with_checkpoints(world, T_FULL, str(tmp_path),
+                                     every=1.0)
+        with pytest.raises(SnapshotError, match="earlier checkpoint"):
+            replay_dump({"window": {"since": 1.5, "until": 2.5}},
+                        paths[-1])
+
+
+# ----------------------------------------------------------------------
+# Sharded worlds: restore under any shard count
+# ----------------------------------------------------------------------
+class TestShardedRestore:
+    def test_sharded_restore_is_byte_identical(self, tmp_path):
+        from repro.shard import ShardedGridWorld
+
+        spec = make_town_spec(5, seed=3)
+        straight = ShardedGridWorld(spec, shards=1, seed=3)
+        try:
+            straight.start_workload(6, start=0.3, interval=0.6)
+            straight.run(until=T_FULL)
+            reference = straight.event_digest()
+        finally:
+            straight.close()
+
+        world = ShardedGridWorld(spec, shards=1, seed=3)
+        path = str(tmp_path / "sharded.snap")
+        try:
+            world.start_workload(6, start=0.3, interval=0.6)
+            world.run(until=T_HALF)
+            world.save(path)
+        finally:
+            world.close()
+        assert read_header(path)["kind"] == "sharded"
+
+        # The snapshot is placement-independent: restore under either
+        # shard count and reach the same digest.
+        for shards in (1, 2):
+            restored = ShardedGridWorld.restore(path, shards=shards)
+            try:
+                restored.run(until=T_FULL)
+                assert restored.event_digest() == reference, \
+                    f"shards={shards} diverged after restore"
+            finally:
+                restored.close()
+
+    def test_sharded_auto_checkpoints(self, tmp_path):
+        from repro.shard import ShardedGridWorld
+
+        spec = make_town_spec(5, seed=3)
+        world = ShardedGridWorld(spec, shards=1, seed=3)
+        try:
+            world.start_workload(6, start=0.3, interval=0.6)
+            world.enable_checkpoints(str(tmp_path), every=1.0)
+            world.run(until=T_FULL)
+            digest = world.event_digest()
+        finally:
+            world.close()
+        entries = snapshot_format.scan_dir(str(tmp_path), kind="sharded")
+        assert len(entries) >= 2
+        # The last auto-checkpoint restores and matches the live world.
+        restored = ShardedGridWorld.restore(entries[-1][0], shards=1)
+        try:
+            restored.run(until=T_FULL)
+            assert restored.event_digest() == digest
+        finally:
+            restored.close()
+
+
+# ----------------------------------------------------------------------
+# Campaign checkpoint/resume
+# ----------------------------------------------------------------------
+class TestCampaignResume:
+    KW = dict(scenarios=["baseline", "partition"], seeds=[1, 2],
+              duration=6.0)
+
+    def test_resume_is_byte_identical(self, tmp_path):
+        checkpoint = str(tmp_path / "camp.ckpt")
+        reference = report_digest(run_campaign(jobs=1, **self.KW))
+
+        full = run_campaign(jobs=1, checkpoint=checkpoint, **self.KW)
+        assert report_digest(full) == reference
+        _, payload = snapshot_format.load(
+            checkpoint, expect_kind="campaign-checkpoint")
+        assert sorted(payload["results"]) == [
+            "baseline:1", "baseline:2", "partition:1", "partition:2"]
+
+        # Simulate a crash after two cells: truncate the checkpoint,
+        # then resume — the report must not change by a byte.
+        partial = dict(sorted(payload["results"].items())[:2])
+        snapshot_format.dump(checkpoint, "campaign-checkpoint",
+                             {"config_key": payload["config_key"],
+                              "results": partial}, {})
+        resumed = run_campaign(jobs=1, checkpoint=checkpoint, resume=True,
+                               **self.KW)
+        assert report_digest(resumed) == reference
+
+        # Fully-cached resume: nothing dispatched, same bytes.
+        again = run_campaign(jobs=1, checkpoint=checkpoint, resume=True,
+                             **self.KW)
+        assert report_digest(again) == reference
+
+    def test_config_mismatch_rejected(self, tmp_path):
+        checkpoint = str(tmp_path / "camp.ckpt")
+        run_campaign(scenarios=["baseline"], seeds=[1], duration=6.0,
+                     jobs=1, checkpoint=checkpoint)
+        with pytest.raises(SnapshotError, match="different"):
+            run_campaign(scenarios=["baseline"], seeds=[1, 2],
+                         duration=6.0, jobs=1, checkpoint=checkpoint,
+                         resume=True)
+
+    def test_missing_checkpoint_starts_fresh(self, tmp_path):
+        checkpoint = str(tmp_path / "never-written.ckpt")
+        report = run_campaign(scenarios=["baseline"], seeds=[1],
+                              duration=6.0, jobs=1,
+                              checkpoint=checkpoint, resume=True)
+        assert report["passed"]
+        assert os.path.exists(checkpoint)
+
+
+# ----------------------------------------------------------------------
+# Atomic writes
+# ----------------------------------------------------------------------
+class TestAtomicIO:
+    def test_write_replaces_atomically(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        write_text(path, "first")
+        write_text(path, "second")
+        assert open(path).read() == "second"
+        assert sorted(os.listdir(tmp_path)) == ["out.txt"]
+
+    def test_failure_leaves_original_intact(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        write_text(path, "original")
+        with pytest.raises(TypeError):
+            write_bytes(path, "not-bytes")
+        assert open(path).read() == "original"
+        assert sorted(os.listdir(tmp_path)) == ["out.txt"]
