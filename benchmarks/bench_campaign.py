@@ -1,0 +1,165 @@
+"""X7 (extension): warm-start campaign cells — cold build vs snapshot
+restore, with a byte-identity witness.
+
+Runs the same 16-cell resilience campaign (4 in-budget scenarios × 4
+seeds) twice: cold (``warm_cache=False`` — every cell builds its world
+from scratch and replays the fault-free prefix) and warm (the default —
+each distinct (config, seed) world is built once, run to the group's
+fault horizon, and every cell restores from the cached snapshot bytes).
+Records:
+
+* wall-clock for each mode and the warm-over-cold speedup;
+* the **byte-identity witness**: the SHA-256 report digest of both
+  runs — the warm path must reproduce the cold report exactly, or the
+  snapshot restore perturbed the simulation;
+* the parent's ``snapshot.warmcache.*`` telemetry (planned hits/misses,
+  cached bytes).
+
+Writes ``BENCH_campaign.json`` at the repository root — the committed
+evidence that ``perf_guard.py --campaign-current`` checks future runs
+against (identity always; the speedup floor is baseline-relative).
+All cells run in one process (``jobs=1``) so the measured win is the
+warm restore itself, not pool scheduling.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_campaign.py \
+        [--seeds 4] [--duration 5.0] [--output PATH]
+
+or through pytest (quick mode: fewer cells, identity-only asserts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.faults import report_digest, run_campaign
+from repro.telemetry.metrics import MetricsRegistry
+
+from _support import Report, run_once
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_campaign.json")
+
+#: In-budget scenarios only: every cell must pass, so a warm image that
+#: drifts from the cold build shows up as a failed campaign too.
+SCENARIOS = ["baseline", "crash-recover", "partition", "flap-degrade"]
+DEFAULT_SEEDS = 4
+DEFAULT_DURATION = 5.0
+
+
+def run_campaign_bench(seeds: int = DEFAULT_SEEDS,
+                       duration: float = DEFAULT_DURATION,
+                       jobs: int = 1,
+                       output: str = DEFAULT_OUTPUT) -> dict:
+    seed_values = list(range(1, seeds + 1))
+    cells = len(SCENARIOS) * len(seed_values)
+
+    # Untimed warmup: import/JIT/allocator noise lands here, not in the
+    # cold-vs-warm comparison.
+    run_campaign(scenarios=SCENARIOS[:1], seeds=seed_values[:1],
+                 duration=duration, jobs=jobs, warm_cache=False)
+
+    modes = {}
+    for label, warm in (("cold", False), ("warm", True)):
+        registry = MetricsRegistry()
+        began = time.perf_counter()
+        report = run_campaign(scenarios=SCENARIOS, seeds=seed_values,
+                              duration=duration, jobs=jobs, warm_cache=warm,
+                              metrics=registry)
+        wall = time.perf_counter() - began
+        modes[label] = {
+            "wall_s": wall,
+            "cells_per_s": cells / wall,
+            "digest": report_digest(report),
+            "passed": report["passed"],
+            "telemetry": {
+                metric.name: metric.value
+                for metric in registry.find(prefix="snapshot.warmcache")
+                if hasattr(metric, "value")
+            },
+        }
+
+    digests = {label: modes[label]["digest"] for label in modes}
+    results = {
+        "cpus": os.cpu_count(),
+        "campaign": {"scenarios": SCENARIOS, "seeds": seed_values,
+                     "cells": cells, "duration": duration, "jobs": jobs},
+        "modes": {label: {key: value for key, value in row.items()
+                          if key != "digest"}
+                  for label, row in modes.items()},
+        "speedup": modes["cold"]["wall_s"] / modes["warm"]["wall_s"],
+        "determinism": {
+            "digests": digests,
+            "match": len(set(digests.values())) == 1,
+        },
+        "all_passed": all(row["passed"] for row in modes.values()),
+    }
+
+    with open(output, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    report_doc = Report("X7-warm-campaign",
+                        "Warm-start campaign cells: restore vs cold build")
+    report_doc.table(
+        ["mode", "wall s", "cells/s", "digest"],
+        [[label, f"{modes[label]['wall_s']:.2f}",
+          f"{modes[label]['cells_per_s']:.2f}",
+          modes[label]["digest"][:16]] for label in ("cold", "warm")])
+    report_doc.line(
+        f"{cells}-cell campaign, jobs={jobs}: warm restore is "
+        f"{results['speedup']:.2f}x the cold build; reports are "
+        f"{'IDENTICAL' if results['determinism']['match'] else 'DIVERGENT'}.")
+    report_doc.line(f"Machine-readable results: "
+                    f"{os.path.relpath(output, REPO_ROOT)}")
+    report_doc.save_and_print()
+    return results
+
+
+def bench_campaign(benchmark):
+    """Pytest entry point: small grid, byte-identity is the assertion
+    (the wall-clock speedup is hardware-bound and guarded by perf_guard
+    against the committed baseline instead)."""
+    output = os.path.join(REPO_ROOT, "benchmarks", "results",
+                          "BENCH_campaign.quick.json")
+    results = run_once(benchmark, lambda: run_campaign_bench(
+        seeds=2, duration=5.0, output=output))
+    assert results["determinism"]["match"], \
+        "warm-start restore changed campaign results"
+    assert results["all_passed"]
+    telemetry = results["modes"]["warm"]["telemetry"]
+    assert telemetry["snapshot.warmcache.hits"] == results["campaign"]["cells"]
+    assert telemetry["snapshot.warmcache.misses"] == 0
+    assert not results["modes"]["cold"]["telemetry"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=DEFAULT_SEEDS,
+                        help=f"seeds per scenario (default {DEFAULT_SEEDS}; "
+                             f"{len(SCENARIOS)} scenarios x seeds = cells)")
+    parser.add_argument("--duration", type=float, default=DEFAULT_DURATION,
+                        help="simulated seconds per cell")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default 1: measure the "
+                             "restore win, not pool scheduling)")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help=f"result path (default: {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+    results = run_campaign_bench(seeds=args.seeds, duration=args.duration,
+                                 jobs=args.jobs, output=args.output)
+    if not results["determinism"]["match"]:
+        print("FATAL: warm-start restore changed campaign results",
+              file=sys.stderr)
+        return 1
+    if not results["all_passed"]:
+        print("FATAL: campaign failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

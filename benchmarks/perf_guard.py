@@ -26,6 +26,12 @@ repo root and fails on regression:
   to the committed baseline — growing the grid must not degrade the
   SCADA path.  Absolute events/s only with ``--absolute``.
 
+* ``BENCH_campaign.json`` (``bench_campaign.py``, via
+  ``--campaign-current``) — warm-start campaign cells.  The
+  byte-identity witness (warm-restored vs cold-built report digests)
+  must match on every machine, every cell must pass, and the
+  warm-over-cold speedup is guarded relative to the committed baseline.
+
 Per-metric tolerance bands
 --------------------------
 Each guarded metric carries its own tolerance instead of one blanket
@@ -61,6 +67,7 @@ DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_hotpath.json")
 DEFAULT_PARALLEL_BASELINE = os.path.join(REPO_ROOT, "BENCH_parallel.json")
 DEFAULT_GRID_BASELINE = os.path.join(REPO_ROOT, "BENCH_grid.json")
 DEFAULT_SNAPSHOT_BASELINE = os.path.join(REPO_ROOT, "BENCH_snapshot.json")
+DEFAULT_CAMPAIGN_BASELINE = os.path.join(REPO_ROOT, "BENCH_campaign.json")
 
 # metric name -> guard spec (higher is better).
 #   path:      keys into the results document
@@ -408,6 +415,42 @@ def check_snapshot(baseline: dict, current: dict, threshold: float,
     return failures
 
 
+# ----------------------------------------------------------------------
+# Warm-start campaign guard
+# ----------------------------------------------------------------------
+def check_campaign(baseline: dict, current: dict, threshold: float) -> list:
+    """Guard a fresh BENCH_campaign.json: the byte-identity witness
+    always (the warm-restored report must equal the cold-built one — a
+    digest mismatch means the snapshot restore perturbed the
+    simulation), every cell passing, and the warm-over-cold speedup
+    against the committed baseline."""
+    failures = []
+    if not current.get("determinism", {}).get("match", False):
+        failures.append("campaign byte-identity witness diverged: warm "
+                        "and cold reports are not identical")
+    if not current.get("all_passed", False):
+        failures.append("campaign failed (scenario expectations unmet or "
+                        "cells crashed)")
+    try:
+        cur = float(current["speedup"])
+        base = float(baseline["speedup"])
+    except (KeyError, TypeError):
+        failures.append("campaign.speedup: missing from current or "
+                        "baseline run")
+        return failures
+    floor = base * (1.0 - threshold)
+    status = "ok" if cur >= floor else "REGRESSION"
+    print(f"  campaign.warm_speedup{'':19s} baseline={base:10.3f} "
+          f"current={cur:10.3f} floor={floor:10.3f} "
+          f"(tol {threshold:.0%}) [{status}]")
+    if cur < floor:
+        failures.append(
+            f"warm-start campaign speedup regressed: {cur:.2f}x < "
+            f"{floor:.2f}x (baseline {base:.2f}x, "
+            f"tolerance {threshold:.0%})")
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", default=DEFAULT_BASELINE,
@@ -425,6 +468,13 @@ def main(argv=None) -> int:
     parser.add_argument("--snapshot-current", default=None,
                         help="freshly generated BENCH_snapshot.json to "
                              "check")
+    parser.add_argument("--campaign-current", default=None,
+                        help="freshly generated BENCH_campaign.json to "
+                             "check")
+    parser.add_argument("--campaign-baseline",
+                        default=DEFAULT_CAMPAIGN_BASELINE,
+                        help="committed warm-campaign baseline "
+                             f"(default: {DEFAULT_CAMPAIGN_BASELINE})")
     parser.add_argument("--grid-baseline", default=DEFAULT_GRID_BASELINE,
                         help="committed grid baseline "
                              f"(default: {DEFAULT_GRID_BASELINE})")
@@ -444,11 +494,12 @@ def main(argv=None) -> int:
 
     if not args.current and not args.parallel_current \
             and not args.obs_current and not args.grid_current \
-            and not args.shard_current and not args.snapshot_current:
+            and not args.shard_current and not args.snapshot_current \
+            and not args.campaign_current:
         parser.error("nothing to check: pass --current, "
                      "--parallel-current, --obs-current, "
-                     "--grid-current, --shard-current, and/or "
-                     "--snapshot-current")
+                     "--grid-current, --shard-current, "
+                     "--snapshot-current, and/or --campaign-current")
 
     failures = []
     if args.current:
@@ -498,6 +549,16 @@ def main(argv=None) -> int:
         failures += check_snapshot(snapshot_baseline, snapshot_current,
                                    args.threshold,
                                    absolute=args.absolute)
+    if args.campaign_current:
+        with open(args.campaign_baseline) as handle:
+            campaign_baseline = json.load(handle)
+        with open(args.campaign_current) as handle:
+            campaign_current = json.load(handle)
+        print("perf_guard: warm-start campaign "
+              f"({os.path.relpath(args.campaign_current)} vs "
+              f"{os.path.relpath(args.campaign_baseline)})")
+        failures += check_campaign(campaign_baseline, campaign_current,
+                                   args.threshold)
 
     if failures:
         print("\nperf_guard FAILED:", file=sys.stderr)

@@ -48,7 +48,8 @@ from repro.parallel import UnitResult, WorkerPool, WorkUnit
 from repro.shard import ShardConfigError, ShardedGridWorld
 from repro.snapshot import (
     SnapshotError, nearest_snapshot, read_header, replay_dump,
-    restore_world, run_with_checkpoints, save_world,
+    restore_world, restore_world_bytes, run_with_checkpoints, save_world,
+    save_world_bytes,
 )
 from repro.sim.process import Process
 from repro.sim.simulator import (
@@ -87,5 +88,6 @@ __all__ = [
     "ShardConfigError", "ShardedGridWorld",
     # Checkpoint/restore and time-travel replay
     "SnapshotError", "nearest_snapshot", "read_header", "replay_dump",
-    "restore_world", "run_with_checkpoints", "save_world",
+    "restore_world", "restore_world_bytes", "run_with_checkpoints",
+    "save_world", "save_world_bytes",
 ]

@@ -221,7 +221,7 @@ def cmd_chaos(args) -> int:
                           duration=args.duration, jobs=args.jobs,
                           timeout=args.timeout, report=args.report,
                           grid=grid, checkpoint=args.checkpoint,
-                          resume=args.resume)
+                          resume=args.resume, warm_cache=args.warm_cache)
     output = report_to_json(report)
     if args.output:
         from repro.util.atomicio import write_text
@@ -619,6 +619,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "and dispatch only the remainder; the final "
                             "report is byte-identical to an "
                             "uninterrupted run")
+    chaos.add_argument("--warm-cache", default=True,
+                       action=argparse.BooleanOptionalAction,
+                       help="snapshot each distinct (config, seed) world "
+                            "once and fork every cell from the cached "
+                            "bytes; --no-warm-cache cold-builds every "
+                            "cell (the report is byte-identical either "
+                            "way)")
     report = sub.add_parser(
         "report", parents=[seed],
         help="generate the deployment report (reaction quantiles, "

@@ -18,6 +18,14 @@ cells out to worker processes and merges results (and per-run
 confirm-latency telemetry) back in cell order — the report is
 byte-identical to a ``jobs=1`` run (:func:`report_digest` is the
 witness the benchmark and CI compare).
+
+Cells are *warm-started* by default: scenarios sharing harness options,
+run length, and seed share one world, built once and serialized into an
+in-memory :class:`~repro.snapshot.warmcache.WarmCache` at the group's
+fault horizon (always pre-``plan.arm()``); every cell restores from the
+cached bytes instead of a cold build.  ``warm_cache=False`` runs the
+identical operation order without the cache — byte-identical, just
+slower (see docs/performance.md).
 """
 
 from __future__ import annotations
@@ -140,92 +148,148 @@ DEFAULT_SCENARIOS = ["baseline", "partition", "recovery-collision",
 # ----------------------------------------------------------------------
 # Running
 # ----------------------------------------------------------------------
-def run_scenario(scenario: Scenario, seed: int, f: int = 1, k: int = 1,
-                 duration: Optional[float] = None,
-                 _with_state: bool = False):
-    """One scenario, one seed: build, fault, monitor, report.
+def _plan_horizon(plan: FaultPlan) -> float:
+    """A plan's *fault horizon*: the earliest action time — everything
+    before it is a fault-free prefix.  ``inf`` for an empty plan."""
+    times = [action.at for action in plan.actions]
+    return min(times) if times else float("inf")
 
-    With ``_with_state`` the run dict is returned together with the
-    raw confirm-latency histogram state, so a sweep can merge exact
-    pooled quantiles instead of averaging per-run summaries.
+
+@dataclass
+class _CellWorld:
+    """Everything a campaign cell builds *before* its fault plan arms:
+    the world (chaos harness or grid deployment), its flight recorder,
+    the monitor suite, and the workload bookkeeping.
+
+    The bundle pickles as one graph rooted at ``.sim``, which makes it
+    a ``save_world_bytes`` payload: the warm cache serializes a cell at
+    the group fault horizon and every sibling cell restores those bytes
+    instead of re-building.  The monitor suite starts at t=0 *unarmed*
+    (monitors are read-only, so the fault-free prefix stays
+    scenario-independent) and is bound to the armed plan for fault
+    attribution at the moment the plan arms.
     """
+
+    world: Any
+    recorder: FlightRecorder
+    suite: MonitorSuite
+    kind: str = "harness"            # "harness" | "grid"
+    planned_commands: int = 0        # grid workload size (run-dict field)
+
+    @property
+    def sim(self):
+        return self.world.sim
+
+
+def _build_harness_cell(seed: int, f: int, k: int, harness: Dict[str, Any],
+                        run_for: float, arm_at: float) -> _CellWorld:
+    """Cold-build one chaos-harness cell and run it to ``arm_at``."""
     sim = Simulator(seed=seed)
     recorder = FlightRecorder(sim, name="chaos-recorder", **_CELL_RECORDER)
-    harness = ChaosHarness(sim, f=f, k=k, **scenario.harness)
-    plan = scenario.build(f, k)
-    armed = plan.arm(sim, harness)
-    suite = MonitorSuite(sim, harness, armed=armed)
-    for client in harness.clients:
+    world = ChaosHarness(sim, f=f, k=k, **harness)
+    suite = MonitorSuite(sim, world)
+    for client in world.clients:
         suite.watch_client(client)
     suite.start()
-    run_for = duration if duration is not None else scenario.duration
     workload_span = max(run_for - 4.0, 2.0)
     updates = max(int(workload_span / 0.3), 8)
-    harness.start_workload(updates=updates, start=0.2, interval=0.3)
-    sim.run(until=run_for)
-
-    histogram = sim.metrics.merged_histogram("prime.confirm_latency")
-    latency = histogram.summary()
-    violations = [v.snapshot() for v in suite.violations]
-    detected = bool(violations)
-    passed = detected if scenario.expect == EXPECT_VIOLATION else not detected
-    run = {
-        "scenario": scenario.name,
-        "seed": seed,
-        "expect": scenario.expect,
-        "passed": passed,
-        "violations": violations,
-        "faults": armed.summary(),
-        "workload": {
-            "submitted": len(harness.submitted),
-            "confirmed": harness.confirmed_count(),
-        },
-        "confirm_latency": {
-            key: latency.get(key) for key in
-            ("samples", "mean", "p50", "p90", "p99")
-        },
-        "dumps": list(recorder.dumps),
-    }
-    if _with_state:
-        return run, histogram.state()
-    return run
+    world.start_workload(updates=updates, start=0.2, interval=0.3)
+    cell = _CellWorld(world=world, recorder=recorder, suite=suite)
+    if arm_at > 0.0:
+        sim.run(until=arm_at)
+    return cell
 
 
-def run_grid_scenario(grid: dict, scenario: Scenario, seed: int,
-                      duration: Optional[float] = None,
-                      _with_state: bool = False):
-    """One scenario, one seed, against a :class:`~repro.grid.GridSpec`
-    deployment instead of the chaos harness.
-
-    ``grid`` is the spec's dict form (``spec.to_dict()`` — picklable
-    for the sweep).  The run dict matches :func:`run_scenario` plus a
-    ``"grid"`` key with the physics/population summary, so grid
-    campaigns flow through the same merge, report, and digest paths.
-    """
+def _build_grid_cell(grid: dict, seed: int, harness: Dict[str, Any],
+                     run_for: float, arm_at: float) -> _CellWorld:
+    """Cold-build one GridSpec-deployment cell and run it to
+    ``arm_at``."""
     from repro.grid import GridSpec, build_world
 
     spec = GridSpec.from_dict(grid)
     sim = Simulator(seed=seed, telemetry=spec.telemetry)
     recorder = FlightRecorder(sim, name="chaos-recorder", **_CELL_RECORDER)
     world = build_world(spec, sim=sim)
-    plan = scenario.build(spec.f, spec.k)
-    armed = plan.arm(sim, world)
-    suite = MonitorSuite(sim, world, armed=armed)
+    suite = MonitorSuite(sim, world)
     for client in world.clients:
         suite.watch_client(client)
     suite.start()
-    if scenario.harness.get("with_recovery"):
+    if harness.get("with_recovery"):
         world.start_proactive_recovery(period=6.0, downtime=0.8)
-    run_for = duration if duration is not None else scenario.duration
     commands = max(int((run_for - 4.0) / 0.6), 6)
     world.start_workload(commands=commands, start=0.3, interval=0.6)
-    sim.run(until=run_for)
+    cell = _CellWorld(world=world, recorder=recorder, suite=suite,
+                      kind="grid", planned_commands=commands)
+    if arm_at > 0.0:
+        sim.run(until=arm_at)
+    return cell
 
-    histogram = sim.metrics.merged_histogram("prime.confirm_latency")
+
+def _warm_image(grid: Optional[dict] = None, seed: int = 1, f: int = 1,
+                k: int = 1, harness: Optional[Dict[str, Any]] = None,
+                run_for: float = 18.0, arm_at: float = 0.0,
+                warm_key: Optional[str] = None) -> bytes:
+    """Warm-phase work unit: build one group's world, run it to the
+    group fault horizon, and return the serialized image bytes."""
+    from repro.snapshot import save_world_bytes
+
+    harness = harness or {}
+    if grid is not None:
+        cell = _build_grid_cell(grid, seed, harness, run_for, arm_at)
+    else:
+        cell = _build_harness_cell(seed, f, k, harness, run_for, arm_at)
+    return save_world_bytes(cell, meta={"warm_key": warm_key})
+
+
+def _restore_warm_cell(warm_key: Optional[str],
+                       arm_at: float) -> Optional[_CellWorld]:
+    """Restore a cell from the active warm cache, if possible.
+
+    Returns ``None`` (→ the caller cold-builds) when no cache is
+    active or the key was never warmed (e.g. spawn-only platforms,
+    failed warm builds).  A *present* entry that is corrupt, or whose
+    snapshot time disagrees with ``arm_at``, raises
+    :class:`~repro.snapshot.SnapshotError` — a warm cell must never
+    silently disagree with a cold one.
+    """
+    if warm_key is None:
+        return None
+    from repro.snapshot import warmcache
+    cache = warmcache.active()
+    if cache is None:
+        return None
+    cell = cache.restore(warm_key)
+    if cell is None:
+        return None
+    if abs(cell.sim.now - arm_at) > 1e-9:
+        from repro.snapshot import SnapshotError
+        raise SnapshotError(
+            f"warm image {warm_key[:12]} was snapshotted at "
+            f"t={cell.sim.now:.6f} but the cell arms at t={arm_at:.6f}")
+    return cell
+
+
+def _finish_run(cell: _CellWorld, scenario: Scenario, seed: int, armed,
+                _with_state: bool):
+    """Assemble the per-run report dict — one helper shared by the
+    harness and grid paths (histogram summary, violations,
+    passed/expect logic, dumps)."""
+    histogram = cell.sim.metrics.merged_histogram("prime.confirm_latency")
     latency = histogram.summary()
-    violations = [v.snapshot() for v in suite.violations]
+    violations = [v.snapshot() for v in cell.suite.violations]
     detected = bool(violations)
     passed = detected if scenario.expect == EXPECT_VIOLATION else not detected
+    if cell.kind == "grid":
+        workload = {
+            "submitted": cell.planned_commands,
+            "confirmed": sum(len(hmi.client.confirmed)
+                             for hmi in cell.world.hmis),
+        }
+    else:
+        workload = {
+            "submitted": len(cell.world.submitted),
+            "confirmed": cell.world.confirmed_count(),
+        }
     run = {
         "scenario": scenario.name,
         "seed": seed,
@@ -233,44 +297,116 @@ def run_grid_scenario(grid: dict, scenario: Scenario, seed: int,
         "passed": passed,
         "violations": violations,
         "faults": armed.summary(),
-        "workload": {
-            "submitted": commands,
-            "confirmed": sum(len(hmi.client.confirmed)
-                             for hmi in world.hmis),
-        },
+        "workload": workload,
         "confirm_latency": {
             key: latency.get(key) for key in
             ("samples", "mean", "p50", "p90", "p99")
         },
-        "grid": world.grid_summary(),
-        "dumps": list(recorder.dumps),
     }
+    if cell.kind == "grid":
+        run["grid"] = cell.world.grid_summary()
+    run["dumps"] = list(cell.recorder.dumps)
     if _with_state:
         return run, histogram.state()
     return run
+
+
+def run_scenario(scenario: Scenario, seed: int, f: int = 1, k: int = 1,
+                 duration: Optional[float] = None,
+                 _with_state: bool = False,
+                 arm_at: Optional[float] = None,
+                 warm_key: Optional[str] = None):
+    """One scenario, one seed: build, warm up, fault, monitor, report.
+
+    The cell runs in a fixed operation order: build the world, start
+    the (unarmed, read-only) monitor suite and the workload, run to
+    ``arm_at`` — the *fault horizon*, by default the plan's own
+    earliest action time — then arm the plan and run to the end.
+    Campaign sweeps pass the horizon of the whole warm group
+    explicitly, so every cell sharing a warmed world agrees
+    byte-for-byte on the fault-free prefix, whether it cold-built the
+    world or restored it via ``warm_key`` from the active
+    :class:`~repro.snapshot.warmcache.WarmCache`.
+
+    With ``_with_state`` the run dict is returned together with the
+    raw confirm-latency histogram state, so a sweep can merge exact
+    pooled quantiles instead of averaging per-run summaries.
+    """
+    run_for = duration if duration is not None else scenario.duration
+    plan = scenario.build(f, k)
+    if arm_at is None:
+        arm_at = _plan_horizon(plan)
+    arm_at = max(0.0, min(arm_at, run_for))
+    cell = _restore_warm_cell(warm_key, arm_at)
+    if cell is None:
+        cell = _build_harness_cell(seed, f, k, dict(scenario.harness),
+                                   run_for, arm_at)
+    armed = plan.arm(cell.sim, cell.world)
+    cell.suite.armed = armed
+    cell.sim.run(until=run_for)
+    return _finish_run(cell, scenario, seed, armed, _with_state)
+
+
+def run_grid_scenario(grid: dict, scenario: Scenario, seed: int,
+                      duration: Optional[float] = None,
+                      _with_state: bool = False,
+                      arm_at: Optional[float] = None,
+                      warm_key: Optional[str] = None):
+    """One scenario, one seed, against a :class:`~repro.grid.GridSpec`
+    deployment instead of the chaos harness.
+
+    ``grid`` is the spec's dict form (``spec.to_dict()`` — picklable
+    for the sweep).  The run dict matches :func:`run_scenario` plus a
+    ``"grid"`` key with the physics/population summary, so grid
+    campaigns flow through the same merge, report, and digest paths —
+    including the same fixed operation order and ``arm_at``/``warm_key``
+    warm-start contract.
+    """
+    from repro.grid import GridSpec
+
+    spec = GridSpec.from_dict(grid)
+    run_for = duration if duration is not None else scenario.duration
+    plan = scenario.build(spec.f, spec.k)
+    if arm_at is None:
+        arm_at = _plan_horizon(plan)
+    arm_at = max(0.0, min(arm_at, run_for))
+    cell = _restore_warm_cell(warm_key, arm_at)
+    if cell is None:
+        cell = _build_grid_cell(grid, seed, dict(scenario.harness),
+                                run_for, arm_at)
+    armed = plan.arm(cell.sim, cell.world)
+    cell.suite.armed = armed
+    cell.sim.run(until=run_for)
+    return _finish_run(cell, scenario, seed, armed, _with_state)
 
 
 def _campaign_cell(name: Optional[str] = None,
                    scenario: Optional[Scenario] = None, seed: int = 1,
                    f: int = 1, k: int = 1,
                    duration: Optional[float] = None,
-                   grid: Optional[dict] = None) -> Tuple[dict, dict]:
+                   grid: Optional[dict] = None,
+                   arm_at: Optional[float] = None,
+                   warm_key: Optional[str] = None) -> Tuple[dict, dict]:
     """Parallel-sweep work unit: one scenario×seed cell.
 
     Built-in scenarios travel by name (spawn-safe); user-registered
     scenarios travel as pickled :class:`Scenario` objects.  With
     ``grid`` (a :class:`~repro.grid.GridSpec` dict) the cell runs
-    against that deployment instead of the harness.  Returns the run
-    dict plus the cell's confirm-latency histogram state for the
-    report-side telemetry merge.
+    against that deployment instead of the harness.  ``arm_at`` pins
+    the cell's fault horizon to its warm group's; ``warm_key`` names
+    the group's image in the active warm cache (inherited
+    copy-on-write by forked workers).  Returns the run dict plus the
+    cell's confirm-latency histogram state for the report-side
+    telemetry merge.
     """
     if scenario is None:
         scenario = BUILTIN_SCENARIOS[name]
     if grid is not None:
         return run_grid_scenario(grid, scenario, seed, duration=duration,
-                                 _with_state=True)
+                                 _with_state=True, arm_at=arm_at,
+                                 warm_key=warm_key)
     return run_scenario(scenario, seed, f=f, k=k, duration=duration,
-                        _with_state=True)
+                        _with_state=True, arm_at=arm_at, warm_key=warm_key)
 
 
 def _failed_cell_run(scenario: Scenario, seed: int, error: str) -> dict:
@@ -299,10 +435,25 @@ def _campaign_config_key(names: List[str], seeds: List[int], f: int, k: int,
     freshly computed ones.  Scenarios registered via ``extra`` are
     keyed by name only: their code is not hashable, so swapping a
     same-named scenario between runs is the caller's responsibility.
+    ``cell_rev`` tracks the cell execution semantics themselves (rev 2:
+    plans arm at the warm-group fault horizon instead of t=0), so
+    checkpoints from older builds can never mix into newer sweeps.
     """
     canonical = json.dumps(
-        {"scenarios": list(names), "seeds": list(seeds), "f": f, "k": k,
-         "duration": duration, "grid": grid_dict},
+        {"cell_rev": 2, "scenarios": list(names), "seeds": list(seeds),
+         "f": f, "k": k, "duration": duration, "grid": grid_dict},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _warm_group_key(f: int, k: int, harness_json: str, run_for: float,
+                    arm_at: float, grid_dict: Optional[dict],
+                    seed: int) -> str:
+    """Identity of one warmed world: everything that determines its
+    event stream up to the snapshot point."""
+    canonical = json.dumps(
+        {"f": f, "k": k, "harness": harness_json, "run_for": run_for,
+         "arm_at": arm_at, "grid": grid_dict, "seed": seed},
         sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode()).hexdigest()
 
@@ -315,7 +466,7 @@ def run_campaign(scenarios: Optional[List[str]] = None,
                  metrics: Optional[MetricsRegistry] = None,
                  report: Optional[str] = None,
                  grid=None, checkpoint: Optional[str] = None,
-                 resume: bool = False) -> dict:
+                 resume: bool = False, warm_cache: bool = True) -> dict:
     """Sweep scenarios × seeds into one resilience report.
 
     Args:
@@ -354,6 +505,15 @@ def run_campaign(scenarios: Optional[List[str]] = None,
             checkpoint file starts fresh; a checkpoint written under a
             different configuration raises
             :class:`~repro.snapshot.SnapshotError`.
+        warm_cache: serialize each distinct (config, seed) world once
+            — at the warm group's fault horizon, always pre-arm — into
+            an in-memory :class:`~repro.snapshot.warmcache.WarmCache`
+            and fork every cell from the cached bytes instead of a
+            cold build (default on).  Scenarios sharing a seed, harness
+            options, and run length share one warmed world.  The
+            report is **byte-identical** with the cache on or off, for
+            every ``jobs`` value: cold cells follow the exact same
+            operation order, just without the restore.
     """
     report_destination = report
     grid_dict = None
@@ -385,6 +545,30 @@ def run_campaign(scenarios: Optional[List[str]] = None,
         }
 
     cells = [(name, seed) for name in names for seed in seeds]
+
+    # Warm grouping: scenarios sharing harness options and run length
+    # replay identical worlds per seed, so their cells share one image
+    # snapshotted at the *group* fault horizon — the earliest time any
+    # member scenario arms its plan.  The horizon is part of the cell's
+    # semantics (cold cells arm at the same time), so it is computed
+    # whether or not the cache is enabled: ``warm_cache=False`` must
+    # stay byte-identical to ``warm_cache=True``.
+    scenario_info: Dict[str, Tuple[Optional[str], float, float]] = {}
+    group_horizon: Dict[Tuple[str, float], float] = {}
+    for name in names:
+        scenario = registry[name]
+        run_for = duration if duration is not None else scenario.duration
+        try:
+            harness_json = json.dumps(scenario.harness, sort_keys=True,
+                                      separators=(",", ":"))
+        except (TypeError, ValueError):
+            harness_json = None      # unserialisable options: no sharing
+        horizon = max(0.0, min(_plan_horizon(scenario.build(f, k)), run_for))
+        scenario_info[name] = (harness_json, run_for, horizon)
+        if harness_json is not None:
+            group = (harness_json, run_for)
+            group_horizon[group] = min(group_horizon.get(group, horizon),
+                                       horizon)
 
     # Crash-resumable sweeps: previously completed cells come from the
     # checkpoint; only the remainder is dispatched.  Failed cells are
@@ -418,11 +602,25 @@ def run_campaign(scenarios: Optional[List[str]] = None,
                        "f": f, "k": k})
 
     units = []
+    warm_builds: Dict[str, Dict[str, Any]] = {}
     for name, seed in cells:
         if f"{name}:{seed}" in cached:
             continue
+        harness_json, run_for, own_horizon = scenario_info[name]
+        if harness_json is not None:
+            arm_at = group_horizon[(harness_json, run_for)]
+            warm_key = _warm_group_key(f, k, harness_json, run_for, arm_at,
+                                       grid_dict, seed)
+        else:
+            arm_at, warm_key = own_horizon, None
         kwargs: Dict[str, Any] = {"seed": seed, "f": f, "k": k,
-                                  "duration": duration}
+                                  "duration": duration, "arm_at": arm_at}
+        if warm_cache and warm_key is not None:
+            kwargs["warm_key"] = warm_key
+            warm_builds.setdefault(warm_key, {
+                "grid": grid_dict, "seed": seed, "f": f, "k": k,
+                "harness": json.loads(harness_json), "run_for": run_for,
+                "arm_at": arm_at, "warm_key": warm_key})
         if grid_dict is not None:
             kwargs["grid"] = grid_dict
         if name in BUILTIN_SCENARIOS and registry[name] is BUILTIN_SCENARIOS[name]:
@@ -431,9 +629,62 @@ def run_campaign(scenarios: Optional[List[str]] = None,
             kwargs["scenario"] = registry[name]
         units.append(WorkUnit(fn="repro.faults.campaign:_campaign_cell",
                               kwargs=kwargs, uid=f"{name}:{seed}"))
-    pool = WorkerPool(jobs=(jobs if jobs and jobs > 0 else None),
+
+    # Warm phase: build each group's world once (fanned out when the
+    # sweep itself is parallel) and park the serialized images in the
+    # process-wide cache *before* the cell pool forks, so workers
+    # inherit the bytes copy-on-write.  A warm build that fails (e.g. a
+    # user world that does not pickle) is simply skipped: its cells
+    # cold-build, slower but identical.
+    cache = None
+    pool_jobs = jobs if jobs and jobs > 0 else None
+    if warm_cache and warm_builds:
+        from repro.snapshot import warmcache
+
+        cache = warmcache.WarmCache()
+        if pool_jobs != 1 and len(warm_builds) > 1:
+            # Throwaway pool/registry: the sweep's parallel.* telemetry
+            # counts campaign cells only.
+            warm_pool = WorkerPool(jobs=pool_jobs, timeout=timeout,
+                                   name="campaign-warm")
+            warm_units = [WorkUnit(fn="repro.faults.campaign:_warm_image",
+                                   kwargs=build, uid=key)
+                          for key, build in warm_builds.items()]
+            for result in warm_pool.run(warm_units):
+                if result.ok:
+                    cache.put(result.uid, result.value)
+        else:
+            for key, build in warm_builds.items():
+                try:
+                    cache.put(key, _warm_image(**build))
+                except Exception:  # noqa: BLE001 - unwarmable world
+                    pass
+        warmcache.activate(cache)
+
+    pool = WorkerPool(jobs=pool_jobs,
                       timeout=timeout, name="campaign", registry=metrics)
-    results = pool.run(units, on_result=on_result)
+    try:
+        results = pool.run(units, on_result=on_result)
+    finally:
+        if cache is not None:
+            from repro.snapshot import warmcache
+            warmcache.deactivate()
+    if warm_cache and metrics is not None:
+        # Parent-side accounting: hits = cells dispatched against a
+        # warmed image (exact inline; forked workers inherit the same
+        # cache), misses = cells that had to cold-build.  restore_s is
+        # in-process deserialization time (inline runs only — forked
+        # workers account in their own copies).
+        hits = sum(1 for unit in units
+                   if cache is not None
+                   and unit.kwargs.get("warm_key") in cache)
+        metrics.counter("snapshot.warmcache.hits", "campaign").inc(hits)
+        metrics.counter("snapshot.warmcache.misses",
+                        "campaign").inc(len(units) - hits)
+        metrics.gauge("snapshot.warmcache.bytes", "campaign").set(
+            cache.total_bytes if cache is not None else 0)
+        metrics.gauge("snapshot.warmcache.restore_s", "campaign").set(
+            cache.restore_s if cache is not None else 0.0)
     by_uid = {result.uid: result for result in results}
 
     campaign_latency = Histogram("prime.confirm_latency", "*")

@@ -91,7 +91,13 @@ class RecordingApp:
         self._inner.on_state_transfer(outcome)
 
     def __getattr__(self, item):
-        return getattr(self._inner, item)
+        # __dict__.get, not self._inner: during unpickling this runs
+        # before __dict__ is restored and a bare self._inner lookup
+        # would recurse into __getattr__ forever.
+        inner = self.__dict__.get("_inner")
+        if inner is None:
+            raise AttributeError(item)
+        return getattr(inner, item)
 
 
 class InvariantMonitor:

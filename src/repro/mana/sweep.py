@@ -32,6 +32,8 @@ from repro.mana.models import (
 from repro.net.tap import Capture, PacketRecord
 from repro.parallel import WorkerPool, WorkUnit
 from repro.sim.simulator import Simulator
+from repro.snapshot import warmcache
+from repro.snapshot.format import dumps as snapshot_dumps
 from repro.telemetry.metrics import Histogram, MetricsRegistry
 
 MODEL_FACTORIES = {
@@ -84,20 +86,51 @@ def inject_dos(capture: Capture, start: float, packets: int = 1500) -> None:
 # ----------------------------------------------------------------------
 # The work unit: one fit/evaluate cycle
 # ----------------------------------------------------------------------
+def _capture_records(seed: int, train_windows: int, holdout_windows: int,
+                     window: float) -> list:
+    """The seed-deterministic baseline capture every model cell under
+    one seed trains on — the sweep's shared, warmable prefix."""
+    rng = np.random.default_rng(seed)
+    total = (train_windows + holdout_windows) * window + 40.0
+    return baseline_traffic(total, rng)
+
+
+def _capture_key(seed: int, train_windows: int, holdout_windows: int,
+                 window: float) -> str:
+    """Warm-cache key for one seed's baseline capture."""
+    canonical = json.dumps(
+        {"kind": "mana-capture", "seed": seed,
+         "train_windows": train_windows,
+         "holdout_windows": holdout_windows, "window": window},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
 def fit_cell(model: Optional[str] = None, seed: int = 1,
              train_windows: int = 24, holdout_windows: int = 24,
-             window: float = 5.0) -> dict:
+             window: float = 5.0, warm_key: Optional[str] = None) -> dict:
     """Train one model (or, with ``model=None``, the voting ensemble)
     under one seed; evaluate held-out FP rate and DoS detection.
 
     Seed-deterministic and self-contained — the parallel sweep's unit
-    of work.  Returns a JSON-serialisable cell result including the
-    raw ``mana.score`` histogram state for report-side merging.
+    of work.  With ``warm_key``, the baseline capture is restored from
+    the active :class:`~repro.snapshot.warmcache.WarmCache` (synthesized
+    once per seed by :func:`run_training_sweep`) instead of re-run per
+    model; the records are identical either way, so warm and cold cells
+    are byte-identical.  Returns a JSON-serialisable cell result
+    including the raw ``mana.score`` histogram state for report-side
+    merging.
     """
-    rng = np.random.default_rng(seed)
-    total = (train_windows + holdout_windows) * window + 40.0
+    records = None
+    if warm_key is not None:
+        cache = warmcache.active()
+        if cache is not None:
+            records = cache.load(warm_key, expect_kind="mana-capture")
+    if records is None:
+        records = _capture_records(seed, train_windows, holdout_windows,
+                                   window)
     capture = Capture("sweep")
-    capture.records = baseline_traffic(total, rng)
+    capture.records = list(records)
     sim = Simulator(seed=seed)
     if model is None:
         models, threshold, label = default_ensemble(), 2, "ensemble"
@@ -133,7 +166,8 @@ def run_training_sweep(models: Optional[List[str]] = None,
                        train_windows: int = 24, holdout_windows: int = 24,
                        window: float = 5.0, jobs: int = 1,
                        timeout: Optional[float] = None,
-                       metrics: Optional[MetricsRegistry] = None) -> dict:
+                       metrics: Optional[MetricsRegistry] = None,
+                       warm_cache: bool = True) -> dict:
     """Fit every model × seed cell (in parallel with ``jobs >= 2``) and
     merge into one deterministic report.
 
@@ -141,6 +175,12 @@ def run_training_sweep(models: Optional[List[str]] = None,
     ``Histogram.merge_state`` — quantiles of the union, not averages of
     per-cell quantiles.  A crashed cell is retried once, then recorded
     under ``"failed"`` without stalling the sweep.
+
+    With ``warm_cache`` (the default) and more than one model, each
+    seed's baseline capture is synthesized once in the parent and
+    cached; every model cell restores the identical records from the
+    warm cache (inherited copy-on-write by forked workers) instead of
+    re-synthesizing them, with no effect on :func:`sweep_digest`.
     """
     models = list(models) if models else list(DEFAULT_MODELS)
     seeds = sorted(set(seeds or [1]))
@@ -148,16 +188,34 @@ def run_training_sweep(models: Optional[List[str]] = None,
     if unknown:
         raise KeyError(f"unknown model(s): {', '.join(map(str, unknown))}; "
                        f"available: {', '.join(sorted(MODEL_FACTORIES))}")
+    warm_keys: Dict[int, str] = {}
+    cache = None
+    if warm_cache and len(models) > 1:
+        cache = warmcache.WarmCache()
+        for seed in seeds:
+            key = _capture_key(seed, train_windows, holdout_windows, window)
+            records = _capture_records(seed, train_windows, holdout_windows,
+                                       window)
+            cache.put(key, snapshot_dumps("mana-capture", records,
+                                          meta={"seed": seed}))
+            warm_keys[seed] = key
     units = [WorkUnit(fn="repro.mana.sweep:fit_cell",
                       kwargs={"model": model, "seed": seed,
                               "train_windows": train_windows,
                               "holdout_windows": holdout_windows,
-                              "window": window},
+                              "window": window,
+                              "warm_key": warm_keys.get(seed)},
                       uid=f"{model or 'ensemble'}:{seed}")
              for model in models for seed in seeds]
     pool = WorkerPool(jobs=(jobs if jobs and jobs > 0 else None),
                       timeout=timeout, name="mana-sweep", registry=metrics)
-    results = pool.run(units)
+    if cache is not None:
+        warmcache.activate(cache)
+    try:
+        results = pool.run(units)
+    finally:
+        if cache is not None:
+            warmcache.deactivate()
 
     report: dict = {
         "config": {"models": [m or "ensemble" for m in models],

@@ -365,7 +365,12 @@ class _RingOverrideHost:
         self.key_ring = ring
 
     def __getattr__(self, item):
-        return getattr(self._host, item)
+        # __dict__.get so unpickling (which probes attributes before
+        # __dict__ is restored) cannot recurse into __getattr__.
+        host = self.__dict__.get("_host")
+        if host is None:
+            raise AttributeError(item)
+        return getattr(host, item)
 
 
 def patch_spines_binary(attacker: Attacker, daemon: SpinesDaemon,

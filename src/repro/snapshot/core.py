@@ -27,7 +27,9 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.snapshot.format import SnapshotError, dump, load, scan_dir
+from repro.snapshot.format import (
+    SnapshotError, dumps, load, loads, scan_dir,
+)
 
 
 def checkpoint_path(directory: str, prefix: str, now: float) -> str:
@@ -38,15 +40,10 @@ def checkpoint_path(directory: str, prefix: str, now: float) -> str:
     return os.path.join(directory, f"{prefix}-t{now:015.6f}.snap")
 
 
-def save_world(path: str, world: Any,
-               meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
-    """Snapshot a monolithic world (anything carrying a ``.sim``).
-
-    Accepts a :class:`~repro.grid.world.GridWorld`, a
-    :class:`~repro.core.spire.SpireSystem`, or any other object graph
-    rooted at a :class:`~repro.sim.simulator.Simulator`.  Saving is
-    side-effect free: the live world keeps running identically.
-    """
+def _world_meta(world: Any,
+                meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Header metadata for a world snapshot (shared by the disk and
+    bytes paths)."""
     sim = getattr(world, "sim", None)
     if sim is None:
         raise SnapshotError(
@@ -63,7 +60,50 @@ def save_world(path: str, world: Any,
         header_meta["seed"] = getattr(spec, "seed", None)
     if meta:
         header_meta.update(meta)
-    return dump(path, "world", world, header_meta)
+    return header_meta
+
+
+def save_world_bytes(world: Any,
+                     meta: Optional[Dict[str, Any]] = None) -> bytes:
+    """Serialize a world snapshot to bytes — no disk container, same
+    SPIRESNAP layout and payload digest as :func:`save_world`.
+
+    The fast path for in-memory snapshot caches
+    (:mod:`repro.snapshot.warmcache`): campaign parents serialize each
+    warm world once and hand workers a restore from bytes.  Saving is
+    side-effect free: the live world keeps running identically.
+    """
+    return dumps("world", world, _world_meta(world, meta))
+
+
+def restore_world_bytes(data: bytes) -> Any:
+    """Rebuild a world from :func:`save_world_bytes` output.
+
+    The payload digest is verified before unpickling (the same check
+    :func:`restore_world` applies), so corrupt or truncated bytes raise
+    :class:`SnapshotError` instead of restoring garbage.
+    """
+    _header, world = loads(data, expect_kind="world")
+    return world
+
+
+def save_world(path: str, world: Any,
+               meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Snapshot a monolithic world (anything carrying a ``.sim``).
+
+    Accepts a :class:`~repro.grid.world.GridWorld`, a
+    :class:`~repro.core.spire.SpireSystem`, or any other object graph
+    rooted at a :class:`~repro.sim.simulator.Simulator`.  Saving is
+    side-effect free: the live world keeps running identically.
+    Delegates serialization to :func:`save_world_bytes` (one format
+    path); the file is written atomically.
+    """
+    from repro.snapshot.format import loads_header
+    from repro.util.atomicio import write_bytes
+
+    data = save_world_bytes(world, meta)
+    write_bytes(path, data)
+    return loads_header(data, source=path)
 
 
 def restore_world(path: str) -> Any:

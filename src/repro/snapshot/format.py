@@ -17,6 +17,12 @@ truncated file fails loudly instead of unpickling garbage.
 
 Writes go through :mod:`repro.util.atomicio`, so an interrupted save
 never leaves a partial snapshot behind.
+
+:func:`dumps` / :func:`loads` are the bytes-level counterparts — the
+exact same container layout and digest verification without touching
+disk.  They are the fast path for in-memory snapshot caches (see
+:mod:`repro.snapshot.warmcache`); :func:`dump` and :func:`load` are
+thin disk wrappers around them, so the format logic exists once.
 """
 
 from __future__ import annotations
@@ -39,12 +45,11 @@ class SnapshotError(RuntimeError):
     """Raised for unreadable, corrupt, or incompatible snapshot files."""
 
 
-def dump(path: str, kind: str, payload: Any,
-         meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
-    """Pickle ``payload`` and write a snapshot container atomically.
-
-    Returns the header that was written (handy for logging sizes).
-    """
+def _encode(kind: str, payload: Any,
+            meta: Optional[Dict[str, Any]] = None,
+            ) -> Tuple[bytes, Dict[str, Any]]:
+    """Pickle ``payload`` into container bytes; the single encode path
+    behind both :func:`dump` (disk) and :func:`dumps` (in-memory)."""
     blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
     header = {
         "schema": SCHEMA_VERSION,
@@ -55,7 +60,27 @@ def dump(path: str, kind: str, payload: Any,
     }
     header_line = json.dumps(header, sort_keys=True,
                              separators=(",", ":")).encode()
-    write_bytes(path, MAGIC + b"\n" + header_line + b"\n" + blob)
+    return MAGIC + b"\n" + header_line + b"\n" + blob, header
+
+
+def dumps(kind: str, payload: Any,
+          meta: Optional[Dict[str, Any]] = None) -> bytes:
+    """Serialize a snapshot container to bytes — the in-memory fast
+    path (warm caches, IPC) with the exact on-disk layout and digest,
+    so :func:`loads` applies the same integrity check :func:`load`
+    does."""
+    data, _header = _encode(kind, payload, meta)
+    return data
+
+
+def dump(path: str, kind: str, payload: Any,
+         meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Pickle ``payload`` and write a snapshot container atomically.
+
+    Returns the header that was written (handy for logging sizes).
+    """
+    data, header = _encode(kind, payload, meta)
+    write_bytes(path, data)
     return header
 
 
@@ -81,32 +106,73 @@ def read_header(path: str) -> Dict[str, Any]:
     return header
 
 
-def load(path: str, expect_kind: Optional[str] = None,
-         ) -> Tuple[Dict[str, Any], Any]:
-    """Read, integrity-check, and unpickle a snapshot.
+def _parse(data: bytes, source: str) -> Tuple[Dict[str, Any], bytes]:
+    """Split container bytes into (validated header, payload blob)."""
+    magic_end = data.find(b"\n")
+    if magic_end < 0 or data[:magic_end] != MAGIC:
+        raise SnapshotError(f"{source}: not a snapshot file "
+                            f"(bad magic {data[:16]!r})")
+    header_end = data.find(b"\n", magic_end + 1)
+    if header_end < 0:
+        raise SnapshotError(f"{source}: corrupt header: unterminated")
+    try:
+        header = json.loads(data[magic_end + 1:header_end])
+    except ValueError as exc:
+        raise SnapshotError(f"{source}: corrupt header: {exc}") from exc
+    schema = header.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise SnapshotError(
+            f"{source}: snapshot schema {schema} is not supported "
+            f"(this build reads schema {SCHEMA_VERSION})")
+    return header, data[header_end + 1:]
+
+
+def loads_header(data: bytes,
+                 source: str = "snapshot bytes") -> Dict[str, Any]:
+    """Header of container bytes (no unpickling, no digest work) —
+    the bytes-level counterpart of :func:`read_header`."""
+    header, _blob = _parse(data, source)
+    return header
+
+
+def loads(data: bytes, expect_kind: Optional[str] = None,
+          source: str = "snapshot bytes") -> Tuple[Dict[str, Any], Any]:
+    """Integrity-check and unpickle container bytes (inverse of
+    :func:`dumps`); the single decode path behind :func:`load` too.
 
     Returns ``(header, payload)``.  Raises :class:`SnapshotError` on a
     bad magic, unsupported schema, kind mismatch, truncated payload, or
-    digest mismatch.
+    digest mismatch — never unpickles unverified bytes.
     """
-    header = read_header(path)
+    header, blob = _parse(data, source)
     if expect_kind is not None and header.get("kind") != expect_kind:
         raise SnapshotError(
-            f"{path}: expected a {expect_kind!r} snapshot, "
+            f"{source}: expected a {expect_kind!r} snapshot, "
             f"found {header.get('kind')!r}")
-    with open(path, "rb") as handle:
-        handle.readline()
-        handle.readline()
-        blob = handle.read()
     if len(blob) != header["payload_bytes"]:
         raise SnapshotError(
-            f"{path}: truncated payload ({len(blob)} of "
+            f"{source}: truncated payload ({len(blob)} of "
             f"{header['payload_bytes']} bytes)")
     digest = hashlib.sha256(blob).hexdigest()
     if digest != header["payload_sha256"]:
-        raise SnapshotError(f"{path}: payload digest mismatch "
+        raise SnapshotError(f"{source}: payload digest mismatch "
                             f"(file is corrupt)")
     return header, pickle.loads(blob)
+
+
+def load(path: str, expect_kind: Optional[str] = None,
+         ) -> Tuple[Dict[str, Any], Any]:
+    """Read, integrity-check, and unpickle a snapshot file.
+
+    Returns ``(header, payload)``; delegates the container parsing and
+    digest verification to :func:`loads` (one decode path).
+    """
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError as exc:
+        raise SnapshotError(f"{path}: cannot read snapshot: {exc}") from exc
+    return loads(data, expect_kind=expect_kind, source=path)
 
 
 def scan_dir(directory: str, kind: Optional[str] = None) -> list:

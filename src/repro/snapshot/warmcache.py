@@ -1,0 +1,143 @@
+"""In-memory warm-start snapshot cache for campaign sweeps.
+
+Every campaign cell used to pay full world construction — ``3f+2k+1``
+replica keygen, multicompiler variants, overlay wiring — plus the
+fault-free workload prefix before its first fault arms.  Cells that
+share a harness/spec configuration, run length, and seed replay the
+*identical* event stream up to that point, so a sweep re-computes the
+same prefix once per scenario column.
+
+:class:`WarmCache` removes the repetition: the campaign parent builds
+each distinct (config, seed) world once, runs it to the group's *fault
+horizon* (the earliest time any scenario sharing the world arms its
+plan — always pre-``plan.arm()``), and serializes it with
+:func:`~repro.snapshot.core.save_world_bytes` into this cache.  Each
+(scenario, seed) cell then restores from the cached bytes instead of a
+cold build.  Three properties make this safe and fast:
+
+* **Byte-identity** — PR 8's restore-then-run contract: restoring a
+  snapshot taken at time S and running to T is byte-identical to an
+  uninterrupted run to T.  The cold campaign path executes the exact
+  same operation order (build → monitors → workload → run-to-horizon →
+  arm → run-to-end), so warm and cold reports share one
+  ``report_digest``.
+* **Integrity** — images are SPIRESNAP containers; every restore
+  verifies the payload digest before unpickling, so a corrupted cache
+  entry raises :class:`~repro.snapshot.format.SnapshotError` loudly
+  instead of silently rebuilding (or worse, restoring garbage).
+* **Fork inheritance** — :func:`activate` parks the cache in a module
+  global *before* the :class:`~repro.parallel.WorkerPool` forks, so
+  worker processes inherit the bytes copy-on-write: zero per-cell
+  pickling or re-keygen crosses the process boundary.  (On a spawn-only
+  platform the global is simply absent in workers and cells fall back
+  to a cold build — slower, never wrong.)
+
+The cache never persists: it lives for one sweep, in the parent (and
+its forked children), and is deactivated when the sweep returns.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Optional
+
+from repro.snapshot.core import restore_world_bytes, save_world_bytes
+from repro.snapshot.format import loads
+
+
+class WarmCache:
+    """Warm keys → serialized world images (SPIRESNAP container bytes).
+
+    Tracks in-process accounting: ``hits``/``misses`` count restores
+    served/not served from the cache, ``restore_s`` accumulates the
+    wall-clock spent deserializing.  (Under a forked pool each worker
+    accumulates its own copies; the campaign parent reports its planned
+    hit/miss counts on the sweep registry instead — see
+    ``snapshot.warmcache.*`` in docs/telemetry.md.)
+    """
+
+    def __init__(self) -> None:
+        self._images: Dict[str, bytes] = {}
+        self.hits = 0
+        self.misses = 0
+        self.restore_s = 0.0
+
+    def __len__(self) -> int:
+        return len(self._images)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._images
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(len(data) for data in self._images.values())
+
+    def put(self, key: str, data: bytes) -> None:
+        """Cache pre-serialized container bytes under ``key``."""
+        self._images[key] = data
+
+    def warm(self, key: str, build: Callable[[], Any],
+             meta: Optional[Dict[str, Any]] = None) -> bytes:
+        """Build and serialize ``key``'s world once; later calls for
+        the same key are no-ops.  Returns the cached image bytes."""
+        if key not in self._images:
+            image_meta = {"warm_key": key}
+            if meta:
+                image_meta.update(meta)
+            self._images[key] = save_world_bytes(build(), meta=image_meta)
+        return self._images[key]
+
+    def load(self, key: str, expect_kind: str) -> Optional[Any]:
+        """Restore ``key``'s payload, or ``None`` when the key was
+        never warmed (the caller's cold-build fallback).
+
+        A *present but corrupt* entry raises
+        :class:`~repro.snapshot.format.SnapshotError` — silent rebuilds
+        would hide memory corruption behind a correct-but-slow sweep.
+        """
+        data = self._images.get(key)
+        if data is None:
+            self.misses += 1
+            return None
+        began = time.perf_counter()
+        _header, payload = loads(data, expect_kind=expect_kind,
+                                 source=f"warm image {key[:12]}")
+        self.restore_s += time.perf_counter() - began
+        self.hits += 1
+        return payload
+
+    def restore(self, key: str) -> Optional[Any]:
+        """World fast path: :meth:`load` for ``save_world_bytes``
+        images (kind ``"world"``)."""
+        data = self._images.get(key)
+        if data is None:
+            self.misses += 1
+            return None
+        began = time.perf_counter()
+        world = restore_world_bytes(data)
+        self.restore_s += time.perf_counter() - began
+        self.hits += 1
+        return world
+
+
+#: The sweep-scoped active cache; set in the parent before the worker
+#: pool forks so children inherit the images copy-on-write.
+_ACTIVE: Optional[WarmCache] = None
+
+
+def activate(cache: WarmCache) -> WarmCache:
+    """Install ``cache`` as the process-wide active warm cache."""
+    global _ACTIVE
+    _ACTIVE = cache
+    return cache
+
+
+def deactivate() -> None:
+    """Clear the active warm cache (sweep teardown)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> Optional[WarmCache]:
+    """The currently active warm cache, if any."""
+    return _ACTIVE

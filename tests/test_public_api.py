@@ -44,7 +44,8 @@ API_EXPORTS = {
     "ShardConfigError", "ShardedGridWorld",
     # Checkpoint/restore and time-travel replay
     "SnapshotError", "nearest_snapshot", "read_header", "replay_dump",
-    "restore_world", "run_with_checkpoints", "save_world",
+    "restore_world", "restore_world_bytes", "run_with_checkpoints",
+    "save_world", "save_world_bytes",
 }
 
 

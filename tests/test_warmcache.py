@@ -1,0 +1,159 @@
+"""Warm-start snapshot cache: byte-identity against cold builds, cache
+accounting, integrity on corruption, and the bytes-level snapshot API."""
+
+import pytest
+
+from repro.faults import report_digest, run_campaign
+from repro.faults.campaign import (
+    BUILTIN_SCENARIOS, _warm_image, run_scenario,
+)
+from repro.grid import build_world, make_town_spec
+from repro.mana.sweep import run_training_sweep, sweep_digest
+from repro.snapshot import (
+    SnapshotError, WarmCache, restore_world_bytes, save_world, save_world_bytes,
+)
+from repro.snapshot import warmcache
+from repro.telemetry.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def active_cache():
+    cache = warmcache.activate(WarmCache())
+    yield cache
+    warmcache.deactivate()
+
+
+# ----------------------------------------------------------------------
+# Byte-identity: warm-forked campaigns == cold-built campaigns
+# ----------------------------------------------------------------------
+def test_chaos_campaign_warm_matches_cold_across_jobs():
+    """{warm, cold} x {jobs 1, 2} all produce one report digest."""
+    digests = set()
+    for warm in (True, False):
+        for jobs in (1, 2):
+            report = run_campaign(scenarios=["partition", "crash-recover"],
+                                  seeds=[3, 11], duration=6.0, jobs=jobs,
+                                  warm_cache=warm)
+            digests.add(report_digest(report))
+    assert len(digests) == 1
+
+
+def test_grid_campaign_warm_matches_cold_across_jobs():
+    spec = make_town_spec(5).to_dict()
+    digests = set()
+    for warm in (True, False):
+        for jobs in (1, 2):
+            report = run_campaign(scenarios=["partition"], seeds=[3, 11],
+                                  duration=6.0, jobs=jobs, grid=spec,
+                                  warm_cache=warm)
+            digests.add(report_digest(report))
+    assert len(digests) == 1
+
+
+# ----------------------------------------------------------------------
+# Accounting
+# ----------------------------------------------------------------------
+def test_warm_cache_hit_accounting_on_registry():
+    """Same-config scenarios share one warm image per seed: every cell
+    is a hit, none miss, and the cache reports its footprint."""
+    metrics = MetricsRegistry()
+    report = run_campaign(
+        scenarios=["baseline", "partition", "crash-recover"],
+        seeds=[3, 11], duration=6.0, jobs=1, metrics=metrics)
+    assert report["passed"]
+    assert metrics.counter("snapshot.warmcache.hits", "campaign").value == 6
+    assert metrics.counter("snapshot.warmcache.misses", "campaign").value == 0
+    assert metrics.gauge("snapshot.warmcache.bytes", "campaign").value > 0
+
+
+def test_cold_campaign_records_no_warmcache_metrics():
+    metrics = MetricsRegistry()
+    run_campaign(scenarios=["baseline"], seeds=[3], duration=6.0,
+                 jobs=1, metrics=metrics, warm_cache=False)
+    assert not metrics.find(prefix="snapshot.warmcache")
+
+
+def test_absent_key_counts_a_miss_and_returns_none(active_cache):
+    assert active_cache.restore("never-warmed") is None
+    assert active_cache.misses == 1 and active_cache.hits == 0
+
+
+# ----------------------------------------------------------------------
+# Integrity: corrupt cache entries fail loudly, never rebuild silently
+# ----------------------------------------------------------------------
+def test_corrupted_cached_bytes_raise_snapshot_error(active_cache):
+    image = _warm_image(seed=3, f=1, k=1, harness={}, run_for=6.0,
+                        arm_at=2.0, warm_key="cell")
+    corrupt = image[:-40] + bytes(40)
+    active_cache.put("cell", corrupt)
+    with pytest.raises(SnapshotError):
+        run_scenario(BUILTIN_SCENARIOS["partition"], 3, duration=6.0,
+                     arm_at=2.0, warm_key="cell")
+
+
+def test_truncated_cached_bytes_raise_snapshot_error(active_cache):
+    image = _warm_image(seed=3, f=1, k=1, harness={}, run_for=6.0,
+                        arm_at=2.0, warm_key="cell")
+    active_cache.put("cell", image[:len(image) // 2])
+    with pytest.raises(SnapshotError):
+        active_cache.restore("cell")
+
+
+def test_wrong_snapshot_time_raises_snapshot_error(active_cache):
+    """An image warmed to the wrong horizon is a config bug, not a
+    fallback case — restoring it must fail, not silently diverge."""
+    image = _warm_image(seed=3, f=1, k=1, harness={}, run_for=6.0,
+                        arm_at=1.0, warm_key="cell")
+    active_cache.put("cell", image)
+    with pytest.raises(SnapshotError, match="arm"):
+        run_scenario(BUILTIN_SCENARIOS["partition"], 3, duration=6.0,
+                     arm_at=2.0, warm_key="cell")
+
+
+# ----------------------------------------------------------------------
+# Bytes-level snapshot API
+# ----------------------------------------------------------------------
+def test_save_restore_world_bytes_roundtrip():
+    world = build_world(make_town_spec(3, seed=7))
+    world.run(until=4.0)
+    data = save_world_bytes(world)
+    # Saving is side-effect free and the restored twin replays
+    # byte-identically.
+    restored = restore_world_bytes(data)
+    assert restored.sim.now == world.sim.now
+    assert restored.sim.event_digest() == world.sim.event_digest()
+    world.run(until=8.0)
+    restored.run(until=8.0)
+    assert restored.sim.event_digest() == world.sim.event_digest()
+
+
+def test_save_world_disk_delegates_to_bytes(tmp_path):
+    world = build_world(make_town_spec(3, seed=7))
+    world.run(until=2.0)
+    path = tmp_path / "world.snap"
+    header = save_world(str(path), world)
+    data = save_world_bytes(world)
+    # One format path: the file is exactly the bytes-level container.
+    assert path.read_bytes() == data
+    assert header["kind"] == "world"
+    assert header["payload_sha256"] in data.decode("latin-1")
+
+
+def test_restore_world_bytes_rejects_foreign_kind():
+    from repro.snapshot import dumps
+    with pytest.raises(SnapshotError, match="world"):
+        restore_world_bytes(dumps("campaign-checkpoint", {"x": 1}))
+
+
+# ----------------------------------------------------------------------
+# MANA sweep warm path
+# ----------------------------------------------------------------------
+def test_mana_sweep_warm_matches_cold():
+    digests = set()
+    for warm in (True, False):
+        report = run_training_sweep(models=["mahalanobis", "kmeans"],
+                                    seeds=[3, 11], train_windows=6,
+                                    holdout_windows=6, jobs=2,
+                                    warm_cache=warm)
+        digests.add(sweep_digest(report))
+    assert len(digests) == 1
