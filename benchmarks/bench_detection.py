@@ -1,0 +1,209 @@
+"""X8 (extension): detection scorecard — MANA throughput and the
+campaign byte-identity witness.
+
+Two measurements:
+
+* **Scoring throughput** — one :class:`ManaInstance` over a synthetic
+  SCADA-like capture: train on the baseline prefix, then batch-evaluate
+  the rest and record **windows scored per second** (featurization +
+  the full three-model ensemble + alerting).  ``realtime_factor`` is
+  how many times faster than wall-clock the detector consumes traffic —
+  it must stay comfortably above 1x or live MANA could not keep up with
+  the event rates the campaign engine achieves.
+* **Campaign witness** — a small ``run_campaign(mana=True)`` sweep run
+  across ``jobs`` and warm/cold cache: the report digests must match
+  (the scorecard is part of the byte-identity contract), and the
+  campaign-level precision/recall land in the JSON so ``perf_guard``
+  can hold future runs to the committed detection quality.
+
+Writes ``BENCH_detection.json`` at the repository root — the committed
+evidence that ``perf_guard.py --detection-current`` checks future runs
+against.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_detection.py \
+        [--duration 300] [--rate 40] [--output PATH]
+
+or through pytest (quick mode: shorter capture, identity asserts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.faults import report_digest, run_campaign
+from repro.mana import ManaInstance
+from repro.net.tap import Capture, PacketRecord
+from repro.sim.simulator import Simulator
+
+from _support import Report, run_once
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_detection.json")
+
+DEFAULT_DURATION = 300.0     # synthetic capture length (simulated s)
+DEFAULT_RATE = 40.0          # polling round-trips per simulated second
+TRAIN_SECONDS = 60.0
+WINDOW = 0.5                 # matches the campaign cells' feature window
+
+CAMPAIGN_SCENARIOS = ["partition", "byzantine-storm"]
+CAMPAIGN_SEEDS = [1, 2]
+CAMPAIGN_DURATION = 12.0
+
+
+def _record(t: float, src: str, dst: str, size: int,
+            dst_port: int = 8120) -> PacketRecord:
+    return PacketRecord(time=t, network="bench", ethertype="ipv4",
+                        src_mac=f"02:00:00:00:00:0{src[-1]}",
+                        dst_mac=f"02:00:00:00:00:0{dst[-1]}", size=size,
+                        src_ip=f"10.0.0.{src[-1]}", dst_ip=f"10.0.0.{dst[-1]}",
+                        proto="udp", src_port=9999, dst_port=dst_port)
+
+
+def synthetic_capture(duration: float, rate: float) -> Capture:
+    """Steady proxy↔PLC polling with a short scan burst every 50 s
+    after the training prefix, so the timed path includes real alert
+    construction, not just clean-window scoring."""
+    capture = Capture("bench")
+    records = capture.records
+    t, i = 0.0, 0
+    step = 1.0 / rate
+    while t < duration:
+        records.append(_record(t, "h1", "h2", 118 + (i % 3)))
+        records.append(_record(t + 0.01, "h2", "h1", 96))
+        t += step
+        i += 1
+    burst = TRAIN_SECONDS + 10.0
+    while burst < duration:
+        for j in range(40):
+            records.append(_record(burst + j * 0.01, "h3", "h2", 60,
+                                   dst_port=1000 + j))
+        burst += 50.0
+    records.sort(key=lambda r: r.time)
+    return capture
+
+
+def run_detection_bench(duration: float = DEFAULT_DURATION,
+                        rate: float = DEFAULT_RATE,
+                        output: str = DEFAULT_OUTPUT,
+                        quick: bool = False) -> dict:
+    # ---- throughput: windows scored per second ----------------------
+    sim = Simulator(seed=1)
+    capture = synthetic_capture(duration, rate)
+    instance = ManaInstance(sim, "mana-bench", capture, window=WINDOW)
+    instance.train(0.0, TRAIN_SECONDS)
+
+    began = time.perf_counter()
+    alerts = instance.evaluate_range(TRAIN_SECONDS, duration)
+    wall = time.perf_counter() - began
+    windows = instance.windows_evaluated
+    throughput = {
+        "window_s": WINDOW,
+        "windows": windows,
+        "alerts": len(alerts),
+        "wall_s": wall,
+        "windows_per_s": windows / wall,
+        "realtime_factor": (windows / wall) * WINDOW,
+    }
+
+    # ---- campaign witness: byte-identity + scorecard ----------------
+    seeds = CAMPAIGN_SEEDS[:1] if quick else CAMPAIGN_SEEDS
+    kwargs = dict(scenarios=CAMPAIGN_SCENARIOS, seeds=seeds, mana=True,
+                  duration=CAMPAIGN_DURATION)
+    runs = {
+        "jobs1-warm": run_campaign(**kwargs, jobs=1),
+        "jobs2-cold": run_campaign(**kwargs, jobs=2, warm_cache=False),
+    }
+    digests = {label: report_digest(report)
+               for label, report in runs.items()}
+    scorecard = runs["jobs1-warm"]["detection"]["campaign"]
+
+    results = {
+        "cpus": os.cpu_count(),
+        "capture": {"duration": duration, "rate": rate,
+                    "records": len(capture)},
+        "throughput": throughput,
+        "campaign": {"scenarios": CAMPAIGN_SCENARIOS, "seeds": seeds,
+                     "duration": CAMPAIGN_DURATION},
+        "scorecard": {key: scorecard[key] for key in
+                      ("window_count", "detected", "missed",
+                       "true_positives", "false_positives", "precision",
+                       "recall", "fpr_per_clean_hour", "mttd_p50",
+                       "mttd_p90")},
+        "determinism": {
+            "digests": digests,
+            "match": len(set(digests.values())) == 1,
+        },
+        "all_passed": all(report["passed"] for report in runs.values()),
+    }
+
+    with open(output, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    report_doc = Report("X8-detection",
+                        "MANA detection: scoring throughput + scorecard")
+    report_doc.table(
+        ["windows", "alerts", "wall s", "windows/s", "realtime x"],
+        [[str(windows), str(len(alerts)), f"{wall:.3f}",
+          f"{throughput['windows_per_s']:.0f}",
+          f"{throughput['realtime_factor']:.0f}"]])
+    fmt = lambda v: "-" if v is None else f"{v:.3f}"  # noqa: E731
+    report_doc.line(
+        f"campaign scorecard: {scorecard['detected']}/"
+        f"{scorecard['window_count']} windows detected, precision "
+        f"{fmt(scorecard['precision'])}, recall {fmt(scorecard['recall'])}; "
+        f"reports are "
+        f"{'IDENTICAL' if results['determinism']['match'] else 'DIVERGENT'} "
+        f"across jobs/warm-cache.")
+    report_doc.line(f"Machine-readable results: "
+                    f"{os.path.relpath(output, REPO_ROOT)}")
+    report_doc.save_and_print()
+    return results
+
+
+def bench_detection(benchmark):
+    """Pytest entry point: short capture; the asserts are the identity
+    witness and that detection actually detects (recall > 0) — raw
+    throughput is hardware-bound and guarded by perf_guard against the
+    committed baseline instead."""
+    output = os.path.join(REPO_ROOT, "benchmarks", "results",
+                          "BENCH_detection.quick.json")
+    results = run_once(benchmark, lambda: run_detection_bench(
+        duration=120.0, output=output, quick=True))
+    assert results["determinism"]["match"], \
+        "mana campaign diverged across jobs/warm-cache"
+    assert results["all_passed"]
+    assert results["scorecard"]["recall"] and \
+        results["scorecard"]["recall"] > 0.0
+    assert results["throughput"]["windows"] > 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=DEFAULT_DURATION,
+                        help="synthetic capture length in simulated "
+                             f"seconds (default {DEFAULT_DURATION:.0f})")
+    parser.add_argument("--rate", type=float, default=DEFAULT_RATE,
+                        help="polling round-trips per simulated second "
+                             f"(default {DEFAULT_RATE:.0f})")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help=f"result path (default: {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+    results = run_detection_bench(duration=args.duration, rate=args.rate,
+                                  output=args.output)
+    if not results["determinism"]["match"]:
+        print("FATAL: mana campaign diverged across jobs/warm-cache",
+              file=sys.stderr)
+        return 1
+    if not results["all_passed"]:
+        print("FATAL: campaign failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,18 @@ repo root and fails on regression:
   byte-identity witness (warm-restored vs cold-built report digests)
   must match on every machine, every cell must pass, and the
   warm-over-cold speedup is guarded relative to the committed baseline.
+* ``BENCH_detection.json`` (``bench_detection.py``, via
+  ``--detection-current``) — the MANA detection scorecard.  The
+  byte-identity witness (mana campaign reports across jobs and
+  warm/cold cache) must match on every machine; campaign-level
+  precision/recall are deterministic scorecard quality, guarded
+  tightly against the committed baseline; scoring must stay a
+  comfortable multiple of real time everywhere, with raw windows/s
+  guarded only under ``--absolute``.
+
+Guards that cannot run on the current hardware (e.g. shard fan-out on
+a 1-cpu runner) collect their notices and ``main()`` prints one
+consolidated skip-summary line instead of per-flag chatter.
 
 Per-metric tolerance bands
 --------------------------
@@ -68,6 +80,14 @@ DEFAULT_PARALLEL_BASELINE = os.path.join(REPO_ROOT, "BENCH_parallel.json")
 DEFAULT_GRID_BASELINE = os.path.join(REPO_ROOT, "BENCH_grid.json")
 DEFAULT_SNAPSHOT_BASELINE = os.path.join(REPO_ROOT, "BENCH_snapshot.json")
 DEFAULT_CAMPAIGN_BASELINE = os.path.join(REPO_ROOT, "BENCH_campaign.json")
+DEFAULT_DETECTION_BASELINE = os.path.join(REPO_ROOT, "BENCH_detection.json")
+
+# Scorecard precision/recall are workload-determined (same scenarios,
+# same seeds -> same alerts), so they get a tight band; the realtime
+# floor is the weakest claim that still proves live MANA keeps up with
+# traffic on any plausible runner (the committed baseline is >1000x).
+DETECTION_QUALITY_TOLERANCE = 0.10
+DETECTION_REALTIME_FLOOR = 25.0
 
 # metric name -> guard spec (higher is better).
 #   path:      keys into the results document
@@ -307,13 +327,14 @@ def check_grid(baseline: dict, current: dict, threshold: float,
 # ----------------------------------------------------------------------
 # Sharded execution guard
 # ----------------------------------------------------------------------
-def check_shard(current: dict) -> list:
+def check_shard(current: dict, skips: list) -> list:
     """Guard a fresh BENCH_shard.json: the determinism witness always
     (sections + event digests identical across shard counts), the >1.0x
     speedup floor only where it is physically meaningful — a multi-core
     runner and the largest (>= 25 substation) world, whose per-round
     work amortises the barrier.  Single-core boxes and small worlds
-    skip with notice instead of failing on hardware they don't have."""
+    append a notice to ``skips`` (summarised once by ``main()``)
+    instead of failing on hardware they don't have."""
     failures = []
     if not current.get("determinism", {}).get("match", False):
         failures.append("shard determinism witness diverged: shard counts "
@@ -331,12 +352,12 @@ def check_shard(current: dict) -> list:
     large = [(int(size), row) for size, row in
              current.get("sizes", {}).items() if int(size) >= 25]
     if cpus < 2:
-        print(f"  shard.speedup: SKIPPED ({cpus} cpu(s) — fan-out cannot "
-              "beat inline without a second core)")
+        skips.append(f"shard.speedup: {cpus} cpu(s) — fan-out cannot "
+                     "beat inline without a second core")
         return failures
     if not large:
-        print("  shard.speedup: SKIPPED (no >= 25-substation world in "
-              "this run; small worlds are barrier-dominated)")
+        skips.append("shard.speedup: no >= 25-substation world in "
+                     "this run; small worlds are barrier-dominated")
         return failures
     for size, row in sorted(large):
         for shards_text, speedup in sorted(row.get("speedup", {}).items(),
@@ -451,6 +472,81 @@ def check_campaign(baseline: dict, current: dict, threshold: float) -> list:
     return failures
 
 
+# ----------------------------------------------------------------------
+# Detection scorecard guard
+# ----------------------------------------------------------------------
+def check_detection(baseline: dict, current: dict, threshold: float,
+                    absolute: bool = False, skips: list = None) -> list:
+    """Guard a fresh BENCH_detection.json: the byte-identity witness
+    always (mana campaign reports across jobs and warm/cold cache),
+    campaign precision/recall against the committed scorecard (tight
+    band — these are workload-determined, not machine-determined), a
+    machine-portable realtime floor on scoring throughput, and raw
+    windows/s only with ``absolute``."""
+    failures = []
+    if skips is None:
+        skips = []
+    if not current.get("determinism", {}).get("match", False):
+        failures.append("detection byte-identity witness diverged: mana "
+                        "campaign reports differ across jobs/warm-cache")
+    if not current.get("all_passed", False):
+        failures.append("detection campaign failed (scenario expectations "
+                        "unmet or cells crashed)")
+    for metric in ("precision", "recall"):
+        try:
+            cur = float(current["scorecard"][metric])
+            base = float(baseline["scorecard"][metric])
+        except (KeyError, TypeError):
+            failures.append(f"detection.{metric}: missing from current "
+                            "or baseline run")
+            continue
+        floor = base * (1.0 - DETECTION_QUALITY_TOLERANCE)
+        status = "ok" if cur >= floor else "REGRESSION"
+        print(f"  detection.{metric:30s} baseline={base:10.3f} "
+              f"current={cur:10.3f} floor={floor:10.3f} "
+              f"(tol {DETECTION_QUALITY_TOLERANCE:.0%}) [{status}]")
+        if cur < floor:
+            failures.append(
+                f"detection {metric} regressed: {cur:.3f} < {floor:.3f} "
+                f"(baseline {base:.3f}, tolerance "
+                f"{DETECTION_QUALITY_TOLERANCE:.0%})")
+    try:
+        realtime = float(current["throughput"]["realtime_factor"])
+    except (KeyError, TypeError):
+        failures.append("detection.realtime_factor: missing from "
+                        "current run")
+    else:
+        floor = DETECTION_REALTIME_FLOOR
+        status = "ok" if realtime >= floor else "REGRESSION"
+        print(f"  detection.realtime_factor{'':15s} "
+              f"current={realtime:10.0f} floor={floor:10.0f} [{status}]")
+        if realtime < floor:
+            failures.append(
+                f"mana scoring cannot keep up with traffic: "
+                f"{realtime:.0f}x realtime < {floor:.0f}x floor")
+    if absolute:
+        try:
+            cur = float(current["throughput"]["windows_per_s"])
+            base = float(baseline["throughput"]["windows_per_s"])
+        except (KeyError, TypeError):
+            failures.append("detection.windows_per_s: missing from "
+                            "current or baseline run")
+        else:
+            floor = base * (1.0 - threshold)
+            status = "ok" if cur >= floor else "REGRESSION"
+            print(f"  detection.windows_per_s{'':17s} "
+                  f"baseline={base:10.0f} current={cur:10.0f} "
+                  f"floor={floor:10.0f} (tol {threshold:.0%}) [{status}]")
+            if cur < floor:
+                failures.append(
+                    f"detection scoring throughput regressed: "
+                    f"{cur:.0f} < {floor:.0f} windows/s")
+    else:
+        skips.append("detection.windows_per_s: wall-clock metric, "
+                     "guarded only with --absolute")
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", default=DEFAULT_BASELINE,
@@ -471,10 +567,17 @@ def main(argv=None) -> int:
     parser.add_argument("--campaign-current", default=None,
                         help="freshly generated BENCH_campaign.json to "
                              "check")
+    parser.add_argument("--detection-current", default=None,
+                        help="freshly generated BENCH_detection.json to "
+                             "check")
     parser.add_argument("--campaign-baseline",
                         default=DEFAULT_CAMPAIGN_BASELINE,
                         help="committed warm-campaign baseline "
                              f"(default: {DEFAULT_CAMPAIGN_BASELINE})")
+    parser.add_argument("--detection-baseline",
+                        default=DEFAULT_DETECTION_BASELINE,
+                        help="committed detection-scorecard baseline "
+                             f"(default: {DEFAULT_DETECTION_BASELINE})")
     parser.add_argument("--grid-baseline", default=DEFAULT_GRID_BASELINE,
                         help="committed grid baseline "
                              f"(default: {DEFAULT_GRID_BASELINE})")
@@ -495,13 +598,15 @@ def main(argv=None) -> int:
     if not args.current and not args.parallel_current \
             and not args.obs_current and not args.grid_current \
             and not args.shard_current and not args.snapshot_current \
-            and not args.campaign_current:
+            and not args.campaign_current and not args.detection_current:
         parser.error("nothing to check: pass --current, "
                      "--parallel-current, --obs-current, "
                      "--grid-current, --shard-current, "
-                     "--snapshot-current, and/or --campaign-current")
+                     "--snapshot-current, --campaign-current, and/or "
+                     "--detection-current")
 
     failures = []
+    skips = []
     if args.current:
         with open(args.baseline) as handle:
             baseline = json.load(handle)
@@ -537,7 +642,7 @@ def main(argv=None) -> int:
             shard_current = json.load(handle)
         print("perf_guard: sharded execution "
               f"({os.path.relpath(args.shard_current)})")
-        failures += check_shard(shard_current)
+        failures += check_shard(shard_current, skips)
     if args.snapshot_current:
         with open(args.snapshot_baseline) as handle:
             snapshot_baseline = json.load(handle)
@@ -559,7 +664,21 @@ def main(argv=None) -> int:
               f"{os.path.relpath(args.campaign_baseline)})")
         failures += check_campaign(campaign_baseline, campaign_current,
                                    args.threshold)
+    if args.detection_current:
+        with open(args.detection_baseline) as handle:
+            detection_baseline = json.load(handle)
+        with open(args.detection_current) as handle:
+            detection_current = json.load(handle)
+        print("perf_guard: detection scorecard "
+              f"({os.path.relpath(args.detection_current)} vs "
+              f"{os.path.relpath(args.detection_baseline)})")
+        failures += check_detection(detection_baseline, detection_current,
+                                    args.threshold,
+                                    absolute=args.absolute, skips=skips)
 
+    if skips:
+        print(f"perf_guard: skipped {len(skips)} guard(s): "
+              + "; ".join(skips))
     if failures:
         print("\nperf_guard FAILED:", file=sys.stderr)
         for failure in failures:

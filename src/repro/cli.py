@@ -221,7 +221,8 @@ def cmd_chaos(args) -> int:
                           duration=args.duration, jobs=args.jobs,
                           timeout=args.timeout, report=args.report,
                           grid=grid, checkpoint=args.checkpoint,
-                          resume=args.resume, warm_cache=args.warm_cache)
+                          resume=args.resume, warm_cache=args.warm_cache,
+                          mana=args.mana)
     output = report_to_json(report)
     if args.output:
         from repro.util.atomicio import write_text
@@ -239,6 +240,15 @@ def cmd_chaos(args) -> int:
         print(f"# {name}: {verdict} ({entry['expect']}, "
               f"{entry['violations']} violation(s) across "
               f"{len(entry['runs'])} run(s))", file=sys.stderr)
+    detection = report.get("detection")
+    if detection:
+        totals = detection["campaign"]
+        fmt = lambda v: "-" if v is None else f"{v:.3f}"  # noqa: E731
+        print(f"# detection: {totals['detected']}/{totals['window_count']} "
+              f"windows, precision {fmt(totals['precision'])}, "
+              f"recall {fmt(totals['recall'])}, "
+              f"FP/clean-h {fmt(totals['fpr_per_clean_hour'])}",
+              file=sys.stderr)
     print(f"# campaign: {'PASS' if report['passed'] else 'FAIL'}",
           file=sys.stderr)
     return 0 if report["passed"] else 1
@@ -626,6 +636,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "bytes; --no-warm-cache cold-builds every "
                             "cell (the report is byte-identical either "
                             "way)")
+    chaos.add_argument("--mana", action="store_true",
+                       help="attach a live MANA IDS instance per "
+                            "monitored network in every cell and score "
+                            "its alerts against ground-truth fault "
+                            "windows (adds the Detection section to the "
+                            "report: precision/recall/FPR/MTTD)")
     report = sub.add_parser(
         "report", parents=[seed],
         help="generate the deployment report (reaction quantiles, "

@@ -50,6 +50,16 @@ from repro.telemetry.metrics import Histogram, MetricsRegistry
 _CELL_RECORDER = {"capacity": 2048, "window": 8.0, "max_dumps": 2,
                   "min_severity": "info", "snapshot_interval": None}
 
+# MANA sizing for campaign cells.  The feature window must fit at least
+# _MANA_MIN_WINDOWS training windows into the fault-free prefix
+# ``[0, arm_at)`` (``ManaInstance.train`` refuses smaller baselines), so
+# cells whose group horizon is short shrink the window deterministically
+# — the window length is a pure function of ``arm_at``, which is part of
+# the warm-group key, so warm and cold cells always agree.
+_MANA_WINDOW = 0.5
+_MANA_MIN_WINDOWS = 4
+_MANA_VOTE = 2
+
 EXPECT_CLEAN = "clean"
 EXPECT_VIOLATION = "violation"
 
@@ -175,14 +185,62 @@ class _CellWorld:
     suite: MonitorSuite
     kind: str = "harness"            # "harness" | "grid"
     planned_commands: int = 0        # grid workload size (run-dict field)
+    mana: Optional[Dict[str, Any]] = None    # network -> live ManaInstance
 
     @property
     def sim(self):
         return self.world.sim
 
 
+def _attach_mana(sim, world, arm_at: float) -> Dict[str, Any]:
+    """Tap both of the world's LANs and stand up one passive
+    :class:`~repro.mana.detector.ManaInstance` per network (the paper
+    runs one instance per monitored network).  Both the chaos harness
+    and grid worlds — site or federated — expose ``internal_lan`` /
+    ``external_lan``, so attachment is uniform across cell kinds.
+    Must run at t=0: the captures feed on the fault-free prefix that
+    :func:`_train_mana` turns into the baseline."""
+    from repro.mana import ManaInstance
+    from repro.net.tap import Capture
+
+    if arm_at <= 0.0:
+        return {}                      # no fault-free prefix → no baseline
+    window = min(_MANA_WINDOW, arm_at / _MANA_MIN_WINDOWS)
+    instances: Dict[str, Any] = {}
+    for lan in (world.internal_lan, world.external_lan):
+        capture = Capture(lan.name)
+        lan.switch.add_span_tap(capture.span_tap)
+        instances[lan.name] = ManaInstance(
+            sim, f"mana-{lan.name}", capture,
+            window=window, vote_threshold=_MANA_VOTE)
+    return instances
+
+
+def _train_mana(cell: "_CellWorld", arm_at: float) -> None:
+    """Train each instance on ``[0, arm_at)`` and switch it to live
+    evaluation.  Runs inside the cell build — *before* the warm-cache
+    snapshot point — so warm images carry trained, live instances and
+    cold cells follow the identical operation order.  A network whose
+    capture is too quiet to yield a baseline is dropped (deterministic:
+    depends only on sim state at ``arm_at``)."""
+    if not cell.mana:
+        return
+    silent = []
+    for network in sorted(cell.mana):
+        instance = cell.mana[network]
+        try:
+            instance.train(0.0, arm_at)
+        except ValueError:
+            silent.append(network)
+            continue
+        instance.start_live()
+    for network in silent:
+        del cell.mana[network]
+
+
 def _build_harness_cell(seed: int, f: int, k: int, harness: Dict[str, Any],
-                        run_for: float, arm_at: float) -> _CellWorld:
+                        run_for: float, arm_at: float,
+                        mana: bool = False) -> _CellWorld:
     """Cold-build one chaos-harness cell and run it to ``arm_at``."""
     sim = Simulator(seed=seed)
     recorder = FlightRecorder(sim, name="chaos-recorder", **_CELL_RECORDER)
@@ -195,13 +253,17 @@ def _build_harness_cell(seed: int, f: int, k: int, harness: Dict[str, Any],
     updates = max(int(workload_span / 0.3), 8)
     world.start_workload(updates=updates, start=0.2, interval=0.3)
     cell = _CellWorld(world=world, recorder=recorder, suite=suite)
+    if mana:
+        cell.mana = _attach_mana(sim, world, arm_at)
     if arm_at > 0.0:
         sim.run(until=arm_at)
+    _train_mana(cell, arm_at)
     return cell
 
 
 def _build_grid_cell(grid: dict, seed: int, harness: Dict[str, Any],
-                     run_for: float, arm_at: float) -> _CellWorld:
+                     run_for: float, arm_at: float,
+                     mana: bool = False) -> _CellWorld:
     """Cold-build one GridSpec-deployment cell and run it to
     ``arm_at``."""
     from repro.grid import GridSpec, build_world
@@ -220,24 +282,31 @@ def _build_grid_cell(grid: dict, seed: int, harness: Dict[str, Any],
     world.start_workload(commands=commands, start=0.3, interval=0.6)
     cell = _CellWorld(world=world, recorder=recorder, suite=suite,
                       kind="grid", planned_commands=commands)
+    if mana:
+        cell.mana = _attach_mana(sim, world, arm_at)
     if arm_at > 0.0:
         sim.run(until=arm_at)
+    _train_mana(cell, arm_at)
     return cell
 
 
 def _warm_image(grid: Optional[dict] = None, seed: int = 1, f: int = 1,
                 k: int = 1, harness: Optional[Dict[str, Any]] = None,
                 run_for: float = 18.0, arm_at: float = 0.0,
-                warm_key: Optional[str] = None) -> bytes:
+                warm_key: Optional[str] = None, mana: bool = False) -> bytes:
     """Warm-phase work unit: build one group's world, run it to the
-    group fault horizon, and return the serialized image bytes."""
+    group fault horizon, and return the serialized image bytes.  With
+    ``mana`` the image carries trained, live detector instances — the
+    scorecard state participates in the warm-start snapshot."""
     from repro.snapshot import save_world_bytes
 
     harness = harness or {}
     if grid is not None:
-        cell = _build_grid_cell(grid, seed, harness, run_for, arm_at)
+        cell = _build_grid_cell(grid, seed, harness, run_for, arm_at,
+                                mana=mana)
     else:
-        cell = _build_harness_cell(seed, f, k, harness, run_for, arm_at)
+        cell = _build_harness_cell(seed, f, k, harness, run_for, arm_at,
+                                   mana=mana)
     return save_world_bytes(cell, meta={"warm_key": warm_key})
 
 
@@ -305,6 +374,34 @@ def _finish_run(cell: _CellWorld, scenario: Scenario, seed: int, armed,
     }
     if cell.kind == "grid":
         run["grid"] = cell.world.grid_summary()
+    if cell.mana:
+        from repro.mana.scoring import score_run
+
+        detection = score_run(cell.mana, armed, until=cell.sim.now)
+        run["detection"] = detection
+        # Cell-side telemetry rows: land in this cell's registry (and
+        # therefore in any dump's metrics snapshot taken below).
+        registry = cell.sim.metrics
+        registry.sync_counter("mana.detect.true_positives",
+                              detection["true_positives"], "detect")
+        registry.sync_counter("mana.detect.false_positives",
+                              detection["false_positives"], "detect")
+        registry.sync_counter("mana.detect.windows",
+                              detection["window_count"], "detect")
+        registry.sync_counter("mana.detect.missed",
+                              len(detection["missed"]), "detect")
+        if detection["missed"]:
+            # Black-box evidence for every ground-truth window the
+            # ensemble slept through.  Post-run (sim already stopped),
+            # so the dump never perturbs the event stream.
+            cell.recorder.record(
+                "warning", "mana.detect.miss",
+                f"{len(detection['missed'])} fault window(s) escaped "
+                f"detection", faults=list(detection["missed"]))
+            cell.recorder.dump(reason="mana.missed_detection",
+                               fault_ids=list(detection["missed"]))
+    elif cell.mana is not None:
+        run["detection"] = None      # mana requested, no trainable network
     run["dumps"] = list(cell.recorder.dumps)
     if _with_state:
         return run, histogram.state()
@@ -315,7 +412,8 @@ def run_scenario(scenario: Scenario, seed: int, f: int = 1, k: int = 1,
                  duration: Optional[float] = None,
                  _with_state: bool = False,
                  arm_at: Optional[float] = None,
-                 warm_key: Optional[str] = None):
+                 warm_key: Optional[str] = None,
+                 mana: bool = False):
     """One scenario, one seed: build, warm up, fault, monitor, report.
 
     The cell runs in a fixed operation order: build the world, start
@@ -340,7 +438,7 @@ def run_scenario(scenario: Scenario, seed: int, f: int = 1, k: int = 1,
     cell = _restore_warm_cell(warm_key, arm_at)
     if cell is None:
         cell = _build_harness_cell(seed, f, k, dict(scenario.harness),
-                                   run_for, arm_at)
+                                   run_for, arm_at, mana=mana)
     armed = plan.arm(cell.sim, cell.world)
     cell.suite.armed = armed
     cell.sim.run(until=run_for)
@@ -351,7 +449,8 @@ def run_grid_scenario(grid: dict, scenario: Scenario, seed: int,
                       duration: Optional[float] = None,
                       _with_state: bool = False,
                       arm_at: Optional[float] = None,
-                      warm_key: Optional[str] = None):
+                      warm_key: Optional[str] = None,
+                      mana: bool = False):
     """One scenario, one seed, against a :class:`~repro.grid.GridSpec`
     deployment instead of the chaos harness.
 
@@ -373,7 +472,7 @@ def run_grid_scenario(grid: dict, scenario: Scenario, seed: int,
     cell = _restore_warm_cell(warm_key, arm_at)
     if cell is None:
         cell = _build_grid_cell(grid, seed, dict(scenario.harness),
-                                run_for, arm_at)
+                                run_for, arm_at, mana=mana)
     armed = plan.arm(cell.sim, cell.world)
     cell.suite.armed = armed
     cell.sim.run(until=run_for)
@@ -386,7 +485,8 @@ def _campaign_cell(name: Optional[str] = None,
                    duration: Optional[float] = None,
                    grid: Optional[dict] = None,
                    arm_at: Optional[float] = None,
-                   warm_key: Optional[str] = None) -> Tuple[dict, dict]:
+                   warm_key: Optional[str] = None,
+                   mana: bool = False) -> Tuple[dict, dict]:
     """Parallel-sweep work unit: one scenario×seed cell.
 
     Built-in scenarios travel by name (spawn-safe); user-registered
@@ -404,9 +504,10 @@ def _campaign_cell(name: Optional[str] = None,
     if grid is not None:
         return run_grid_scenario(grid, scenario, seed, duration=duration,
                                  _with_state=True, arm_at=arm_at,
-                                 warm_key=warm_key)
+                                 warm_key=warm_key, mana=mana)
     return run_scenario(scenario, seed, f=f, k=k, duration=duration,
-                        _with_state=True, arm_at=arm_at, warm_key=warm_key)
+                        _with_state=True, arm_at=arm_at, warm_key=warm_key,
+                        mana=mana)
 
 
 def _failed_cell_run(scenario: Scenario, seed: int, error: str) -> dict:
@@ -427,7 +528,8 @@ def _failed_cell_run(scenario: Scenario, seed: int, error: str) -> dict:
 
 def _campaign_config_key(names: List[str], seeds: List[int], f: int, k: int,
                          duration: Optional[float],
-                         grid_dict: Optional[dict]) -> str:
+                         grid_dict: Optional[dict],
+                         mana: bool = False) -> str:
     """Digest of everything that determines a campaign's cell results.
 
     A checkpoint written under one configuration must never seed a
@@ -436,24 +538,28 @@ def _campaign_config_key(names: List[str], seeds: List[int], f: int, k: int,
     keyed by name only: their code is not hashable, so swapping a
     same-named scenario between runs is the caller's responsibility.
     ``cell_rev`` tracks the cell execution semantics themselves (rev 2:
-    plans arm at the warm-group fault horizon instead of t=0), so
-    checkpoints from older builds can never mix into newer sweeps.
+    plans arm at the warm-group fault horizon instead of t=0; rev 3:
+    cells may carry live MANA detection), so checkpoints from older
+    builds can never mix into newer sweeps.
     """
     canonical = json.dumps(
-        {"cell_rev": 2, "scenarios": list(names), "seeds": list(seeds),
-         "f": f, "k": k, "duration": duration, "grid": grid_dict},
+        {"cell_rev": 3, "scenarios": list(names), "seeds": list(seeds),
+         "f": f, "k": k, "duration": duration, "grid": grid_dict,
+         "mana": bool(mana)},
         sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 def _warm_group_key(f: int, k: int, harness_json: str, run_for: float,
                     arm_at: float, grid_dict: Optional[dict],
-                    seed: int) -> str:
+                    seed: int, mana: bool = False) -> str:
     """Identity of one warmed world: everything that determines its
-    event stream up to the snapshot point."""
+    event stream up to the snapshot point (a MANA-instrumented world
+    schedules live evaluation ticks, so ``mana`` is part of it)."""
     canonical = json.dumps(
         {"f": f, "k": k, "harness": harness_json, "run_for": run_for,
-         "arm_at": arm_at, "grid": grid_dict, "seed": seed},
+         "arm_at": arm_at, "grid": grid_dict, "seed": seed,
+         "mana": bool(mana)},
         sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode()).hexdigest()
 
@@ -466,7 +572,8 @@ def run_campaign(scenarios: Optional[List[str]] = None,
                  metrics: Optional[MetricsRegistry] = None,
                  report: Optional[str] = None,
                  grid=None, checkpoint: Optional[str] = None,
-                 resume: bool = False, warm_cache: bool = True) -> dict:
+                 resume: bool = False, warm_cache: bool = True,
+                 mana: bool = False) -> dict:
     """Sweep scenarios × seeds into one resilience report.
 
     Args:
@@ -514,6 +621,17 @@ def run_campaign(scenarios: Optional[List[str]] = None,
             report is **byte-identical** with the cache on or off, for
             every ``jobs`` value: cold cells follow the exact same
             operation order, just without the restore.
+        mana: attach a live :class:`~repro.mana.detector.ManaInstance`
+            to each monitored network of every cell, train it on the
+            fault-free prefix, and score its alerts against the plan's
+            ground-truth fault windows.  Each run gains a
+            ``"detection"`` block, the report a ``"detection"``
+            scorecard section (per-scenario and campaign-level
+            precision / recall / FPR per clean hour / MTTD p50-p90),
+            and missed windows produce flight-recorder dumps.  The
+            byte-identity contract is unchanged: detector state rides
+            in the warm snapshot and the scorecard is pure sim-time
+            arithmetic.
     """
     report_destination = report
     grid_dict = None
@@ -533,7 +651,7 @@ def run_campaign(scenarios: Optional[List[str]] = None,
                        f"available: {', '.join(sorted(registry))}")
     report: dict = {
         "config": {"f": f, "k": k, "seeds": list(seeds),
-                   "scenarios": list(names)},
+                   "scenarios": list(names), "mana": bool(mana)},
         "scenarios": {},
         "passed": True,
     }
@@ -573,7 +691,8 @@ def run_campaign(scenarios: Optional[List[str]] = None,
     # Crash-resumable sweeps: previously completed cells come from the
     # checkpoint; only the remainder is dispatched.  Failed cells are
     # never cached — a resume retries them.
-    config_key = _campaign_config_key(names, seeds, f, k, duration, grid_dict)
+    config_key = _campaign_config_key(names, seeds, f, k, duration, grid_dict,
+                                      mana=mana)
     cached: Dict[str, Any] = {}
     on_result = None
     if checkpoint:
@@ -610,17 +729,18 @@ def run_campaign(scenarios: Optional[List[str]] = None,
         if harness_json is not None:
             arm_at = group_horizon[(harness_json, run_for)]
             warm_key = _warm_group_key(f, k, harness_json, run_for, arm_at,
-                                       grid_dict, seed)
+                                       grid_dict, seed, mana=mana)
         else:
             arm_at, warm_key = own_horizon, None
         kwargs: Dict[str, Any] = {"seed": seed, "f": f, "k": k,
-                                  "duration": duration, "arm_at": arm_at}
+                                  "duration": duration, "arm_at": arm_at,
+                                  "mana": mana}
         if warm_cache and warm_key is not None:
             kwargs["warm_key"] = warm_key
             warm_builds.setdefault(warm_key, {
                 "grid": grid_dict, "seed": seed, "f": f, "k": k,
                 "harness": json.loads(harness_json), "run_for": run_for,
-                "arm_at": arm_at, "warm_key": warm_key})
+                "arm_at": arm_at, "warm_key": warm_key, "mana": mana})
         if grid_dict is not None:
             kwargs["grid"] = grid_dict
         if name in BUILTIN_SCENARIOS and registry[name] is BUILTIN_SCENARIOS[name]:
@@ -716,6 +836,20 @@ def run_campaign(scenarios: Optional[List[str]] = None,
     # Pooled quantiles over every cell's raw samples (merged, not
     # averaged) — identical whichever worker produced each shard.
     report["confirm_latency"] = campaign_latency.summary()
+    if mana:
+        from repro.obs.scorecard import build_detection_section
+
+        report["detection"] = build_detection_section(report)
+        if metrics is not None and report["detection"] is not None:
+            totals = report["detection"]["campaign"]
+            metrics.counter("mana.detect.windows",
+                            "campaign").inc(totals["window_count"])
+            metrics.counter("mana.detect.true_positives",
+                            "campaign").inc(totals["true_positives"])
+            metrics.counter("mana.detect.false_positives",
+                            "campaign").inc(totals["false_positives"])
+            metrics.counter("mana.detect.missed",
+                            "campaign").inc(totals["missed"])
     if report_destination:
         write_campaign_report(report, report_destination)
     return report

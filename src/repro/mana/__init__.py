@@ -9,6 +9,9 @@ from repro.mana.detector import ManaInstance, default_ensemble
 from repro.mana.models import (
     IsolationForestModel, KMeansModel, MahalanobisModel,
 )
+from repro.mana.scoring import (
+    ground_truth_windows, score_alerts, score_run,
+)
 from repro.mana.sweep import fit_cell, run_training_sweep, sweep_digest
 
 __all__ = [
@@ -17,4 +20,5 @@ __all__ = [
     "ManaInstance", "default_ensemble",
     "IsolationForestModel", "KMeansModel", "MahalanobisModel",
     "fit_cell", "run_training_sweep", "sweep_digest",
+    "ground_truth_windows", "score_alerts", "score_run",
 ]

@@ -32,6 +32,20 @@ class Alert:
                 f"{self.score:.2f} ({'/'.join(self.models_flagging)}) "
                 f"drivers: {features}")
 
+    def to_dict(self) -> dict:
+        """Deterministic JSON-serialisable form.  Scores coming out of
+        the ensemble are numpy scalars — coerce them so ``json.dumps``
+        (and the byte-identity witnesses built on it) never see a
+        non-native float."""
+        return {
+            "time": round(float(self.time), 6),
+            "network": self.network,
+            "score": round(float(self.score), 6),
+            "models_flagging": list(self.models_flagging),
+            "top_features": [[name, round(float(value), 6)]
+                             for name, value in self.top_features],
+        }
+
 
 @dataclass
 class Incident:
@@ -53,6 +67,16 @@ class Incident:
     def describe(self) -> str:
         return (f"incident on {self.network}: {len(self.alerts)} alerts "
                 f"over {self.duration:.1f}s, peak score {self.peak_score:.2f}")
+
+    def to_dict(self) -> dict:
+        return {
+            "network": self.network,
+            "first_time": round(float(self.first_time), 6),
+            "last_time": round(float(self.last_time), 6),
+            "duration": round(float(self.duration), 6),
+            "peak_score": round(float(self.peak_score), 6),
+            "alerts": [alert.to_dict() for alert in self.alerts],
+        }
 
 
 class AlertCorrelator:

@@ -117,7 +117,8 @@ class ManaInstance(Process):
         self.alerts.append(alert)
         self._metric_alerts.inc()
         self.correlator.add(alert)
-        self.log("mana.alert", alert.describe(), score=alert.score)
+        self.log("mana.alert", alert.describe(), score=float(alert.score),
+                 network=alert.network)
         return alert
 
     def evaluate_range(self, start: float, end: float) -> List[Alert]:

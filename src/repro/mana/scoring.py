@@ -1,0 +1,152 @@
+"""Attribute MANA alerts to ground-truth fault windows.
+
+The campaign knows exactly when each fault was injected and reverted
+(the :class:`~repro.faults.plan.ArmedPlan` records ``injected_at`` /
+``reverted_at`` per action), so detection quality can be scored
+honestly, in the style of process-aware IDS evaluation:
+
+* an alert inside an attributable window is a **true positive**;
+* an alert outside every window is a **false positive**;
+* a window with no alert at all is a **miss**.
+
+A short ``grace`` period extends each window past its revert time —
+the transient caused by a fault (or by undoing it) legitimately shows
+up in the first feature windows after the revert, and blaming those
+alerts on "clean" traffic would be wrong.
+
+Everything here is pure float/str/dict arithmetic on sim-time stamps:
+the output embeds byte-identically in campaign reports regardless of
+``--jobs`` or warm-start restores.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+#: Seconds past ``reverted_at`` during which an alert still counts as
+#: detecting the fault (mirrors the monitor suite's attribution window).
+DEFAULT_GRACE = 2.0
+
+#: Alerts embedded per run in the campaign report (attribution always
+#: sees every alert; only the serialised list is capped).
+MAX_EMBEDDED_ALERTS = 50
+
+
+def ground_truth_windows(armed, until: float) -> List[dict]:
+    """Extract attributable fault windows from an armed plan.
+
+    Denied actions (budget/no-target) never touched the world and are
+    excluded; actions that were never reverted stay open to ``until``.
+    """
+    windows = []
+    for action in armed.ctx.history:
+        if action.denied or action.injected_at is None:
+            continue
+        start = float(action.injected_at)
+        end = float(action.reverted_at) if action.reverted_at is not None \
+            else float(until)
+        windows.append({
+            "fault_id": action.fault_id,
+            "kind": action.kind,
+            "start": round(start, 6),
+            "end": round(min(end, until), 6),
+        })
+    windows.sort(key=lambda w: (w["start"], w["fault_id"]))
+    return windows
+
+
+def score_alerts(windows: List[dict], alerts: List[dict], until: float,
+                 grace: float = DEFAULT_GRACE) -> dict:
+    """Attribute ``alerts`` (dicts with a ``time`` key) to ``windows``.
+
+    Returns the raw attribution: per-window detection status and
+    time-to-detect, TP/FP counts, missed fault ids, and the clean
+    (fault-free) seconds used for the FPR-per-clean-hour denominator.
+    Rate math (precision/recall/quantiles) lives in
+    :mod:`repro.obs.scorecard` so every layer derives it one way.
+    """
+    spans = [(w["start"], min(w["end"] + grace, until)) for w in windows]
+    scored = []
+    attributed_alerts = set()
+    for window, (lo, hi) in zip(windows, spans):
+        hits = [a["time"] for a in alerts if lo <= a["time"] <= hi]
+        for t in hits:
+            attributed_alerts.add(t)
+        entry = dict(window)
+        entry["detected"] = bool(hits)
+        entry["alerts"] = len(hits)
+        entry["time_to_detect"] = \
+            round(min(hits) - window["start"], 6) if hits else None
+        scored.append(entry)
+
+    true_positives = sum(1 for a in alerts
+                         if any(lo <= a["time"] <= hi for lo, hi in spans))
+    false_positives = len(alerts) - true_positives
+    detected = sum(1 for w in scored if w["detected"])
+    missed = [w["fault_id"] for w in scored if not w["detected"]]
+    ttd = sorted(w["time_to_detect"] for w in scored if w["detected"])
+
+    # Clean time = run length minus the union of (grace-extended)
+    # fault spans, clamped to [0, until].
+    covered = 0.0
+    cursor = 0.0
+    for lo, hi in sorted(spans):
+        lo, hi = max(lo, cursor), max(hi, cursor)
+        covered += max(0.0, min(hi, until) - min(lo, until))
+        cursor = max(cursor, hi)
+    clean_seconds = max(0.0, until - covered)
+
+    return {
+        "windows": scored,
+        "window_count": len(scored),
+        "detected": detected,
+        "missed": missed,
+        "true_positives": true_positives,
+        "false_positives": false_positives,
+        "alert_count": len(alerts),
+        "ttd": ttd,
+        "clean_seconds": round(clean_seconds, 6),
+        "grace": grace,
+    }
+
+
+def score_run(instances: Mapping[str, object], armed, until: float,
+              grace: float = DEFAULT_GRACE,
+              max_embedded_alerts: int = MAX_EMBEDDED_ALERTS) -> dict:
+    """Score one campaign cell: every alert from every live
+    :class:`~repro.mana.detector.ManaInstance`, attributed to the armed
+    plan's ground-truth windows.  ``instances`` maps network name to
+    instance; the merged alert stream is ordered by (time, network) so
+    the result is independent of dict iteration order.
+    """
+    alert_dicts = []
+    networks: Dict[str, dict] = {}
+    for network in sorted(instances):
+        instance = instances[network]
+        stats = instance.detection_stats()
+        networks[network] = {
+            "alerts": int(stats["alerts"]),
+            "incidents": int(stats["incidents"]),
+            "windows_evaluated": int(stats["windows_evaluated"]),
+            "training_windows": int(stats["training_windows"]),
+        }
+        alert_dicts.extend(alert.to_dict() for alert in instance.alerts)
+    alert_dicts.sort(key=lambda a: (a["time"], a["network"]))
+
+    result = score_alerts(
+        ground_truth_windows(armed, until), alert_dicts, until, grace=grace)
+    result["networks"] = networks
+    result["incidents"] = sum(row["incidents"] for row in networks.values())
+    result["sample_alerts"] = alert_dicts[:max_embedded_alerts]
+    result["alerts_truncated"] = max(0,
+                                     len(alert_dicts) - max_embedded_alerts)
+    return result
+
+
+def merge_ttd(samples: List[Optional[List[float]]]) -> List[float]:
+    """Pool time-to-detect samples from several runs (sorted)."""
+    pooled: List[float] = []
+    for sample in samples:
+        if sample:
+            pooled.extend(sample)
+    return sorted(pooled)

@@ -25,6 +25,9 @@ See ``docs/observability.md`` for the dump schema and report format.
 
 from repro.obs.health import HEALTH_STATES, ComponentHealth, HealthBoard
 from repro.obs.recorder import SEVERITIES, FlightRecorder, severity_of
+from repro.obs.scorecard import (
+    build_detection_section, detection_rates, quantile,
+)
 from repro.obs.report import (
     CANONICAL_HOPS, REPORT_FORMATS, build_deployment_report,
     build_grid_section, build_plant_section, collect_campaign_dumps,
@@ -42,4 +45,6 @@ __all__ = [
     "build_grid_section", "build_plant_section", "collect_campaign_dumps",
     "reaction_stats", "render_html", "render_markdown", "render_report",
     "trace_hop_stats",
+    # Detection scorecard
+    "build_detection_section", "detection_rates", "quantile",
 ]

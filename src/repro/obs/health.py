@@ -73,12 +73,16 @@ class HealthBoard(Process):
 
     def __init__(self, sim, interval: Optional[float] = 0.5,
                  retry_burst: int = 3, loss_burst: int = 5,
-                 clear_after: float = 2.0, name: str = "health-board"):
+                 clear_after: float = 2.0, name: str = "health-board",
+                 mana_burst: int = 3, mana_burst_window: float = 10.0):
         super().__init__(sim, name)
         self.interval = interval
         self.retry_burst = retry_burst
         self.loss_burst = loss_burst
         self.clear_after = clear_after
+        self.mana_burst = mana_burst
+        self.mana_burst_window = mana_burst_window
+        self._mana_alerts: Dict[str, List[float]] = {}
         self.components: Dict[str, ComponentHealth] = {}
         self.transitions = 0
         self._timeline: List[Dict[str, Any]] = []
@@ -169,8 +173,28 @@ class HealthBoard(Process):
             leader = data.get("leader")
             if leader:
                 self.signal(leader, "suspect", "leader suspected")
+        elif category == "mana.alert":
+            self._on_mana_alert(record)
         elif category.startswith("faults."):
             self._on_fault(category[len("faults."):], record)
+
+    def _on_mana_alert(self, record: LogRecord) -> None:
+        """An IDS incident burst — ``mana_burst`` alerts on one network
+        within ``mana_burst_window`` seconds — marks the *network*
+        suspect: the detector is passive, so a burst is exactly what an
+        operator would escalate on."""
+        network = record.data.get("network")
+        if not network:
+            return
+        recent = self._mana_alerts.setdefault(network, [])
+        recent.append(record.time)
+        horizon = record.time - self.mana_burst_window
+        while recent and recent[0] < horizon:
+            recent.pop(0)
+        if len(recent) >= self.mana_burst:
+            self.signal(network, "suspect",
+                        f"MANA incident burst ({len(recent)} alerts in "
+                        f"{self.mana_burst_window:.0f}s)", kind="network")
 
     _FAULT_STATES = {"crash": "down", "kill": "down", "byzantine": "suspect",
                      "link-down": "degraded", "degrade-link": "degraded",

@@ -41,6 +41,9 @@ _SEVERITY_RULES = [
     ("plc.config_upload", "error"),
     ("prime.reject", "warning"),
     ("prime.suspect", "warning"),
+    ("mana.alert", "warning"),
+    ("mana.detect", "warning"),
+    ("mana", "info"),
     ("spire.reset", "warning"),
     ("switch.port_security", "warning"),
     ("router.blocked", "warning"),

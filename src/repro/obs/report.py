@@ -395,9 +395,52 @@ def render_markdown(report: Dict[str, Any]) -> str:
                 f"p90 {_ms(overall.get('p90'))} ms, "
                 f"p99 {_ms(overall.get('p99'))} ms.")
             lines.append("")
+        lines += _render_detection(campaign.get("detection"),
+                                   config.get("scenarios", []))
         lines += _render_dumps(report.get("campaign_dumps", []), "campaign")
 
     return "\n".join(lines).rstrip() + "\n"
+
+
+def _rate(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.3f}"
+
+
+def _detection_row(label: str, row: Dict[str, Any]) -> List[str]:
+    return [label, str(row.get("window_count", 0)),
+            str(row.get("detected", 0)), str(row.get("missed", 0)),
+            str(row.get("true_positives", 0)),
+            str(row.get("false_positives", 0)),
+            _rate(row.get("precision")), _rate(row.get("recall")),
+            _rate(row.get("fpr_per_clean_hour")),
+            _ms(row.get("mttd_p50")), _ms(row.get("mttd_p90"))]
+
+
+def _render_detection(detection: Optional[Dict[str, Any]],
+                      scenario_order: List[str]) -> List[str]:
+    """The Detection scorecard section: per-scenario MANA quality rows
+    (from :mod:`repro.obs.scorecard`) plus the campaign-level roll-up."""
+    if not detection:
+        return []
+    lines = ["### Detection (MANA scorecard)", ""]
+    totals = detection.get("campaign", {})
+    lines.append(
+        f"Live MANA instances scored against ground-truth fault windows "
+        f"(grace {detection.get('grace', 0.0):.1f} s): "
+        f"{totals.get('detected', 0)}/{totals.get('window_count', 0)} "
+        f"windows detected, {totals.get('alerts', 0)} alert(s) in "
+        f"{totals.get('incidents', 0)} incident(s).")
+    lines.append("")
+    scenarios = detection.get("scenarios", {})
+    ordered = [name for name in scenario_order if name in scenarios]
+    ordered += [name for name in sorted(scenarios) if name not in ordered]
+    rows = [_detection_row(name, scenarios[name]) for name in ordered]
+    rows.append(_detection_row("**campaign**", totals))
+    lines += _table(["scenario", "windows", "detected", "missed", "TP",
+                     "FP", "precision", "recall", "FP/clean-h",
+                     "MTTD p50 (ms)", "MTTD p90 (ms)"], rows)
+    lines.append("")
+    return lines
 
 
 def _render_dumps(dumps: List[Dict[str, Any]], where: str) -> List[str]:

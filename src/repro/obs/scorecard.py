@@ -1,0 +1,96 @@
+"""The detection scorecard: campaign-level MANA quality metrics.
+
+Takes the per-run attribution produced by :mod:`repro.mana.scoring`
+(TP / FP / miss per ground-truth fault window) and rolls it up into
+the numbers an evaluation section actually quotes:
+
+* **precision** — TP / (TP + FP) over the pooled alert stream;
+* **recall** — detected windows / ground-truth windows;
+* **FPR per clean hour** — false positives per fault-free hour of
+  simulated traffic (the operator-fatigue number);
+* **MTTD p50/p90** — nearest-rank quantiles of time-to-detect over
+  every detected window.
+
+All inputs are deterministic sim-time floats, so the scorecard embeds
+byte-identically in the campaign report for any ``--jobs`` /
+``--warm-cache`` combination.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+
+def quantile(sorted_values: List[float], p: float) -> Optional[float]:
+    """Nearest-rank quantile of an ascending-sorted sample (None when
+    empty).  Nearest-rank keeps the result an actual sample value —
+    no interpolation, no float surprises across platforms."""
+    if not sorted_values:
+        return None
+    rank = min(len(sorted_values) - 1,
+               max(0, math.ceil(p * len(sorted_values)) - 1))
+    return sorted_values[rank]
+
+
+def detection_rates(true_positives: int, false_positives: int,
+                    window_count: int, detected: int,
+                    clean_seconds: float, ttd: List[float]) -> dict:
+    """Derive the quoted rates from raw attribution counts.  ``None``
+    marks an undefined rate (no alerts → no precision; no windows →
+    no recall) rather than a fake 0.0 or 1.0."""
+    alerts = true_positives + false_positives
+    precision = true_positives / alerts if alerts else None
+    recall = detected / window_count if window_count else None
+    clean_hours = clean_seconds / 3600.0
+    fpr = false_positives / clean_hours if clean_hours > 0 else None
+    ttd = sorted(ttd)
+    return {
+        "precision": round(precision, 6) if precision is not None else None,
+        "recall": round(recall, 6) if recall is not None else None,
+        "fpr_per_clean_hour": round(fpr, 6) if fpr is not None else None,
+        "mttd_p50": quantile(ttd, 0.50),
+        "mttd_p90": quantile(ttd, 0.90),
+    }
+
+
+def _aggregate(detections: List[dict]) -> dict:
+    row = {
+        "runs": len(detections),
+        "window_count": sum(d["window_count"] for d in detections),
+        "detected": sum(d["detected"] for d in detections),
+        "missed": sum(len(d["missed"]) for d in detections),
+        "true_positives": sum(d["true_positives"] for d in detections),
+        "false_positives": sum(d["false_positives"] for d in detections),
+        "alerts": sum(d["alert_count"] for d in detections),
+        "incidents": sum(d.get("incidents", 0) for d in detections),
+        "clean_seconds": round(sum(d["clean_seconds"] for d in detections), 6),
+    }
+    ttd: List[float] = []
+    for d in detections:
+        ttd.extend(d["ttd"])
+    row.update(detection_rates(row["true_positives"], row["false_positives"],
+                               row["window_count"], row["detected"],
+                               row["clean_seconds"], ttd))
+    return row
+
+
+def build_detection_section(campaign: dict) -> Optional[dict]:
+    """Roll the per-run ``detection`` attribution embedded in a campaign
+    report up into per-scenario and campaign-level scorecard rows.
+    Returns ``None`` when the campaign ran without MANA."""
+    per_scenario: Dict[str, List[dict]] = {}
+    for name, entry in campaign.get("scenarios", {}).items():
+        rows = [run["detection"] for run in entry.get("runs", [])
+                if run.get("detection") is not None]
+        if rows:
+            per_scenario[name] = rows
+    if not per_scenario:
+        return None
+    everything = [d for rows in per_scenario.values() for d in rows]
+    return {
+        "grace": everything[0]["grace"],
+        "scenarios": {name: _aggregate(rows)
+                      for name, rows in sorted(per_scenario.items())},
+        "campaign": _aggregate(everything),
+    }
